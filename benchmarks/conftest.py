@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures: traces are generated once per session so
+only analysis time is measured (the paper times analysis on pre-logged
+traces, Appendix D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.workloads.benchmarks import CASES_BY_NAME
+
+#: Scale factor applied to every benchmark trace. 1.0 reproduces the
+#: sizes in DESIGN.md §5; lower it to smoke-test the suite quickly.
+SCALE = 1.0
+SEED = 7
+
+_cache = {}
+
+
+def trace_for(name: str, scale: float = SCALE, seed: int = SEED):
+    key = (name, scale, seed)
+    if key not in _cache:
+        _cache[key] = CASES_BY_NAME[name].generate(seed=seed, scale=scale)
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def get_trace():
+    return trace_for

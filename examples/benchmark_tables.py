@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables 1 and 2 (scaled analogs).
+
+Equivalent to ``python -m repro.cli table1`` / ``table2``, packaged as a
+script with a smaller default scale so it finishes in well under a
+minute. See EXPERIMENTS.md for full-scale results and the comparison
+against the paper's numbers.
+
+Run:  python examples/benchmark_tables.py [scale]
+"""
+
+import sys
+
+from repro.bench.harness import run_table
+from repro.bench.reporting import format_comparison, format_table
+from repro.sim.workloads.benchmarks import TABLE1, TABLE2
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    timeout = 15.0
+    for title, cases in (("Table 1", TABLE1), ("Table 2", TABLE2)):
+        print(f"Running {title} analogs (scale={scale}, timeout={timeout}s)...")
+        results = run_table(cases, scale=scale, timeout=timeout)
+        print(format_table(results, title=f"{title} (measured)"))
+        print()
+        print(format_comparison(results, title=f"{title} (paper vs. measured)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-use-pep517`` work in offline environments
+whose setuptools lacks the ``bdist_wheel`` command; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""Event-level analyses: ≤CHB, statistics, races, locksets, causal
+atomicity, violation explanations."""
+
+from .causal import CausalAtomicityReport, check_causal_atomicity
+from .chb import ChbIndex, chb_pairs, compute_chb
+from .explain import Explanation, WitnessEdge, explain
+from .graph_export import event_graph_dot, save_dot, transaction_graph_dot
+from .minimize import is_one_minimal, minimize_violation
+from .lockset import (
+    LocksetAnalyzer,
+    LocksetReport,
+    LocksetWarning,
+    VarState,
+    lockset_analysis,
+)
+from .profile import AccessProfile, TraceProfile, format_profile, profile_trace
+from .races import Epoch, FastTrackDetector, Race, find_races
+from .serial_witness import (
+    is_serial,
+    serial_order,
+    serial_witness,
+    verify_equivalence,
+)
+from .stats import TraceStats, compute_stats
+from .timeline import render_columns, render_with_verdict
+from .view_serializability import (
+    TooManyTransactions,
+    ViewProfile,
+    serializing_order,
+    view_profile,
+    view_serializable,
+)
+
+__all__ = [
+    "minimize_violation",
+    "is_one_minimal",
+    "render_columns",
+    "render_with_verdict",
+    "transaction_graph_dot",
+    "event_graph_dot",
+    "save_dot",
+    "profile_trace",
+    "format_profile",
+    "TraceProfile",
+    "AccessProfile",
+    "serial_witness",
+    "serial_order",
+    "is_serial",
+    "verify_equivalence",
+    "view_serializable",
+    "serializing_order",
+    "view_profile",
+    "ViewProfile",
+    "TooManyTransactions",
+    "LocksetAnalyzer",
+    "LocksetReport",
+    "LocksetWarning",
+    "VarState",
+    "lockset_analysis",
+    "ChbIndex",
+    "compute_chb",
+    "chb_pairs",
+    "TraceStats",
+    "compute_stats",
+    "FastTrackDetector",
+    "Race",
+    "Epoch",
+    "find_races",
+    "CausalAtomicityReport",
+    "check_causal_atomicity",
+    "Explanation",
+    "WitnessEdge",
+    "explain",
+]

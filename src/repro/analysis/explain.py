@@ -1,0 +1,111 @@
+"""Violation diagnostics: turn a verdict into an explanation.
+
+AeroDrome (by design) reports only *that* a violation exists and at
+which event. For debugging, developers want the witness: the cycle of
+transactions and, for each ⋖Txn edge, the pair of conflicting events
+inducing it. This module extracts that witness from the shortest
+violating prefix using the exact oracle — quadratic, but it runs once,
+on a prefix, after the linear-time checker has already localised the
+problem. Exposed on the CLI as ``repro explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.chb import compute_chb
+from ..baselines.oracle import first_violating_prefix, violation_witness
+from ..trace.events import Event
+from ..trace.trace import Trace
+from ..trace.transactions import Transaction
+
+
+@dataclass(frozen=True)
+class WitnessEdge:
+    """One ⋖Txn edge of the witness cycle.
+
+    Attributes:
+        src: The earlier transaction.
+        dst: The later transaction.
+        src_event: An event of ``src`` …
+        dst_event: … ≤CHB-before this event of ``dst``.
+    """
+
+    src: Transaction
+    dst: Transaction
+    src_event: Event
+    dst_event: Event
+
+    def __str__(self) -> str:
+        return (
+            f"T#{self.src.tid}({self.src.thread}) -> "
+            f"T#{self.dst.tid}({self.dst.thread}): "
+            f"e{self.src_event.idx} {self.src_event} ≤CHB "
+            f"e{self.dst_event.idx} {self.dst_event}"
+        )
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A witness cycle for a non-serializable trace.
+
+    Attributes:
+        prefix_length: Length of the shortest violating prefix.
+        cycle: The witness transactions, in cycle order.
+        edges: One justified ⋖Txn edge per consecutive cycle pair.
+    """
+
+    prefix_length: int
+    cycle: List[Transaction]
+    edges: List[WitnessEdge]
+
+    def render(self) -> str:
+        lines = [
+            f"non-serializable: witness cycle of {len(self.cycle)} "
+            f"transaction(s), complete at event {self.prefix_length - 1}",
+        ]
+        lines.extend(f"  {edge}" for edge in self.edges)
+        return "\n".join(lines)
+
+
+def _edge_witness(
+    trace: Trace, chb, src: Transaction, dst: Transaction
+) -> Optional[Tuple[Event, Event]]:
+    """Some pair (e ∈ src, e' ∈ dst) with e ≤CHB e'.
+
+    Prefers pairs of non-marker events (actual accesses) — begin/end
+    markers are always transitively ordered with their block's body and
+    make for uninformative witnesses.
+    """
+    fallback: Optional[Tuple[Event, Event]] = None
+    src_indices = sorted(src.event_indices, key=lambda i: trace[i].is_marker)
+    dst_indices = sorted(dst.event_indices, key=lambda j: trace[j].is_marker)
+    for i in src_indices:
+        for j in dst_indices:
+            if i < j and chb.ordered(i, j):
+                if not trace[i].is_marker and not trace[j].is_marker:
+                    return trace[i], trace[j]
+                if fallback is None:
+                    fallback = (trace[i], trace[j])
+    return fallback
+
+
+def explain(trace: Trace) -> Optional[Explanation]:
+    """Extract a witness cycle, or ``None`` if the trace is serializable."""
+    prefix_length = first_violating_prefix(trace)
+    if prefix_length is None:
+        return None
+    prefix = trace.prefix(prefix_length)
+    cycle = violation_witness(prefix)
+    assert cycle is not None  # the prefix is violating by construction
+    chb = compute_chb(prefix)
+    edges = []
+    for position, src in enumerate(cycle):
+        dst = cycle[(position + 1) % len(cycle)]
+        pair = _edge_witness(prefix, chb, src, dst)
+        assert pair is not None, "cycle edge without CHB witness"
+        edges.append(
+            WitnessEdge(src=src, dst=dst, src_event=pair[0], dst_event=pair[1])
+        )
+    return Explanation(prefix_length=prefix_length, cycle=cycle, edges=edges)

@@ -1,0 +1,213 @@
+"""Eraser-style lockset analysis.
+
+Savage et al.'s Eraser is the classic *lockset* race detector: every
+shared variable ``x`` carries a candidate set ``C(x)`` of locks that
+protected every access so far; an access by thread ``t`` refines
+``C(x) := C(x) ∩ locks_held(t)``, and an empty candidate set on a
+write-shared variable means no single lock protects ``x`` — a potential
+data race.
+
+The analysis is *unsound* in the dynamic-analysis sense used by the
+AeroDrome paper (footnote 1): it reports false alarms, because it does
+not understand fork/join or other non-lock synchronization. We implement
+it here because
+
+* the Atomizer baseline (:mod:`repro.baselines.atomizer`) classifies
+  memory accesses as movers/non-movers based on lockset race information,
+  and the AeroDrome paper's related-work section (§6) contrasts precisely
+  this reduction-based family against conflict serializability;
+* it makes a sharp test fixture: traces synchronized only by fork/join
+  are race-free under happens-before (:mod:`repro.analysis.races`) yet
+  flagged by the lockset analysis, which is the canonical false positive.
+
+The state machine per variable follows the original paper: ``VIRGIN →
+EXCLUSIVE(t) → SHARED → SHARED_MODIFIED``; candidate-set refinement only
+happens in the shared states, and races are only reported in
+``SHARED_MODIFIED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..trace.events import Event, Op
+
+
+class VarState(Enum):
+    """Eraser's per-variable ownership states."""
+
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass(frozen=True)
+class LocksetWarning:
+    """A potential race reported by the lockset analysis.
+
+    Attributes:
+        event_idx: Trace index of the access that emptied the lockset.
+        variable: The variable whose candidate set became empty.
+        thread: The accessing thread.
+        is_write: Whether the offending access was a write.
+    """
+
+    event_idx: int
+    variable: str
+    thread: str
+    is_write: bool
+
+    def __str__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return (
+            f"lockset: no common lock protects {self.variable} "
+            f"({kind} by {self.thread} at event {self.event_idx})"
+        )
+
+
+@dataclass
+class _VarInfo:
+    state: VarState = VarState.VIRGIN
+    owner: Optional[str] = None
+    candidates: Optional[FrozenSet[str]] = None  # None = "all locks"
+    reported: bool = False
+
+
+@dataclass
+class LocksetReport:
+    """Result of :func:`lockset_analysis`.
+
+    Attributes:
+        warnings: All distinct-variable warnings, in detection order.
+        final_states: Per-variable final ownership state.
+    """
+
+    warnings: List[LocksetWarning] = field(default_factory=list)
+    final_states: Dict[str, VarState] = field(default_factory=dict)
+
+    @property
+    def racy_variables(self) -> Set[str]:
+        return {w.variable for w in self.warnings}
+
+
+class LocksetAnalyzer:
+    """Streaming Eraser analysis.
+
+    Feed events with :meth:`process`; warnings accumulate in
+    :attr:`warnings` (one per variable — Eraser reports each variable at
+    most once). :meth:`is_racy` answers "has this variable ever been
+    flagged", which is what Atomizer's mover classification consumes.
+    """
+
+    def __init__(self) -> None:
+        self._held: Dict[str, Set[str]] = {}  # locks held per thread
+        self._vars: Dict[str, _VarInfo] = {}
+        self.warnings: List[LocksetWarning] = []
+        self.events_processed = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def locks_held(self, thread: str) -> FrozenSet[str]:
+        """The lock set currently held by ``thread``."""
+        return frozenset(self._held.get(thread, ()))
+
+    def is_racy(self, variable: str) -> bool:
+        """Whether ``variable`` has been flagged by the analysis."""
+        info = self._vars.get(variable)
+        return info is not None and info.reported
+
+    def candidate_set(self, variable: str) -> Optional[FrozenSet[str]]:
+        """Current candidate lockset of ``variable``.
+
+        ``None`` means "still the universal set" (no shared access yet).
+        """
+        info = self._vars.get(variable)
+        if info is None:
+            return None
+        return info.candidates
+
+    def state_of(self, variable: str) -> VarState:
+        info = self._vars.get(variable)
+        return info.state if info is not None else VarState.VIRGIN
+
+    # -- the state machine -------------------------------------------------
+
+    def _access(self, event: Event, is_write: bool) -> Optional[LocksetWarning]:
+        variable = event.target
+        assert variable is not None
+        thread = event.thread
+        info = self._vars.setdefault(variable, _VarInfo())
+
+        if info.state is VarState.VIRGIN:
+            info.state = VarState.EXCLUSIVE
+            info.owner = thread
+            return None
+
+        if info.state is VarState.EXCLUSIVE:
+            if info.owner == thread:
+                return None
+            # First genuinely shared access: initialize the candidate
+            # set from the locks held *now* and move to a shared state.
+            info.candidates = self.locks_held(thread)
+            info.state = (
+                VarState.SHARED_MODIFIED if is_write else VarState.SHARED
+            )
+        else:
+            assert info.candidates is not None
+            info.candidates = info.candidates & self.locks_held(thread)
+            if is_write:
+                info.state = VarState.SHARED_MODIFIED
+
+        if (
+            info.state is VarState.SHARED_MODIFIED
+            and not info.candidates
+            and not info.reported
+        ):
+            info.reported = True
+            warning = LocksetWarning(
+                event_idx=event.idx,
+                variable=variable,
+                thread=thread,
+                is_write=is_write,
+            )
+            self.warnings.append(warning)
+            return warning
+        return None
+
+    def process(self, event: Event) -> Optional[LocksetWarning]:
+        """Consume one event; return a warning iff this access is flagged."""
+        op = event.op
+        warning: Optional[LocksetWarning] = None
+        if op is Op.ACQUIRE:
+            assert event.target is not None
+            self._held.setdefault(event.thread, set()).add(event.target)
+        elif op is Op.RELEASE:
+            assert event.target is not None
+            self._held.get(event.thread, set()).discard(event.target)
+        elif op is Op.READ:
+            warning = self._access(event, is_write=False)
+        elif op is Op.WRITE:
+            warning = self._access(event, is_write=True)
+        # fork/join/begin/end are invisible to Eraser — that blindness is
+        # exactly what makes the analysis unsound (false positives on
+        # fork/join-synchronized programs).
+        self.events_processed += 1
+        return warning
+
+    def report(self) -> LocksetReport:
+        """Snapshot the warnings and per-variable states."""
+        return LocksetReport(
+            warnings=self.warnings[:],
+            final_states={v: info.state for v, info in self._vars.items()},
+        )
+
+
+def lockset_analysis(events: Iterable[Event]) -> LocksetReport:
+    """Run the Eraser lockset analysis over a whole trace."""
+    analyzer = LocksetAnalyzer()
+    for event in events:
+        analyzer.process(event)
+    return analyzer.report()

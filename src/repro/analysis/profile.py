@@ -1,0 +1,255 @@
+"""Trace profiling: the workload-shape report behind the paper's tables.
+
+The paper's evaluation narrative keys everything on trace *shape*:
+how many transactions there are (Column 6), whether conflicts cross
+threads early or late, and how contended variables and locks are. This
+module computes that shape for an arbitrary trace and renders it as an
+ASCII report (``python -m repro.cli profile``), so a user can predict
+which checker will win on their workload before running either:
+many transactions + late violation → AeroDrome territory (Table 1);
+tiny graph + early violation → Velodrome parity (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.events import Op
+from ..trace.trace import Trace
+from ..trace.transactions import extract_transactions
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Access pattern of one variable or lock.
+
+    Attributes:
+        name: The variable/lock identifier.
+        reads: Read count (acquires, for locks).
+        writes: Write count (releases, for locks).
+        threads: Distinct accessing threads, in first-touch order.
+    """
+
+    name: str
+    reads: int
+    writes: int
+    threads: Tuple[str, ...]
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def is_shared(self) -> bool:
+        """Touched by more than one thread — the only variables that can
+        contribute inter-thread ⋖Txn edges."""
+        return len(self.threads) > 1
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """The full shape report of :func:`profile_trace`.
+
+    Attributes:
+        events: Total event count.
+        op_counts: Events per operation kind.
+        per_thread_ops: ``{thread: {op: count}}`` histogram.
+        variables: Per-variable access profiles, hottest first.
+        locks: Per-lock access profiles (reads = acquires), hottest first.
+        transactions: Non-unary transaction count (paper Column 6).
+        unary_transactions: Count of single-event trivial transactions.
+        txn_length_histogram: ``{length-bucket: count}`` for non-unary
+            transactions, bucketed by powers of two.
+        cross_thread_conflicts: Direct conflicting pairs that cross
+            threads (nearest-conflict count, not the closure).
+        first_cross_conflict_idx: Index of the first inter-thread
+            conflict — early values signal Table 2-like workloads.
+    """
+
+    events: int
+    op_counts: Dict[Op, int]
+    per_thread_ops: Dict[str, Dict[Op, int]]
+    variables: List[AccessProfile]
+    locks: List[AccessProfile]
+    transactions: int
+    unary_transactions: int
+    txn_length_histogram: Dict[int, int]
+    cross_thread_conflicts: int
+    first_cross_conflict_idx: Optional[int]
+
+    @property
+    def shared_variables(self) -> List[AccessProfile]:
+        return [v for v in self.variables if v.is_shared]
+
+    @property
+    def threads(self) -> List[str]:
+        return sorted(self.per_thread_ops)
+
+
+def _bucket(length: int) -> int:
+    """Power-of-two bucket floor for the length histogram."""
+    bucket = 1
+    while bucket * 2 <= length:
+        bucket *= 2
+    return bucket
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """Two passes: one over events, one transaction extraction."""
+    op_counts: Dict[Op, int] = {}
+    per_thread: Dict[str, Dict[Op, int]] = {}
+    var_reads: Dict[str, int] = {}
+    var_writes: Dict[str, int] = {}
+    var_threads: Dict[str, List[str]] = {}
+    lock_acqs: Dict[str, int] = {}
+    lock_rels: Dict[str, int] = {}
+    lock_threads: Dict[str, List[str]] = {}
+
+    cross_conflicts = 0
+    first_cross: Optional[int] = None
+    last_writer: Dict[str, str] = {}
+    last_readers: Dict[str, Dict[str, int]] = {}
+    last_releaser: Dict[str, str] = {}
+
+    def note_cross(idx: int, count: int = 1) -> None:
+        nonlocal cross_conflicts, first_cross
+        if count <= 0:
+            return
+        cross_conflicts += count
+        if first_cross is None:
+            first_cross = idx
+
+    def touch(registry: Dict[str, List[str]], key: str, thread: str) -> None:
+        threads = registry.setdefault(key, [])
+        if thread not in threads:
+            threads.append(thread)
+
+    for event in trace:
+        op = event.op
+        thread = event.thread
+        op_counts[op] = op_counts.get(op, 0) + 1
+        thread_ops = per_thread.setdefault(thread, {})
+        thread_ops[op] = thread_ops.get(op, 0) + 1
+
+        if op is Op.READ:
+            variable = event.target
+            var_reads[variable] = var_reads.get(variable, 0) + 1
+            touch(var_threads, variable, thread)
+            writer = last_writer.get(variable)
+            if writer is not None and writer != thread:
+                note_cross(event.idx)
+            last_readers.setdefault(variable, {})[thread] = event.idx
+        elif op is Op.WRITE:
+            variable = event.target
+            var_writes[variable] = var_writes.get(variable, 0) + 1
+            touch(var_threads, variable, thread)
+            writer = last_writer.get(variable)
+            if writer is not None and writer != thread:
+                note_cross(event.idx)
+            readers = last_readers.pop(variable, {})
+            note_cross(event.idx, sum(1 for u in readers if u != thread))
+            last_writer[variable] = thread
+        elif op is Op.ACQUIRE:
+            lock = event.target
+            lock_acqs[lock] = lock_acqs.get(lock, 0) + 1
+            touch(lock_threads, lock, thread)
+            releaser = last_releaser.get(lock)
+            if releaser is not None and releaser != thread:
+                note_cross(event.idx)
+        elif op is Op.RELEASE:
+            lock = event.target
+            lock_rels[lock] = lock_rels.get(lock, 0) + 1
+            last_releaser[lock] = thread
+
+    index = extract_transactions(trace)
+    histogram: Dict[int, int] = {}
+    transactions = unary = 0
+    for txn in index.transactions:
+        if txn.is_unary:
+            unary += 1
+            continue
+        transactions += 1
+        bucket = _bucket(len(txn))
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+
+    variables = sorted(
+        (
+            AccessProfile(
+                name=name,
+                reads=var_reads.get(name, 0),
+                writes=var_writes.get(name, 0),
+                threads=tuple(var_threads.get(name, ())),
+            )
+            for name in var_threads
+        ),
+        key=lambda p: (-p.total, p.name),
+    )
+    locks = sorted(
+        (
+            AccessProfile(
+                name=name,
+                reads=lock_acqs.get(name, 0),
+                writes=lock_rels.get(name, 0),
+                threads=tuple(lock_threads.get(name, ())),
+            )
+            for name in lock_threads
+        ),
+        key=lambda p: (-p.total, p.name),
+    )
+    return TraceProfile(
+        events=len(trace),
+        op_counts=op_counts,
+        per_thread_ops=per_thread,
+        variables=variables,
+        locks=locks,
+        transactions=transactions,
+        unary_transactions=unary,
+        txn_length_histogram=histogram,
+        cross_thread_conflicts=cross_conflicts,
+        first_cross_conflict_idx=first_cross,
+    )
+
+
+def format_profile(profile: TraceProfile, top: int = 10) -> str:
+    """Render a profile as the CLI's ASCII report."""
+    lines: List[str] = []
+    lines.append(f"events            : {profile.events}")
+    lines.append(f"threads           : {len(profile.threads)}")
+    lines.append(
+        f"transactions      : {profile.transactions} "
+        f"(+{profile.unary_transactions} unary)"
+    )
+    ops = ", ".join(
+        f"{op.name.lower()}={count}"
+        for op, count in sorted(profile.op_counts.items())
+    )
+    lines.append(f"operations        : {ops}")
+    lines.append(f"cross-thread confl: {profile.cross_thread_conflicts}")
+    first = profile.first_cross_conflict_idx
+    lines.append(
+        "first cross confl : "
+        + ("none" if first is None else f"event {first}/{profile.events}")
+    )
+    if profile.txn_length_histogram:
+        histogram = ", ".join(
+            f"[{bucket}-{bucket * 2 - 1}]×{count}"
+            for bucket, count in sorted(profile.txn_length_histogram.items())
+        )
+        lines.append(f"txn lengths       : {histogram}")
+    if profile.variables:
+        lines.append(f"hot variables (top {top}):")
+        for var in profile.variables[:top]:
+            shared = "shared" if var.is_shared else "local"
+            lines.append(
+                f"  {var.name:<16} r={var.reads:<6} w={var.writes:<6} "
+                f"threads={len(var.threads)} ({shared})"
+            )
+    if profile.locks:
+        lines.append("locks:")
+        for lock in profile.locks[:top]:
+            lines.append(
+                f"  {lock.name:<16} acq={lock.reads:<6} "
+                f"threads={len(lock.threads)}"
+            )
+    return "\n".join(lines)

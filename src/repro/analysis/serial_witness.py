@@ -1,0 +1,160 @@
+"""Constructive serializability: build the equivalent serial execution.
+
+A checker's "✓ serializable" verdict promises that an equivalent serial
+execution *exists* (Definition 1 / Example 1's ``ρ_serial``); this
+module constructs it. Topologically sorting the ⋖Txn transaction graph
+gives a serial order of transactions; concatenating each transaction's
+events in that order yields a serial trace that is *conflict
+equivalent* to the original — every pair of conflicting events keeps
+its relative order, which is the definition of equivalence the paper
+uses ("observe that the relative order of conflicting events in
+ρ_serial1 is the same as in the original trace ρ1").
+
+The construction doubles as an independent soundness check on the
+whole stack: for every serializable trace, :func:`serial_witness` must
+succeed and :func:`verify_equivalence` must accept its output; for
+every violating trace it must return ``None``. The property tests in
+``tests/test_serial_witness.py`` run exactly that loop against random
+traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.oracle import transaction_graph
+from ..trace.events import Event, Op
+from ..trace.trace import Trace
+from ..trace.transactions import extract_transactions
+
+
+def serial_order(trace: Trace) -> Optional[List[int]]:
+    """A topological order of all transactions, or ``None`` on a cycle.
+
+    Kahn's algorithm with smallest-tid tie-breaking, so the result is
+    deterministic and tends to follow trace order.
+    """
+    graph = transaction_graph(trace)
+    indegree: Dict[int, int] = {tid: graph.in_degree(tid) for tid in graph.nodes()}
+    ready = sorted(tid for tid, degree in indegree.items() if degree == 0)
+    order: List[int] = []
+    while ready:
+        tid = ready.pop(0)
+        order.append(tid)
+        inserted = False
+        for succ in sorted(graph.successors(tid)):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+                inserted = True
+        if inserted:
+            ready.sort()
+    if len(order) != len(indegree):
+        return None  # a cycle kept some transactions at indegree > 0
+    return order
+
+
+def serial_witness(trace: Trace) -> Optional[Trace]:
+    """An equivalent serial execution of ``trace``, or ``None``.
+
+    The witness contains exactly the original event objects (sharing
+    their ``idx`` back-references into the original trace), reordered
+    so that each transaction's events are consecutive.
+    """
+    order = serial_order(trace)
+    if order is None:
+        return None
+    txns = extract_transactions(trace)
+    events: List[Event] = []
+    for tid in order:
+        for idx in txns.transactions[tid].event_indices:
+            events.append(trace[idx])
+    witness = Trace(name=f"{trace.name}-serial")
+    for event in events:
+        # Re-wrap so the witness owns its indices; keep the source
+        # event index recoverable through identity of (thread, op,
+        # target) plus verify_equivalence's explicit mapping.
+        witness.append(Event(event.thread, event.op, event.target))
+    return witness
+
+
+def is_serial(trace: Trace) -> bool:
+    """Whether no transaction is interrupted by another thread's events.
+
+    This is the paper's §2 definition of a serial trace; what
+    :func:`serial_witness` outputs must always satisfy it.
+    """
+    txns = extract_transactions(trace)
+    current: Optional[int] = None
+    seen: set = set()
+    for idx, tid in enumerate(txns.txn_of):
+        if tid != current:
+            if tid in seen:
+                return False  # re-entered an interrupted transaction
+            seen.add(tid)
+            current = tid
+    return True
+
+
+def _conflicting(a: Event, b: Event) -> bool:
+    """Direct conflict per §2 (same thread, fork/join, variable, lock)."""
+    if a.thread == b.thread:
+        return True
+    if a.op is Op.FORK and a.target == b.thread:
+        return True
+    if b.op is Op.FORK and b.target == a.thread:
+        return True
+    if a.op is Op.JOIN and a.target == b.thread:
+        return True
+    if b.op is Op.JOIN and b.target == a.thread:
+        return True
+    if a.target is not None and a.target == b.target:
+        if a.op in (Op.READ, Op.WRITE) and b.op in (Op.READ, Op.WRITE):
+            return a.op is Op.WRITE or b.op is Op.WRITE
+        if {a.op, b.op} <= {Op.ACQUIRE, Op.RELEASE}:
+            # Any two operations on one lock are order-fixed in a trace
+            # (mutual exclusion); rel->acq is the generating edge but
+            # commuting acq/rel pairs would break well-formedness.
+            return True
+    return False
+
+
+def verify_equivalence(original: Trace, candidate: Trace) -> bool:
+    """Whether ``candidate`` is a conflict-equivalent permutation.
+
+    Checks (quadratic — this is a test oracle, not a fast path):
+
+    * same multiset of events per thread, in the same per-thread order
+      (a permutation cannot reorder one thread's events);
+    * every conflicting pair appears in the same relative order.
+    """
+    if len(original) != len(candidate):
+        return False
+    # Map each candidate position to the original event it came from:
+    # per-thread order must be preserved, so match threads positionally.
+    cursors: Dict[str, List[int]] = {}
+    for event in original:
+        cursors.setdefault(event.thread, []).append(event.idx)
+    taken: Dict[str, int] = {}
+    mapping: List[int] = []  # candidate position -> original index
+    for event in candidate:
+        pool = cursors.get(event.thread, [])
+        position = taken.get(event.thread, 0)
+        if position >= len(pool):
+            return False
+        source = original[pool[position]]
+        if source.op is not event.op or source.target != event.target:
+            return False
+        mapping.append(pool[position])
+        taken[event.thread] = position + 1
+    if any(taken.get(t, 0) != len(p) for t, p in cursors.items()):
+        return False
+    # Conflicting pairs keep their order iff the mapping never inverts
+    # a conflicting (i, j).
+    n = len(candidate)
+    for a in range(n):
+        for b in range(a + 1, n):
+            i, j = mapping[a], mapping[b]
+            if i > j and _conflicting(original[i], original[j]):
+                return False
+    return True

@@ -1,0 +1,69 @@
+"""Trace statistics beyond MetaInfo — used by reports and workload tuning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..trace.events import Op
+from ..trace.trace import Trace
+from ..trace.transactions import extract_transactions
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Distributional statistics of a trace.
+
+    Attributes:
+        events_per_thread: Event counts keyed by thread name.
+        txn_lengths: Lengths (in events) of non-unary transactions.
+        unary_events: Number of events outside any atomic block.
+        max_nesting: Deepest begin/end nesting observed.
+        read_write_ratio: reads / max(writes, 1).
+    """
+
+    events_per_thread: Dict[str, int]
+    txn_lengths: List[int]
+    unary_events: int
+    max_nesting: int
+    read_write_ratio: float
+
+    @property
+    def mean_txn_length(self) -> float:
+        if not self.txn_lengths:
+            return 0.0
+        return sum(self.txn_lengths) / len(self.txn_lengths)
+
+    @property
+    def max_txn_length(self) -> int:
+        return max(self.txn_lengths, default=0)
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Single pass (plus transaction extraction) over ``trace``."""
+    events_per_thread: Dict[str, int] = {}
+    depth: Dict[str, int] = {}
+    max_nesting = 0
+    reads = writes = 0
+    for event in trace:
+        events_per_thread[event.thread] = events_per_thread.get(event.thread, 0) + 1
+        if event.op is Op.BEGIN:
+            depth[event.thread] = depth.get(event.thread, 0) + 1
+            max_nesting = max(max_nesting, depth[event.thread])
+        elif event.op is Op.END:
+            depth[event.thread] = depth.get(event.thread, 0) - 1
+        elif event.op is Op.READ:
+            reads += 1
+        elif event.op is Op.WRITE:
+            writes += 1
+
+    index = extract_transactions(trace)
+    txn_lengths = [len(t) for t in index.transactions if not t.is_unary]
+    unary_events = sum(len(t) for t in index.transactions if t.is_unary)
+    return TraceStats(
+        events_per_thread=events_per_thread,
+        txn_lengths=txn_lengths,
+        unary_events=unary_events,
+        max_nesting=max_nesting,
+        read_write_ratio=reads / max(writes, 1),
+    )

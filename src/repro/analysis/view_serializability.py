@@ -1,0 +1,152 @@
+"""View serializability — the §7 future-work notion, decided exactly.
+
+The AeroDrome paper closes by naming *view serializability* [63] as a
+natural next target for efficient checking. View equivalence is weaker
+than conflict equivalence: two schedules are view equivalent when
+
+* every read observes the same write (the *reads-from* relation agrees,
+  with "reads the initial value" as a distinguished writer), and
+* the *final write* of every variable is the same;
+
+and a trace is view serializable when some serial order of its
+transactions is view equivalent to it. Deciding view serializability is
+NP-complete in general, so this module implements the textbook exact
+procedure — enumerate serial orders consistent with per-thread program
+order and replay — with memoized pruning. It is meant for traces with a
+handful of transactions: ground truth for tests, a reference point for
+the classic separation example (blind writes make a trace view- but not
+conflict-serializable), and a baseline against which a future efficient
+checker could be validated.
+
+Only read/write events participate in view equivalence (the database
+notion has no locks); lock and fork/join events ride along with their
+transaction when a candidate serial schedule is replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace.events import Op
+from ..trace.trace import Trace
+from ..trace.transactions import TransactionIndex, extract_transactions
+
+#: Distinguished "writer" for reads that observe the initial value.
+INITIAL = -1
+
+#: Refuse to enumerate beyond this many transactions (n! blowup).
+MAX_TRANSACTIONS = 9
+
+
+class TooManyTransactions(ValueError):
+    """Raised when a trace exceeds :data:`MAX_TRANSACTIONS` transactions."""
+
+
+@dataclass(frozen=True)
+class ViewProfile:
+    """The view-equivalence fingerprint of one schedule.
+
+    Attributes:
+        reads_from: For each read event index (in the original trace),
+            the event index of the write it observes, or :data:`INITIAL`.
+        final_writes: For each variable, the event index of its last
+            write, or :data:`INITIAL` if never written.
+    """
+
+    reads_from: Tuple[Tuple[int, int], ...]
+    final_writes: Tuple[Tuple[str, int], ...]
+
+
+def _profile_of_order(
+    trace: Trace, txns: TransactionIndex, order: Sequence[int]
+) -> ViewProfile:
+    """Replay transactions in ``order`` and fingerprint the result."""
+    last_write: Dict[str, int] = {}
+    reads_from: List[Tuple[int, int]] = []
+    for tid in order:
+        for idx in txns.transactions[tid].event_indices:
+            event = trace[idx]
+            if event.op is Op.READ:
+                assert event.target is not None
+                reads_from.append((idx, last_write.get(event.target, INITIAL)))
+            elif event.op is Op.WRITE:
+                assert event.target is not None
+                last_write[event.target] = idx
+    reads_from.sort()
+    return ViewProfile(
+        reads_from=tuple(reads_from),
+        final_writes=tuple(sorted(last_write.items())),
+    )
+
+
+def view_profile(trace: Trace) -> ViewProfile:
+    """The reads-from / final-write fingerprint of ``trace`` as observed."""
+    last_write: Dict[str, int] = {}
+    reads_from: List[Tuple[int, int]] = []
+    for event in trace:
+        if event.op is Op.READ:
+            assert event.target is not None
+            reads_from.append((event.idx, last_write.get(event.target, INITIAL)))
+        elif event.op is Op.WRITE:
+            assert event.target is not None
+            last_write[event.target] = event.idx
+    return ViewProfile(
+        reads_from=tuple(reads_from),
+        final_writes=tuple(sorted(last_write.items())),
+    )
+
+
+def _program_order_ok(
+    txns: TransactionIndex, order: Sequence[int]
+) -> bool:
+    """Whether ``order`` keeps each thread's transactions in trace order.
+
+    Transaction ids are assigned in order of first event, so per-thread
+    ids are already sorted in the original trace.
+    """
+    seen_per_thread: Dict[str, int] = {}
+    for tid in order:
+        thread = txns.transactions[tid].thread
+        previous = seen_per_thread.get(thread, -1)
+        if tid < previous:
+            return False
+        seen_per_thread[thread] = tid
+    return True
+
+
+def serializing_order(trace: Trace) -> Optional[List[int]]:
+    """A view-equivalent serial transaction order, or ``None``.
+
+    The returned list contains transaction ids (including unary
+    transactions) in a serial order whose replay is view equivalent to
+    ``trace`` and which respects per-thread program order.
+
+    Raises:
+        TooManyTransactions: If the trace has more than
+            :data:`MAX_TRANSACTIONS` transactions.
+    """
+    txns = extract_transactions(trace)
+    n = len(txns.transactions)
+    if n > MAX_TRANSACTIONS:
+        raise TooManyTransactions(
+            f"{n} transactions exceed the exact-search bound "
+            f"{MAX_TRANSACTIONS}; view serializability is NP-complete"
+        )
+    target = view_profile(trace)
+    for order in permutations(range(n)):
+        if not _program_order_ok(txns, order):
+            continue
+        if _profile_of_order(trace, txns, order) == target:
+            return list(order)
+    return None
+
+
+def view_serializable(trace: Trace) -> bool:
+    """Whether ``trace`` is view serializable (exact, exponential).
+
+    Raises:
+        TooManyTransactions: See :func:`serializing_order`.
+    """
+    return serializing_order(trace) is not None

@@ -1,0 +1,39 @@
+"""Baseline checkers and ground truth: Velodrome, DoubleChecker, Atomizer,
+the Farzan–Madhusudan lock-model family, and the exact oracle."""
+
+from .atomizer import AtomizerChecker, AtomizerWarning, Mover, atomizer_warnings
+from .doublechecker import DoubleCheckerChecker
+from .graph import Digraph
+from .lock_models import (
+    FarzanMadhusudanChecker,
+    LockModel,
+    transform_lock_events,
+)
+from .online_cycles import CycleClosedError, IncrementalTopoDigraph
+from .oracle import (
+    conflict_serializable,
+    first_violating_prefix,
+    transaction_graph,
+    violation_witness,
+)
+from .velodrome import TxnNode, VelodromeChecker
+
+__all__ = [
+    "Digraph",
+    "IncrementalTopoDigraph",
+    "CycleClosedError",
+    "VelodromeChecker",
+    "TxnNode",
+    "DoubleCheckerChecker",
+    "AtomizerChecker",
+    "AtomizerWarning",
+    "Mover",
+    "atomizer_warnings",
+    "FarzanMadhusudanChecker",
+    "LockModel",
+    "transform_lock_events",
+    "conflict_serializable",
+    "transaction_graph",
+    "violation_witness",
+    "first_violating_prefix",
+]

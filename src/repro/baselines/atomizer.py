@@ -1,0 +1,212 @@
+"""Atomizer — Flanagan & Freund's reduction-based dynamic atomicity checker.
+
+Atomizer [13] predates conflict serializability checking and is the
+canonical *unsound* (false-alarm-prone) baseline the AeroDrome paper
+contrasts against in §1 and §6. It is built on Lipton's theory of
+reduction: an atomic block is *reducible* — equivalent to executing
+without interruption — if its events form the pattern::
+
+    (right-mover | both-mover)*  [non-mover]  (left-mover | both-mover)*
+
+where
+
+* lock **acquires** are right-movers (they commute later in time past
+  other threads' events),
+* lock **releases** are left-movers (they commute earlier),
+* **race-free accesses** are both-movers,
+* **racy accesses** (per the Eraser lockset analysis,
+  :mod:`repro.analysis.lockset`) are non-movers, of which at most one
+  may appear — it is the block's commit point.
+
+The checker keeps a two-phase automaton per active transaction: in the
+*pre-commit* phase every mover kind is allowed; the first left-mover or
+non-mover commits the block; in the *post-commit* phase a right-mover or
+a second non-mover is a reduction failure, reported as an atomicity
+warning.
+
+Unsoundness, demonstrated in ``tests/test_atomizer.py``: the lockset
+analysis does not understand fork/join ordering, so accesses that are
+perfectly ordered by happens-before get classified as non-movers, and
+reducible blocks around them get flagged. Conflict-serializability
+checkers (AeroDrome, Velodrome, the oracle) accept those traces. The
+reverse also holds — Atomizer misses violations whose cycle involves no
+lock and no lockset race — so its verdict is incomparable to the
+conflict-serializability ground truth, which is why the field moved to
+Velodrome-style checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.lockset import LocksetAnalyzer
+from ..core.checker import StreamingChecker
+from ..core.violations import Violation
+from ..trace.events import Event, Op
+
+
+class Mover(Enum):
+    """Lipton mover classification of a single event."""
+
+    RIGHT = "right"  # lock acquire
+    LEFT = "left"  # lock release
+    BOTH = "both"  # race-free access (and fork/join/markers)
+    NON = "non"  # racy access: the commit point
+
+
+class _Phase(Enum):
+    PRE = "pre-commit"
+    POST = "post-commit"
+
+
+@dataclass(frozen=True)
+class AtomizerWarning:
+    """A reduction failure reported by Atomizer.
+
+    Attributes:
+        event_idx: Trace index of the offending event.
+        thread: Thread whose atomic block failed to reduce.
+        mover: Classification of the offending event.
+        reason: Human-readable explanation.
+    """
+
+    event_idx: int
+    thread: str
+    mover: Mover
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"atomizer: block in {self.thread} not reducible at event "
+            f"{self.event_idx} ({self.reason})"
+        )
+
+
+class AtomizerChecker(StreamingChecker):
+    """Streaming Atomizer (Lipton-reduction) atomicity checker.
+
+    Like the paper's checkers this stops at the first warning when driven
+    through :meth:`run`; use :func:`atomizer_warnings` to collect every
+    warning in a trace.
+
+    The mover classification is *online*: an access is a non-mover iff
+    the lockset analysis has flagged its variable **by the time the
+    access happens**, mirroring how the original tool piggybacked on an
+    in-process Eraser.
+    """
+
+    algorithm = "atomizer"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lockset = LocksetAnalyzer()
+        self._phase: Dict[str, _Phase] = {}  # per open transaction
+        self._depth: Dict[str, int] = {}
+
+    # -- mover classification ------------------------------------------------
+
+    def classify(self, event: Event) -> Mover:
+        """Lipton classification of ``event`` given the current lockset state.
+
+        Call *after* the event was fed to the lockset analyzer so a racy
+        access is recognised at its own occurrence.
+        """
+        op = event.op
+        if op is Op.ACQUIRE:
+            return Mover.RIGHT
+        if op is Op.RELEASE:
+            return Mover.LEFT
+        if op in (Op.READ, Op.WRITE):
+            assert event.target is not None
+            if self._lockset.is_racy(event.target):
+                return Mover.NON
+            return Mover.BOTH
+        return Mover.BOTH  # fork/join and markers commute both ways here
+
+    # -- the two-phase reduction automaton ---------------------------------
+
+    def _step_automaton(self, event: Event, mover: Mover) -> Optional[Violation]:
+        thread = event.thread
+        phase = self._phase.get(thread)
+        if phase is None:
+            return None  # not inside an atomic block: nothing to reduce
+        if phase is _Phase.PRE:
+            if mover is Mover.LEFT or mover is Mover.NON:
+                self._phase[thread] = _Phase.POST
+            return None
+        # post-commit phase: right-movers and further non-movers break
+        # the (R|B)* [N] (L|B)* pattern.
+        if mover is Mover.RIGHT:
+            reason = "lock acquire (right-mover) after the commit point"
+        elif mover is Mover.NON:
+            reason = "second racy access (non-mover) after the commit point"
+        else:
+            return None
+        return Violation(
+            event_idx=event.idx,
+            thread=thread,
+            site="reduction",
+            details=reason,
+        )
+
+    # -- event dispatch ------------------------------------------------------
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Consume one event; return a violation iff reduction fails here."""
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        thread = event.thread
+        op = event.op
+        violation: Optional[Violation] = None
+
+        if op is Op.BEGIN:
+            depth = self._depth.get(thread, 0)
+            self._depth[thread] = depth + 1
+            if depth == 0:
+                self._phase[thread] = _Phase.PRE
+        elif op is Op.END:
+            depth = self._depth.get(thread, 0)
+            if depth == 0:
+                raise ValueError(
+                    f"end without matching begin at event {event.idx}; "
+                    "validate the trace with repro.trace.wellformed first"
+                )
+            self._depth[thread] = depth - 1
+            if depth == 1:
+                self._phase.pop(thread, None)
+        else:
+            self._lockset.process(event)
+            mover = self.classify(event)
+            violation = self._step_automaton(event, mover)
+
+        self.events_processed += 1
+        if violation is not None:
+            self.violation = violation
+        return violation
+
+
+def atomizer_warnings(events: Iterable[Event]) -> List[AtomizerWarning]:
+    """Every reduction failure in a trace (does not stop at the first).
+
+    After a failure the offending block's phase is reset to post-commit
+    so one block produces at most one warning per offending event kind
+    sequence; distinct blocks are reported independently.
+    """
+    checker = AtomizerChecker()
+    warnings: List[AtomizerWarning] = []
+    for event in events:
+        violation = checker.process(event)
+        if violation is not None:
+            mover = Mover.RIGHT if "right-mover" in violation.details else Mover.NON
+            warnings.append(
+                AtomizerWarning(
+                    event_idx=violation.event_idx,
+                    thread=violation.thread,
+                    mover=mover,
+                    reason=violation.details,
+                )
+            )
+            checker.violation = None  # keep scanning
+    return warnings

@@ -1,0 +1,136 @@
+"""A simplified DoubleChecker-style two-phase checker.
+
+DoubleChecker [5] splits conflict-serializability checking into a fast,
+imprecise first pass that over-approximates the set of transaction-graph
+cycles, followed by a precise second pass that filters false positives.
+The paper compares against it only narratively (Section 5.1: an
+order-of-magnitude slower on a benchmark subset, not an apples-to-apples
+comparison); we include a faithful miniature so the comparison experiment
+(E6 in DESIGN.md) can be run at all.
+
+* **Phase 1 (imprecise-but-sound-for-absence)**: build a coarse
+  transaction graph that treats *any* two accesses to a common variable
+  as conflicting (even read–read) and ignores per-thread reader
+  tracking. The coarse ⋖ relation is a superset of ⋖Txn, so an acyclic
+  coarse graph proves the trace serializable without a second pass.
+* **Phase 2 (precise)**: if the coarse graph has a cycle, replay the
+  buffered events through Velodrome to confirm or refute it.
+
+Unlike the single-pass checkers this one buffers the trace (DoubleChecker
+runs its phases in vivo, which is exactly why the paper could not compare
+against it on logged traces).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional
+
+from ..core.checker import StreamingChecker
+from ..core.violations import Violation
+from ..trace.events import Event, Op
+from .graph import Digraph
+from .velodrome import VelodromeChecker
+
+
+class _CoarsePass:
+    """Phase 1: coarse transaction graph (read-read treated as conflict)."""
+
+    def __init__(self) -> None:
+        self.graph: Digraph[int] = Digraph()
+        self._ids = count()
+        self._current: Dict[str, int] = {}
+        self._depth: Dict[str, int] = {}
+        self._last_txn: Dict[str, int] = {}
+        self._last_accessor: Dict[str, int] = {}  # any access to a variable
+        self._last_lock_user: Dict[str, int] = {}  # any acquire/release
+
+    def _new_txn(self, thread: str) -> int:
+        tid = next(self._ids)
+        self.graph.add_node(tid)
+        previous = self._last_txn.get(thread)
+        if previous is not None:
+            self.graph.add_edge(previous, tid)
+        self._last_txn[thread] = tid
+        return tid
+
+    def _txn(self, thread: str) -> int:
+        tid = self._current.get(thread)
+        if tid is not None:
+            return tid
+        return self._new_txn(thread)
+
+    def feed(self, event: Event) -> None:
+        op = event.op
+        thread = event.thread
+        if op is Op.BEGIN:
+            depth = self._depth.get(thread, 0)
+            self._depth[thread] = depth + 1
+            if depth == 0:
+                self._current[thread] = self._new_txn(thread)
+            return
+        if op is Op.END:
+            depth = self._depth.get(thread, 0)
+            self._depth[thread] = depth - 1
+            if depth == 1:
+                self._current.pop(thread, None)
+            return
+        tid = self._txn(thread)
+        if op is Op.READ or op is Op.WRITE:
+            variable = event.target
+            assert variable is not None
+            previous = self._last_accessor.get(variable)
+            if previous is not None:
+                self.graph.add_edge(previous, tid)
+            self._last_accessor[variable] = tid
+        elif op is Op.ACQUIRE or op is Op.RELEASE:
+            lock = event.target
+            assert lock is not None
+            previous = self._last_lock_user.get(lock)
+            if previous is not None:
+                self.graph.add_edge(previous, tid)
+            self._last_lock_user[lock] = tid
+        elif op is Op.FORK or op is Op.JOIN:
+            other = event.target
+            assert other is not None
+            if op is Op.FORK:
+                # Delivered when the child creates its first transaction.
+                self._last_txn.setdefault(other, tid)
+            else:
+                previous = self._last_txn.get(other)
+                if previous is not None:
+                    self.graph.add_edge(previous, tid)
+
+    def may_have_cycle(self) -> bool:
+        return self.graph.has_cycle()
+
+
+class DoubleCheckerChecker(StreamingChecker):
+    """Two-phase checker: coarse screening pass, precise Velodrome pass."""
+
+    algorithm = "doublechecker"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._coarse = _CoarsePass()
+        self._buffer: List[Event] = []
+        self._finalized = False
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Buffer the event into phase 1; the verdict comes from result()."""
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        self._coarse.feed(event)
+        self._buffer.append(event)
+        self.events_processed += 1
+        return None
+
+    def result(self):
+        """Run phase 2 (if phase 1 found potential cycles) and report."""
+        if not self._finalized:
+            self._finalized = True
+            if self._coarse.may_have_cycle():
+                precise = VelodromeChecker(garbage_collect=True)
+                verdict = precise.run(self._buffer)
+                self.violation = verdict.violation
+        return super().result()

@@ -1,0 +1,221 @@
+"""Directed-graph substrate for the graph-based checkers.
+
+Velodrome-style algorithms maintain a transaction graph, add edges as the
+trace is processed, and check for a cycle after each edge insertion. This
+module provides exactly that: a small adjacency-set digraph with
+
+* O(V+E) reachability queries (:meth:`Digraph.reaches`) used for the
+  per-edge cycle check — this is what makes the baseline's worst case
+  cubic in the trace length;
+* in-degree tracking and cascading removal of acyclic sources, the
+  substrate for Velodrome's garbage-collection optimization.
+
+The graph is generic over hashable node objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+class Digraph(Generic[N]):
+    """A mutable directed graph over hashable nodes."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[N, Set[N]] = {}
+        self._indeg: Dict[N, int] = {}
+        self.edges_added = 0  # lifetime counter, for benchmarks/statistics
+        self.peak_nodes = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: N) -> None:
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._indeg[node] = 0
+            if len(self._succ) > self.peak_nodes:
+                self.peak_nodes = len(self._succ)
+
+    def add_edge(self, src: N, dst: N) -> bool:
+        """Insert ``src -> dst``; returns True iff the edge is new.
+
+        Self-loops are rejected (a transaction trivially reaches itself;
+        Definition 1 requires k > 1 distinct transactions).
+        """
+        if src == dst:
+            return False
+        self.add_node(src)
+        self.add_node(dst)
+        if dst in self._succ[src]:
+            return False
+        self._succ[src].add(dst)
+        self._indeg[dst] += 1
+        self.edges_added += 1
+        return True
+
+    def remove_node(self, node: N) -> List[N]:
+        """Remove ``node``; returns successors whose in-degree dropped to 0."""
+        zeroed: List[N] = []
+        for succ in self._succ.pop(node):
+            self._indeg[succ] -= 1
+            if self._indeg[succ] == 0:
+                zeroed.append(succ)
+        del self._indeg[node]
+        return zeroed
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, node: N) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> Iterator[N]:
+        return iter(self._succ)
+
+    def successors(self, node: N) -> Set[N]:
+        return self._succ[node]
+
+    def in_degree(self, node: N) -> int:
+        return self._indeg[node]
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def reaches(self, src: N, dst: N) -> bool:
+        """Whether there is a directed path ``src ->* dst`` (iterative DFS)."""
+        if src not in self._succ or dst not in self._succ:
+            return False
+        if src == dst:
+            return True
+        stack = [src]
+        visited = {src}
+        while stack:
+            for succ in self._succ[stack.pop()]:
+                if succ == dst:
+                    return True
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(succ)
+        return False
+
+    def creates_cycle(self, src: N, dst: N) -> bool:
+        """Whether inserting ``src -> dst`` would close a cycle.
+
+        True iff ``dst`` already reaches ``src``. Call before
+        :meth:`add_edge` — this is the graph-based checkers' per-edge
+        cycle check.
+        """
+        if src == dst:
+            return False
+        return self.reaches(dst, src)
+
+    def has_cycle(self) -> bool:
+        """Whether the graph currently contains any directed cycle.
+
+        Iterative three-color DFS; used by the oracle, which builds the
+        whole graph before asking.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[N, int] = {node: WHITE for node in self._succ}
+        for root in self._succ:
+            if color[root] != WHITE:
+                continue
+            stack: List[tuple] = [(root, iter(self._succ[root]))]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        return True
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return False
+
+    def strongly_connected_components(self) -> List[List[N]]:
+        """Tarjan's SCC algorithm, iteratively (no recursion limit).
+
+        Used by the causal-atomicity extension: a transaction lies on a
+        ⋖Txn cycle iff its component has size > 1 (self-loops are
+        impossible here, see :meth:`add_edge`).
+        """
+        index_of: Dict[N, int] = {}
+        lowlink: Dict[N, int] = {}
+        on_stack: Dict[N, bool] = {}
+        stack: List[N] = []
+        components: List[List[N]] = []
+        counter = [0]
+
+        for root in self._succ:
+            if root in index_of:
+                continue
+            work: List[tuple] = [(root, iter(self._succ[root]))]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index_of:
+                        index_of[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack[child] = True
+                        work.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                    if on_stack.get(child):
+                        lowlink[node] = min(lowlink[node], index_of[child])
+                if not advanced:
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[node])
+                    if lowlink[node] == index_of[node]:
+                        component = []
+                        while True:
+                            member = stack.pop()
+                            on_stack[member] = False
+                            component.append(member)
+                            if member == node:
+                                break
+                        components.append(component)
+        return components
+
+    def find_cycle(self) -> List[N]:
+        """A list of nodes forming one directed cycle, or ``[]`` if acyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[N, int] = {node: WHITE for node in self._succ}
+        for root in self._succ:
+            if color[root] != WHITE:
+                continue
+            path: List[N] = [root]
+            stack: List[Iterator[N]] = [iter(self._succ[root])]
+            color[root] = GRAY
+            while stack:
+                advanced = False
+                for child in stack[-1]:
+                    if color[child] == GRAY:
+                        return path[path.index(child):]
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        path.append(child)
+                        stack.append(iter(self._succ[child]))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[path.pop()] = BLACK
+                    stack.pop()
+        return []

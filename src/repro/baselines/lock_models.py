@@ -1,0 +1,131 @@
+"""Lock-unaware conflict models — the Farzan–Madhusudan baseline family.
+
+Farzan and Madhusudan [12] introduced conflict-serializability
+monitoring concurrently with Velodrome, but — as the AeroDrome paper
+notes in §6 — their model "does not account for any lock operations
+which are crucially used in most Java like concurrent programs". Their
+original algorithm is automata-theoretic; what matters for comparison
+purposes is its *conflict model*, so we reproduce that model on top of
+our own checkers rather than the automata bookkeeping:
+
+* ``LockModel.IGNORED`` — lock acquires/releases are dropped from the
+  event stream entirely. Release→acquire edges disappear from the
+  transaction graph, so cycles that close *through a lock* are missed:
+  strictly fewer violations than the standard model (false negatives).
+  This is the literal "does not account for lock operations" reading.
+* ``LockModel.AS_WRITES`` — each ``acq(ℓ)``/``rel(ℓ)`` is modelled as a
+  write to a pseudo-variable ``lock:ℓ``, the natural encoding when the
+  monitor only understands memory accesses. On *well-formed* traces
+  (critical sections on one lock never overlap) every cross-thread edge
+  this induces coincides with a standard release→acquire edge at
+  transaction granularity, so the verdict matches the standard model —
+  a small reproduction finding documented in
+  ``tests/test_lock_models.py`` (property-tested) and EXPERIMENTS.md.
+* ``LockModel.STANDARD`` — the paper's §2 conflict model, for reference.
+
+The transformation composes with *any* streaming checker, so the
+lock-unaware monitor inherits AeroDrome's linear running time — running
+the FM conflict model through a vector-clock engine rather than their
+sets-based bookkeeping (which §6 expects to be "orders of magnitude
+slower", like Goldilocks vs. FastTrack for races).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Iterator, Optional
+
+from ..core.checker import StreamingChecker, make_checker
+from ..core.violations import Violation
+from ..trace.events import Event, Op
+
+
+class LockModel(Enum):
+    """How lock operations enter the conflict relation."""
+
+    STANDARD = "standard"  # rel(ℓ) → acq(ℓ) edges (paper §2)
+    IGNORED = "ignored"  # lock events dropped (FM'08 reading)
+    AS_WRITES = "as-writes"  # acq/rel become writes to ``lock:ℓ``
+
+
+#: Prefix for pseudo-variables encoding locks under ``AS_WRITES``.
+LOCK_VAR_PREFIX = "lock:"
+
+
+def transform_lock_events(
+    events: Iterable[Event], model: LockModel
+) -> Iterator[Event]:
+    """Rewrite an event stream according to a lock model.
+
+    Event indices are preserved so violation reports still point into
+    the *original* trace. Under ``IGNORED`` the stream shrinks; under
+    ``AS_WRITES`` lock events are replaced in place.
+    """
+    if model is LockModel.STANDARD:
+        yield from events
+        return
+    for event in events:
+        if event.op in (Op.ACQUIRE, Op.RELEASE):
+            if model is LockModel.IGNORED:
+                continue
+            assert event.target is not None
+            yield Event(
+                event.thread,
+                Op.WRITE,
+                LOCK_VAR_PREFIX + event.target,
+                idx=event.idx,
+            )
+        else:
+            yield event
+
+
+class FarzanMadhusudanChecker(StreamingChecker):
+    """Conflict-serializability monitor under a lock-unaware model.
+
+    A thin composition: the lock-model transformation feeding an inner
+    streaming checker (optimized AeroDrome by default, so the monitor is
+    linear time single-pass like the original aspires to be).
+
+    Args:
+        model: The lock model (default ``IGNORED``, the FM'08 reading).
+        engine: Registry name of the inner checker.
+    """
+
+    def __init__(
+        self,
+        model: LockModel = LockModel.IGNORED,
+        engine: str = "aerodrome",
+    ) -> None:
+        super().__init__()
+        self.model = model
+        self.engine = engine
+        self.algorithm = f"farzan-madhusudan[{model.value}]"
+        self._inner = make_checker(engine)
+
+    def reset(self) -> None:
+        self.__init__(model=self.model, engine=self.engine)
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Consume one event under the configured lock model."""
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        violation: Optional[Violation] = None
+        if event.op in (Op.ACQUIRE, Op.RELEASE):
+            if self.model is LockModel.AS_WRITES:
+                assert event.target is not None
+                rewritten = Event(
+                    event.thread,
+                    Op.WRITE,
+                    LOCK_VAR_PREFIX + event.target,
+                    idx=event.idx,
+                )
+                violation = self._inner.process(rewritten)
+            elif self.model is LockModel.STANDARD:
+                violation = self._inner.process(event)
+            # IGNORED: drop the event.
+        else:
+            violation = self._inner.process(event)
+        self.events_processed += 1
+        if violation is not None:
+            self.violation = violation
+        return violation

@@ -1,0 +1,79 @@
+"""Exact conflict-serializability oracle (Definition 1).
+
+Ground truth for tests and for cross-checking the streaming checkers:
+compute ≤CHB timestamps for every event, lift them to the ⋖Txn relation
+on transactions (``T ⋖Txn T'`` iff some ``e ∈ T``, ``e' ∈ T'`` with
+``e ≤CHB e'``), and search the resulting transaction graph for a cycle.
+
+This is deliberately the quadratic-pairs construction — simple enough to
+be obviously correct, which is the point of an oracle. Use it on traces
+up to a few thousand events.
+
+Note on Theorem 3: AeroDrome reports a violation iff there is a witness
+cycle with **at most one incomplete** transaction. On traces whose
+transactions all complete (every generator in :mod:`repro.sim` closes
+its blocks) this coincides with plain Definition 1, which is what
+:func:`conflict_serializable` decides. :func:`violation_witness` returns
+one offending transaction cycle for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.chb import compute_chb
+from ..trace.trace import Trace
+from ..trace.transactions import Transaction, extract_transactions
+from .graph import Digraph
+
+
+def transaction_graph(trace: Trace) -> Digraph:
+    """The full ⋖Txn graph of ``trace`` (nodes are transaction ids)."""
+    chb = compute_chb(trace)
+    txns = extract_transactions(trace)
+    graph: Digraph[int] = Digraph()
+    for txn in txns.transactions:
+        graph.add_node(txn.tid)
+    n = len(trace)
+    txn_of = txns.txn_of
+    for i in range(n):
+        tid_i = txn_of[i]
+        for j in range(i + 1, n):
+            tid_j = txn_of[j]
+            if tid_i != tid_j and chb.ordered(i, j):
+                graph.add_edge(tid_i, tid_j)
+    return graph
+
+
+def conflict_serializable(trace: Trace) -> bool:
+    """Whether ``trace`` is conflict serializable (Definition 1)."""
+    return not transaction_graph(trace).has_cycle()
+
+
+def violation_witness(trace: Trace) -> Optional[List[Transaction]]:
+    """One cycle of transactions witnessing non-serializability, if any."""
+    graph = transaction_graph(trace)
+    cycle = graph.find_cycle()
+    if not cycle:
+        return None
+    txns = extract_transactions(trace)
+    return [txns.transactions[tid] for tid in cycle]
+
+
+def first_violating_prefix(trace: Trace) -> Optional[int]:
+    """Length of the shortest non-serializable prefix, or ``None``.
+
+    Non-serializability is monotone in the prefix length — ≤CHB and ⋖Txn
+    only grow as events are appended, so a cycle in a prefix persists in
+    every extension — which makes binary search over prefix lengths valid.
+    """
+    if conflict_serializable(trace):
+        return None
+    low, high = 1, len(trace)
+    while low < high:
+        mid = (low + high) // 2
+        if conflict_serializable(trace.prefix(mid)):
+            low = mid + 1
+        else:
+            high = mid
+    return low

@@ -1,0 +1,35 @@
+"""Benchmark harness regenerating the paper's Tables 1 and 2."""
+
+from .memory import (
+    GrowthPoint,
+    format_growth,
+    growth_ratio,
+    sample_state_growth,
+)
+from .harness import (
+    RowResult,
+    ScalingPoint,
+    TimedRun,
+    run_case,
+    run_scaling,
+    run_table,
+    run_timed,
+)
+from .reporting import format_comparison, format_scaling, format_table
+
+__all__ = [
+    "GrowthPoint",
+    "sample_state_growth",
+    "growth_ratio",
+    "format_growth",
+    "TimedRun",
+    "RowResult",
+    "ScalingPoint",
+    "run_timed",
+    "run_case",
+    "run_table",
+    "run_scaling",
+    "format_table",
+    "format_comparison",
+    "format_scaling",
+]

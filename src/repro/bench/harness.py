@@ -1,0 +1,201 @@
+"""Benchmark harness: time checkers on workload traces, build table rows.
+
+Mirrors the paper's experimental workflow (Appendix D): generate a trace
+once, then run every candidate algorithm *on the same trace*, timing each
+and recording the verdict. A per-run timeout reproduces the paper's "TO"
+entries — when Velodrome exceeds it, the speed-up is reported as a lower
+bound (``> x``), exactly as in Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.checker import make_checker
+from ..core.violations import CheckResult, Violation
+from ..sim.workloads.benchmarks import BenchmarkCase
+from ..trace.metainfo import MetaInfo, metainfo
+from ..trace.trace import Trace
+
+#: How many events to process between timeout checks.
+_TIMEOUT_STRIDE = 2048
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """One algorithm's timed run over one trace.
+
+    Attributes:
+        algorithm: Checker name.
+        seconds: Wall-clock analysis time (excludes trace generation).
+        result: The verdict (meaningless when ``timed_out``).
+        timed_out: True when the run was aborted at the timeout.
+        peak_graph_size: For graph-based checkers, the largest live
+            transaction graph observed (paper §5.3 discusses these
+            node counts); ``None`` otherwise.
+    """
+
+    algorithm: str
+    seconds: float
+    result: CheckResult
+    timed_out: bool
+    peak_graph_size: Optional[int] = None
+
+    @property
+    def display_time(self) -> str:
+        return "TO" if self.timed_out else f"{self.seconds:.3f}"
+
+    @property
+    def violation(self) -> Optional[Violation]:
+        return self.result.violation
+
+
+def run_timed(
+    algorithm: str, trace: Trace, timeout: Optional[float] = None
+) -> TimedRun:
+    """Run one checker over ``trace`` with an optional wall-clock timeout."""
+    checker = make_checker(algorithm)
+    events = trace.events
+    n = len(events)
+    start = time.perf_counter()
+    timed_out = False
+    i = 0
+    while i < n:
+        chunk_end = min(i + _TIMEOUT_STRIDE, n)
+        found = None
+        while i < chunk_end:
+            found = checker.process(events[i])
+            i += 1
+            if found is not None:
+                break
+        if found is not None:
+            break
+        if timeout is not None and time.perf_counter() - start > timeout:
+            timed_out = True
+            break
+    elapsed = time.perf_counter() - start
+    peak = getattr(checker, "peak_graph_size", None)
+    return TimedRun(
+        algorithm=algorithm,
+        seconds=elapsed,
+        result=checker.result(),
+        timed_out=timed_out,
+        peak_graph_size=peak,
+    )
+
+
+@dataclass
+class RowResult:
+    """Measured data for one benchmark row (columns 1–10 of the tables)."""
+
+    case: BenchmarkCase
+    info: MetaInfo
+    runs: Dict[str, TimedRun] = field(default_factory=dict)
+
+    @property
+    def aerodrome(self) -> TimedRun:
+        return self.runs["aerodrome"]
+
+    @property
+    def velodrome(self) -> TimedRun:
+        return self.runs["velodrome"]
+
+    @property
+    def serializable(self) -> Optional[bool]:
+        """The agreed verdict (``None`` if every run timed out)."""
+        for run in self.runs.values():
+            if not run.timed_out:
+                return run.result.serializable
+        return None
+
+    @property
+    def verdicts_agree(self) -> bool:
+        verdicts = {
+            run.result.serializable
+            for run in self.runs.values()
+            if not run.timed_out
+        }
+        return len(verdicts) <= 1
+
+    @property
+    def speedup(self) -> float:
+        """Velodrome time / AeroDrome time (a lower bound under timeout)."""
+        aero = self.aerodrome.seconds
+        return self.velodrome.seconds / aero if aero > 0 else float("inf")
+
+    @property
+    def speedup_display(self) -> str:
+        value = self.speedup
+        text = f"{value:.2f}" if value < 100 else f"{value:.0f}"
+        return f"> {text}" if self.velodrome.timed_out else text
+
+
+def run_case(
+    case: BenchmarkCase,
+    algorithms: Iterable[str] = ("aerodrome", "velodrome"),
+    seed: int = 7,
+    scale: float = 1.0,
+    timeout: Optional[float] = None,
+) -> RowResult:
+    """Generate one row's trace and time every algorithm on it."""
+    trace = case.generate(seed=seed, scale=scale)
+    row = RowResult(case=case, info=metainfo(trace))
+    for algorithm in algorithms:
+        row.runs[algorithm] = run_timed(algorithm, trace, timeout=timeout)
+    return row
+
+
+def run_table(
+    cases: Iterable[BenchmarkCase],
+    algorithms: Iterable[str] = ("aerodrome", "velodrome"),
+    seed: int = 7,
+    scale: float = 1.0,
+    timeout: Optional[float] = None,
+) -> List[RowResult]:
+    """Run every row of a table (E1/E2 in DESIGN.md)."""
+    return [
+        run_case(case, algorithms=algorithms, seed=seed, scale=scale, timeout=timeout)
+        for case in cases
+    ]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of the scaling experiment (E3)."""
+
+    events: int
+    aerodrome_seconds: float
+    velodrome_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.aerodrome_seconds <= 0:
+            return float("inf")
+        return self.velodrome_seconds / self.aerodrome_seconds
+
+
+def run_scaling(
+    case: BenchmarkCase,
+    sizes: Iterable[int],
+    seed: int = 7,
+    timeout: Optional[float] = None,
+) -> List[ScalingPoint]:
+    """Sweep trace length, timing both algorithms at each size.
+
+    Demonstrates the central claim: AeroDrome's time grows linearly in
+    the number of events while Velodrome's grows superlinearly.
+    """
+    points = []
+    for size in sizes:
+        scale = size / case.events
+        row = run_case(case, seed=seed, scale=scale, timeout=timeout)
+        points.append(
+            ScalingPoint(
+                events=row.info.events,
+                aerodrome_seconds=row.aerodrome.seconds,
+                velodrome_seconds=row.velodrome.seconds,
+            )
+        )
+    return points

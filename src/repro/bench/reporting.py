@@ -1,0 +1,118 @@
+"""ASCII rendering of benchmark results in the paper's table layout."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .harness import RowResult, ScalingPoint
+
+#: Column headers matching the paper's Tables 1 and 2 (columns 1-10).
+TABLE_HEADERS = [
+    "Program",
+    "Events",
+    "Threads",
+    "Locks",
+    "Variables",
+    "Transactions",
+    "Atomic?",
+    "Velodrome (s)",
+    "AeroDrome (s)",
+    "Speed-up",
+]
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def _render(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [_format_row(headers, widths)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def atomic_mark(serializable) -> str:
+    if serializable is None:
+        return "?"
+    return "Y" if serializable else "N"
+
+
+def format_table(results: Iterable[RowResult], title: str = "") -> str:
+    """Render measured results in the paper's column layout."""
+    rows = []
+    for row in results:
+        info = row.info
+        rows.append(
+            [
+                row.case.name,
+                f"{info.events}",
+                f"{info.threads}",
+                f"{info.locks}",
+                f"{info.variables}",
+                f"{info.transactions}",
+                atomic_mark(row.serializable),
+                row.velodrome.display_time,
+                row.aerodrome.display_time,
+                row.speedup_display,
+            ]
+        )
+    table = _render(TABLE_HEADERS, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def format_comparison(results: Iterable[RowResult], title: str = "") -> str:
+    """Paper-vs-measured comparison: verdicts and speed-up classes."""
+    headers = [
+        "Program",
+        "Paper atomic?",
+        "Ours atomic?",
+        "Paper speed-up",
+        "Ours speed-up",
+        "Expected",
+        "Match",
+    ]
+    rows = []
+    for row in results:
+        paper = row.case.paper
+        measured = row.speedup
+        if row.case.expect == "aerodrome":
+            match = row.velodrome.timed_out or measured > 3.0
+        else:
+            match = (not row.velodrome.timed_out) and 0.05 <= measured <= 20.0
+        verdict_match = (
+            row.serializable is None or row.serializable == paper.atomic
+        )
+        rows.append(
+            [
+                row.case.name,
+                "Y" if paper.atomic else "N",
+                atomic_mark(row.serializable),
+                paper.speedup,
+                row.speedup_display,
+                row.case.expect,
+                "yes" if (match and verdict_match) else "NO",
+            ]
+        )
+    table = _render(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def format_scaling(points: Iterable[ScalingPoint], title: str = "") -> str:
+    """Render the E3 scaling sweep."""
+    headers = ["Events", "AeroDrome (s)", "Velodrome (s)", "Speed-up"]
+    rows = [
+        [
+            f"{p.events}",
+            f"{p.aerodrome_seconds:.3f}",
+            f"{p.velodrome_seconds:.3f}",
+            f"{p.speedup:.2f}",
+        ]
+        for p in points
+    ]
+    table = _render(headers, rows)
+    return f"{title}\n{table}" if title else table

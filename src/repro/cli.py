@@ -1,0 +1,487 @@
+"""Command-line interface.
+
+Mirrors the paper artifact's workflow (Appendix D):
+
+* ``repro metainfo trace.std`` — RAPID's MetaInfo analysis;
+* ``repro check trace.std --algorithm aerodrome`` — run one checker;
+* ``repro generate sunflow -o sunflow.std`` — produce a benchmark analog
+  trace (the RoadRunner logging + atomicity-spec filtering stage);
+* ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
+* ``repro scaling`` — the linear-vs-cubic scaling sweep;
+* ``repro algorithms`` — list available checkers.
+
+Beyond the artifact workflow, the extension analyses are also exposed:
+``profile`` (workload shape report), ``dot`` (Graphviz export),
+``zoo`` (named example traces), ``violations`` (report-and-continue),
+``atomizer`` (Lipton-reduction warnings), ``lockset`` (Eraser) and
+``viewserial`` (exact view serializability on small traces).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.causal import check_causal_atomicity
+from .analysis.explain import explain
+from .analysis.graph_export import event_graph_dot, save_dot, transaction_graph_dot
+from .analysis.lockset import lockset_analysis
+from .analysis.profile import format_profile, profile_trace
+from .analysis.races import find_races
+from .analysis.serial_witness import serial_witness
+from .analysis.view_serializability import (
+    TooManyTransactions,
+    serializing_order,
+)
+from .baselines.atomizer import atomizer_warnings
+from .core.multi import find_all_violations
+from .spec.inference import InferenceError, infer_spec
+from .analysis.minimize import minimize_violation
+from .analysis.timeline import render_with_verdict
+from .bench.harness import run_scaling, run_table
+from .bench.memory import format_growth, sample_state_growth
+from .bench.reporting import format_comparison, format_scaling, format_table
+from .core.checker import available_algorithms, check_trace
+from .sim.workloads.benchmarks import ALL_CASES, TABLE1, TABLE2, get_case
+from .trace.binary import load_binary, save_binary
+from .trace.metainfo import metainfo
+from .trace.parser import load_trace
+from .trace.trace import Trace
+from .trace.wellformed import WellFormednessError, validate
+from .trace.writer import save_trace
+
+
+def _load(path: str) -> Trace:
+    """Load a trace, dispatching on extension (.rtb = binary)."""
+    if str(path).endswith(".rtb"):
+        return load_binary(path)
+    return load_trace(path)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    if not args.no_validate:
+        try:
+            validate(trace)
+        except WellFormednessError as error:
+            print(f"ill-formed trace: {error}", file=sys.stderr)
+            return 2
+    result = check_trace(trace, algorithm=args.algorithm)
+    print(result)
+    return 0 if result.serializable else 1
+
+
+def _cmd_metainfo(args: argparse.Namespace) -> int:
+    info = metainfo(_load(args.trace))
+    print(info)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    case = get_case(args.benchmark)
+    trace = case.generate(seed=args.seed, scale=args.scale)
+    if args.binary or str(args.output).endswith(".rtb"):
+        save_binary(trace, args.output)
+    else:
+        save_trace(trace, args.output)
+    print(f"wrote {len(trace)} events to {args.output}")
+    return 0
+
+
+def _table_command(args: argparse.Namespace, cases) -> int:
+    results = run_table(
+        cases, seed=args.seed, scale=args.scale, timeout=args.timeout
+    )
+    print(format_table(results, title=f"Measured (scale={args.scale})"))
+    print()
+    print(format_comparison(results, title="Paper vs. measured"))
+    mismatches = [r for r in results if not r.verdicts_agree]
+    if mismatches:
+        print(
+            "verdict disagreement on: "
+            + ", ".join(r.case.name for r in mismatches),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    case = get_case(args.benchmark)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    points = run_scaling(case, sizes, seed=args.seed, timeout=args.timeout)
+    print(format_scaling(points, title=f"Scaling on {case.name!r}"))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    explanation = explain(trace)
+    if explanation is None:
+        print("conflict serializable: nothing to explain")
+        return 0
+    print(explanation.render())
+    return 1
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    races = find_races(_load(args.trace))
+    if not races:
+        print("no happens-before data races")
+        return 0
+    for race in races:
+        print(race)
+    print(f"{len(races)} race(s) on {len({r.variable for r in races})} variable(s)")
+    return 1
+
+
+def _cmd_causal(args: argparse.Namespace) -> int:
+    report = check_causal_atomicity(_load(args.trace))
+    print(report)
+    return 0 if report.all_atomic else 1
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    print(format_profile(profile_trace(_load(args.trace)), top=args.top))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    if args.events:
+        dot = event_graph_dot(trace)
+    else:
+        dot = transaction_graph_dot(trace, include_unary=args.include_unary)
+    if args.output:
+        save_dot(dot, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from .sim import trace_zoo
+
+    if args.name is None:
+        for specimen in trace_zoo.all_specimens():
+            verdict = "✓" if specimen.conflict_serializable else "✗"
+            print(f"{verdict} {specimen.name:<22} {specimen.description}")
+        return 0
+    try:
+        specimen = trace_zoo.get(args.name)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    trace = specimen.trace()
+    if args.output:
+        save_trace(trace, args.output)
+        print(f"wrote {len(trace)} events to {args.output}")
+    elif args.render:
+        print(render_with_verdict(trace))
+    else:
+        for event in trace:
+            print(event)
+    return 0
+
+
+def _cmd_violations(args: argparse.Namespace) -> int:
+    violations = find_all_violations(
+        _load(args.trace),
+        algorithm=args.algorithm,
+        limit=args.limit,
+        dedupe=args.dedupe,
+    )
+    for violation in violations:
+        print(violation)
+    print(f"{len(violations)} violation report(s)")
+    return 0 if not violations else 1
+
+
+def _cmd_atomizer(args: argparse.Namespace) -> int:
+    warnings = atomizer_warnings(_load(args.trace))
+    for warning in warnings:
+        print(warning)
+    print(f"{len(warnings)} reduction warning(s)")
+    return 0 if not warnings else 1
+
+
+def _cmd_lockset(args: argparse.Namespace) -> int:
+    report = lockset_analysis(_load(args.trace))
+    for warning in report.warnings:
+        print(warning)
+    print(f"{len(report.warnings)} lockset warning(s)")
+    return 0 if not report.warnings else 1
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    try:
+        minimized = minimize_violation(trace, algorithm=args.algorithm)
+    except ValueError as error:
+        print(f"cannot minimize: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"minimized {len(trace)} -> {len(minimized)} events "
+        f"({len(trace) - len(minimized)} removed)"
+    )
+    if args.output:
+        save_trace(minimized, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(render_with_verdict(minimized, algorithm=args.algorithm))
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    points = sample_state_growth(
+        _load(args.trace), algorithm=args.algorithm, samples=args.samples
+    )
+    print(f"[{args.algorithm}] state growth:")
+    print(format_growth(points))
+    return 0
+
+
+def _cmd_inferspec(args: argparse.Namespace) -> int:
+    from .spec.atomicity_spec import save_spec
+
+    trace = _load(args.trace)
+    try:
+        inferred = infer_spec(trace, algorithm=args.algorithm)
+    except InferenceError as error:
+        print(f"inference failed: {error}", file=sys.stderr)
+        return 2
+    print(inferred)
+    for method, violation in inferred.removed:
+        print(f"  refuted {method}: {violation}")
+    if args.output:
+        save_spec(inferred.spec, args.output)
+        print(f"wrote spec to {args.output}")
+    return 0 if not inferred.removed else 1
+
+
+def _cmd_serialize(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    witness = serial_witness(trace)
+    if witness is None:
+        print("not conflict serializable: no serial witness", file=sys.stderr)
+        return 1
+    if args.output:
+        save_trace(witness, args.output)
+        print(f"wrote equivalent serial execution to {args.output}")
+    else:
+        for event in witness:
+            print(event)
+    return 0
+
+
+def _cmd_viewserial(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    try:
+        order = serializing_order(trace)
+    except TooManyTransactions as error:
+        print(f"undecided: {error}", file=sys.stderr)
+        return 2
+    if order is None:
+        print("not view serializable")
+        return 1
+    print("view serializable; witness order: " + " ".join(f"T{t}" for t in order))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AeroDrome reproduction: atomicity checking on traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check a trace for atomicity violations")
+    check.add_argument("trace", help="path to a .std trace file")
+    check.add_argument(
+        "--algorithm",
+        default="aerodrome",
+        choices=available_algorithms(),
+    )
+    check.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the well-formedness check",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    meta = sub.add_parser("metainfo", help="print trace characteristics")
+    meta.add_argument("trace")
+    meta.set_defaults(func=_cmd_metainfo)
+
+    gen = sub.add_parser("generate", help="generate a benchmark analog trace")
+    gen.add_argument("benchmark", choices=sorted(c.name for c in ALL_CASES))
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument(
+        "--binary",
+        action="store_true",
+        help="write the compact binary format instead of .std text",
+    )
+    gen.set_defaults(func=_cmd_generate)
+
+    for table_name, cases in (("table1", TABLE1), ("table2", TABLE2)):
+        table = sub.add_parser(
+            table_name, help=f"regenerate the paper's {table_name}"
+        )
+        table.add_argument("--seed", type=int, default=7)
+        table.add_argument("--scale", type=float, default=1.0)
+        table.add_argument(
+            "--timeout",
+            type=float,
+            default=20.0,
+            help="per-run timeout in seconds (paper: 10 hours)",
+        )
+        table.set_defaults(func=_table_command, cases=cases)
+
+    scaling = sub.add_parser("scaling", help="linear-vs-cubic scaling sweep")
+    scaling.add_argument("--benchmark", default="raytracer")
+    scaling.add_argument(
+        "--sizes", default="4000,8000,16000,32000,64000"
+    )
+    scaling.add_argument("--seed", type=int, default=7)
+    scaling.add_argument("--timeout", type=float, default=60.0)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    explain_cmd = sub.add_parser(
+        "explain", help="extract a witness cycle for a violating trace"
+    )
+    explain_cmd.add_argument("trace")
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    races_cmd = sub.add_parser(
+        "races", help="happens-before data race detection (FastTrack)"
+    )
+    races_cmd.add_argument("trace")
+    races_cmd.set_defaults(func=_cmd_races)
+
+    causal_cmd = sub.add_parser(
+        "causal", help="per-transaction causal atomicity report"
+    )
+    causal_cmd.add_argument("trace")
+    causal_cmd.set_defaults(func=_cmd_causal)
+
+    algos = sub.add_parser("algorithms", help="list available checkers")
+    algos.set_defaults(func=_cmd_algorithms)
+
+    profile_cmd = sub.add_parser("profile", help="workload shape report")
+    profile_cmd.add_argument("trace")
+    profile_cmd.add_argument("--top", type=int, default=10,
+                             help="hot variables/locks to list")
+    profile_cmd.set_defaults(func=_cmd_profile)
+
+    dot_cmd = sub.add_parser("dot", help="Graphviz export of a trace")
+    dot_cmd.add_argument("trace")
+    dot_cmd.add_argument("-o", "--output", help="write DOT here (else stdout)")
+    dot_cmd.add_argument(
+        "--events",
+        action="store_true",
+        help="event-level conflict graph instead of the transaction graph",
+    )
+    dot_cmd.add_argument(
+        "--include-unary",
+        action="store_true",
+        help="draw unary transactions too",
+    )
+    dot_cmd.set_defaults(func=_cmd_dot)
+
+    zoo_cmd = sub.add_parser("zoo", help="list or write example traces")
+    zoo_cmd.add_argument("name", nargs="?", help="specimen to print/write")
+    zoo_cmd.add_argument("-o", "--output", help="write the specimen as .std")
+    zoo_cmd.add_argument(
+        "--render",
+        action="store_true",
+        help="draw the specimen in the paper's column layout",
+    )
+    zoo_cmd.set_defaults(func=_cmd_zoo)
+
+    memory_cmd = sub.add_parser(
+        "memory", help="sample a checker's state growth along a trace"
+    )
+    memory_cmd.add_argument("trace")
+    memory_cmd.add_argument(
+        "--algorithm", default="aerodrome", choices=available_algorithms()
+    )
+    memory_cmd.add_argument("--samples", type=int, default=10)
+    memory_cmd.set_defaults(func=_cmd_memory)
+
+    violations_cmd = sub.add_parser(
+        "violations", help="report-and-continue: list every violation"
+    )
+    violations_cmd.add_argument("trace")
+    violations_cmd.add_argument(
+        "--algorithm", default="aerodrome", choices=available_algorithms()
+    )
+    violations_cmd.add_argument("--limit", type=int, default=None)
+    violations_cmd.add_argument("--dedupe", action="store_true")
+    violations_cmd.set_defaults(func=_cmd_violations)
+
+    atomizer_cmd = sub.add_parser(
+        "atomizer", help="Lipton-reduction warnings (unsound baseline)"
+    )
+    atomizer_cmd.add_argument("trace")
+    atomizer_cmd.set_defaults(func=_cmd_atomizer)
+
+    lockset_cmd = sub.add_parser(
+        "lockset", help="Eraser lockset race warnings"
+    )
+    lockset_cmd.add_argument("trace")
+    lockset_cmd.set_defaults(func=_cmd_lockset)
+
+    viewserial_cmd = sub.add_parser(
+        "viewserial", help="exact view-serializability (small traces)"
+    )
+    viewserial_cmd.add_argument("trace")
+    viewserial_cmd.set_defaults(func=_cmd_viewserial)
+
+    serialize_cmd = sub.add_parser(
+        "serialize", help="emit an equivalent serial execution"
+    )
+    serialize_cmd.add_argument("trace")
+    serialize_cmd.add_argument("-o", "--output")
+    serialize_cmd.set_defaults(func=_cmd_serialize)
+
+    inferspec_cmd = sub.add_parser(
+        "inferspec", help="infer a trace-consistent atomicity spec"
+    )
+    inferspec_cmd.add_argument("trace", help="raw trace with labeled markers")
+    inferspec_cmd.add_argument(
+        "--algorithm", default="aerodrome", choices=available_algorithms()
+    )
+    inferspec_cmd.add_argument("-o", "--output", help="write the spec file")
+    inferspec_cmd.set_defaults(func=_cmd_inferspec)
+
+    minimize_cmd = sub.add_parser(
+        "minimize", help="shrink a violating trace to a 1-minimal core"
+    )
+    minimize_cmd.add_argument("trace")
+    minimize_cmd.add_argument(
+        "--algorithm", default="aerodrome", choices=available_algorithms()
+    )
+    minimize_cmd.add_argument("-o", "--output", help="write the core as .std")
+    minimize_cmd.set_defaults(func=_cmd_minimize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if hasattr(args, "cases"):
+        return args.func(args, args.cases)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,286 @@
+"""AeroDrome — Algorithm 1 of the paper, the basic vector-clock checker.
+
+A single-pass, linear-time algorithm detecting violations of conflict
+serializability. The state consists of vector clocks:
+
+* ``C_t`` — timestamp of the last event of thread ``t`` (init ``⊥[1/t]``);
+* ``C⊲_t`` — timestamp of the last begin event of ``t`` (init ``⊥``);
+* ``L_ℓ`` — timestamp of the last release of lock ``ℓ``, with the scalar
+  ``lastRelThr_ℓ`` remembering the releasing thread;
+* ``W_x`` — timestamp of the last write to ``x``, with ``lastWThr_x``;
+* ``R_{t,x}`` — timestamp of the last read of ``x`` by thread ``t``.
+
+The timestamps implicitly capture the ⋖E relation (Definition 2): the
+procedure ``checkAndGet(clk, t)`` declares a violation when ``C⊲_t ⊑ clk``
+and ``t`` has an active transaction — i.e. when, per Theorem 2, some event
+⋖E-after the begin of ``t``'s active transaction is ⋖E-before the current
+event of ``t``, closing a cycle of transactions.
+
+Nested transactions are flattened (only the outermost begin/end pair is
+processed, Section 4.1.4) and unary transactions — events outside any
+block — never trigger the violation check.
+
+This module follows the paper's pseudocode line by line, trading speed for
+auditability. :mod:`repro.core.aerodrome_opt` implements the optimized
+variant (Appendix C) used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..trace.events import Event, Op
+from .checker import StreamingChecker
+from .vector_clock import ThreadRegistry, VectorClock
+from .violations import Violation
+
+
+class AeroDromeChecker(StreamingChecker):
+    """Streaming implementation of Algorithm 1.
+
+    Feed events with :meth:`process` (or :meth:`run` over an iterable);
+    the first violation is recorded in :attr:`violation` and processing
+    stops.
+    """
+
+    algorithm = "aerodrome-basic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threads = ThreadRegistry()
+        self._clock: Dict[int, VectorClock] = {}  # C_t
+        self._begin_clock: Dict[int, VectorClock] = {}  # C⊲_t
+        self._depth: Dict[int, int] = {}  # transaction nesting depth
+        self._lock_clock: Dict[str, VectorClock] = {}  # L_ℓ
+        self._last_rel_thr: Dict[str, int] = {}  # lastRelThr_ℓ
+        self._write_clock: Dict[str, VectorClock] = {}  # W_x
+        self._last_w_thr: Dict[str, int] = {}  # lastWThr_x
+        self._read_clock: Dict[str, Dict[int, VectorClock]] = {}  # R_{t,x}
+
+    # -- state helpers -------------------------------------------------------
+
+    def _thread(self, name: str) -> int:
+        """Intern a thread name, initializing its clocks on first sight."""
+        t = self._threads.index_of(name)
+        if t not in self._clock:
+            self._clock[t] = VectorClock.unit(t)
+            self._begin_clock[t] = VectorClock.bottom()
+            self._depth[t] = 0
+        return t
+
+    def _has_active_transaction(self, t: int) -> bool:
+        return self._depth.get(t, 0) > 0
+
+    def thread_clock(self, name: str) -> VectorClock:
+        """Read-only view of C_t (⊥ for threads not yet observed) —
+        exposed for tests and expository code."""
+        if name not in self._threads:
+            return VectorClock.bottom()
+        return self._clock[self._threads.index_of(name)].copy()
+
+    def begin_clock(self, name: str) -> VectorClock:
+        """Read-only view of C⊲_t (⊥ for threads not yet observed)."""
+        if name not in self._threads:
+            return VectorClock.bottom()
+        return self._begin_clock[self._threads.index_of(name)].copy()
+
+    def write_clock(self, variable: str) -> VectorClock:
+        """Read-only view of W_x (⊥ if x has not been written)."""
+        clock = self._write_clock.get(variable)
+        return clock.copy() if clock is not None else VectorClock.bottom()
+
+    def lock_clock(self, lock: str) -> VectorClock:
+        """Read-only view of L_ℓ (⊥ if ℓ has not been released)."""
+        clock = self._lock_clock.get(lock)
+        return clock.copy() if clock is not None else VectorClock.bottom()
+
+    def read_clock(self, thread: str, variable: str) -> VectorClock:
+        """Read-only view of R_{t,x} (⊥ if t has not read x)."""
+        per_thread = self._read_clock.get(variable)
+        if per_thread is not None and thread in self._threads:
+            clock = per_thread.get(self._threads.index_of(thread))
+            if clock is not None:
+                return clock.copy()
+        return VectorClock.bottom()
+
+    # -- checkAndGet (paper lines 9-12) -----------------------------------
+
+    def _check_and_get(
+        self, clk: VectorClock, t: int, event: Event, site: str
+    ) -> Optional[Violation]:
+        """``checkAndGet(clk, t)``: check C⊲_t ⊑ clk, then C_t ⊔= clk."""
+        violation: Optional[Violation] = None
+        if self._has_active_transaction(t) and self._begin_clock[t].leq(clk):
+            violation = Violation(
+                event_idx=event.idx,
+                thread=self._threads.name_of(t),
+                site=site,
+                details=(
+                    f"C⊲_{self._threads.name_of(t)} ⊑ {clk!r} with an "
+                    "active transaction"
+                ),
+            )
+        self._clock[t].join(clk)
+        return violation
+
+    # -- event handlers ------------------------------------------------------
+
+    def _acquire(self, t: int, event: Event) -> Optional[Violation]:
+        lock = event.target
+        assert lock is not None
+        if self._last_rel_thr.get(lock) != t:
+            clock = self._lock_clock.get(lock)
+            if clock is not None:
+                return self._check_and_get(clock, t, event, "acquire")
+        return None
+
+    def _release(self, t: int, event: Event) -> None:
+        lock = event.target
+        assert lock is not None
+        self._lock_clock[lock] = self._clock[t].copy()
+        self._last_rel_thr[lock] = t
+
+    def _fork(self, t: int, event: Event) -> None:
+        u = self._thread(event.target)  # type: ignore[arg-type]
+        self._clock[u].join(self._clock[t])
+
+    def _join(self, t: int, event: Event) -> Optional[Violation]:
+        u = self._thread(event.target)  # type: ignore[arg-type]
+        return self._check_and_get(self._clock[u], t, event, "join")
+
+    def _read(self, t: int, event: Event) -> Optional[Violation]:
+        variable = event.target
+        assert variable is not None
+        if self._last_w_thr.get(variable) != t:
+            clock = self._write_clock.get(variable)
+            if clock is not None:
+                violation = self._check_and_get(clock, t, event, "read")
+                if violation is not None:
+                    return violation
+        self._read_clock.setdefault(variable, {})[t] = self._clock[t].copy()
+        return None
+
+    def _write(self, t: int, event: Event) -> Optional[Violation]:
+        variable = event.target
+        assert variable is not None
+        if self._last_w_thr.get(variable) != t:
+            clock = self._write_clock.get(variable)
+            if clock is not None:
+                violation = self._check_and_get(clock, t, event, "write-write")
+                if violation is not None:
+                    return violation
+        for u, read_clock in self._read_clock.get(variable, {}).items():
+            if u != t:
+                violation = self._check_and_get(read_clock, t, event, "write-read")
+                if violation is not None:
+                    return violation
+        self._write_clock[variable] = self._clock[t].copy()
+        self._last_w_thr[variable] = t
+        return None
+
+    def _begin(self, t: int, event: Event) -> None:
+        depth = self._depth[t]
+        self._depth[t] = depth + 1
+        if depth > 0:
+            return  # nested begin: only the outermost pair counts
+        clock = self._clock[t]
+        clock.increment(t)
+        self._begin_clock[t] = clock.copy()
+
+    def _end(self, t: int, event: Event) -> Optional[Violation]:
+        depth = self._depth[t]
+        if depth == 0:
+            raise ValueError(
+                f"end without matching begin at event {event.idx}; "
+                "validate the trace with repro.trace.wellformed first"
+            )
+        self._depth[t] = depth - 1
+        if depth > 1:
+            return None  # nested end
+        begin_clock = self._begin_clock[t]
+        my_clock = self._clock[t]
+        # Propagate the completed transaction's time into every thread
+        # that already observed an event of this transaction (lines 38-40):
+        # the checkAndGet there may discover a cycle closed by u's active
+        # transaction.
+        for u, u_clock in self._clock.items():
+            if u != t and begin_clock.leq(u_clock):
+                violation = self._check_and_get(my_clock, u, event, "end")
+                if violation is not None:
+                    return violation
+        # ... and into every lock/write/read clock that is after the begin
+        # (lines 41-46), so future readers of those clocks inherit the
+        # ⋖E-edge through this now-completed transaction.
+        for lock, clock in self._lock_clock.items():
+            if begin_clock.leq(clock):
+                clock.join(my_clock)
+        for variable, clock in self._write_clock.items():
+            if begin_clock.leq(clock):
+                clock.join(my_clock)
+        for variable, per_thread in self._read_clock.items():
+            for u, clock in per_thread.items():
+                if begin_clock.leq(clock):
+                    clock.join(my_clock)
+        # The depth is already 0: t no longer has an active transaction.
+        return None
+
+    def state_summary(self) -> Dict[str, int]:
+        """Clock counts — the Theorem 4 space bound, observable.
+
+        ``read_clocks`` is the O(|Thr|·V) term that Algorithm 2
+        eliminates; compare with the optimized checker's summary.
+        """
+        read_clocks = sum(len(per) for per in self._read_clock.values())
+        return {
+            "events_processed": self.events_processed,
+            "thread_clocks": 2 * len(self._clock),  # C_t and C⊲_t
+            "lock_clocks": len(self._lock_clock),
+            "write_clocks": len(self._write_clock),
+            "read_clocks": read_clocks,
+            "total_clocks": (
+                2 * len(self._clock)
+                + len(self._lock_clock)
+                + len(self._write_clock)
+                + read_clocks
+            ),
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Process one event; return the violation if this event closes one.
+
+        After a violation has been found the checker is *stopped*:
+        further calls raise :class:`RuntimeError` (the paper's algorithm
+        exits at the first violation).
+        """
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        t = self._thread(event.thread)
+        op = event.op
+        violation: Optional[Violation]
+        if op is Op.READ:
+            violation = self._read(t, event)
+        elif op is Op.WRITE:
+            violation = self._write(t, event)
+        elif op is Op.ACQUIRE:
+            violation = self._acquire(t, event)
+        elif op is Op.RELEASE:
+            self._release(t, event)
+            violation = None
+        elif op is Op.BEGIN:
+            self._begin(t, event)
+            violation = None
+        elif op is Op.END:
+            violation = self._end(t, event)
+        elif op is Op.FORK:
+            self._fork(t, event)
+            violation = None
+        elif op is Op.JOIN:
+            violation = self._join(t, event)
+        else:  # pragma: no cover - exhaustive over Op
+            raise AssertionError(f"unhandled op {op}")
+        self.events_processed += 1
+        if violation is not None:
+            self.violation = violation
+        return violation

@@ -1,0 +1,136 @@
+"""Streaming checker interface and the ``check_trace`` facade."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable, Optional
+
+from ..trace.events import Event
+from .violations import AtomicityViolationError, CheckResult, Violation
+
+
+class StreamingChecker(ABC):
+    """Base class for single-pass conflict-serializability checkers.
+
+    Subclasses implement :meth:`process`; callers either stream events in
+    (online setting) or use :meth:`run` over a whole trace. All checkers
+    stop at the first violation, as the paper's algorithms do.
+
+    Attributes:
+        violation: The first violation found, or ``None`` so far.
+        events_processed: Number of events consumed.
+    """
+
+    #: Registry name of the algorithm (also used in reports).
+    algorithm: str = "abstract"
+
+    def __init__(self) -> None:
+        self.violation: Optional[Violation] = None
+        self.events_processed: int = 0
+
+    @abstractmethod
+    def process(self, event: Event) -> Optional[Violation]:
+        """Consume one event; return a violation iff this event closes one."""
+
+    def run(self, events: Iterable[Event]) -> CheckResult:
+        """Consume events until exhaustion or the first violation."""
+        for event in events:
+            if self.process(event) is not None:
+                break
+        return self.result()
+
+    def result(self) -> CheckResult:
+        """The verdict so far as a :class:`CheckResult`."""
+        return CheckResult(
+            algorithm=self.algorithm,
+            violation=self.violation,
+            events_processed=self.events_processed,
+        )
+
+    def reset(self) -> None:
+        """Restore the initial state (forget all clocks and the verdict)."""
+        self.__init__()  # type: ignore[misc]
+
+    def state_summary(self) -> Dict[str, int]:
+        """Live analysis-state size, in algorithm-specific units.
+
+        Checkers override this to expose what Theorem 4 bounds — clock
+        counts for the vector-clock algorithms, node/edge counts for
+        the graph-based ones. The base implementation reports only the
+        stream position. Used by :mod:`repro.bench.memory` to measure
+        state growth along a trace.
+        """
+        return {"events_processed": self.events_processed}
+
+
+def _registry() -> Dict[str, Callable[[], StreamingChecker]]:
+    # Imported lazily: the algorithm modules import this module for the
+    # base class.
+    from ..baselines.doublechecker import DoubleCheckerChecker
+    from ..baselines.velodrome import VelodromeChecker
+    from .aerodrome import AeroDromeChecker
+    from .aerodrome_opt import OptimizedAeroDromeChecker
+
+    from ..baselines.atomizer import AtomizerChecker
+    from .sharded import ShardedAeroDromeChecker
+
+    return {
+        "aerodrome": OptimizedAeroDromeChecker,
+        "aerodrome-basic": AeroDromeChecker,
+        "aerodrome-sharded": ShardedAeroDromeChecker,
+        "velodrome": lambda: VelodromeChecker(garbage_collect=True),
+        "velodrome-nogc": lambda: VelodromeChecker(garbage_collect=False),
+        "velodrome-pk": lambda: VelodromeChecker(incremental_topology=True),
+        "doublechecker": DoubleCheckerChecker,
+        "atomizer": AtomizerChecker,
+    }
+
+
+def available_algorithms() -> list:
+    """Names accepted by :func:`check_trace` and the CLI."""
+    return sorted(_registry())
+
+
+def make_checker(algorithm: str = "aerodrome") -> StreamingChecker:
+    """Instantiate a fresh checker by algorithm name."""
+    registry = _registry()
+    try:
+        factory = registry[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(registry)}"
+        ) from None
+    return factory()
+
+
+def check_trace(
+    events: Iterable[Event],
+    algorithm: str = "aerodrome",
+    raise_on_violation: bool = False,
+) -> CheckResult:
+    """Check a trace (or any event stream) for atomicity violations.
+
+    This is the library's front door::
+
+        from repro import check_trace, parse_trace
+        result = check_trace(parse_trace(text))
+        if not result.serializable:
+            print(result.violation)
+
+    Args:
+        events: A :class:`~repro.trace.trace.Trace` or any iterable of
+            events.
+        algorithm: One of :func:`available_algorithms` (default: the
+            optimized AeroDrome).
+        raise_on_violation: If ``True``, raise
+            :class:`AtomicityViolationError` instead of returning a
+            violating result.
+
+    Returns:
+        The :class:`CheckResult` verdict.
+    """
+    checker = make_checker(algorithm)
+    result = checker.run(events)
+    if raise_on_violation and result.violation is not None:
+        raise AtomicityViolationError(result.violation)
+    return result

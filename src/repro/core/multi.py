@@ -1,0 +1,81 @@
+"""Report-and-continue: streaming *all* violations instead of the first.
+
+The paper's algorithms (and our faithful implementations) exit at the
+first violation — that is what the complexity claims are stated over.
+Deployed monitors usually want more: keep watching and report each
+offending access, the way FastTrack keeps reporting races after the
+first. This module provides that mode as a wrapper, leaving the
+faithful checkers untouched.
+
+Semantics and caveats, stated precisely:
+
+* The **first** yielded violation is exactly the violation the wrapped
+  checker reports — same event, same site.
+* Subsequent reports are *best-effort diagnostics*: after a violation
+  the checker's state is the state the paper's algorithm would have
+  exited with, and we simply clear the verdict flag and keep feeding
+  events. Later checks that fire indicate further events entangled in
+  (possibly the same) transaction cycles; they are real ⋖E-path hits in
+  that state, but the one-to-one correspondence with distinct witness
+  cycles is not preserved. Velodrome's original paper handles this the
+  same way (it "aborts" the offending transaction and moves on).
+* De-duplication: by default at most one report per (thread, site)
+  pair per open transaction generation is *not* enforced; pass
+  ``dedupe=True`` to suppress repeats of the same (thread, site) until
+  that thread's next transaction boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..trace.events import Event, Op
+from .checker import make_checker
+from .violations import Violation
+
+
+def violation_stream(
+    events: Iterable[Event],
+    algorithm: str = "aerodrome",
+    dedupe: bool = False,
+) -> Iterator[Violation]:
+    """Yield every violation a checker reports over ``events``.
+
+    Args:
+        events: The trace (or any event iterable).
+        algorithm: Registry name of the underlying checker.
+        dedupe: Suppress repeated (thread, site) reports until the
+            reporting thread crosses its next begin/end boundary.
+
+    Yields:
+        :class:`Violation` objects in stream order.
+    """
+    checker = make_checker(algorithm)
+    muted: Set[Tuple[str, str]] = set()
+    for event in events:
+        if dedupe and event.op in (Op.BEGIN, Op.END):
+            muted = {key for key in muted if key[0] != event.thread}
+        violation = checker.process(event)
+        if violation is not None:
+            checker.violation = None  # report-and-continue
+            key = (violation.thread, violation.site)
+            if dedupe:
+                if key in muted:
+                    continue
+                muted.add(key)
+            yield violation
+
+
+def find_all_violations(
+    events: Iterable[Event],
+    algorithm: str = "aerodrome",
+    limit: Optional[int] = None,
+    dedupe: bool = False,
+) -> List[Violation]:
+    """Collect violations from :func:`violation_stream` (up to ``limit``)."""
+    violations: List[Violation] = []
+    for violation in violation_stream(events, algorithm=algorithm, dedupe=dedupe):
+        violations.append(violation)
+        if limit is not None and len(violations) >= limit:
+            break
+    return violations

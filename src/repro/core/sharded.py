@@ -1,0 +1,354 @@
+"""Sharded AeroDrome — simulating the paper's distributed-analysis claim.
+
+Section 6 argues that, unlike the centralized automata-theoretic monitor
+of Farzan–Madhusudan, "AeroDrome allows for a distributed implementation
+— one can attach the analysis metadata (vector clocks and other scalar
+variables) to the various objects (like threads, locks and memory
+locations) being tracked. The analysis can then be performed with only
+little synchronization between these metadata."
+
+This module makes that claim measurable. The analysis state is split
+across *shards*:
+
+* one **thread shard** per thread, owning ``C_t``, ``C⊲_t`` and the
+  nesting depth;
+* **object shards** (a configurable number), each owning the ``W_x`` /
+  ``R_x`` / ``hR_x`` clocks of the variables and the ``L_ℓ`` clocks of
+  the locks hashed to it.
+
+Every handler of Algorithm 1 (with the Appendix C.1 read-clock
+reduction) is expressed as shard *accesses*; an access is **local**
+when the event's own thread shard suffices and **remote** when it
+touches an object shard or another thread's shard. The checker counts
+both, giving the synchronization profile a real distributed
+implementation would pay. The verdict is — by construction, and
+property-tested in ``tests/test_sharded.py`` — identical to AeroDrome's.
+
+This is a *simulation* of the distribution (events are still consumed
+in trace order by one Python interpreter); what it quantifies is the
+communication structure: most events touch exactly one object shard
+(reads/writes/acquires), and only end events fan out — and then only to
+shards whose clocks are after the closing transaction's begin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..trace.events import Event, Op
+from .checker import StreamingChecker
+from .vector_clock import ThreadRegistry, VectorClock
+from .violations import Violation
+
+
+@dataclass
+class SyncStats:
+    """Shard-access accounting for one analyzed trace.
+
+    Attributes:
+        local_accesses: Handler steps served by the event's own
+            thread shard.
+        remote_accesses: Steps that had to consult another shard
+            (an object shard or a different thread's shard).
+        end_broadcasts: Shards contacted by end-event propagation —
+            the only fan-out in the algorithm.
+        per_shard: Remote accesses per object shard id (load balance).
+    """
+
+    local_accesses: int = 0
+    remote_accesses: int = 0
+    end_broadcasts: int = 0
+    per_shard: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.local_accesses + self.remote_accesses
+
+    def remote_fraction(self) -> float:
+        """Share of accesses that crossed a shard boundary."""
+        if not self.total:
+            return 0.0
+        return self.remote_accesses / self.total
+
+
+class _ThreadShard:
+    """Owns one thread's clocks (C_t, C⊲_t) and nesting depth."""
+
+    __slots__ = ("index", "clock", "begin_clock", "depth")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.clock = VectorClock.unit(index)
+        self.begin_clock = VectorClock.bottom()
+        self.depth = 0
+
+
+class _ObjectShard:
+    """Owns the per-variable and per-lock clocks hashed to it."""
+
+    __slots__ = (
+        "shard_id",
+        "write_clock",
+        "last_w_thr",
+        "read_clock",
+        "check_read_clock",
+        "lock_clock",
+        "last_rel_thr",
+    )
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.write_clock: Dict[str, VectorClock] = {}
+        self.last_w_thr: Dict[str, int] = {}
+        self.read_clock: Dict[str, VectorClock] = {}  # R_x = ⊔_u R_{u,x}
+        self.check_read_clock: Dict[str, VectorClock] = {}  # hR_x
+        self.lock_clock: Dict[str, VectorClock] = {}
+        self.last_rel_thr: Dict[str, int] = {}
+
+
+class ShardedAeroDromeChecker(StreamingChecker):
+    """Algorithm 1 with state partitioned across shards.
+
+    Args:
+        n_object_shards: Number of shards the variable/lock metadata is
+            hashed over (>= 1).
+    """
+
+    algorithm = "aerodrome-sharded"
+
+    def __init__(self, n_object_shards: int = 4) -> None:
+        super().__init__()
+        if n_object_shards < 1:
+            raise ValueError("need at least one object shard")
+        self.n_object_shards = n_object_shards
+        self.stats = SyncStats()
+        self._threads = ThreadRegistry()
+        self._thread_shards: Dict[int, _ThreadShard] = {}
+        self._object_shards = [
+            _ObjectShard(i) for i in range(n_object_shards)
+        ]
+
+    def reset(self) -> None:
+        self.__init__(n_object_shards=self.n_object_shards)
+
+    # -- shard routing -----------------------------------------------------
+
+    def _thread_shard(self, name: str) -> _ThreadShard:
+        t = self._threads.index_of(name)
+        shard = self._thread_shards.get(t)
+        if shard is None:
+            shard = _ThreadShard(t)
+            self._thread_shards[t] = shard
+        return shard
+
+    def shard_of(self, target: str) -> _ObjectShard:
+        """The object shard owning ``target`` (stable hash routing)."""
+        # hash() is salted per process for str; a stable digest keeps
+        # shard assignment reproducible across runs.
+        digest = sum(target.encode("utf-8"))
+        return self._object_shards[digest % self.n_object_shards]
+
+    def _local(self) -> None:
+        self.stats.local_accesses += 1
+
+    def _remote(self, shard: _ObjectShard) -> None:
+        self.stats.remote_accesses += 1
+        per = self.stats.per_shard
+        per[shard.shard_id] = per.get(shard.shard_id, 0) + 1
+
+    # -- checkAndGet --------------------------------------------------------
+
+    def _check_and_get(
+        self,
+        check_clk: VectorClock,
+        join_clk: VectorClock,
+        me: _ThreadShard,
+        event: Event,
+        site: str,
+    ) -> Optional[Violation]:
+        # The ⊑ check is the O(1) local-component comparison of Appendix
+        # C.1 — required for exactness of the hR_x check, and what a
+        # distributed implementation would actually ship between shards
+        # (a single integer, not the whole vector).
+        if (
+            me.depth > 0
+            and me.begin_clock.get(me.index) <= check_clk.get(me.index)
+        ):
+            return Violation(
+                event_idx=event.idx,
+                thread=self._threads.name_of(me.index),
+                site=site,
+                details="sharded checkAndGet: C⊲_t ⊑ clk with active txn",
+            )
+        me.clock.join(join_clk)
+        return None
+
+    # -- handlers ------------------------------------------------------------
+
+    def _read(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
+        variable = event.target
+        assert variable is not None
+        shard = self.shard_of(variable)
+        self._remote(shard)
+        if shard.last_w_thr.get(variable) != me.index:
+            write_clock = shard.write_clock.get(variable)
+            if write_clock is not None:
+                violation = self._check_and_get(
+                    write_clock, write_clock, me, event, "read"
+                )
+                if violation is not None:
+                    return violation
+        read_clock = shard.read_clock.get(variable)
+        if read_clock is None:
+            shard.read_clock[variable] = me.clock.copy()
+        else:
+            read_clock.join(me.clock)
+        check_read = shard.check_read_clock.get(variable)
+        contribution = me.clock.zeroed(me.index)
+        if check_read is None:
+            shard.check_read_clock[variable] = contribution
+        else:
+            check_read.join(contribution)
+        return None
+
+    def _write(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
+        variable = event.target
+        assert variable is not None
+        shard = self.shard_of(variable)
+        self._remote(shard)
+        if shard.last_w_thr.get(variable) != me.index:
+            write_clock = shard.write_clock.get(variable)
+            if write_clock is not None:
+                violation = self._check_and_get(
+                    write_clock, write_clock, me, event, "write-write"
+                )
+                if violation is not None:
+                    return violation
+        check_read = shard.check_read_clock.get(variable)
+        if check_read is not None:
+            read_clock = shard.read_clock[variable]
+            violation = self._check_and_get(
+                check_read, read_clock, me, event, "write-read"
+            )
+            if violation is not None:
+                return violation
+        shard.write_clock[variable] = me.clock.copy()
+        shard.last_w_thr[variable] = me.index
+        # Reads before this write are summarized by W_x from now on
+        # (W_x ⊒ every R_{u,x} after the joins above, so dropping the
+        # read clocks loses no future check).
+        shard.read_clock.pop(variable, None)
+        shard.check_read_clock.pop(variable, None)
+        return None
+
+    def _acquire(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
+        lock = event.target
+        assert lock is not None
+        shard = self.shard_of(lock)
+        self._remote(shard)
+        if shard.last_rel_thr.get(lock) != me.index:
+            lock_clock = shard.lock_clock.get(lock)
+            if lock_clock is not None:
+                return self._check_and_get(
+                    lock_clock, lock_clock, me, event, "acquire"
+                )
+        return None
+
+    def _release(self, me: _ThreadShard, event: Event) -> None:
+        lock = event.target
+        assert lock is not None
+        shard = self.shard_of(lock)
+        self._remote(shard)
+        shard.lock_clock[lock] = me.clock.copy()
+        shard.last_rel_thr[lock] = me.index
+
+    def _fork(self, me: _ThreadShard, event: Event) -> None:
+        child = self._thread_shard(event.target)  # type: ignore[arg-type]
+        self.stats.remote_accesses += 1  # another thread's shard
+        child.clock.join(me.clock)
+
+    def _join(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
+        child = self._thread_shard(event.target)  # type: ignore[arg-type]
+        self.stats.remote_accesses += 1
+        return self._check_and_get(child.clock, child.clock, me, event, "join")
+
+    def _begin(self, me: _ThreadShard) -> None:
+        me.depth += 1
+        if me.depth == 1:
+            me.clock.increment(me.index)
+            me.begin_clock = me.clock.copy()
+
+    def _end(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
+        if me.depth == 0:
+            raise ValueError(
+                f"end without matching begin at event {event.idx}; "
+                "validate the trace with repro.trace.wellformed first"
+            )
+        me.depth -= 1
+        if me.depth > 0:
+            return None
+        begin_local = me.begin_clock.get(me.index)
+        # Fan-out 1: other thread shards that saw this transaction.
+        for u, other in self._thread_shards.items():
+            if other is me:
+                continue
+            self.stats.remote_accesses += 1
+            self.stats.end_broadcasts += 1
+            if begin_local <= other.clock.get(me.index):
+                violation = self._check_and_get(
+                    me.clock, me.clock, other, event, "end"
+                )
+                if violation is not None:
+                    return violation
+        # Fan-out 2: object shards, each updating only clocks after the
+        # begin (Algorithm 2 lines 24-30). One broadcast per shard, not
+        # per object.
+        zeroed = me.clock.zeroed(me.index)
+        for shard in self._object_shards:
+            self._remote(shard)
+            self.stats.end_broadcasts += 1
+            for clock in shard.lock_clock.values():
+                if begin_local <= clock.get(me.index):
+                    clock.join(me.clock)
+            for clock in shard.write_clock.values():
+                if begin_local <= clock.get(me.index):
+                    clock.join(me.clock)
+            for variable, clock in shard.read_clock.items():
+                if begin_local <= clock.get(me.index):
+                    clock.join(me.clock)
+                    shard.check_read_clock[variable].join(zeroed)
+        return None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Consume one event (see :class:`StreamingChecker`)."""
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        me = self._thread_shard(event.thread)
+        self._local()
+        op = event.op
+        violation: Optional[Violation] = None
+        if op is Op.READ:
+            violation = self._read(me, event)
+        elif op is Op.WRITE:
+            violation = self._write(me, event)
+        elif op is Op.ACQUIRE:
+            violation = self._acquire(me, event)
+        elif op is Op.RELEASE:
+            self._release(me, event)
+        elif op is Op.BEGIN:
+            self._begin(me)
+        elif op is Op.END:
+            violation = self._end(me, event)
+        elif op is Op.FORK:
+            self._fork(me, event)
+        elif op is Op.JOIN:
+            violation = self._join(me, event)
+        else:  # pragma: no cover - exhaustive over Op
+            raise AssertionError(f"unhandled op {op}")
+        self.events_processed += 1
+        if violation is not None:
+            self.violation = violation
+        return violation

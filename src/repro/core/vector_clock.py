@@ -1,0 +1,190 @@
+"""Vector times and vector clocks (paper, Section 4 preliminaries).
+
+A *vector time* is a vector of non-negative integers indexed by threads.
+For vector times ``V1``, ``V2``:
+
+* ``V1 ⊑ V2``  iff  ``V1(t) <= V2(t)`` for every thread ``t``
+  (:meth:`VectorClock.leq`);
+* ``V1 ⊔ V2 = λt. max(V1(t), V2(t))`` (:meth:`VectorClock.join`);
+* ``V[c/t]`` is ``V`` with component ``t`` replaced by ``c``
+  (:meth:`VectorClock.with_component`);
+* ``⊥`` is the all-zero time (:meth:`VectorClock.bottom`).
+
+Threads are represented by dense integer indices; analyzers intern thread
+names through :class:`ThreadRegistry`. Clocks are conceptually
+infinite-dimensional with missing components equal to zero, so clocks of
+different lengths compare correctly and grow on demand as new threads
+appear mid-trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+class VectorClock:
+    """A mutable vector time.
+
+    The in-place operations (:meth:`join`, :meth:`set_component`,
+    :meth:`increment`, :meth:`assign`) are the workhorses of the analysis
+    loops; the functional variants (:meth:`joined`, :meth:`with_component`)
+    are for tests and expository code.
+    """
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: Iterable[int] = ()) -> None:
+        self._times: List[int] = list(times)
+        if any(t < 0 for t in self._times):
+            raise ValueError("vector times are non-negative")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def bottom(cls, size: int = 0) -> "VectorClock":
+        """The minimum time ⊥ (all zeros)."""
+        return cls([0] * size)
+
+    @classmethod
+    def unit(cls, thread: int, value: int = 1, size: int = 0) -> "VectorClock":
+        """⊥[value/thread] — the initial clock C_t = ⊥[1/t]."""
+        clock = cls.bottom(max(size, thread + 1))
+        clock._times[thread] = value
+        return clock
+
+    def copy(self) -> "VectorClock":
+        clock = VectorClock.__new__(VectorClock)
+        clock._times = self._times[:]
+        return clock
+
+    # -- component access ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def get(self, thread: int) -> int:
+        """Component ``V(thread)`` (0 if beyond the stored length)."""
+        if thread < len(self._times):
+            return self._times[thread]
+        return 0
+
+    def _grow(self, size: int) -> None:
+        if size > len(self._times):
+            self._times.extend([0] * (size - len(self._times)))
+
+    def set_component(self, thread: int, value: int) -> None:
+        """In-place ``V(thread) := value``."""
+        if value < 0:
+            raise ValueError("vector times are non-negative")
+        self._grow(thread + 1)
+        self._times[thread] = value
+
+    def increment(self, thread: int, amount: int = 1) -> None:
+        """In-place ``V(thread) := V(thread) + amount``."""
+        self._grow(thread + 1)
+        self._times[thread] += amount
+
+    def assign(self, other: "VectorClock") -> None:
+        """In-place copy: ``V := other``."""
+        self._times[:] = other._times
+
+    # -- lattice operations ----------------------------------------------------
+
+    def leq(self, other: "VectorClock") -> bool:
+        """The partial order ``self ⊑ other``."""
+        mine = self._times
+        theirs = other._times
+        if len(mine) <= len(theirs):
+            for a, b in zip(mine, theirs):
+                if a > b:
+                    return False
+            return True
+        for i, a in enumerate(mine):
+            b = theirs[i] if i < len(theirs) else 0
+            if a > b:
+                return False
+        return True
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place join: ``V := V ⊔ other``."""
+        theirs = other._times
+        self._grow(len(theirs))
+        mine = self._times
+        for i, b in enumerate(theirs):
+            if b > mine[i]:
+                mine[i] = b
+
+    def joined(self, other: "VectorClock") -> "VectorClock":
+        """Functional join: ``V ⊔ other`` as a new clock."""
+        result = self.copy()
+        result.join(other)
+        return result
+
+    def with_component(self, thread: int, value: int) -> "VectorClock":
+        """Functional ``V[value/thread]`` as a new clock."""
+        result = self.copy()
+        result.set_component(thread, value)
+        return result
+
+    def zeroed(self, thread: int) -> "VectorClock":
+        """``V[0/thread]`` — used by the check-read clock hR_x (App. C.1)."""
+        return self.with_component(thread, 0)
+
+    def is_bottom(self) -> bool:
+        return not any(self._times)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        mine, theirs = self._times, other._times
+        if len(mine) < len(theirs):
+            mine, theirs = theirs, mine
+        return mine[: len(theirs)] == theirs and not any(mine[len(theirs):])
+
+    def __hash__(self) -> int:
+        times = self._times[:]
+        while times and times[-1] == 0:
+            times.pop()
+        return hash(tuple(times))
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(t) for t in self._times)
+        return f"⟨{inner}⟩"
+
+    def as_tuple(self) -> tuple:
+        return tuple(self._times)
+
+
+class ThreadRegistry:
+    """Interns thread names to dense indices for vector-clock components."""
+
+    __slots__ = ("_index", "_names")
+
+    def __init__(self, names: Sequence[str] = ()) -> None:
+        self._index: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.index_of(name)
+
+    def index_of(self, name: str) -> int:
+        """The index for ``name``, interning it on first sight."""
+        idx = self._index.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._index[name] = idx
+            self._names.append(name)
+        return idx
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def names(self) -> List[str]:
+        return self._names[:]

@@ -1,0 +1,12 @@
+"""Live instrumentation for real Python threads (RoadRunner analog)."""
+
+from .monitor import LiveMonitor, monitored_run
+from .recorder import SharedVar, TracedLock, TraceRecorder
+
+__all__ = [
+    "TraceRecorder",
+    "SharedVar",
+    "TracedLock",
+    "LiveMonitor",
+    "monitored_run",
+]

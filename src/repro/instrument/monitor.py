@@ -1,0 +1,119 @@
+"""Online atomicity monitoring of real Python threads.
+
+The paper's deployment model runs the analysis *while the program
+executes* (RoadRunner hosts the checker in-process). The
+:class:`TraceRecorder` captures live events; this module closes the
+loop by feeding each recorded event straight into a streaming checker
+under the recorder's mutex — violations surface while the offending
+threads are still alive, not after a post-mortem replay.
+
+Violation policies:
+
+* ``"record"`` (default) — append to :attr:`LiveMonitor.violations`
+  and keep monitoring (report-and-continue, see
+  :mod:`repro.core.multi` for the semantics of reports after the
+  first);
+* ``"raise"`` — raise :class:`AtomicityViolationError` *in the thread
+  whose operation closed the cycle*, at the offending call site. The
+  monitor keeps running for the other threads; the failed thread's
+  exception propagates through its target like any other error;
+* a callable — invoked with the :class:`Violation` (still under the
+  recorder mutex: keep it fast, don't touch instrumented state inside).
+
+The monitor inherits every recorder facility (``shared``, ``lock``,
+``atomic``, ``spawn``, ``join``) so instrumented code is oblivious to
+whether it is being recorded or actively policed::
+
+    monitor = LiveMonitor(policy="record")
+    x = monitor.shared("x")
+    with monitor.atomic("update"):
+        x.set(x.get() + 1)
+    assert monitor.violations == []
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from ..core.checker import StreamingChecker, make_checker
+from ..core.violations import AtomicityViolationError, Violation
+from ..trace.events import Event, Op
+from .recorder import TraceRecorder
+
+#: Type accepted by the ``policy`` argument.
+Policy = Union[str, Callable[[Violation], None]]
+
+
+class LiveMonitor(TraceRecorder):
+    """A :class:`TraceRecorder` that checks events as they happen.
+
+    Args:
+        algorithm: Registry name of the streaming checker to host.
+        policy: ``"record"``, ``"raise"``, or a callable — see the
+            module docstring.
+        name: Trace name (as for :class:`TraceRecorder`).
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "aerodrome",
+        policy: Policy = "record",
+        name: str = "monitored",
+    ) -> None:
+        super().__init__(name=name)
+        if isinstance(policy, str) and policy not in ("record", "raise"):
+            raise ValueError(
+                f"policy must be 'record', 'raise' or a callable, got {policy!r}"
+            )
+        self.algorithm = algorithm
+        self.policy = policy
+        self.checker: StreamingChecker = make_checker(algorithm)
+        self.violations: List[Violation] = []
+
+    # -- the hook ----------------------------------------------------------
+
+    def _record(self, op: Op, target: Optional[str]) -> None:
+        # Caller holds self._mutex (TraceRecorder contract), which also
+        # serializes the checker: the analysis sees events in exactly
+        # the order the trace records them.
+        super()._record(op, target)
+        event = self._trace[len(self._trace) - 1]
+        violation = self.checker.process(event)
+        if violation is None:
+            return
+        self.checker.violation = None  # keep monitoring
+        self.violations.append(violation)
+        if callable(self.policy):
+            self.policy(violation)
+        elif self.policy == "raise":
+            raise AtomicityViolationError(violation)
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True while no violation has been observed."""
+        return not self.violations
+
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+
+def monitored_run(
+    body: Callable[["LiveMonitor"], None],
+    algorithm: str = "aerodrome",
+) -> LiveMonitor:
+    """Run ``body(monitor)`` under a fresh recording monitor.
+
+    A tiny harness for tests and examples::
+
+        def scenario(monitor):
+            x = monitor.shared("x")
+            ...
+
+        monitor = monitored_run(scenario)
+        assert monitor.clean
+    """
+    monitor = LiveMonitor(algorithm=algorithm)
+    body(monitor)
+    return monitor

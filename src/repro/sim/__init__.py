@@ -1,0 +1,69 @@
+"""Program simulator: the RoadRunner/DaCapo substitute (see DESIGN.md)."""
+
+from .explore import ExplorationResult, enumerate_schedules, explore, fuzz
+from .mutations import MUTATORS, MutationError, mutate
+from .program import (
+    Acquire,
+    Begin,
+    End,
+    Fork,
+    Join,
+    Program,
+    ProgramError,
+    Read,
+    Release,
+    Stmt,
+    ThreadBody,
+    Write,
+    atomic,
+    flatten,
+    locked,
+    program_of,
+)
+from .random_traces import RandomTraceConfig, random_trace
+from .runtime import DeadlockError, execute
+from .trace_zoo import Specimen, all_specimens
+from .scheduler import (
+    FixedScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "Program",
+    "ProgramError",
+    "ThreadBody",
+    "Stmt",
+    "Read",
+    "Write",
+    "Acquire",
+    "Release",
+    "Fork",
+    "Join",
+    "Begin",
+    "End",
+    "atomic",
+    "locked",
+    "flatten",
+    "program_of",
+    "execute",
+    "DeadlockError",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "PCTScheduler",
+    "FixedScheduler",
+    "random_trace",
+    "RandomTraceConfig",
+    "enumerate_schedules",
+    "explore",
+    "fuzz",
+    "ExplorationResult",
+    "mutate",
+    "MUTATORS",
+    "MutationError",
+    "Specimen",
+    "all_specimens",
+]

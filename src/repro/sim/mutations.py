@@ -1,0 +1,157 @@
+"""Trace mutations for failure-injection testing.
+
+Robust tooling must reject garbage loudly. These mutators take a
+well-formed trace and break exactly one well-formedness rule, so tests
+can assert that the validator (and only the validator — checkers assume
+validated input) catches each corruption class. All mutators are
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..trace.events import Event, Op
+from ..trace.trace import Trace
+
+
+class MutationError(ValueError):
+    """The requested corruption cannot be applied to this trace."""
+
+
+def _copy(trace: Trace, name_suffix: str) -> Trace:
+    mutated = Trace(name=f"{trace.name}+{name_suffix}")
+    for event in trace:
+        mutated.append(Event(event.thread, event.op, event.target))
+    return mutated
+
+
+def _positions(trace: Trace, op: Op) -> List[int]:
+    return [e.idx for e in trace if e.op is op]
+
+
+def drop_release(trace: Trace, seed: int = 0) -> Trace:
+    """Remove one release, then duplicate a later acquire of that lock
+    by another thread so the corruption is observable (double acquire)."""
+    rng = random.Random(seed)
+    releases = _positions(trace, Op.RELEASE)
+    if not releases:
+        raise MutationError("trace has no release events")
+    victim = rng.choice(releases)
+    lock = trace[victim].target
+    holder = trace[victim].thread
+    mutated = Trace(name=f"{trace.name}+drop_release")
+    for event in trace:
+        if event.idx == victim:
+            continue
+        mutated.append(Event(event.thread, event.op, event.target))
+    # Append an acquire by a different thread: with the release gone the
+    # lock is still held, making the trace ill-formed for sure.
+    other = next(
+        (t for t in sorted(trace.threads()) if t != holder), f"{holder}_evil"
+    )
+    mutated.append(Event(other, Op.ACQUIRE, lock))
+    return mutated
+
+
+def drop_begin(trace: Trace, seed: int = 0) -> Trace:
+    """Remove one begin event, unbalancing its matching end."""
+    rng = random.Random(seed)
+    begins = _positions(trace, Op.BEGIN)
+    if not begins:
+        raise MutationError("trace has no begin events")
+    victim = rng.choice(begins)
+    mutated = Trace(name=f"{trace.name}+drop_begin")
+    for event in trace:
+        if event.idx == victim:
+            continue
+        mutated.append(Event(event.thread, event.op, event.target))
+    return mutated
+
+
+def duplicate_acquire(trace: Trace, seed: int = 0) -> Trace:
+    """Re-issue an acquire from a different thread while the lock is held."""
+    rng = random.Random(seed)
+    candidates = []
+    holder: Dict[str, str] = {}
+    for event in trace:
+        if event.op is Op.ACQUIRE:
+            holder[event.target] = event.thread  # type: ignore[index]
+            candidates.append(event.idx)
+        elif event.op is Op.RELEASE:
+            holder.pop(event.target, None)
+    if not candidates:
+        raise MutationError("trace has no acquire events")
+    victim = rng.choice(candidates)
+    lock = trace[victim].target
+    thread = trace[victim].thread
+    other = next(
+        (t for t in sorted(trace.threads()) if t != thread), f"{thread}_evil"
+    )
+    mutated = Trace(name=f"{trace.name}+dup_acquire")
+    for event in trace:
+        mutated.append(Event(event.thread, event.op, event.target))
+        if event.idx == victim:
+            mutated.append(Event(other, Op.ACQUIRE, lock))
+    return mutated
+
+
+def orphan_end(trace: Trace, seed: int = 0) -> Trace:
+    """Insert an end event for a thread with no open transaction."""
+    rng = random.Random(seed)
+    thread = rng.choice(sorted(trace.threads())) if len(trace) else "t0"
+    mutated = _copy(trace, "orphan_end")
+    # Prepend: at position 0 no transaction can be open.
+    prefixed = Trace(name=mutated.name)
+    prefixed.append(Event(thread, Op.END))
+    for event in mutated:
+        prefixed.append(Event(event.thread, event.op, event.target))
+    return prefixed
+
+
+def event_after_join(trace: Trace, seed: int = 0) -> Trace:
+    """Append an event by a thread that has already been joined."""
+    joins = _positions(trace, Op.JOIN)
+    if not joins:
+        raise MutationError("trace has no join events")
+    rng = random.Random(seed)
+    victim = trace[rng.choice(joins)]
+    mutated = _copy(trace, "after_join")
+    mutated.append(Event(victim.target, Op.READ, "zombie"))  # type: ignore[arg-type]
+    return mutated
+
+
+def fork_started_thread(trace: Trace, seed: int = 0) -> Trace:
+    """Append a fork of a thread that already performed events."""
+    rng = random.Random(seed)
+    threads = sorted(trace.threads())
+    if len(threads) < 2:
+        raise MutationError("need two threads")
+    child = rng.choice(threads)
+    parent = next(t for t in threads if t != child)
+    mutated = _copy(trace, "late_fork")
+    mutated.append(Event(parent, Op.FORK, child))
+    return mutated
+
+
+#: All mutators, keyed by the well-formedness rule they break.
+MUTATORS: Dict[str, Callable[[Trace, int], Trace]] = {
+    "drop_release": drop_release,
+    "drop_begin": drop_begin,
+    "duplicate_acquire": duplicate_acquire,
+    "orphan_end": orphan_end,
+    "event_after_join": event_after_join,
+    "fork_started_thread": fork_started_thread,
+}
+
+
+def mutate(trace: Trace, kind: str, seed: int = 0) -> Trace:
+    """Apply one named corruption (see :data:`MUTATORS`)."""
+    try:
+        mutator = MUTATORS[kind]
+    except KeyError:
+        raise MutationError(
+            f"unknown mutation {kind!r}; choose from {sorted(MUTATORS)}"
+        ) from None
+    return mutator(trace, seed)

@@ -1,0 +1,207 @@
+"""Concurrent-program model.
+
+The paper logs traces from Java programs with RoadRunner; we have no JVM,
+so this package models concurrent programs directly: a
+:class:`Program` is a set of named threads, each a straight-line list of
+:class:`Stmt` statements mirroring the loggable operations (read, write,
+acquire, release, fork, join, begin, end). A scheduler
+(:mod:`repro.sim.scheduler`) interleaves the threads and the runtime
+(:mod:`repro.sim.runtime`) emits the resulting well-formed trace.
+
+Straight-line bodies are not a loss of generality for *trace* generation:
+a trace is one resolved execution, so loops and branches are unrolled by
+the workload builders (:mod:`repro.sim.workloads`), the same way a logged
+Java execution has them unrolled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+
+class Stmt:
+    """Base class for program statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Read(Stmt):
+    """Read a shared memory location."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Write(Stmt):
+    """Write a shared memory location."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Acquire(Stmt):
+    """Acquire a lock (re-entrant; blocks while another thread holds it)."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class Release(Stmt):
+    """Release a lock held by this thread."""
+
+    lock: str
+
+
+@dataclass(frozen=True)
+class Fork(Stmt):
+    """Start another thread of the program."""
+
+    thread: str
+
+
+@dataclass(frozen=True)
+class Join(Stmt):
+    """Wait until another thread has executed all of its statements."""
+
+    thread: str
+
+
+@dataclass(frozen=True)
+class Begin(Stmt):
+    """Enter an atomic block (optionally labeled with a method name)."""
+
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class End(Stmt):
+    """Leave the innermost atomic block."""
+
+    label: Optional[str] = None
+
+
+StmtLike = Union[Stmt, Iterable["StmtLike"]]
+
+
+def flatten(statements: Iterable[StmtLike]) -> List[Stmt]:
+    """Flatten arbitrarily nested statement lists (builder convenience)."""
+    flat: List[Stmt] = []
+    for item in statements:
+        if isinstance(item, Stmt):
+            flat.append(item)
+        else:
+            flat.extend(flatten(item))
+    return flat
+
+
+def atomic(*body: StmtLike, label: Optional[str] = None) -> List[Stmt]:
+    """Wrap ``body`` in a begin/end pair."""
+    return [Begin(label), *flatten(body), End(label)]
+
+
+def locked(lock: str, *body: StmtLike) -> List[Stmt]:
+    """Wrap ``body`` in acquire/release of ``lock``."""
+    return [Acquire(lock), *flatten(body), Release(lock)]
+
+
+@dataclass
+class ThreadBody:
+    """One program thread: a name and its statements."""
+
+    name: str
+    statements: List[Stmt] = field(default_factory=list)
+
+    def extend(self, *statements: StmtLike) -> "ThreadBody":
+        self.statements.extend(flatten(statements))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+class ProgramError(ValueError):
+    """The program structure is invalid (bad fork/join targets, etc.)."""
+
+
+@dataclass
+class Program:
+    """A complete multi-threaded program."""
+
+    threads: List[ThreadBody]
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def body(self, name: str) -> ThreadBody:
+        for thread in self.threads:
+            if thread.name == name:
+                return thread
+        raise KeyError(name)
+
+    def thread_names(self) -> List[str]:
+        return [t.name for t in self.threads]
+
+    def root_threads(self) -> List[str]:
+        """Threads not forked by anyone — runnable from the start."""
+        forked = self._forked_threads()
+        return [t.name for t in self.threads if t.name not in forked]
+
+    def _forked_threads(self) -> Set[str]:
+        forked: Set[str] = set()
+        for thread in self.threads:
+            for stmt in thread.statements:
+                if isinstance(stmt, Fork):
+                    forked.add(stmt.thread)
+        return forked
+
+    def total_statements(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    def validate(self) -> None:
+        """Static sanity checks (dynamic checks happen in the runtime)."""
+        names = [t.name for t in self.threads]
+        if len(set(names)) != len(names):
+            raise ProgramError(f"duplicate thread names in {names}")
+        known = set(names)
+        fork_counts: Dict[str, int] = {}
+        for thread in self.threads:
+            depth = 0
+            for stmt in thread.statements:
+                if isinstance(stmt, (Fork, Join)):
+                    if stmt.thread not in known:
+                        raise ProgramError(
+                            f"{thread.name} references unknown thread "
+                            f"{stmt.thread}"
+                        )
+                    if stmt.thread == thread.name:
+                        raise ProgramError(f"{thread.name} forks/joins itself")
+                    if isinstance(stmt, Fork):
+                        fork_counts[stmt.thread] = fork_counts.get(stmt.thread, 0) + 1
+                elif isinstance(stmt, Begin):
+                    depth += 1
+                elif isinstance(stmt, End):
+                    depth -= 1
+                    if depth < 0:
+                        raise ProgramError(
+                            f"{thread.name} has an End with no matching Begin"
+                        )
+            if depth != 0:
+                raise ProgramError(
+                    f"{thread.name} leaves {depth} atomic block(s) open"
+                )
+        for target, times in fork_counts.items():
+            if times > 1:
+                raise ProgramError(f"thread {target} forked {times} times")
+        if not self.root_threads():
+            raise ProgramError("no root thread (fork cycle)")
+
+
+def program_of(bodies: Dict[str, Sequence[StmtLike]], name: str = "program") -> Program:
+    """Build a program from a ``{thread name: statements}`` mapping."""
+    return Program(
+        threads=[ThreadBody(tname, flatten(stmts)) for tname, stmts in bodies.items()],
+        name=name,
+    )

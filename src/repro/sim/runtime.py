@@ -1,0 +1,179 @@
+"""Program execution: interleave threads under a scheduler, emit a trace.
+
+This is the substitute for RoadRunner's logging pass (paper, Section 5.1):
+where the paper instruments a JVM and records the events a real execution
+performs, we execute a :class:`~repro.sim.program.Program` under a
+deterministic :class:`~repro.sim.scheduler.Scheduler` and record the same
+eight kinds of events. The produced traces satisfy the paper's
+well-formedness assumptions by construction (the runtime blocks threads
+on held locks and unfinished joins, and starts threads only after their
+fork), and :func:`execute` re-validates the output in debug mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..trace.events import Event, Op
+from ..trace.trace import Trace
+from ..trace.wellformed import validate
+from .program import (
+    Acquire,
+    Begin,
+    End,
+    Fork,
+    Join,
+    Program,
+    Read,
+    Release,
+    Write,
+)
+from .scheduler import RoundRobinScheduler, Scheduler
+
+
+class DeadlockError(RuntimeError):
+    """No runnable thread remains but the program has not finished."""
+
+    def __init__(self, blocked: Dict[str, str]) -> None:
+        self.blocked = blocked
+        detail = "; ".join(f"{t}: {why}" for t, why in sorted(blocked.items()))
+        super().__init__(f"deadlock — {detail}")
+
+
+class _ThreadContext:
+    """Runtime state of one program thread."""
+
+    __slots__ = ("body", "pc", "started", "lock_depth")
+
+    def __init__(self, body, started: bool) -> None:
+        self.body = body
+        self.pc = 0
+        self.started = started
+        self.lock_depth: Dict[str, int] = {}
+
+    @property
+    def finished(self) -> bool:
+        return self.pc >= len(self.body.statements)
+
+    @property
+    def next_stmt(self):
+        return self.body.statements[self.pc]
+
+
+def execute(
+    program: Program,
+    scheduler: Scheduler = None,
+    *,
+    validate_output: bool = False,
+    max_steps: int = 100_000_000,
+) -> Trace:
+    """Run ``program`` under ``scheduler`` and return the logged trace.
+
+    Args:
+        program: The program to execute.
+        scheduler: Interleaving strategy; defaults to fine-grained round
+            robin.
+        validate_output: Re-check the emitted trace's well-formedness
+            (useful in tests; the runtime guarantees it by construction).
+        max_steps: Safety bound against misbehaving schedulers.
+
+    Raises:
+        DeadlockError: If no thread can make progress (e.g. a lock cycle
+            or a join on a thread that never finishes).
+    """
+    if scheduler is None:
+        scheduler = RoundRobinScheduler()
+    roots = set(program.root_threads())
+    contexts: Dict[str, _ThreadContext] = {
+        body.name: _ThreadContext(body, started=body.name in roots)
+        for body in program.threads
+    }
+    lock_holder: Dict[str, str] = {}
+    trace = Trace(name=program.name)
+    step = 0
+
+    def is_runnable(name: str) -> bool:
+        ctx = contexts[name]
+        if not ctx.started or ctx.finished:
+            return False
+        stmt = ctx.next_stmt
+        if isinstance(stmt, Acquire):
+            holder = lock_holder.get(stmt.lock)
+            return holder is None or holder == name
+        if isinstance(stmt, Join):
+            target = contexts[stmt.thread]
+            return target.started and target.finished
+        return True
+
+    def blocked_reason(name: str) -> str:
+        ctx = contexts[name]
+        stmt = ctx.next_stmt
+        if isinstance(stmt, Acquire):
+            return f"waiting for lock {stmt.lock} held by {lock_holder.get(stmt.lock)}"
+        if isinstance(stmt, Join):
+            return f"waiting to join {stmt.thread}"
+        return "not started"
+
+    order = program.thread_names()
+    while True:
+        runnable = [name for name in order if is_runnable(name)]
+        if not runnable:
+            unfinished = {
+                name: blocked_reason(name)
+                for name, ctx in contexts.items()
+                if ctx.started and not ctx.finished
+            }
+            never_started = {
+                name: "never forked"
+                for name, ctx in contexts.items()
+                if not ctx.started
+            }
+            if unfinished or never_started:
+                raise DeadlockError({**unfinished, **never_started})
+            break
+        if step >= max_steps:
+            raise RuntimeError(f"execution exceeded {max_steps} steps")
+        name = scheduler.pick(runnable, step)
+        if name not in runnable:
+            raise ValueError(f"scheduler picked non-runnable thread {name!r}")
+        ctx = contexts[name]
+        stmt = ctx.next_stmt
+        ctx.pc += 1
+        step += 1
+
+        if isinstance(stmt, Read):
+            trace.append(Event(name, Op.READ, stmt.var))
+        elif isinstance(stmt, Write):
+            trace.append(Event(name, Op.WRITE, stmt.var))
+        elif isinstance(stmt, Acquire):
+            ctx.lock_depth[stmt.lock] = ctx.lock_depth.get(stmt.lock, 0) + 1
+            lock_holder[stmt.lock] = name
+            trace.append(Event(name, Op.ACQUIRE, stmt.lock))
+        elif isinstance(stmt, Release):
+            depth = ctx.lock_depth.get(stmt.lock, 0)
+            if depth == 0 or lock_holder.get(stmt.lock) != name:
+                raise RuntimeError(
+                    f"{name} releases lock {stmt.lock} it does not hold"
+                )
+            ctx.lock_depth[stmt.lock] = depth - 1
+            if depth == 1:
+                del lock_holder[stmt.lock]
+            trace.append(Event(name, Op.RELEASE, stmt.lock))
+        elif isinstance(stmt, Fork):
+            target = contexts[stmt.thread]
+            if target.started:
+                raise RuntimeError(f"{name} forks already-started {stmt.thread}")
+            target.started = True
+            trace.append(Event(name, Op.FORK, stmt.thread))
+        elif isinstance(stmt, Join):
+            trace.append(Event(name, Op.JOIN, stmt.thread))
+        elif isinstance(stmt, Begin):
+            trace.append(Event(name, Op.BEGIN, stmt.label))
+        elif isinstance(stmt, End):
+            trace.append(Event(name, Op.END, stmt.label))
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    if validate_output:
+        validate(trace)
+    return trace

@@ -1,0 +1,166 @@
+"""Thread schedulers.
+
+A scheduler resolves the nondeterminism of a concurrent program: at each
+step the runtime presents the set of runnable threads and the scheduler
+picks one. All schedulers here are deterministic functions of their
+construction parameters (seeded PRNGs included), so a (program, scheduler)
+pair always yields the same trace — the reproducibility requirement the
+paper meets by logging traces once and analyzing the log.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+
+class Scheduler(ABC):
+    """Strategy interface for picking the next thread to run."""
+
+    @abstractmethod
+    def pick(self, runnable: Sequence[str], step: int) -> str:
+        """Choose one of ``runnable`` (non-empty) for step ``step``."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through threads, running up to ``quantum`` steps per turn.
+
+    With ``quantum=1`` this is the finest-grained fair interleaving; a
+    large quantum approximates coarse context switching (fewer
+    interleavings, transactions mostly uninterrupted).
+    """
+
+    def __init__(self, quantum: int = 1) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._current: Optional[str] = None
+        self._used = 0
+
+    def pick(self, runnable: Sequence[str], step: int) -> str:
+        if (
+            self._current in runnable
+            and self._used < self.quantum
+        ):
+            self._used += 1
+            return self._current
+        if self._current in runnable:
+            # Quantum exhausted: move to the next runnable thread after
+            # the current one, wrapping around.
+            idx = runnable.index(self._current)
+            chosen = runnable[(idx + 1) % len(runnable)]
+        else:
+            chosen = runnable[0]
+        self._current = chosen
+        self._used = 1
+        return chosen
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform-random scheduling with optional stickiness.
+
+    Args:
+        seed: PRNG seed; equal seeds give equal schedules.
+        stickiness: Probability of staying on the previous thread while it
+            remains runnable. Higher stickiness yields longer uninterrupted
+            runs (more serial-looking traces).
+    """
+
+    def __init__(self, seed: int = 0, stickiness: float = 0.0) -> None:
+        if not 0.0 <= stickiness <= 1.0:
+            raise ValueError("stickiness must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self.stickiness = stickiness
+        self._current: Optional[str] = None
+
+    def pick(self, runnable: Sequence[str], step: int) -> str:
+        if (
+            self._current in runnable
+            and self.stickiness > 0.0
+            and self._rng.random() < self.stickiness
+        ):
+            return self._current
+        self._current = runnable[self._rng.randrange(len(runnable))]
+        return self._current
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010).
+
+    The randomized-exploration idea behind the §6 tools (CalFuzzer,
+    CTrigger, Penelope) made principled: assign each thread a random
+    priority, always run the highest-priority runnable thread, and
+    demote the running thread at ``depth - 1`` pre-chosen step indices.
+    For a bug needing ``d`` ordering constraints over ``n`` threads and
+    ``k`` steps, one run finds it with probability ≥ 1/(n·k^(d-1)) —
+    far better than uniform random for rare interleavings, which is why
+    ``explore.fuzz``-style searches prefer it.
+
+    Deterministic in (seed, depth, max_steps): the priority-change
+    points are drawn up front.
+
+    Args:
+        seed: PRNG seed.
+        depth: The bug-depth parameter ``d`` (≥ 1); ``depth - 1``
+            priority change points are inserted.
+        max_steps: The steps bound ``k`` the change points are drawn
+            from. **Set it near the expected run length** — with the
+            default horizon, short programs rarely see a change point
+            and the schedule degenerates to priority-serial.
+    """
+
+    def __init__(self, seed: int = 0, depth: int = 3, max_steps: int = 10_000):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if max_steps < 1:
+            raise ValueError("max_steps must be positive")
+        self._rng = random.Random(seed)
+        self.depth = depth
+        self.max_steps = max_steps
+        self._change_points = set(
+            self._rng.sample(range(max_steps), min(depth - 1, max_steps))
+        )
+        self._priority: dict = {}
+        #: Low priority band handed out at change points; always below
+        #: every initial priority.
+        self._next_low = 0.0
+
+    def _priority_of(self, thread: str) -> float:
+        priority = self._priority.get(thread)
+        if priority is None:
+            # Initial priorities live in [1, 2): above every demotion.
+            priority = 1.0 + self._rng.random()
+            self._priority[thread] = priority
+        return priority
+
+    def pick(self, runnable: Sequence[str], step: int) -> str:
+        chosen = max(runnable, key=lambda t: (self._priority_of(t), t))
+        if step in self._change_points:
+            # Demote the thread we just ran below everything else seen
+            # so far; successive demotions stack (lower and lower).
+            self._next_low -= 1.0
+            self._priority[chosen] = self._next_low
+        return chosen
+
+
+class FixedScheduler(Scheduler):
+    """Replay an explicit thread sequence (tests and counterexamples).
+
+    Raises if the scripted thread is not runnable at its step — such a
+    script does not correspond to any real execution.
+    """
+
+    def __init__(self, order: Sequence[str]) -> None:
+        self.order = list(order)
+
+    def pick(self, runnable: Sequence[str], step: int) -> str:
+        if step >= len(self.order):
+            raise IndexError(f"schedule script exhausted at step {step}")
+        choice = self.order[step]
+        if choice not in runnable:
+            raise ValueError(
+                f"scripted thread {choice!r} not runnable at step {step} "
+                f"(runnable: {list(runnable)})"
+            )
+        return choice

@@ -1,0 +1,474 @@
+"""The trace zoo: a named corpus of small traces with known verdicts.
+
+Every specimen is a hand-written trace exhibiting one interesting shape
+— the paper's worked examples, the classic separations between
+atomicity notions, and the regression cases our implementation work
+surfaced. The zoo serves three masters:
+
+* **tests** — ``tests/test_trace_zoo.py`` asserts every specimen's
+  expected verdict against the oracle and every registered checker;
+* **docs/examples** — the specimens are the vocabulary the examples and
+  docs refer to (``zoo.get("paper-rho2")``);
+* **the CLI** — ``python -m repro.cli zoo NAME -o NAME.std`` writes any
+  specimen as a ``.std`` file to experiment with.
+
+Each specimen records whether it is conflict serializable and (where
+the exact checker can afford to decide it) whether it is *view*
+serializable, so the zoo doubles as a map of the notion landscape:
+``view-not-conflict`` is the blind-write separation, ``paper-rho2`` is
+violating under both, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..trace.events import acquire, begin, end, fork, join, read, release, write
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class Specimen:
+    """One zoo entry.
+
+    Attributes:
+        name: Stable identifier (kebab-case).
+        description: What shape the trace exhibits.
+        build: Zero-argument factory returning a fresh :class:`Trace`.
+        conflict_serializable: Ground-truth verdict (Definition 1).
+        view_serializable: Ground truth for the weaker notion, or
+            ``None`` where we do not assert it.
+    """
+
+    name: str
+    description: str
+    build: Callable[[], Trace]
+    conflict_serializable: bool
+    view_serializable: Optional[bool] = None
+
+    def trace(self) -> Trace:
+        """A fresh copy of the specimen's trace."""
+        built = self.build()
+        built.name = self.name
+        return built
+
+
+def _rho1() -> Trace:
+    return Trace(
+        [
+            begin("t1"), write("t1", "x"),
+            begin("t2"), read("t2", "x"), end("t2"),
+            begin("t3"), write("t3", "z"), end("t3"),
+            read("t1", "z"), end("t1"),
+        ]
+    )
+
+
+def _rho2() -> Trace:
+    return Trace(
+        [
+            begin("t1"), begin("t2"),
+            write("t1", "x"), read("t2", "x"),
+            write("t2", "y"), read("t1", "y"),
+            end("t2"), end("t1"),
+        ]
+    )
+
+
+def _rho3() -> Trace:
+    return Trace(
+        [
+            begin("t1"), begin("t2"),
+            write("t1", "x"), write("t2", "y"),
+            read("t1", "y"), read("t2", "x"),
+            end("t1"), end("t2"),
+        ]
+    )
+
+
+def _rho4() -> Trace:
+    return Trace(
+        [
+            begin("t1"), write("t1", "x"),
+            begin("t2"), write("t2", "y"), read("t2", "x"), end("t2"),
+            begin("t3"), read("t3", "y"), write("t3", "z"), end("t3"),
+            read("t1", "z"), end("t1"),
+        ]
+    )
+
+
+def _lock_cycle() -> Trace:
+    return Trace(
+        [
+            begin("t1"),
+            acquire("t1", "l"), write("t1", "x"), release("t1", "l"),
+            begin("t2"),
+            acquire("t2", "l"), read("t2", "x"), release("t2", "l"),
+            end("t2"),
+            acquire("t1", "l"), release("t1", "l"),
+            end("t1"),
+        ]
+    )
+
+
+def _blind_write() -> Trace:
+    return Trace(
+        [
+            begin("t1"), read("t1", "x"),
+            begin("t2"), write("t2", "x"), end("t2"),
+            write("t1", "x"), end("t1"),
+            begin("t3"), write("t3", "x"), end("t3"),
+        ]
+    )
+
+
+def _fork_join_handoff() -> Trace:
+    return Trace(
+        [
+            begin("t1"), write("t1", "x"), end("t1"),
+            fork("t1", "t2"),
+            begin("t2"), read("t2", "x"), write("t2", "x"), end("t2"),
+            join("t1", "t2"),
+            begin("t1"), read("t1", "x"), end("t1"),
+        ]
+    )
+
+
+def _join_cycle() -> Trace:
+    """The parent joins a child whose work depends on the parent's open
+    transaction — the cycle closes at the join event."""
+    return Trace(
+        [
+            fork("t1", "t2"),
+            begin("t1"),
+            write("t1", "x"),
+            read("t2", "x"),
+            write("t2", "y"),
+            join("t1", "t2"),
+            end("t1"),
+        ]
+    )
+
+
+def _nested_flattened() -> Trace:
+    """Nesting is flattened (§4.1.4): inner begin/end do not split the
+    outer transaction, so the outer cycle is still detected."""
+    return Trace(
+        [
+            begin("t1"), begin("t1"), write("t1", "x"), end("t1"),
+            begin("t2"), read("t2", "x"), write("t2", "y"), end("t2"),
+            read("t1", "y"), end("t1"),
+        ]
+    )
+
+
+def _three_party_cycle() -> Trace:
+    """T1 -> T2 -> T3 -> T1 with every hop through a different variable."""
+    return Trace(
+        [
+            begin("t1"), begin("t2"), begin("t3"),
+            write("t1", "a"), read("t2", "a"),
+            write("t2", "b"), read("t3", "b"),
+            write("t3", "c"), read("t1", "c"),
+            end("t1"), end("t2"), end("t3"),
+        ]
+    )
+
+
+def _unary_only() -> Trace:
+    """No atomic blocks at all: trivially serializable (every
+    transaction is unary)."""
+    return Trace(
+        [
+            write("t1", "x"), read("t2", "x"),
+            write("t2", "x"), read("t1", "x"),
+        ]
+    )
+
+
+def _unary_mediator() -> Trace:
+    """A cycle between two blocks mediated by a unary access in a third
+    thread — unary transactions participate in cycles even though they
+    never *report* (§4.1.4)."""
+    return Trace(
+        [
+            begin("t1"), write("t1", "x"),
+            read("t3", "x"),       # unary: T1 -> u
+            write("t3", "y"),      # unary: u' (same unary? no - two events)
+            begin("t2"), read("t2", "y"), write("t2", "z"), end("t2"),
+            read("t1", "z"), end("t1"),
+        ]
+    )
+
+
+def _read_only_sharing() -> Trace:
+    return Trace(
+        [
+            write("t1", "x"),
+            begin("t1"), read("t1", "x"), end("t1"),
+            begin("t2"), read("t2", "x"), end("t2"),
+            begin("t1"), read("t1", "x"), end("t1"),
+        ]
+    )
+
+
+def _locked_counter() -> Trace:
+    """Two increments fully protected by one lock: serializable."""
+    events = []
+    for thread in ("t1", "t2", "t1", "t2"):
+        events.extend(
+            [
+                begin(thread),
+                acquire(thread, "l"),
+                read(thread, "c"),
+                write(thread, "c"),
+                release(thread, "l"),
+                end(thread),
+            ]
+        )
+    return Trace(events)
+
+
+def _unlocked_counter() -> Trace:
+    """The TOCTOU classic: check outside, write inside interleaved."""
+    return Trace(
+        [
+            begin("t1"), read("t1", "c"),
+            begin("t2"), read("t2", "c"), write("t2", "c"), end("t2"),
+            write("t1", "c"), end("t1"),
+        ]
+    )
+
+
+def _reduction_false_alarm() -> Trace:
+    """Serializable under conflict serializability, yet flagged by the
+    Lipton-reduction baseline: the child's write is fork-ordered (no
+    real race), but the lockset analysis marks it racy, turning it into
+    a post-commit non-mover inside the child's block."""
+    return Trace(
+        [
+            write("t1", "x"),
+            fork("t1", "t2"),
+            begin("t2"),
+            acquire("t2", "l"),
+            release("t2", "l"),
+            write("t2", "x"),
+            end("t2"),
+            join("t1", "t2"),
+        ]
+    )
+
+
+def _write_skew() -> Trace:
+    """The write-skew anomaly: both transactions read {x, y}, then each
+    writes a different one — a symmetric two-edge cycle."""
+    return Trace(
+        [
+            begin("t1"), read("t1", "x"), read("t1", "y"),
+            begin("t2"), read("t2", "x"), read("t2", "y"),
+            write("t2", "y"), end("t2"),
+            write("t1", "x"), end("t1"),
+        ]
+    )
+
+
+def _dependency_chain() -> Trace:
+    """T1 -> T2 -> ... -> T5 in a line: heavily ordered yet serializable
+    (the topological witness is the chain itself)."""
+    events = []
+    events += [begin("t1"), write("t1", "v0"), write("t1", "h0"), end("t1")]
+    for i in range(2, 6):
+        thread = f"t{i}"
+        events += [
+            begin(thread),
+            read(thread, f"h{i - 2}"),
+            write(thread, f"h{i - 1}"),
+            end(thread),
+        ]
+    return Trace(events)
+
+
+def _lock_handoff_chain() -> Trace:
+    """A baton passed through three locks across three threads — every
+    cross-thread edge is a rel->acq edge; serializable."""
+    events = []
+    events += [
+        begin("t1"), acquire("t1", "l1"), write("t1", "baton1"),
+        release("t1", "l1"), end("t1"),
+        begin("t2"), acquire("t2", "l1"), read("t2", "baton1"),
+        release("t2", "l1"), acquire("t2", "l2"), write("t2", "baton2"),
+        release("t2", "l2"), end("t2"),
+        begin("t3"), acquire("t3", "l2"), read("t3", "baton2"),
+        release("t3", "l2"), end("t3"),
+    ]
+    return Trace(events)
+
+
+def _deep_nesting() -> Trace:
+    """Four levels of nested begin/end around the ρ2 core: only the
+    outermost pair matters (§4.1.4), so the violation survives."""
+    return Trace(
+        [
+            begin("t1"), begin("t1"), begin("t1"), begin("t1"),
+            begin("t2"),
+            write("t1", "x"), read("t2", "x"),
+            write("t2", "y"),
+            end("t1"), end("t1"), end("t1"),
+            read("t1", "y"),
+            end("t2"), end("t1"),
+        ]
+    )
+
+
+def _long_cycle_with_locks() -> Trace:
+    """A four-transaction cycle where alternate hops go through a
+    variable and a lock — exercises mixed-edge cycles."""
+    return Trace(
+        [
+            begin("t1"), write("t1", "a"),
+            begin("t2"), read("t2", "a"),
+            acquire("t2", "l"), release("t2", "l"), end("t2"),
+            begin("t3"), acquire("t3", "l"), write("t3", "b"),
+            release("t3", "l"), end("t3"),
+            begin("t4"), read("t4", "b"), write("t4", "c"), end("t4"),
+            read("t1", "c"), end("t1"),
+        ]
+    )
+
+
+_SPECIMENS: List[Specimen] = [
+    Specimen(
+        "paper-rho1",
+        "Figure 1: three transactions, serial order T3 T1 T2 exists",
+        _rho1, conflict_serializable=True, view_serializable=True,
+    ),
+    Specimen(
+        "paper-rho2",
+        "Figure 2: mutual CHB ordering, violation at the second read",
+        _rho2, conflict_serializable=False, view_serializable=False,
+    ),
+    Specimen(
+        "paper-rho3",
+        "Figure 3: violation with no CHB path back into one transaction",
+        _rho3, conflict_serializable=False, view_serializable=False,
+    ),
+    Specimen(
+        "paper-rho4",
+        "Figure 4: cycle through a completed mediating transaction",
+        _rho4, conflict_serializable=False, view_serializable=False,
+    ),
+    Specimen(
+        "lock-cycle",
+        "violation closed only by a release->acquire edge",
+        _lock_cycle, conflict_serializable=False,
+    ),
+    Specimen(
+        "view-not-conflict",
+        "blind writes: view serializable yet conflict violating",
+        _blind_write, conflict_serializable=False, view_serializable=True,
+    ),
+    Specimen(
+        "fork-join-handoff",
+        "ownership handoff via fork/join: serializable",
+        _fork_join_handoff, conflict_serializable=True, view_serializable=True,
+    ),
+    Specimen(
+        "join-cycle",
+        "cycle closed at a join event",
+        _join_cycle, conflict_serializable=False,
+    ),
+    Specimen(
+        "nested-flattened",
+        "inner begin/end pairs do not hide the outer cycle",
+        _nested_flattened, conflict_serializable=False,
+    ),
+    Specimen(
+        "three-party-cycle",
+        "T1 -> T2 -> T3 -> T1, one variable per hop",
+        _three_party_cycle, conflict_serializable=False,
+        view_serializable=False,
+    ),
+    Specimen(
+        "unary-only",
+        "no atomic blocks: trivially serializable",
+        _unary_only, conflict_serializable=True, view_serializable=True,
+    ),
+    Specimen(
+        "unary-mediator",
+        "unary accesses mediate a cycle between two blocks",
+        _unary_mediator, conflict_serializable=False,
+    ),
+    Specimen(
+        "read-only-sharing",
+        "shared reads only: serializable",
+        _read_only_sharing, conflict_serializable=True, view_serializable=True,
+    ),
+    Specimen(
+        "locked-counter",
+        "lock-protected read-modify-write: serializable",
+        _locked_counter, conflict_serializable=True, view_serializable=True,
+    ),
+    Specimen(
+        "unlocked-counter",
+        "TOCTOU interleaving of two unprotected increments",
+        _unlocked_counter, conflict_serializable=False,
+        view_serializable=False,
+    ),
+    Specimen(
+        "dependency-chain",
+        "T1 -> ... -> T5 hand-off line: ordered but serializable",
+        _dependency_chain, conflict_serializable=True, view_serializable=True,
+    ),
+    Specimen(
+        "lock-handoff-chain",
+        "baton through three locks: rel->acq edges only, serializable",
+        _lock_handoff_chain, conflict_serializable=True,
+    ),
+    Specimen(
+        "deep-nesting",
+        "four nesting levels around the rho2 core: still detected",
+        _deep_nesting, conflict_serializable=False,
+    ),
+    Specimen(
+        "mixed-edge-cycle",
+        "four-party cycle alternating variable and lock edges",
+        _long_cycle_with_locks, conflict_serializable=False,
+    ),
+    Specimen(
+        "reduction-false-alarm",
+        "serializable, but the Atomizer baseline flags it",
+        _reduction_false_alarm, conflict_serializable=True,
+    ),
+    Specimen(
+        "write-skew",
+        "both read {x,y}, each writes one: symmetric two-edge cycle",
+        _write_skew, conflict_serializable=False, view_serializable=False,
+    ),
+]
+
+_BY_NAME: Dict[str, Specimen] = {s.name: s for s in _SPECIMENS}
+
+
+def names() -> List[str]:
+    """All specimen names, in curated order."""
+    return [s.name for s in _SPECIMENS]
+
+
+def get(name: str) -> Specimen:
+    """Look up a specimen by name.
+
+    Raises:
+        KeyError: With the list of valid names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown specimen {name!r}; choose from {names()}"
+        ) from None
+
+
+def all_specimens() -> List[Specimen]:
+    """Every specimen (fresh list; specimens themselves are frozen)."""
+    return _SPECIMENS[:]

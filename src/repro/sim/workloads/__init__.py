@@ -1,0 +1,47 @@
+"""Workload generators: concurrency idioms and benchmark-row analogs."""
+
+from .benchmarks import (
+    ALL_CASES,
+    CASES_BY_NAME,
+    TABLE1,
+    TABLE2,
+    BenchmarkCase,
+    PaperRow,
+    coordinator_trace,
+    get_case,
+    independent_trace,
+    unary_trace,
+    whole_thread_trace,
+)
+from .patterns import (
+    bank_transfer,
+    dining_philosophers,
+    double_checked_flag,
+    fork_join_pipeline,
+    locked_counter,
+    producer_consumer,
+    read_shared_write_private,
+    unprotected_counter,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "PaperRow",
+    "TABLE1",
+    "TABLE2",
+    "ALL_CASES",
+    "CASES_BY_NAME",
+    "get_case",
+    "coordinator_trace",
+    "independent_trace",
+    "unary_trace",
+    "whole_thread_trace",
+    "locked_counter",
+    "unprotected_counter",
+    "bank_transfer",
+    "producer_consumer",
+    "dining_philosophers",
+    "fork_join_pipeline",
+    "read_shared_write_private",
+    "double_checked_flag",
+]

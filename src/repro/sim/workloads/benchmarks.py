@@ -1,0 +1,504 @@
+"""Scaled synthetic analogs of every benchmark row in Tables 1 and 2.
+
+The paper evaluates AeroDrome vs. Velodrome on traces logged from Java
+programs (DaCapo, Java Grande, microbenchmarks). We cannot run a JVM, so
+each row gets a *synthetic analog*: a seeded generator producing a trace
+whose shape matches what determines the relative performance of the two
+algorithms —
+
+* number of threads / locks / variables (scaled),
+* how many transactions accumulate before a violation (late vs. early),
+* whether transactions keep incoming ⋖Txn edges (which defeats
+  Velodrome's garbage collection and lets its graph grow), and
+* whether the trace is serializable at all.
+
+Four trace shapes cover all 21 rows:
+
+``coordinator``
+    A long-lived coordinator transaction broadcasts a value that many
+    small reader transactions consume, while separate producer threads
+    publish results the coordinator polls. Every reader transaction hangs
+    off the open coordinator transaction, so the transaction graph grows
+    without bound and every coordinator poll triggers a graph-wide cycle
+    check — the regime where Table 1 shows order-of-magnitude AeroDrome
+    wins (avrora, elevator, lusearch, moldyn, montecarlo, raytracer,
+    sunflow).
+
+``independent``
+    Threads run many small transactions on private data with occasional
+    lock-protected sharing. Completed transactions lose their incoming
+    edges and Velodrome's GC keeps the graph tiny, so the two algorithms
+    are at parity (hedc, luindex, pmd, sor, xalan — speed-ups 0.7–1.2 in
+    Table 1).
+
+``unary``
+    Almost all events sit outside atomic blocks (tsp has 312M events but
+    just 9 transactions).
+
+``whole-thread``
+    The naive specification of Table 2: each thread is one giant atomic
+    block and the violation (if any) surfaces within the first ~2% of
+    the trace, so both algorithms stop early and run at parity.
+
+Violations are planted as the paper's ρ2 pattern (Figure 2): two
+transactions exchanging two variables in a crossed order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...trace.events import Event, Op
+from ...trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The numbers the paper reports for one benchmark (for EXPERIMENTS.md)."""
+
+    events: str
+    threads: int
+    locks: str
+    variables: str
+    transactions: str
+    atomic: bool  # True = ✓ (serializable), False = ✗
+    velodrome: str  # seconds or "TO"
+    aerodrome: str
+    speedup: str
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One row of Table 1 or Table 2, scaled for pure-Python analysis.
+
+    Attributes:
+        name: Paper's benchmark name.
+        table: 1 (DoubleChecker specs) or 2 (naive specs).
+        style: Trace shape — ``coordinator``/``independent``/``unary``/
+            ``whole-thread``.
+        events: Scaled target trace length.
+        threads: Thread count (matches the paper's column 3).
+        locks: Lock-pool size.
+        variables: Private-variable pool size per thread.
+        violation_at: Fraction of the trace where the ρ2 cycle is
+            planted, or ``None`` for serializable rows.
+        expect: ``"aerodrome"`` when the paper shows a large AeroDrome
+            win, ``"parity"`` when the two algorithms are comparable.
+        paper: The paper's reported row.
+    """
+
+    name: str
+    table: int
+    style: str
+    events: int
+    threads: int
+    locks: int
+    variables: int
+    violation_at: Optional[float]
+    expect: str
+    paper: PaperRow
+
+    def generate(self, seed: int = 0, scale: float = 1.0) -> Trace:
+        """Produce this row's trace (deterministic in ``seed``/``scale``)."""
+        events = max(200, int(self.events * scale))
+        if self.style == "coordinator":
+            return coordinator_trace(
+                name=self.name,
+                events=events,
+                threads=self.threads,
+                locks=self.locks,
+                private_vars=self.variables,
+                violation_at=self.violation_at,
+                seed=seed,
+            )
+        if self.style == "independent":
+            return independent_trace(
+                name=self.name,
+                events=events,
+                threads=self.threads,
+                locks=self.locks,
+                private_vars=self.variables,
+                violation_at=self.violation_at,
+                seed=seed,
+            )
+        if self.style == "unary":
+            return unary_trace(
+                name=self.name,
+                events=events,
+                threads=self.threads,
+                locks=self.locks,
+                private_vars=self.variables,
+                violation_at=self.violation_at,
+                seed=seed,
+            )
+        if self.style == "whole-thread":
+            return whole_thread_trace(
+                name=self.name,
+                events=events,
+                threads=self.threads,
+                locks=self.locks,
+                private_vars=self.variables,
+                violation_at=self.violation_at,
+                seed=seed,
+            )
+        raise ValueError(f"unknown style {self.style!r}")
+
+
+# ---------------------------------------------------------------------------
+# Trace shapes
+# ---------------------------------------------------------------------------
+
+
+def _plant_rho2(
+    trace: Trace, thread_a: str, thread_b: str, var_a: str, var_b: str
+) -> None:
+    """Append the paper's ρ2 pattern: a genuine 2-transaction cycle."""
+    trace.append(Event(thread_a, Op.BEGIN))
+    trace.append(Event(thread_b, Op.BEGIN))
+    trace.append(Event(thread_a, Op.WRITE, var_a))
+    trace.append(Event(thread_b, Op.READ, var_a))
+    trace.append(Event(thread_b, Op.WRITE, var_b))
+    trace.append(Event(thread_a, Op.READ, var_b))
+    trace.append(Event(thread_b, Op.END))
+    trace.append(Event(thread_a, Op.END))
+
+
+def coordinator_trace(
+    name: str,
+    events: int,
+    threads: int,
+    locks: int,
+    private_vars: int,
+    violation_at: Optional[float],
+    seed: int = 0,
+    poll_period: int = 5,
+    reader_txn_work: int = 2,
+    work_probability: float = 0.2,
+) -> Trace:
+    """The coordinator/broadcast shape (large AeroDrome wins).
+
+    Thread layout: ``coord`` holds one transaction open for the whole
+    trace and polls producer results; ``pinner`` holds a second long
+    transaction whose broadcast pins producer transactions in the graph;
+    the remaining threads split into readers (consume the coordinator's
+    broadcast) and producers (publish fresh result variables).
+    """
+    if threads < 4:
+        raise ValueError("coordinator shape needs >= 4 threads")
+    rng = random.Random(seed)
+    trace = Trace(name=name)
+    coord, pinner = "coord", "pinner"
+    others = [f"w{i}" for i in range(threads - 2)]
+    readers = others[: max(1, len(others) * 2 // 3)]
+    producers = others[len(readers):] or [others[-1]]
+
+    trace.append(Event(coord, Op.BEGIN))
+    trace.append(Event(coord, Op.WRITE, "g"))
+    trace.append(Event(pinner, Op.BEGIN))
+    trace.append(Event(pinner, Op.WRITE, "g2"))
+
+    produced: List[str] = []  # result vars written, not yet polled
+    next_result = 0
+    polled = 0
+    violation_event: Optional[int] = (
+        int(events * violation_at) if violation_at is not None else None
+    )
+    planted = False
+    lock_names = [f"l{i}" for i in range(max(1, locks))]
+
+    while len(trace) < events:
+        if violation_event is not None and not planted and len(trace) >= violation_event:
+            # A reader transaction that consumed the broadcast publishes
+            # a value the coordinator then reads: a genuine cycle through
+            # the still-open coordinator transaction.
+            reader = readers[0]
+            trace.append(Event(reader, Op.BEGIN))
+            trace.append(Event(reader, Op.READ, "g"))
+            trace.append(Event(reader, Op.WRITE, "viol"))
+            trace.append(Event(reader, Op.END))
+            trace.append(Event(coord, Op.READ, "viol"))
+            planted = True
+            continue
+        if produced and len(trace) % poll_period == 0:
+            # Coordinator polls the oldest unread result (each result
+            # variable is read at most once, keeping the trace
+            # serializable until the planted cycle).
+            trace.append(Event(coord, Op.READ, produced.pop(0)))
+            polled += 1
+            continue
+        if rng.random() < 0.35:
+            producer = producers[rng.randrange(len(producers))]
+            result = f"p{next_result}"
+            next_result += 1
+            trace.append(Event(producer, Op.BEGIN))
+            trace.append(Event(producer, Op.READ, "g2"))
+            trace.append(Event(producer, Op.WRITE, result))
+            trace.append(Event(producer, Op.END))
+            produced.append(result)
+        else:
+            # Reader transactions are deliberately tiny: the paper's
+            # Table 1 rows accumulate hundreds of thousands of small
+            # transactions, which is what makes Velodrome's graph grow.
+            reader = readers[rng.randrange(len(readers))]
+            trace.append(Event(reader, Op.BEGIN))
+            trace.append(Event(reader, Op.READ, "g"))
+            if rng.random() < work_probability:
+                lock = lock_names[rng.randrange(len(lock_names))]
+                trace.append(Event(reader, Op.ACQUIRE, lock))
+                for _ in range(reader_txn_work):
+                    var = f"{reader}_v{rng.randrange(private_vars)}"
+                    trace.append(Event(reader, Op.READ, var))
+                    trace.append(Event(reader, Op.WRITE, var))
+                trace.append(Event(reader, Op.RELEASE, lock))
+            trace.append(Event(reader, Op.END))
+
+    trace.append(Event(pinner, Op.END))
+    trace.append(Event(coord, Op.END))
+    return trace
+
+
+def independent_trace(
+    name: str,
+    events: int,
+    threads: int,
+    locks: int,
+    private_vars: int,
+    violation_at: Optional[float],
+    seed: int = 0,
+    txn_work: int = 2,
+) -> Trace:
+    """The independent-transactions shape (parity rows of Table 1).
+
+    Transactions touch thread-private data plus a lock-protected shared
+    slot; completed transactions are garbage collected by both
+    algorithms, so the Velodrome graph stays tiny.
+    """
+    rng = random.Random(seed)
+    trace = Trace(name=name)
+    names = [f"t{i}" for i in range(threads)]
+    lock_names = [f"l{i}" for i in range(max(1, locks))]
+    violation_event: Optional[int] = (
+        int(events * violation_at) if violation_at is not None else None
+    )
+    planted = False
+
+    while len(trace) < events:
+        if violation_event is not None and not planted and len(trace) >= violation_event:
+            _plant_rho2(trace, names[0], names[1 % threads], "va", "vb")
+            planted = True
+            continue
+        thread = names[rng.randrange(threads)]
+        lock = lock_names[rng.randrange(len(lock_names))]
+        trace.append(Event(thread, Op.BEGIN))
+        for _ in range(txn_work):
+            var = f"{thread}_v{rng.randrange(private_vars)}"
+            trace.append(Event(thread, Op.READ, var))
+            trace.append(Event(thread, Op.WRITE, var))
+        trace.append(Event(thread, Op.ACQUIRE, lock))
+        shared = f"slot_{lock}"
+        trace.append(Event(thread, Op.READ, shared))
+        trace.append(Event(thread, Op.WRITE, shared))
+        trace.append(Event(thread, Op.RELEASE, lock))
+        trace.append(Event(thread, Op.END))
+    return trace
+
+
+def unary_trace(
+    name: str,
+    events: int,
+    threads: int,
+    locks: int,
+    private_vars: int,
+    violation_at: Optional[float],
+    seed: int = 0,
+) -> Trace:
+    """The unary-heavy shape (tsp: hundreds of millions of events, 9
+    transactions). Almost everything happens outside atomic blocks."""
+    rng = random.Random(seed)
+    trace = Trace(name=name)
+    names = [f"t{i}" for i in range(threads)]
+    lock_names = [f"l{i}" for i in range(max(1, locks))]
+    violation_event: Optional[int] = (
+        int(events * violation_at) if violation_at is not None else None
+    )
+    planted = False
+
+    while len(trace) < events:
+        if violation_event is not None and not planted and len(trace) >= violation_event:
+            _plant_rho2(trace, names[0], names[1 % threads], "va", "vb")
+            planted = True
+            continue
+        thread = names[rng.randrange(threads)]
+        roll = rng.random()
+        if roll < 0.04:
+            lock = lock_names[rng.randrange(len(lock_names))]
+            trace.append(Event(thread, Op.ACQUIRE, lock))
+            trace.append(Event(thread, Op.WRITE, f"slot_{lock}"))
+            trace.append(Event(thread, Op.RELEASE, lock))
+        elif roll < 0.2:
+            trace.append(Event(thread, Op.READ, "shared_config"))
+        else:
+            var = f"{thread}_v{rng.randrange(private_vars)}"
+            op = Op.READ if rng.random() < 0.6 else Op.WRITE
+            trace.append(Event(thread, op, var))
+    return trace
+
+
+def whole_thread_trace(
+    name: str,
+    events: int,
+    threads: int,
+    locks: int,
+    private_vars: int,
+    violation_at: Optional[float],
+    seed: int = 0,
+) -> Trace:
+    """The naive-specification shape of Table 2: each thread's whole run
+    is a single transaction; any violation appears in a short prefix."""
+    rng = random.Random(seed)
+    trace = Trace(name=name)
+    names = [f"t{i}" for i in range(threads)]
+    for thread in names:
+        trace.append(Event(thread, Op.BEGIN))
+    violation_event: Optional[int] = (
+        int(events * violation_at) if violation_at is not None else None
+    )
+    planted = False
+    lock_names = [f"l{i}" for i in range(max(1, locks))]
+
+    while len(trace) < events:
+        if violation_event is not None and not planted and len(trace) >= violation_event:
+            # Crossed exchange inside the two whole-thread transactions —
+            # the naive-spec violation the paper finds "early on".
+            a, b = names[0], names[1 % threads]
+            trace.append(Event(a, Op.WRITE, "va"))
+            trace.append(Event(b, Op.READ, "va"))
+            trace.append(Event(b, Op.WRITE, "vb"))
+            trace.append(Event(a, Op.READ, "vb"))
+            planted = True
+            continue
+        thread = names[rng.randrange(threads)]
+        roll = rng.random()
+        if roll < 0.05 and locks:
+            lock = lock_names[rng.randrange(len(lock_names))]
+            trace.append(Event(thread, Op.ACQUIRE, lock))
+            trace.append(Event(thread, Op.READ, f"slot_{lock}"))
+            trace.append(Event(thread, Op.RELEASE, lock))
+        else:
+            var = f"{thread}_v{rng.randrange(private_vars)}"
+            op = Op.READ if rng.random() < 0.6 else Op.WRITE
+            trace.append(Event(thread, op, var))
+    for thread in names:
+        trace.append(Event(thread, Op.END))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# The rows
+# ---------------------------------------------------------------------------
+
+TABLE1: List[BenchmarkCase] = [
+    BenchmarkCase(
+        "avrora", 1, "coordinator", 60_000, 7, 7, 60, 0.9, "aerodrome",
+        PaperRow("2.4B", 7, "7", "1079K", "498M", False, "TO", "1.5", "> 24000"),
+    ),
+    BenchmarkCase(
+        "elevator", 1, "coordinator", 30_000, 5, 50, 30, None, "aerodrome",
+        PaperRow("280K", 5, "50", "725", "22.6K", True, "162", "1.7", "97"),
+    ),
+    BenchmarkCase(
+        "hedc", 1, "independent", 2_000, 7, 13, 40, 0.5, "parity",
+        PaperRow("9.8K", 7, "13", "1694", "84", False, "0.07", "0.06", "1.16"),
+    ),
+    BenchmarkCase(
+        "luindex", 1, "independent", 24_000, 3, 65, 120, 0.9, "parity",
+        PaperRow("570M", 3, "65", "2.5M", "86M", False, "581", "674", "0.86"),
+    ),
+    BenchmarkCase(
+        "lusearch", 1, "coordinator", 50_000, 14, 40, 80, 0.9, "aerodrome",
+        PaperRow("2.0B", 14, "772", "38M", "306M", False, "TO", "5.5", "> 6545"),
+    ),
+    BenchmarkCase(
+        "moldyn", 1, "coordinator", 45_000, 4, 1, 50, 0.8, "aerodrome",
+        PaperRow("1.7B", 4, "1", "121K", "1.4M", False, "TO", "54.9", "> 650"),
+    ),
+    BenchmarkCase(
+        "montecarlo", 1, "coordinator", 40_000, 4, 1, 60, 0.7, "aerodrome",
+        PaperRow("494M", 4, "1", "30.5M", "812K", False, "TO", "0.75", "> 48000"),
+    ),
+    BenchmarkCase(
+        "philo", 1, "independent", 600, 6, 1, 5, None, "parity",
+        PaperRow("613", 6, "1", "24", "0", True, "0.02", "0.02", "1"),
+    ),
+    BenchmarkCase(
+        "pmd", 1, "independent", 18_000, 13, 30, 100, 0.9, "parity",
+        PaperRow("367M", 13, "223", "12.9M", "81M", False, "3.1", "3.8", "0.82"),
+    ),
+    BenchmarkCase(
+        "raytracer", 1, "coordinator", 50_000, 4, 1, 60, None, "aerodrome",
+        PaperRow("2.8B", 4, "1", "12.6M", "277M", True, "TO", "55m40s", "> 10.7"),
+    ),
+    BenchmarkCase(
+        "sor", 1, "independent", 14_000, 4, 2, 60, 0.85, "parity",
+        PaperRow("608M", 4, "2", "1M", "637K", False, "6.9", "9.6", "0.72"),
+    ),
+    BenchmarkCase(
+        "sunflow", 1, "coordinator", 36_000, 16, 9, 50, 0.5, "aerodrome",
+        PaperRow("16.8M", 16, "9", "1.2M", "2.5M", False, "67.9", "0.65", "104.5"),
+    ),
+    BenchmarkCase(
+        "tsp", 1, "unary", 18_000, 9, 2, 120, 0.8, "parity",
+        PaperRow("312M", 9, "2", "181M", "9", False, "4.2", "5.7", "0.73"),
+    ),
+    BenchmarkCase(
+        "xalan", 1, "independent", 18_000, 13, 60, 100, 0.9, "parity",
+        PaperRow("1.0B", 13, "8624", "31M", "214M", False, "1.6", "2.0", "0.8"),
+    ),
+]
+
+TABLE2: List[BenchmarkCase] = [
+    BenchmarkCase(
+        "batik", 2, "whole-thread", 16_000, 7, 30, 120, 0.02, "parity",
+        PaperRow("186M", 7, "1916", "4.9M", "15M", False, "52.7", "65.5", "0.81"),
+    ),
+    BenchmarkCase(
+        "crypt", 2, "whole-thread", 12_000, 7, 1, 150, 0.02, "parity",
+        PaperRow("126M", 7, "1", "9M", "50", False, "92.1", "104", "0.88"),
+    ),
+    BenchmarkCase(
+        "fop", 2, "whole-thread", 12_000, 1, 5, 150, None, "parity",
+        PaperRow("96M", 1, "115", "5M", "25M", True, "88.3", "92.5", "0.95"),
+    ),
+    BenchmarkCase(
+        "lufact", 2, "whole-thread", 12_000, 4, 1, 80, 0.02, "parity",
+        PaperRow("135M", 4, "1", "252K", "642M", False, "2.4", "2.9", "0.82"),
+    ),
+    BenchmarkCase(
+        "series", 2, "whole-thread", 10_000, 4, 1, 50, 0.05, "parity",
+        PaperRow("40M", 4, "1", "20K", "20M", False, "61.0", "15.3", "3.98"),
+    ),
+    BenchmarkCase(
+        "sparsematmult", 2, "whole-thread", 12_000, 4, 1, 80, 0.02, "parity",
+        PaperRow("726M", 4, "1", "1.6M", "25", False, "1210", "1197", "1.01"),
+    ),
+    BenchmarkCase(
+        "tomcat", 2, "whole-thread", 12_000, 4, 1, 80, 0.02, "parity",
+        PaperRow("726M", 4, "1", "1.6M", "25", False, "3.4", "4.5", "0.75"),
+    ),
+]
+
+ALL_CASES: List[BenchmarkCase] = TABLE1 + TABLE2
+
+CASES_BY_NAME: Dict[str, BenchmarkCase] = {c.name: c for c in ALL_CASES}
+
+
+def get_case(name: str) -> BenchmarkCase:
+    """Look up a benchmark row by its paper name."""
+    try:
+        return CASES_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {sorted(CASES_BY_NAME)}"
+        ) from None

@@ -1,0 +1,383 @@
+"""Reusable concurrency idioms as program builders.
+
+Each function returns a :class:`~repro.sim.program.Program` embodying a
+well-known multi-threaded pattern — the kinds of code the paper's intro
+motivates (shared counters, bank accounts, producer/consumer queues,
+dining philosophers). Executing them under a scheduler yields traces
+whose serializability verdict is known by construction, which the tests
+assert against every checker.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..program import (
+    Acquire,
+    Begin,
+    End,
+    Fork,
+    Join,
+    Program,
+    Read,
+    Release,
+    Stmt,
+    ThreadBody,
+    Write,
+    atomic,
+    locked,
+)
+
+
+def locked_counter(
+    n_threads: int = 3, increments: int = 4, lock: str = "L", counter: str = "c"
+) -> Program:
+    """Atomic increments of a shared counter guarded by one lock.
+
+    Every atomic block takes the lock around the read-modify-write, so
+    all executions are conflict serializable.
+    """
+    threads = [
+        ThreadBody(
+            f"t{i}",
+            [
+                stmt
+                for _ in range(increments)
+                for stmt in atomic(
+                    locked(lock, Read(counter), Write(counter)),
+                    label="increment",
+                )
+            ],
+        )
+        for i in range(n_threads)
+    ]
+    return Program(threads, name="locked_counter")
+
+
+def unprotected_counter(
+    n_threads: int = 2, increments: int = 3, counter: str = "c"
+) -> Program:
+    """Atomic blocks doing unlocked read-modify-write on a shared counter.
+
+    Interleaving two read-modify-write blocks violates conflict
+    serializability (the classic lost-update bug); fine-grained schedules
+    expose it, coarse (serial) schedules do not.
+    """
+    threads = [
+        ThreadBody(
+            f"t{i}",
+            [
+                stmt
+                for _ in range(increments)
+                for stmt in atomic(Read(counter), Write(counter), label="increment")
+            ],
+        )
+        for i in range(n_threads)
+    ]
+    return Program(threads, name="unprotected_counter")
+
+
+def bank_transfer(
+    n_accounts: int = 3, transfers_per_thread: int = 2, guarded: bool = True
+) -> Program:
+    """Two tellers transferring between accounts.
+
+    With ``guarded=True`` each transfer holds a global ledger lock —
+    serializable. With ``guarded=False`` the balance reads and writes
+    interleave — an atomicity violation under fine-grained scheduling.
+    """
+    accounts = [f"acct{i}" for i in range(n_accounts)]
+
+    def transfer(src: str, dst: str) -> List[Stmt]:
+        body: List[Stmt] = [Read(src), Write(src), Read(dst), Write(dst)]
+        if guarded:
+            body = locked("ledger", body)
+        return atomic(body, label="transfer")
+
+    threads = []
+    for i in range(2):
+        statements: List[Stmt] = []
+        for k in range(transfers_per_thread):
+            src = accounts[(i + k) % n_accounts]
+            dst = accounts[(i + k + 1) % n_accounts]
+            statements.extend(transfer(src, dst))
+        threads.append(ThreadBody(f"teller{i}", statements))
+    return Program(threads, name=f"bank_transfer_{'locked' if guarded else 'racy'}")
+
+
+def producer_consumer(
+    items: int = 4, guarded: bool = True, queue_lock: str = "qlock"
+) -> Program:
+    """A one-slot queue: producer writes data+flag, consumer reads them.
+
+    The guarded variant protects (data, flag) with a lock; the unguarded
+    variant lets the consumer observe data and flag from different
+    productions, which is an atomicity violation.
+    """
+
+    def produce(i: int) -> List[Stmt]:
+        body: List[Stmt] = [Write("data"), Write("flag")]
+        if guarded:
+            body = locked(queue_lock, body)
+        return atomic(body, label="produce")
+
+    def consume(i: int) -> List[Stmt]:
+        body: List[Stmt] = [Read("flag"), Read("data")]
+        if guarded:
+            body = locked(queue_lock, body)
+        return atomic(body, label="consume")
+
+    producer = ThreadBody(
+        "producer", [stmt for i in range(items) for stmt in produce(i)]
+    )
+    consumer = ThreadBody(
+        "consumer", [stmt for i in range(items) for stmt in consume(i)]
+    )
+    return Program(
+        [producer, consumer],
+        name=f"producer_consumer_{'locked' if guarded else 'racy'}",
+    )
+
+
+def dining_philosophers(n: int = 5, bites: int = 1) -> Program:
+    """The ``philo`` microbenchmark shape: think, grab forks, eat.
+
+    Forks are ordered by index (deadlock-free) and eating is an atomic
+    block covering both fork locks — conflict serializable.
+    """
+    threads = []
+    for i in range(n):
+        left, right = f"fork{i}", f"fork{(i + 1) % n}"
+        first, second = (left, right) if left < right else (right, left)
+        statements: List[Stmt] = []
+        for _ in range(bites):
+            statements.extend(
+                atomic(
+                    locked(first, locked(second, Read("table"), Write(f"plate{i}"))),
+                    label="eat",
+                )
+            )
+        threads.append(ThreadBody(f"philosopher{i}", statements))
+    return Program(threads, name="dining_philosophers")
+
+
+def fork_join_pipeline(n_workers: int = 3, work_items: int = 2) -> Program:
+    """A main thread forks workers, each fills a private buffer, main joins
+    and aggregates — serializable, and exercises fork/join handlers."""
+    main = ThreadBody("main", [])
+    workers = []
+    for i in range(n_workers):
+        worker = ThreadBody(
+            f"worker{i}",
+            [
+                stmt
+                for k in range(work_items)
+                for stmt in atomic(
+                    Read(f"input{i}"), Write(f"buffer{i}"), label="work"
+                )
+            ],
+        )
+        workers.append(worker)
+        main.statements.append(Fork(f"worker{i}"))
+    for i in range(n_workers):
+        main.statements.append(Join(f"worker{i}"))
+    main.statements.extend(
+        atomic([Read(f"buffer{i}") for i in range(n_workers)], label="aggregate")
+    )
+    return Program([main, *workers], name="fork_join_pipeline")
+
+
+def read_shared_write_private(n_threads: int = 4, rounds: int = 3) -> Program:
+    """Threads read a shared config and write private state — serializable
+    regardless of schedule (no write-write or write-read races)."""
+    threads = [
+        ThreadBody(
+            f"t{i}",
+            [
+                stmt
+                for _ in range(rounds)
+                for stmt in atomic(Read("config"), Write(f"private{i}"), label="round")
+            ],
+        )
+        for i in range(n_threads)
+    ]
+    return Program(threads, name="read_shared_write_private")
+
+
+def reader_writer(
+    n_readers: int = 3, rounds: int = 2, guarded: bool = True
+) -> Program:
+    """Readers scan a record set a writer updates.
+
+    The guarded variant emulates a reader–writer lock with a single
+    mutex around each critical section (our model has no shared-mode
+    locks, and exclusive locking over-approximates one safely):
+    serializable. The unguarded variant lets a reader observe a
+    half-applied update *and* be observed by the next update —
+    a violation under fine interleavings.
+    """
+    fields = ["rec_a", "rec_b"]
+
+    def update() -> List[Stmt]:
+        body: List[Stmt] = [Write(f) for f in fields]
+        body.append(Read("watermark"))
+        if guarded:
+            body = locked("rw", body)
+        return atomic(body, label="update")
+
+    def scan(i: int) -> List[Stmt]:
+        body: List[Stmt] = [Read(f) for f in fields]
+        body.append(Write("watermark"))
+        if guarded:
+            body = locked("rw", body)
+        return atomic(body, label="scan")
+
+    writer = ThreadBody(
+        "writer", [stmt for _ in range(rounds) for stmt in update()]
+    )
+    readers = [
+        ThreadBody(
+            f"reader{i}", [stmt for _ in range(rounds) for stmt in scan(i)]
+        )
+        for i in range(n_readers)
+    ]
+    return Program(
+        [writer, *readers],
+        name=f"reader_writer_{'locked' if guarded else 'racy'}",
+    )
+
+
+def barrier_phases(n_threads: int = 3, phases: int = 2) -> Program:
+    """Bulk-synchronous phases separated by a lock-simulated barrier.
+
+    Each thread works on private data within a phase, then updates the
+    shared barrier count under a lock. All cross-thread conflicts are
+    lock-ordered: serializable.
+    """
+    threads = []
+    for i in range(n_threads):
+        statements: List[Stmt] = []
+        for p in range(phases):
+            statements.extend(
+                atomic(
+                    Read(f"work{i}_{p}"),
+                    Write(f"work{i}_{p}"),
+                    locked("barrier", Read("arrived"), Write("arrived")),
+                    label="phase",
+                )
+            )
+        threads.append(ThreadBody(f"t{i}", statements))
+    return Program(threads, name="barrier_phases")
+
+
+def work_stealing(n_workers: int = 2, tasks: int = 3) -> Program:
+    """A deque owner pushes tasks; thieves steal from the other end.
+
+    Push and steal both read-modify-write the deque bounds without a
+    common lock (the classic Chase–Lev optimism), so blocks interleave
+    into cycles under fine schedules — an atomicity violation, which is
+    faithful: such deques are *linearizable but not atomic-block
+    serializable* at this granularity.
+    """
+    owner = ThreadBody("owner", [])
+    for k in range(tasks):
+        owner.extend(
+            atomic(Read("bottom"), Write(f"task{k}"), Write("bottom"),
+                   label="push")
+        )
+    thieves = []
+    for i in range(n_workers):
+        thief = ThreadBody(f"thief{i}", [])
+        for k in range(tasks // n_workers + 1):
+            thief.extend(
+                atomic(Read("top"), Read("bottom"), Write("top"),
+                       label="steal")
+            )
+        thieves.append(thief)
+    return Program([owner, *thieves], name="work_stealing")
+
+
+def lazy_initialization(n_threads: int = 2, guarded: bool = True) -> Program:
+    """Check-then-initialize of a shared singleton.
+
+    Guarded: the whole check+init is under one lock — serializable.
+    Unguarded: two threads can interleave check and init (the broken
+    double-checked-locking shape) — a violation.
+    """
+
+    def init_once() -> List[Stmt]:
+        body: List[Stmt] = [Read("instance"), Write("instance")]
+        if guarded:
+            body = locked("init", body)
+        return atomic(body, label="get_instance")
+
+    threads = [
+        ThreadBody(f"t{i}", init_once() + [Begin("use"), Read("instance"), End("use")])
+        for i in range(n_threads)
+    ]
+    return Program(
+        threads, name=f"lazy_init_{'locked' if guarded else 'racy'}"
+    )
+
+
+def pipeline_stages(stages: int = 3, items: int = 2) -> Program:
+    """A hand-off pipeline: stage k reads slot k-1 and writes slot k,
+    with each hand-off protected by the slot's lock — serializable."""
+    threads = []
+    for s in range(stages):
+        statements: List[Stmt] = []
+        for _ in range(items):
+            body: List[Stmt] = []
+            if s > 0:
+                body.extend(locked(f"slot{s - 1}", Read(f"buf{s - 1}")))
+            body.extend(locked(f"slot{s}", Write(f"buf{s}")))
+            statements.extend(atomic(body, label=f"stage{s}"))
+        threads.append(ThreadBody(f"stage{s}", statements))
+    return Program(threads, name="pipeline_stages")
+
+
+def map_reduce(n_mappers: int = 3, guarded: bool = True) -> Program:
+    """Mappers fold into a shared accumulator, a reducer reads it.
+
+    Guarded: every fold takes the accumulator lock — serializable.
+    Unguarded: folds interleave read-modify-write — violation.
+    """
+    main = ThreadBody("main", [])
+    mappers = []
+    for i in range(n_mappers):
+        body: List[Stmt] = [Read("acc"), Write("acc")]
+        if guarded:
+            body = locked("acc_lock", body)
+        mapper = ThreadBody(
+            f"mapper{i}",
+            atomic(Read(f"chunk{i}"), body, label="fold"),
+        )
+        mappers.append(mapper)
+        main.extend(Fork(f"mapper{i}"))
+    for i in range(n_mappers):
+        main.extend(Join(f"mapper{i}"))
+    main.extend(atomic(Read("acc"), Write("result"), label="reduce"))
+    return Program(
+        [main, *mappers], name=f"map_reduce_{'locked' if guarded else 'racy'}"
+    )
+
+
+def double_checked_flag(rounds: int = 2) -> Program:
+    """The check-then-act idiom: test a flag, then act on shared state in
+    a separate atomic block from the one that set it.
+
+    t0 publishes (state, flag) in one atomic block per round; t1 checks
+    the flag in one block and consumes state in another while writing
+    back its progress marker that t0 reads — a cross-thread cycle under
+    fine interleavings.
+    """
+    t0 = ThreadBody("t0", [])
+    t1 = ThreadBody("t1", [])
+    for _ in range(rounds):
+        t0.extend(
+            atomic(Write("state"), Write("flag"), Read("progress"), label="publish")
+        )
+        t1.extend(
+            atomic(Read("flag"), Read("state"), Write("progress"), label="consume")
+        )
+    return Program([t0, t1], name="double_checked_flag")

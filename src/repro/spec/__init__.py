@@ -1,0 +1,25 @@
+"""Atomicity specification model, IO, and inference."""
+
+from .atomicity_spec import (
+    NAIVE_EXCLUDED_METHODS,
+    AtomicitySpec,
+    load_spec,
+    save_spec,
+)
+from .inference import (
+    InferenceError,
+    InferredSpec,
+    infer_spec,
+    labeled_methods,
+)
+
+__all__ = [
+    "AtomicitySpec",
+    "NAIVE_EXCLUDED_METHODS",
+    "load_spec",
+    "save_spec",
+    "infer_spec",
+    "InferredSpec",
+    "InferenceError",
+    "labeled_methods",
+]

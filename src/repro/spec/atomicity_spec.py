@@ -1,0 +1,104 @@
+"""Atomicity specifications.
+
+An atomicity specification says which blocks of code (methods, in the
+paper's Java benchmarks) are intended to be atomic. RoadRunner logs a
+begin/end marker pair for *every* method entry/exit; the artifact's
+``atom_spec.py`` then filters the raw trace, keeping only markers of
+methods the specification declares atomic.
+
+Two families of specifications appear in the evaluation:
+
+* **Realistic** specs from DoubleChecker [5] (Table 1): a curated set of
+  methods; transactions are small blocks, violations appear late.
+* **Naive** specs (Table 2): every method except ``main`` and ``run`` is
+  atomic; violations are found trivially in a short trace prefix.
+
+:class:`AtomicitySpec` models both: an explicit atomic-method set, or a
+default-atomic mode with an exclusion list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Iterable, Optional, Union
+
+#: Method names the naive specification never marks atomic (paper §5.2).
+NAIVE_EXCLUDED_METHODS = frozenset({"main", "run"})
+
+
+@dataclass(frozen=True)
+class AtomicitySpec:
+    """Which method labels are considered atomic.
+
+    Attributes:
+        atomic_methods: Explicit set of atomic method names. Ignored when
+            ``default_atomic`` is ``True``.
+        excluded_methods: Methods that are *never* atomic (only meaningful
+            with ``default_atomic=True``).
+        default_atomic: If ``True``, every method not excluded is atomic
+            (the paper's naive specification). If ``False``, only the
+            methods in ``atomic_methods`` are atomic.
+        name: Human-readable specification name for reports.
+    """
+
+    atomic_methods: FrozenSet[str] = frozenset()
+    excluded_methods: FrozenSet[str] = frozenset()
+    default_atomic: bool = False
+    name: str = "spec"
+
+    def is_atomic(self, method: Optional[str]) -> bool:
+        """Whether a begin/end marker with label ``method`` is atomic.
+
+        Unlabeled markers (``method is None``) are always kept: they come
+        from sources that already applied a specification.
+        """
+        if method is None:
+            return True
+        if self.default_atomic:
+            return method not in self.excluded_methods
+        return method in self.atomic_methods
+
+    @staticmethod
+    def naive(name: str = "naive") -> "AtomicitySpec":
+        """The paper's naive spec: all methods atomic except main/run."""
+        return AtomicitySpec(
+            excluded_methods=NAIVE_EXCLUDED_METHODS,
+            default_atomic=True,
+            name=name,
+        )
+
+    @staticmethod
+    def of(methods: Iterable[str], name: str = "spec") -> "AtomicitySpec":
+        """A realistic spec marking exactly ``methods`` atomic."""
+        return AtomicitySpec(atomic_methods=frozenset(methods), name=name)
+
+    @staticmethod
+    def none(name: str = "none") -> "AtomicitySpec":
+        """The empty specification: no labeled method is atomic."""
+        return AtomicitySpec(name=name)
+
+
+def load_spec(source: Union[str, Path], name: str = "") -> AtomicitySpec:
+    """Load a specification file: one atomic method name per line.
+
+    Lines starting with ``#`` are comments. An empty file yields the empty
+    specification (matching the artifact's guidance for benchmarks without
+    curated specs).
+    """
+    path = Path(source)
+    methods = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        stripped = raw.strip()
+        if stripped and not stripped.startswith("#"):
+            methods.append(stripped)
+    return AtomicitySpec.of(methods, name=name or path.stem)
+
+
+def save_spec(spec: AtomicitySpec, destination: Union[str, Path]) -> None:
+    """Write an explicit specification to a file (one method per line)."""
+    if spec.default_atomic:
+        raise ValueError("default-atomic specs have no finite file form")
+    lines = [f"# atomicity spec: {spec.name}"]
+    lines.extend(sorted(spec.atomic_methods))
+    Path(destination).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,73 @@
+"""Trace substrate: event model, containers, IO, validation, statistics."""
+
+from .binary import BinaryTraceError, load_binary, save_binary
+from .events import (
+    Event,
+    Op,
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    write,
+)
+from .filters import apply_spec, strip_labels, strip_markers
+from .metainfo import MetaInfo, collect_metainfo, metainfo
+from .parser import TraceParseError, iter_events, load_trace, parse_trace
+from .slicing import project_threads, project_variables, window
+from .trace import Trace, trace_of
+from .transform import concat, interleave, relabel_disjoint, rename
+from .transactions import (
+    Transaction,
+    TransactionIndex,
+    count_transactions,
+    extract_transactions,
+)
+from .wellformed import WellFormednessError, is_well_formed, validate
+from .writer import dump_trace, save_trace
+
+__all__ = [
+    "Event",
+    "Op",
+    "Trace",
+    "trace_of",
+    "read",
+    "write",
+    "acquire",
+    "release",
+    "fork",
+    "join",
+    "begin",
+    "end",
+    "parse_trace",
+    "load_trace",
+    "iter_events",
+    "TraceParseError",
+    "dump_trace",
+    "save_trace",
+    "save_binary",
+    "load_binary",
+    "BinaryTraceError",
+    "validate",
+    "is_well_formed",
+    "WellFormednessError",
+    "MetaInfo",
+    "metainfo",
+    "collect_metainfo",
+    "Transaction",
+    "TransactionIndex",
+    "extract_transactions",
+    "count_transactions",
+    "apply_spec",
+    "strip_markers",
+    "strip_labels",
+    "project_threads",
+    "project_variables",
+    "window",
+    "rename",
+    "concat",
+    "interleave",
+    "relabel_disjoint",
+]

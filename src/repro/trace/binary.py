@@ -1,0 +1,119 @@
+"""Compact binary trace format.
+
+The paper's trace logs reach billions of events and ~100 GB as text
+(Appendix D); RAPID ships binary formats for the same reason. Ours is a
+simple interned, fixed-width encoding:
+
+* magic ``b"REPROTR1"``;
+* the trace name (u16 length + UTF-8);
+* a thread string table (u32 count, then u16 length + UTF-8 each);
+* a target string table (same layout);
+* the events (u32 count, then per event: u8 op, u32 thread index,
+  u32 target index with ``0xFFFFFFFF`` for "no target").
+
+At 9 bytes/event plus the tables this is typically 3-4x smaller than
+``.std`` text and parses without regexes. Round-trips exactly with the
+in-memory representation.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Union
+
+from .events import Event, Op
+from .trace import Trace
+
+MAGIC = b"REPROTR1"
+_NO_TARGET = 0xFFFFFFFF
+
+
+class BinaryTraceError(ValueError):
+    """The input is not a valid binary trace."""
+
+
+def _write_string(stream: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise BinaryTraceError(f"string too long for format: {text[:40]!r}...")
+    stream.write(struct.pack("<H", len(data)))
+    stream.write(data)
+
+
+def _read_string(stream: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", _read_exact(stream, 2))
+    data = _read_exact(stream, length)
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise BinaryTraceError(f"corrupt string table entry: {error}") from error
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise BinaryTraceError("truncated binary trace")
+    return data
+
+
+def write_binary(trace: Trace, stream: BinaryIO) -> None:
+    """Serialize ``trace`` to an open binary stream."""
+    threads: Dict[str, int] = {}
+    targets: Dict[str, int] = {}
+    for event in trace:
+        threads.setdefault(event.thread, len(threads))
+        if event.target is not None:
+            targets.setdefault(event.target, len(targets))
+
+    stream.write(MAGIC)
+    _write_string(stream, trace.name)
+    stream.write(struct.pack("<I", len(threads)))
+    for name in threads:  # dicts preserve insertion order
+        _write_string(stream, name)
+    stream.write(struct.pack("<I", len(targets)))
+    for name in targets:
+        _write_string(stream, name)
+    stream.write(struct.pack("<I", len(trace)))
+    pack = struct.pack
+    for event in trace:
+        target_idx = (
+            _NO_TARGET if event.target is None else targets[event.target]
+        )
+        stream.write(pack("<BII", event.op, threads[event.thread], target_idx))
+
+
+def read_binary(stream: BinaryIO) -> Trace:
+    """Parse a trace from an open binary stream."""
+    if _read_exact(stream, len(MAGIC)) != MAGIC:
+        raise BinaryTraceError("bad magic: not a repro binary trace")
+    name = _read_string(stream)
+    (n_threads,) = struct.unpack("<I", _read_exact(stream, 4))
+    threads: List[str] = [_read_string(stream) for _ in range(n_threads)]
+    (n_targets,) = struct.unpack("<I", _read_exact(stream, 4))
+    targets: List[str] = [_read_string(stream) for _ in range(n_targets)]
+    (n_events,) = struct.unpack("<I", _read_exact(stream, 4))
+    trace = Trace(name=name)
+    unpack = struct.unpack
+    for _ in range(n_events):
+        op_code, thread_idx, target_idx = unpack("<BII", _read_exact(stream, 9))
+        try:
+            op = Op(op_code)
+            thread = threads[thread_idx]
+            target = None if target_idx == _NO_TARGET else targets[target_idx]
+        except (ValueError, IndexError) as error:
+            raise BinaryTraceError(f"corrupt event record: {error}") from error
+        trace.append(Event(thread, op, target))
+    return trace
+
+
+def save_binary(trace: Trace, destination: Union[str, Path]) -> None:
+    """Write a trace to a ``.rtb`` file."""
+    with Path(destination).open("wb") as stream:
+        write_binary(trace, stream)
+
+
+def load_binary(source: Union[str, Path]) -> Trace:
+    """Read a trace from a ``.rtb`` file."""
+    with Path(source).open("rb") as stream:
+        return read_binary(stream)

@@ -1,0 +1,210 @@
+"""Event model for execution traces.
+
+A trace of a concurrent program is a sequence of events (paper, Section 2).
+Each event is a pair ``(thread, operation)`` where the operation is one of:
+
+* ``r(x)`` / ``w(x)`` — read from / write to a memory location ``x``
+* ``acq(l)`` / ``rel(l)`` — acquire / release of a lock ``l``
+* ``fork(u)`` / ``join(u)`` — fork / join of a thread ``u``
+* ``begin`` / ``end`` — begin (⊲) / end (⊳) of an atomic block
+
+Threads, memory locations and locks are identified by strings. Analyzers
+intern these to dense integer indices internally; the event model itself
+stays simple and human-readable.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+
+class Op(IntEnum):
+    """The eight operation kinds an event can carry."""
+
+    READ = 0
+    WRITE = 1
+    ACQUIRE = 2
+    RELEASE = 3
+    FORK = 4
+    JOIN = 5
+    BEGIN = 6
+    END = 7
+
+
+#: Operations whose ``target`` is a memory location.
+MEMORY_OPS = frozenset({Op.READ, Op.WRITE})
+#: Operations whose ``target`` is a lock.
+LOCK_OPS = frozenset({Op.ACQUIRE, Op.RELEASE})
+#: Operations whose ``target`` is another thread.
+THREAD_OPS = frozenset({Op.FORK, Op.JOIN})
+#: Operations with no target (transaction markers).
+MARKER_OPS = frozenset({Op.BEGIN, Op.END})
+
+#: Canonical short mnemonic for each operation, used by the ``.std`` format.
+OP_MNEMONIC = {
+    Op.READ: "r",
+    Op.WRITE: "w",
+    Op.ACQUIRE: "acq",
+    Op.RELEASE: "rel",
+    Op.FORK: "fork",
+    Op.JOIN: "join",
+    Op.BEGIN: "begin",
+    Op.END: "end",
+}
+
+#: Inverse of :data:`OP_MNEMONIC`.
+MNEMONIC_OP = {v: k for k, v in OP_MNEMONIC.items()}
+
+
+class Event:
+    """A single event of an execution trace.
+
+    Attributes:
+        idx: Position of the event in its trace (0-based). Events created
+            standalone carry ``idx = -1`` until appended to a
+            :class:`~repro.trace.trace.Trace`.
+        thread: Identifier of the thread performing the event.
+        op: The operation kind (:class:`Op`).
+        target: The operation operand — a memory location for read/write,
+            a lock for acquire/release, a thread for fork/join. For
+            begin/end events the target is an *optional* method label used
+            by atomicity-specification filtering
+            (:mod:`repro.trace.filters`); analyzers ignore it.
+    """
+
+    __slots__ = ("idx", "thread", "op", "target")
+
+    def __init__(
+        self,
+        thread: str,
+        op: Op,
+        target: Optional[str] = None,
+        idx: int = -1,
+    ) -> None:
+        if op not in MARKER_OPS and target is None:
+            raise ValueError(f"{op.name} events require a target")
+        self.idx = idx
+        self.thread = thread
+        self.op = op
+        self.target = target
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is Op.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is Op.WRITE
+
+    @property
+    def is_acquire(self) -> bool:
+        return self.op is Op.ACQUIRE
+
+    @property
+    def is_release(self) -> bool:
+        return self.op is Op.RELEASE
+
+    @property
+    def is_fork(self) -> bool:
+        return self.op is Op.FORK
+
+    @property
+    def is_join(self) -> bool:
+        return self.op is Op.JOIN
+
+    @property
+    def is_begin(self) -> bool:
+        return self.op is Op.BEGIN
+
+    @property
+    def is_end(self) -> bool:
+        return self.op is Op.END
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_lock_op(self) -> bool:
+        return self.op in LOCK_OPS
+
+    @property
+    def is_marker(self) -> bool:
+        return self.op in MARKER_OPS
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Event({self.idx}, {self.thread}, {format_op(self.op, self.target)})"
+
+    def __str__(self) -> str:
+        return f"{self.thread}|{format_op(self.op, self.target)}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.thread == other.thread
+            and self.op == other.op
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.thread, self.op, self.target))
+
+
+def format_op(op: Op, target: Optional[str]) -> str:
+    """Render an operation as ``r(x)``, ``acq(l)``, ``begin``, etc."""
+    mnemonic = OP_MNEMONIC[op]
+    if target is None:
+        return mnemonic
+    return f"{mnemonic}({target})"
+
+
+# -- convenience constructors ----------------------------------------------
+#
+# These make tests and examples read like the paper's traces:
+#   read("t1", "x"), begin("t2"), fork("t1", "t2"), ...
+
+
+def read(thread: str, variable: str) -> Event:
+    """``<thread, r(variable)>``"""
+    return Event(thread, Op.READ, variable)
+
+
+def write(thread: str, variable: str) -> Event:
+    """``<thread, w(variable)>``"""
+    return Event(thread, Op.WRITE, variable)
+
+
+def acquire(thread: str, lock: str) -> Event:
+    """``<thread, acq(lock)>``"""
+    return Event(thread, Op.ACQUIRE, lock)
+
+
+def release(thread: str, lock: str) -> Event:
+    """``<thread, rel(lock)>``"""
+    return Event(thread, Op.RELEASE, lock)
+
+
+def fork(thread: str, child: str) -> Event:
+    """``<thread, fork(child)>``"""
+    return Event(thread, Op.FORK, child)
+
+
+def join(thread: str, child: str) -> Event:
+    """``<thread, join(child)>``"""
+    return Event(thread, Op.JOIN, child)
+
+
+def begin(thread: str, label: Optional[str] = None) -> Event:
+    """``<thread, ⊲>`` — begin of an atomic block (optionally labeled)."""
+    return Event(thread, Op.BEGIN, label)
+
+
+def end(thread: str, label: Optional[str] = None) -> Event:
+    """``<thread, ⊳>`` — end of an atomic block (optionally labeled)."""
+    return Event(thread, Op.END, label)

@@ -1,0 +1,76 @@
+"""Trace transformations driven by atomicity specifications.
+
+:func:`apply_spec` is the analog of the artifact's ``atom_spec.py`` step:
+it takes a raw trace whose begin/end markers carry method labels (one pair
+per method entry/exit, as logged by RoadRunner) and a specification, and
+produces the filtered trace in which only atomic methods' markers survive.
+Non-marker events always survive; dropped markers simply dissolve their
+block into the surrounding context (enclosing transaction or unary events).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..spec.atomicity_spec import AtomicitySpec
+from .events import Event, Op
+from .trace import Trace
+
+
+def apply_spec(trace: Trace, spec: AtomicitySpec, name: str = "") -> Trace:
+    """Filter begin/end markers according to an atomicity specification.
+
+    Marker pairs nest properly per thread (call-stack discipline), so the
+    keep/drop decision made at a begin is replayed at the matching end via
+    a per-thread stack.
+
+    Args:
+        trace: Raw trace with (possibly labeled) begin/end markers.
+        spec: The atomicity specification to apply.
+        name: Name for the filtered trace (defaults to
+            ``"<trace>+<spec>"``).
+
+    Returns:
+        A new trace containing all non-marker events and only the marker
+        pairs whose method the spec declares atomic.
+    """
+    filtered = Trace(name=name or f"{trace.name}+{spec.name}")
+    keep_stack: Dict[str, List[bool]] = {}
+    for event in trace:
+        if event.op is Op.BEGIN:
+            keep = spec.is_atomic(event.target)
+            keep_stack.setdefault(event.thread, []).append(keep)
+            if keep:
+                filtered.append(Event(event.thread, Op.BEGIN, event.target))
+        elif event.op is Op.END:
+            stack = keep_stack.get(event.thread)
+            if not stack:
+                raise ValueError(
+                    f"unmatched end at event {event.idx}; validate the "
+                    "trace with repro.trace.wellformed first"
+                )
+            if stack.pop():
+                filtered.append(Event(event.thread, Op.END, event.target))
+        else:
+            filtered.append(Event(event.thread, event.op, event.target))
+    return filtered
+
+
+def strip_markers(trace: Trace, name: str = "") -> Trace:
+    """Remove every begin/end marker (the empty specification)."""
+    return apply_spec(trace, AtomicitySpec.none(), name=name or f"{trace.name}+none")
+
+
+def strip_labels(trace: Trace, name: str = "") -> Trace:
+    """Drop method labels from markers, keeping the block structure.
+
+    Useful before serializing traces for tools that expect unlabeled
+    ``begin``/``end`` lines.
+    """
+    stripped = Trace(name=name or trace.name)
+    for event in trace:
+        if event.op is Op.BEGIN or event.op is Op.END:
+            stripped.append(Event(event.thread, event.op))
+        else:
+            stripped.append(Event(event.thread, event.op, event.target))
+    return stripped

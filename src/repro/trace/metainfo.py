@@ -1,0 +1,105 @@
+"""MetaInfo analysis.
+
+Reproduces RAPID's ``MetaInfo`` class (paper, Appendix D.5.5): a single
+pass over a trace collecting the characteristics reported in Columns 2–6
+of Tables 1 and 2 — number of events, threads, locks, variables (memory
+locations), and transactions — plus a per-operation histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from .events import Event, Op
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class MetaInfo:
+    """Summary statistics of a trace (Columns 2–6 of the paper's tables)."""
+
+    events: int
+    threads: int
+    locks: int
+    variables: int
+    transactions: int
+    op_counts: Dict[Op, int]
+
+    @property
+    def reads(self) -> int:
+        return self.op_counts[Op.READ]
+
+    @property
+    def writes(self) -> int:
+        return self.op_counts[Op.WRITE]
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.reads + self.writes
+
+    def as_row(self) -> Dict[str, int]:
+        """The table-row view used by the benchmark harness."""
+        return {
+            "events": self.events,
+            "threads": self.threads,
+            "locks": self.locks,
+            "variables": self.variables,
+            "transactions": self.transactions,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"events={self.events} threads={self.threads} locks={self.locks} "
+            f"variables={self.variables} transactions={self.transactions}"
+        )
+
+
+def collect_metainfo(events: Iterable[Event]) -> MetaInfo:
+    """Single streaming pass computing :class:`MetaInfo`.
+
+    Accepts any iterable of events, so it can run over a trace file stream
+    without materialising it. Transactions are counted as outermost
+    begin events (the paper's tables count specification-induced
+    transactions, not unary ones).
+    """
+    threads: Set[str] = set()
+    locks: Set[str] = set()
+    variables: Set[str] = set()
+    op_counts: Dict[Op, int] = {op: 0 for op in Op}
+    depth: Dict[str, int] = {}
+    transactions = 0
+    total = 0
+
+    for event in events:
+        total += 1
+        threads.add(event.thread)
+        op_counts[event.op] += 1
+        op = event.op
+        if op is Op.READ or op is Op.WRITE:
+            variables.add(event.target)  # type: ignore[arg-type]
+        elif op is Op.ACQUIRE or op is Op.RELEASE:
+            locks.add(event.target)  # type: ignore[arg-type]
+        elif op is Op.FORK or op is Op.JOIN:
+            threads.add(event.target)  # type: ignore[arg-type]
+        elif op is Op.BEGIN:
+            d = depth.get(event.thread, 0)
+            if d == 0:
+                transactions += 1
+            depth[event.thread] = d + 1
+        elif op is Op.END:
+            depth[event.thread] = depth.get(event.thread, 0) - 1
+
+    return MetaInfo(
+        events=total,
+        threads=len(threads),
+        locks=len(locks),
+        variables=len(variables),
+        transactions=transactions,
+        op_counts=op_counts,
+    )
+
+
+def metainfo(trace: Trace) -> MetaInfo:
+    """:func:`collect_metainfo` over a materialised trace."""
+    return collect_metainfo(trace)

@@ -1,0 +1,109 @@
+"""Parser for the ``.std`` trace format.
+
+The format mirrors the RAPID tool's standard format used by the paper's
+artifact: one event per line, ``thread|operation``, where the operation is
+a mnemonic with an optional parenthesised target::
+
+    # comments start with '#'
+    t1|begin
+    t1|w(x)
+    t2|acq(l)
+    t2|r(x)
+    t2|rel(l)
+    t1|fork(t3)
+    t1|end
+
+Whitespace around tokens is ignored. Blank lines and comment lines are
+skipped. The writer (:mod:`repro.trace.writer`) emits exactly this format,
+and parsing round-trips with it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+from .events import Event, MNEMONIC_OP, Op
+from .trace import Trace
+
+
+class TraceParseError(ValueError):
+    """A line of trace text could not be parsed.
+
+    Attributes:
+        line_number: 1-based line number of the offending line.
+        line: The raw line text.
+    """
+
+    def __init__(self, reason: str, line_number: int, line: str) -> None:
+        self.line_number = line_number
+        self.line = line
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+
+
+_LINE_RE = re.compile(
+    r"""
+    ^
+    (?P<thread>[^|]+)
+    \| \s*
+    (?P<mnemonic>[A-Za-z]+)
+    \s*
+    (?: \( (?P<target>[^()]*) \) )?
+    \s* $
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_line(line: str, line_number: int = 0) -> Event:
+    """Parse a single ``thread|op(target)`` line into an :class:`Event`."""
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise TraceParseError("malformed event line", line_number, line)
+    thread = match.group("thread").strip()
+    mnemonic = match.group("mnemonic").strip().lower()
+    target = match.group("target")
+    if target is not None:
+        target = target.strip()
+        if not target:
+            raise TraceParseError("empty target", line_number, line)
+    if not thread:
+        raise TraceParseError("empty thread identifier", line_number, line)
+    op = MNEMONIC_OP.get(mnemonic)
+    if op is None:
+        raise TraceParseError(f"unknown operation {mnemonic!r}", line_number, line)
+    if op in (Op.BEGIN, Op.END):
+        # begin/end take an optional method label: "t|begin" or "t|begin(m)".
+        return Event(thread, op, target)
+    if target is None:
+        raise TraceParseError(f"{mnemonic} requires a target", line_number, line)
+    return Event(thread, op, target)
+
+
+def iter_events(lines: Iterable[str]) -> Iterator[Event]:
+    """Lazily parse events from an iterable of lines.
+
+    Suitable for streaming analysis of large trace files: feed the events
+    directly into a checker without materialising a :class:`Trace`.
+    """
+    for line_number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_line(stripped, line_number)
+
+
+def parse_trace(text: str, name: str = "trace") -> Trace:
+    """Parse a complete trace from a string."""
+    return Trace(iter_events(io.StringIO(text)), name=name)
+
+
+def load_trace(source: Union[str, Path, TextIO], name: str = "") -> Trace:
+    """Load a trace from a file path or an open text stream."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="utf-8") as handle:
+            return Trace(iter_events(handle), name=name or path.stem)
+    return Trace(iter_events(source), name=name or "trace")

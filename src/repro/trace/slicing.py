@@ -1,0 +1,131 @@
+"""Trace slicing: project traces onto threads, variables, or windows.
+
+Debugging a violation in a hundred-thousand-event trace needs smaller
+views. Slices preserve the properties the checkers rely on:
+
+* :func:`project_threads` keeps a thread subset. Lock and transaction
+  discipline is per-thread, so the result is well-formed; fork/join
+  events whose peer is outside the subset are kept (they only order
+  the retained thread) unless ``drop_dangling`` is set.
+* :func:`project_variables` keeps memory accesses on selected
+  variables plus all synchronization and marker events.
+* :func:`window` cuts an event range and *repairs* the boundary: opens
+  with synthetic begins for transactions already active and closes
+  trailing acquires/begins, so validators and checkers accept it.
+
+Slicing is sound for *confirming* a violation (any cycle among the
+retained threads/variables survives) but not complete — a cycle can
+pass through dropped events, so a serializable slice does not prove
+the full trace serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from .events import Event, Op
+from .trace import Trace
+
+
+def project_threads(
+    trace: Trace,
+    threads: Iterable[str],
+    drop_dangling: bool = False,
+    name: str = "",
+) -> Trace:
+    """Keep only events performed by ``threads``.
+
+    Args:
+        trace: The source trace.
+        threads: Thread names to retain.
+        drop_dangling: Also drop fork/join events whose *target* thread
+            is outside the kept set (they are harmless but noisy).
+        name: Name for the projected trace.
+    """
+    kept = set(threads)
+    projected = Trace(name=name or f"{trace.name}|threads")
+    for event in trace:
+        if event.thread not in kept:
+            continue
+        if (
+            drop_dangling
+            and (event.op is Op.FORK or event.op is Op.JOIN)
+            and event.target not in kept
+        ):
+            continue
+        projected.append(Event(event.thread, event.op, event.target))
+    return projected
+
+
+def project_variables(
+    trace: Trace, variables: Iterable[str], name: str = ""
+) -> Trace:
+    """Keep accesses to ``variables`` plus all non-access events."""
+    kept = set(variables)
+    projected = Trace(name=name or f"{trace.name}|vars")
+    for event in trace:
+        if event.is_memory_access and event.target not in kept:
+            continue
+        projected.append(Event(event.thread, event.op, event.target))
+    return projected
+
+
+def window(trace: Trace, start: int, stop: int, name: str = "") -> Trace:
+    """Cut ``trace[start:stop]`` and repair block/lock boundaries.
+
+    Transactions and lock regions that are open when the window begins
+    get synthetic begin/acquire events up front (in original nesting
+    order); transactions and locks still open when the window ends get
+    synthetic end/release events appended. The result is well-formed
+    and each surviving conflict keeps its relative order.
+    """
+    if start < 0 or stop > len(trace) or start > stop:
+        raise ValueError(f"bad window [{start}:{stop}) for {len(trace)} events")
+
+    sliced = Trace(name=name or f"{trace.name}[{start}:{stop})")
+
+    # Replay the prefix to learn what is open at the window start.
+    open_blocks: Dict[str, List[Event]] = {}
+    held_locks: Dict[str, List[Event]] = {}
+    for event in trace.events[:start]:
+        if event.op is Op.BEGIN:
+            open_blocks.setdefault(event.thread, []).append(event)
+        elif event.op is Op.END:
+            open_blocks.get(event.thread, [None]).pop()
+        elif event.op is Op.ACQUIRE:
+            held_locks.setdefault(event.thread, []).append(event)
+        elif event.op is Op.RELEASE:
+            held_locks.get(event.thread, [None]).pop()
+
+    for thread in sorted(set(open_blocks) | set(held_locks)):
+        for marker in open_blocks.get(thread, []):
+            sliced.append(Event(thread, Op.BEGIN, marker.target))
+        for acq in held_locks.get(thread, []):
+            sliced.append(Event(thread, Op.ACQUIRE, acq.target))
+
+    depth: Dict[str, int] = {t: len(b) for t, b in open_blocks.items()}
+    held: Dict[str, List[str]] = {
+        t: [e.target for e in acquired]  # type: ignore[misc]
+        for t, acquired in held_locks.items()
+    }
+    for event in trace.events[start:stop]:
+        if event.op is Op.FORK or event.op is Op.JOIN:
+            # Fork/join edges across the cut are unsound to replay (the
+            # peer's ordering events may lie outside the window).
+            continue
+        sliced.append(Event(event.thread, event.op, event.target))
+        if event.op is Op.BEGIN:
+            depth[event.thread] = depth.get(event.thread, 0) + 1
+        elif event.op is Op.END:
+            depth[event.thread] = depth.get(event.thread, 0) - 1
+        elif event.op is Op.ACQUIRE:
+            held.setdefault(event.thread, []).append(event.target)  # type: ignore[arg-type]
+        elif event.op is Op.RELEASE:
+            held.get(event.thread, [None]).pop()
+
+    for thread in sorted(set(depth) | set(held)):
+        for lock in reversed(held.get(thread, [])):
+            sliced.append(Event(thread, Op.RELEASE, lock))
+        for _ in range(depth.get(thread, 0)):
+            sliced.append(Event(thread, Op.END))
+    return sliced

@@ -1,0 +1,128 @@
+"""Trace container.
+
+A :class:`Trace` is an ordered sequence of :class:`~repro.trace.events.Event`
+objects with convenience accessors for the entities (threads, variables,
+locks) that appear in it. Appending an event stamps its ``idx`` field with
+its position, so events can always be located back in their trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Union, overload
+
+from .events import Event, Op
+
+
+class Trace:
+    """An ordered sequence of events produced by a concurrent program."""
+
+    __slots__ = ("name", "_events")
+
+    def __init__(
+        self,
+        events: Optional[Iterable[Event]] = None,
+        name: str = "trace",
+    ) -> None:
+        self.name = name
+        self._events: List[Event] = []
+        if events is not None:
+            self.extend(events)
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, event: Event) -> Event:
+        """Append ``event``, stamping its position into ``event.idx``."""
+        event.idx = len(self._events)
+        self._events.append(event)
+        return event
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @overload
+    def __getitem__(self, index: int) -> Event: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Trace": ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Event, "Trace"]:
+        if isinstance(index, slice):
+            sliced = Trace(name=f"{self.name}[{index.start}:{index.stop}]")
+            for event in self._events[index]:
+                sliced.append(Event(event.thread, event.op, event.target))
+            return sliced
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._events == other._events
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self)} events)"
+
+    # -- entity accessors ----------------------------------------------------
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The underlying event list (do not mutate)."""
+        return self._events
+
+    def threads(self) -> Set[str]:
+        """All thread identifiers appearing in the trace.
+
+        Includes fork/join targets even if the child never performed an
+        event of its own.
+        """
+        found: Set[str] = set()
+        for event in self._events:
+            found.add(event.thread)
+            if event.op is Op.FORK or event.op is Op.JOIN:
+                assert event.target is not None
+                found.add(event.target)
+        return found
+
+    def variables(self) -> Set[str]:
+        """All memory locations read or written in the trace."""
+        return {
+            e.target  # type: ignore[misc]
+            for e in self._events
+            if e.op is Op.READ or e.op is Op.WRITE
+        }
+
+    def locks(self) -> Set[str]:
+        """All locks acquired or released in the trace."""
+        return {
+            e.target  # type: ignore[misc]
+            for e in self._events
+            if e.op is Op.ACQUIRE or e.op is Op.RELEASE
+        }
+
+    def prefix(self, length: int) -> "Trace":
+        """The prefix containing the first ``length`` events (paper: σ_i)."""
+        return self[:length]
+
+    def project(self, thread: str) -> List[Event]:
+        """All events of ``thread``, in trace order."""
+        return [e for e in self._events if e.thread == thread]
+
+    def counts_by_op(self) -> dict:
+        """Histogram of event counts per operation kind."""
+        histogram = {op: 0 for op in Op}
+        for event in self._events:
+            histogram[event.op] += 1
+        return histogram
+
+
+def trace_of(*events: Event, name: str = "trace") -> Trace:
+    """Build a trace from events given positionally (handy in tests)."""
+    return Trace(events, name=name)

@@ -1,0 +1,156 @@
+"""Transaction extraction.
+
+A *transaction* in thread ``t`` is a maximal subsequence of events of ``t``
+starting with ``<t, begin>`` and ending with the matching ``<t, end>``
+(paper, Section 2). Nested begin/end pairs do not start new transactions —
+only the outermost pair counts (Section 4.1.4). Events not enclosed in any
+begin/end block form *unary transactions*: trivial atomic blocks containing
+exactly that one event (terminology from Velodrome [19]).
+
+This module assigns every event of a trace to its transaction. Analyzers do
+this implicitly on the fly; the explicit index built here serves the oracle,
+the Velodrome baseline, trace statistics, and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .events import Op
+from .trace import Trace
+
+
+@dataclass
+class Transaction:
+    """A (possibly unary, possibly still active) transaction.
+
+    Attributes:
+        tid: Dense transaction identifier (position in the extraction order).
+        thread: The thread executing the transaction.
+        begin_idx: Trace index of the outermost begin event, or ``None``
+            for unary transactions.
+        end_idx: Trace index of the matching outermost end event, ``None``
+            while the transaction is active (or for unary transactions,
+            where the single event both opens and closes it).
+        event_indices: Trace indices of all events in the transaction,
+            including the begin/end markers and any nested markers.
+    """
+
+    tid: int
+    thread: str
+    begin_idx: Optional[int] = None
+    end_idx: Optional[int] = None
+    event_indices: List[int] = field(default_factory=list)
+
+    @property
+    def is_unary(self) -> bool:
+        """True for the trivial one-event transactions of [19]."""
+        return self.begin_idx is None
+
+    @property
+    def is_completed(self) -> bool:
+        """A transaction is completed once its end event has been seen.
+
+        Unary transactions complete immediately (paper, Section 2 defines
+        "completed in σ" via the end event; a unary transaction has no
+        pending end).
+        """
+        return self.is_unary or self.end_idx is not None
+
+    @property
+    def is_active(self) -> bool:
+        return not self.is_completed
+
+    def __len__(self) -> int:
+        return len(self.event_indices)
+
+
+@dataclass
+class TransactionIndex:
+    """The result of :func:`extract_transactions`.
+
+    Attributes:
+        transactions: All transactions in order of first event.
+        txn_of: For each event index, the ``tid`` of its transaction.
+    """
+
+    transactions: List[Transaction]
+    txn_of: List[int]
+
+    def transaction_of(self, event_idx: int) -> Transaction:
+        """The transaction containing the event at ``event_idx``."""
+        return self.transactions[self.txn_of[event_idx]]
+
+    @property
+    def non_unary_count(self) -> int:
+        return sum(1 for t in self.transactions if not t.is_unary)
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for t in self.transactions if t.is_active)
+
+
+def extract_transactions(trace: Trace) -> TransactionIndex:
+    """Assign every event of ``trace`` to a transaction.
+
+    Nesting is flattened: a begin while a transaction is already open and a
+    matching non-outermost end are recorded as ordinary member events of
+    the enclosing transaction. Events outside any block each become their
+    own unary transaction.
+    """
+    transactions: List[Transaction] = []
+    txn_of: List[int] = []
+    depth: Dict[str, int] = {}
+    current: Dict[str, int] = {}  # thread -> tid of open transaction
+
+    for event in trace:
+        thread = event.thread
+        thread_depth = depth.get(thread, 0)
+        if event.op is Op.BEGIN:
+            if thread_depth == 0:
+                tid = len(transactions)
+                transactions.append(
+                    Transaction(tid=tid, thread=thread, begin_idx=event.idx)
+                )
+                current[thread] = tid
+            else:
+                tid = current[thread]
+            depth[thread] = thread_depth + 1
+            transactions[tid].event_indices.append(event.idx)
+            txn_of.append(tid)
+        elif event.op is Op.END:
+            if thread_depth == 0:
+                raise ValueError(
+                    f"end without matching begin at event {event.idx}; "
+                    "validate the trace with repro.trace.wellformed first"
+                )
+            depth[thread] = thread_depth - 1
+            tid = current[thread]
+            transactions[tid].event_indices.append(event.idx)
+            txn_of.append(tid)
+            if thread_depth == 1:
+                transactions[tid].end_idx = event.idx
+                del current[thread]
+        else:
+            if thread_depth > 0:
+                tid = current[thread]
+            else:
+                tid = len(transactions)
+                transactions.append(Transaction(tid=tid, thread=thread))
+            transactions[tid].event_indices.append(event.idx)
+            txn_of.append(tid)
+
+    return TransactionIndex(transactions=transactions, txn_of=txn_of)
+
+
+def count_transactions(trace: Trace, include_unary: bool = False) -> int:
+    """Number of transactions in ``trace``.
+
+    With ``include_unary=False`` this matches Column 6 of the paper's
+    tables, which counts begin/end-delimited transactions.
+    """
+    index = extract_transactions(trace)
+    if include_unary:
+        return len(index.transactions)
+    return index.non_unary_count

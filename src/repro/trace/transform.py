@@ -1,0 +1,175 @@
+"""Verdict-aware trace transformations.
+
+Building blocks for composing and relabeling traces:
+
+* :func:`rename` — consistent renaming of threads/variables/locks.
+  Verdict-preserving by construction (conflicts only compare names for
+  equality), which the metamorphic test-suite leans on.
+* :func:`concat` — sequential composition. Verdict: the result violates
+  iff either part does *plus* whatever new cross-part edges create —
+  with ``disjoint_threads=True`` (checked) and disjoint objects the
+  verdict is exactly the disjunction, a property tested in
+  ``tests/test_transform.py``.
+* :func:`interleave` — round-robin merge of traces with disjoint
+  threads and objects, for constructing multi-group scenarios out of
+  zoo specimens.
+
+All functions return fresh traces; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .events import Event, LOCK_OPS, MARKER_OPS, MEMORY_OPS, Op, THREAD_OPS
+from .trace import Trace
+
+
+def rename(
+    trace: Trace,
+    threads: Optional[Dict[str, str]] = None,
+    variables: Optional[Dict[str, str]] = None,
+    locks: Optional[Dict[str, str]] = None,
+    name: Optional[str] = None,
+) -> Trace:
+    """Consistently rename identifiers (missing keys stay unchanged).
+
+    Thread renames also apply to fork/join targets; begin/end method
+    labels are left alone (they are spec-level, not conflict-level).
+
+    Raises:
+        ValueError: If a mapping merges two distinct names — merging
+            can change the verdict, renaming must be injective on the
+            names that occur.
+    """
+    threads = threads or {}
+    variables = variables or {}
+    locks = locks or {}
+    for mapping, kind in ((threads, "thread"), (variables, "variable"),
+                          (locks, "lock")):
+        image = list(mapping.values())
+        if len(set(image)) != len(image):
+            raise ValueError(f"{kind} renaming is not injective: {mapping}")
+        merged = set(image) & (set(_names(trace, kind)) - set(mapping))
+        if merged:
+            raise ValueError(
+                f"{kind} renaming merges into existing names: {sorted(merged)}"
+            )
+
+    renamed = Trace(name=name or f"{trace.name}-renamed")
+    for event in trace:
+        thread = threads.get(event.thread, event.thread)
+        target = event.target
+        if event.op in MEMORY_OPS:
+            target = variables.get(target, target)
+        elif event.op in LOCK_OPS:
+            target = locks.get(target, target)
+        elif event.op in THREAD_OPS:
+            target = threads.get(target, target)
+        renamed.append(Event(thread, event.op, target))
+    return renamed
+
+
+def _names(trace: Trace, kind: str) -> List[str]:
+    ops = {"thread": THREAD_OPS, "variable": MEMORY_OPS, "lock": LOCK_OPS}[kind]
+    seen: List[str] = []
+    for event in trace:
+        candidates = []
+        if kind == "thread":
+            candidates.append(event.thread)
+        if event.op in ops and event.target is not None:
+            candidates.append(event.target)
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.append(candidate)
+    return seen
+
+
+def _check_disjoint(parts: Sequence[Trace], kind: str) -> None:
+    seen: Dict[str, int] = {}
+    for i, part in enumerate(parts):
+        for name in _names(part, kind):
+            if name in seen and seen[name] != i:
+                raise ValueError(
+                    f"traces share {kind} {name!r} (parts {seen[name]} and {i})"
+                )
+            seen[name] = i
+
+
+def concat(
+    parts: Sequence[Trace],
+    disjoint_threads: bool = True,
+    name: Optional[str] = None,
+) -> Trace:
+    """Sequential composition of traces.
+
+    With ``disjoint_threads=True`` (default) the parts must not share
+    thread names — then each part's transactions stay intact and, when
+    objects are also disjoint, the verdict is the OR of the parts'
+    verdicts. With ``False`` the caller takes responsibility for
+    well-formedness across the seam (e.g. a begin left open in part 1
+    swallowing part 2's events).
+    """
+    if disjoint_threads:
+        _check_disjoint(parts, "thread")
+    result = Trace(name=name or "+".join(p.name for p in parts))
+    for part in parts:
+        for event in part:
+            result.append(Event(event.thread, event.op, event.target))
+    return result
+
+
+def interleave(
+    parts: Sequence[Trace],
+    chunk: int = 1,
+    name: Optional[str] = None,
+) -> Trace:
+    """Round-robin merge of traces with disjoint threads.
+
+    Takes ``chunk`` events from each part in turn until all are
+    exhausted. Because the parts share no threads (checked) each part's
+    internal order — hence its conflict order — is preserved, so the
+    merge violates iff some part does *or* the parts share objects that
+    now conflict across groups.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    _check_disjoint(parts, "thread")
+    cursors = [0] * len(parts)
+    result = Trace(name=name or "|".join(p.name for p in parts))
+    remaining = sum(len(p) for p in parts)
+    while remaining:
+        for i, part in enumerate(parts):
+            take = min(chunk, len(part) - cursors[i])
+            for k in range(take):
+                event = part[cursors[i] + k]
+                result.append(Event(event.thread, event.op, event.target))
+            cursors[i] += take
+            remaining -= take
+    return result
+
+
+def relabel_disjoint(
+    traces: Iterable[Trace], prefix: str = "g"
+) -> List[Trace]:
+    """Rename every identifier of each trace into its own namespace.
+
+    Utility for composing copies of the *same* specimen: thread ``t1``
+    of the third trace becomes ``g2.t1``, and likewise for variables
+    and locks, so :func:`concat` / :func:`interleave` accept them.
+    """
+    result: List[Trace] = []
+    for i, trace in enumerate(traces):
+        group = f"{prefix}{i}"
+        result.append(
+            rename(
+                trace,
+                threads={t: f"{group}.{t}" for t in _names(trace, "thread")},
+                variables={
+                    v: f"{group}.{v}" for v in _names(trace, "variable")
+                },
+                locks={l: f"{group}.{l}" for l in _names(trace, "lock")},
+                name=f"{group}.{trace.name}",
+            )
+        )
+    return result

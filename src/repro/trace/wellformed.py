@@ -1,0 +1,164 @@
+"""Well-formedness validation of traces.
+
+The paper (Section 2) assumes traces are *well-formed*:
+
+* all lock acquires and releases are well matched, and a lock is not
+  acquired by more than one thread at a time;
+* all begin and end events are well matched (nesting is allowed — only the
+  outermost pair constitutes a transaction);
+* fork events occur before the first event of the child thread, and join
+  events occur after the last event of the child thread.
+
+:func:`validate` checks these assumptions and raises
+:class:`WellFormednessError` on the first violation. Analyzers in
+:mod:`repro.core` and :mod:`repro.baselines` assume well-formed input; run
+the validator on untrusted traces first (the CLI does this by default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .events import Event, Op
+from .trace import Trace
+
+
+class WellFormednessError(ValueError):
+    """A trace violates the paper's well-formedness assumptions.
+
+    Attributes:
+        event: The offending event (``None`` for end-of-trace problems).
+        reason: Human-readable description of the violation.
+    """
+
+    def __init__(self, reason: str, event: Optional[Event] = None) -> None:
+        self.event = event
+        self.reason = reason
+        location = f" at event {event.idx} ({event})" if event is not None else ""
+        super().__init__(f"{reason}{location}")
+
+
+def validate(
+    trace: Trace,
+    *,
+    allow_open_transactions: bool = True,
+    allow_held_locks: bool = True,
+    require_forked_threads: bool = False,
+) -> None:
+    """Validate the well-formedness of ``trace``.
+
+    Args:
+        trace: The trace to validate.
+        allow_open_transactions: If ``False``, every begin must have a
+            matching end by the end of the trace. Prefixes of well-formed
+            traces legitimately leave transactions open, so the default
+            is permissive.
+        allow_held_locks: If ``False``, every acquire must have a matching
+            release by the end of the trace.
+        require_forked_threads: If ``True``, every thread other than the
+            first thread observed must be the target of a fork before its
+            first event. Traces logged from already-running thread pools
+            do not satisfy this, so the default is permissive.
+
+    Raises:
+        WellFormednessError: On the first violated assumption.
+    """
+    lock_holder: Dict[str, str] = {}
+    lock_depth: Dict[str, int] = {}
+    txn_depth: Dict[str, int] = {}
+    started: Set[str] = set()
+    forked: Set[str] = set()
+    joined: Set[str] = set()
+    first_thread: Optional[str] = None
+
+    for event in trace:
+        thread = event.thread
+        if thread in joined:
+            raise WellFormednessError(
+                f"thread {thread} performs an event after being joined", event
+            )
+        if event.op is Op.JOIN and event.target in joined:
+            raise WellFormednessError(
+                f"thread {event.target} joined more than once", event
+            )
+        if first_thread is None:
+            first_thread = thread
+        if require_forked_threads and thread not in started:
+            if thread != first_thread and thread not in forked:
+                raise WellFormednessError(
+                    f"thread {thread} performs an event before being forked", event
+                )
+        started.add(thread)
+
+        if event.op is Op.ACQUIRE:
+            lock = event.target
+            assert lock is not None
+            holder = lock_holder.get(lock)
+            if holder is not None and holder != thread:
+                raise WellFormednessError(
+                    f"lock {lock} acquired by {thread} while held by {holder}",
+                    event,
+                )
+            lock_holder[lock] = thread
+            lock_depth[lock] = lock_depth.get(lock, 0) + 1
+        elif event.op is Op.RELEASE:
+            lock = event.target
+            assert lock is not None
+            holder = lock_holder.get(lock)
+            if holder != thread:
+                raise WellFormednessError(
+                    f"lock {lock} released by {thread} but held by {holder}",
+                    event,
+                )
+            lock_depth[lock] -= 1
+            if lock_depth[lock] == 0:
+                del lock_holder[lock]
+        elif event.op is Op.BEGIN:
+            txn_depth[thread] = txn_depth.get(thread, 0) + 1
+        elif event.op is Op.END:
+            depth = txn_depth.get(thread, 0)
+            if depth == 0:
+                raise WellFormednessError(
+                    f"end event in thread {thread} without matching begin", event
+                )
+            txn_depth[thread] = depth - 1
+        elif event.op is Op.FORK:
+            child = event.target
+            assert child is not None
+            if child == thread:
+                raise WellFormednessError(f"thread {thread} forks itself", event)
+            if child in started:
+                raise WellFormednessError(
+                    f"fork of thread {child} after its first event", event
+                )
+            if child in forked:
+                raise WellFormednessError(f"thread {child} forked twice", event)
+            forked.add(child)
+        elif event.op is Op.JOIN:
+            child = event.target
+            assert child is not None
+            if child == thread:
+                raise WellFormednessError(f"thread {thread} joins itself", event)
+            joined.add(child)
+
+    if not allow_open_transactions:
+        for thread, depth in txn_depth.items():
+            if depth != 0:
+                raise WellFormednessError(
+                    f"thread {thread} ends the trace with {depth} open "
+                    f"transaction(s)"
+                )
+    if not allow_held_locks:
+        for lock, holder in lock_holder.items():
+            raise WellFormednessError(
+                f"lock {lock} still held by {holder} at end of trace"
+            )
+
+
+def is_well_formed(trace: Trace, **kwargs: bool) -> bool:
+    """Boolean wrapper around :func:`validate`."""
+    try:
+        validate(trace, **kwargs)
+    except WellFormednessError:
+        return False
+    return True

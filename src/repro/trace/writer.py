@@ -1,0 +1,42 @@
+"""Serializer for the ``.std`` trace format (inverse of the parser)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+from .events import Event
+from .trace import Trace
+
+
+def format_event(event: Event) -> str:
+    """Render a single event as a ``thread|op(target)`` line."""
+    return str(event)
+
+
+def iter_lines(events: Iterable[Event], header: str = "") -> Iterator[str]:
+    """Yield the ``.std`` lines for ``events`` (header emitted as comments)."""
+    if header:
+        for header_line in header.splitlines():
+            yield f"# {header_line}"
+    for event in events:
+        yield format_event(event)
+
+
+def dump_trace(trace: Trace, include_header: bool = True) -> str:
+    """Serialize a trace to ``.std`` text."""
+    header = f"{trace.name}: {len(trace)} events" if include_header else ""
+    return "\n".join(iter_lines(trace, header=header)) + "\n"
+
+
+def save_trace(
+    trace: Trace,
+    destination: Union[str, Path, TextIO],
+    include_header: bool = True,
+) -> None:
+    """Write a trace to a file path or an open text stream."""
+    text = dump_trace(trace, include_header=include_header)
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text, encoding="utf-8")
+    else:
+        destination.write(text)

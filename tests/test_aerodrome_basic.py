@@ -1,0 +1,175 @@
+"""Handler-level tests for the basic AeroDrome checker (Algorithm 1)."""
+
+import pytest
+
+from repro import (
+    VectorClock,
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    trace_of,
+    write,
+)
+from repro.core.aerodrome import AeroDromeChecker
+
+
+def run(*events):
+    checker = AeroDromeChecker()
+    return checker, checker.run(trace_of(*events))
+
+
+class TestBeginEnd:
+    def test_begin_increments_local_component(self):
+        checker, _ = run(begin("t1"))
+        assert checker.thread_clock("t1") == VectorClock([2])
+        assert checker.begin_clock("t1") == VectorClock([2])
+
+    def test_nested_begin_ignored(self):
+        checker, _ = run(begin("t1"), begin("t1"))
+        assert checker.thread_clock("t1") == VectorClock([2])
+
+    def test_sequential_transactions_increment(self):
+        checker, _ = run(begin("t1"), end("t1"), begin("t1"))
+        assert checker.thread_clock("t1") == VectorClock([3])
+
+    def test_unmatched_end_raises(self):
+        checker = AeroDromeChecker()
+        with pytest.raises(ValueError, match="end without matching begin"):
+            checker.run(trace_of(end("t1")))
+
+
+class TestLocks:
+    def test_acquire_joins_release_clock(self):
+        checker, result = run(
+            begin("t1"),
+            acquire("t1", "l"),
+            release("t1", "l"),
+            end("t1"),
+            acquire("t2", "l"),
+        )
+        assert result.serializable
+        # t2 inherits t1's clock through the lock.
+        assert checker.thread_clock("t2") == VectorClock([2, 1])
+
+    def test_same_thread_reacquire_skips_check(self):
+        checker, result = run(
+            acquire("t1", "l"), release("t1", "l"), acquire("t1", "l")
+        )
+        assert result.serializable
+
+    def test_lock_cycle_detected(self):
+        # Two transactions interleaved around one lock in a crossed way is
+        # impossible (locks are well nested), but a lock plus a variable
+        # can cross: t1 holds its block open across t2's locked block.
+        _, result = run(
+            begin("t1"),
+            acquire("t1", "l"),
+            write("t1", "x"),
+            release("t1", "l"),
+            acquire("t2", "l"),
+            read("t2", "x"),
+            write("t2", "y"),
+            release("t2", "l"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+
+class TestForkJoin:
+    def test_fork_passes_clock_to_child(self):
+        checker, _ = run(begin("t1"), fork("t1", "t2"))
+        assert checker.thread_clock("t2") == VectorClock([2, 1])
+
+    def test_join_pulls_child_clock(self):
+        checker, _ = run(
+            fork("t1", "t2"), write("t2", "x"), join("t1", "t2")
+        )
+        clock = checker.thread_clock("t1")
+        assert clock.get(1) >= 1
+
+    def test_fork_join_cycle(self):
+        # t1's open transaction observes the child's work, and the child
+        # observed t1's transaction: join closes the cycle.
+        _, result = run(
+            begin("t1"),
+            write("t1", "x"),
+            fork("t1", "t2"),
+            read("t2", "x"),
+            write("t2", "y"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+
+class TestReadsWrites:
+    def test_same_thread_write_read_no_check(self):
+        _, result = run(begin("t1"), write("t1", "x"), read("t1", "x"), end("t1"))
+        assert result.serializable
+
+    def test_write_read_conflict_tracked(self):
+        checker, _ = run(write("t1", "x"), read("t2", "x"))
+        assert checker.thread_clock("t2") == VectorClock([1, 1])
+
+    def test_write_after_read_joins_read_clock(self):
+        checker, _ = run(read("t1", "x"), write("t2", "x"))
+        assert checker.thread_clock("t2") == VectorClock([1, 1])
+
+    def test_read_clock_stored_per_thread(self):
+        checker, _ = run(read("t1", "x"), read("t2", "x"))
+        assert checker.read_clock("t1", "x") == VectorClock([1])
+        assert checker.read_clock("t2", "x") == VectorClock([0, 1])
+
+    def test_unread_clocks_are_bottom(self):
+        checker, _ = run(read("t1", "x"))
+        assert checker.read_clock("t1", "nope").is_bottom()
+        assert checker.write_clock("nope").is_bottom()
+        assert checker.lock_clock("nope").is_bottom()
+
+
+class TestUnaryTransactions:
+    def test_unary_events_never_violate(self):
+        # Same shape as ρ2 but with no atomic blocks at all.
+        _, result = run(
+            write("t1", "x"),
+            read("t2", "x"),
+            write("t2", "y"),
+            read("t1", "y"),
+        )
+        assert result.serializable
+
+    def test_unary_against_open_transaction_violates(self):
+        _, result = run(
+            begin("t1"),
+            write("t1", "x"),
+            write("t2", "x"),
+            read("t1", "x"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+
+class TestStopping:
+    def test_processing_after_violation_raises(self, rho2):
+        checker = AeroDromeChecker()
+        checker.run(rho2)
+        with pytest.raises(RuntimeError, match="already found"):
+            checker.process(read("t9", "q"))
+
+    def test_reset_clears_state(self, rho2):
+        checker = AeroDromeChecker()
+        assert not checker.run(rho2).serializable
+        checker.reset()
+        assert checker.violation is None
+        assert checker.events_processed == 0
+        assert checker.run(trace_of(read("t", "x"))).serializable
+
+    def test_stops_at_first_violation(self, rho2):
+        checker = AeroDromeChecker()
+        result = checker.run(rho2)
+        assert result.events_processed == 6

@@ -1,0 +1,268 @@
+"""Tests for the optimized AeroDrome checker (Algorithms 2 + 3)."""
+
+import pytest
+
+from repro import (
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    trace_of,
+    write,
+)
+from repro.core.aerodrome import AeroDromeChecker
+from repro.core.aerodrome_opt import OptimizedAeroDromeChecker
+
+
+def verdict(*events):
+    return OptimizedAeroDromeChecker().run(trace_of(*events))
+
+
+class TestAgreesWithBasicOnPaperTraces:
+    def test_paper_traces(self, paper_traces):
+        for trace, expected in paper_traces:
+            opt = OptimizedAeroDromeChecker().run(trace)
+            basic = AeroDromeChecker().run(trace)
+            assert opt.serializable == expected, trace.name
+            assert opt.serializable == basic.serializable
+            # The lazy clocks are upper bounds of the basic clocks, so the
+            # optimized checker can only detect a cycle *earlier* (on ρ3
+            # it fires at e6 where basic waits for the end event e7).
+            assert opt.events_processed <= basic.events_processed, trace.name
+
+
+class TestLazyWriteClocks:
+    def test_read_checks_against_active_writer_thread_clock(self):
+        # The write stays "stale" while its transaction is open; the read
+        # must still observe it.
+        result = verdict(
+            begin("t1"),
+            write("t1", "x"),
+            begin("t2"),
+            read("t2", "x"),
+            write("t2", "y"),
+            end("t2"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+    def test_stale_flag_cleared_at_end(self):
+        # t1's transaction reads t2's earlier write, so it has an incoming
+        # edge and its end event must publish W_x (non-GC path).
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(
+                write("t2", "seed"),
+                begin("t1"),
+                read("t1", "seed"),
+                write("t1", "x"),
+                end("t1"),
+                read("t2", "x"),
+            )
+        )
+        xs = checker._vars["x"]
+        assert not xs.stale_write
+        # After t1's end, W_x carries t1's component for future checks
+        # (t1 is interned second, index 1).
+        assert xs.write_clock.get(1) >= 2
+
+    def test_gc_drops_write_clock_for_isolated_transaction(self):
+        # Without any incoming edge, t1's transaction is garbage collected
+        # at its end: W_x is deliberately not published (the transaction
+        # can never be on a cycle).
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(begin("t1"), write("t1", "x"), end("t1"), read("t2", "x"))
+        )
+        xs = checker._vars["x"]
+        assert not xs.stale_write
+        assert xs.last_w_thr is None
+        assert xs.write_clock.is_bottom()
+
+    def test_unary_write_published_eagerly(self):
+        checker = OptimizedAeroDromeChecker()
+        checker.run(trace_of(write("t1", "x")))
+        xs = checker._vars["x"]
+        assert not xs.stale_write
+        assert xs.write_clock.get(0) == 1
+
+    def test_write_write_conflict_through_stale(self):
+        result = verdict(
+            begin("t1"),
+            write("t1", "x"),
+            begin("t2"),
+            write("t2", "x"),
+            write("t2", "y"),
+            end("t2"),
+            write("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+
+class TestLazyReadClocks:
+    def test_reads_accumulate_in_stale_set(self):
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(
+                begin("t1"), read("t1", "x"), begin("t2"), read("t2", "x")
+            )
+        )
+        xs = checker._vars["x"]
+        assert {ts.name for ts in xs.stale_readers} == {"t1", "t2"}
+
+    def test_write_flushes_stale_readers(self):
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(
+                begin("t1"),
+                read("t1", "x"),
+                write("t2", "x"),  # flushes t1 from Stale^r_x
+            )
+        )
+        xs = checker._vars["x"]
+        assert not xs.stale_readers
+        # R_x includes t1's own component; hR_x zeroes each reader's own
+        # component so a thread's reads never satisfy its own write check.
+        assert xs.read_clock.get(0) >= 2
+        assert xs.check_read_clock.get(0) == 0
+
+    def test_own_read_does_not_trigger_own_write_check(self):
+        result = verdict(begin("t1"), read("t1", "x"), write("t1", "x"), end("t1"))
+        assert result.serializable
+
+    def test_read_write_cycle_detected(self):
+        # rho2 with the roles of reads and writes swapped: w-r and r-w.
+        result = verdict(
+            begin("t1"),
+            begin("t2"),
+            read("t1", "x"),
+            write("t2", "x"),
+            read("t2", "y"),
+            write("t1", "y"),
+            end("t2"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+
+class TestUpdateSets:
+    def test_update_sets_cleared_at_end(self):
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(
+                begin("t1"),
+                read("t1", "x"),
+                write("t1", "y"),
+                end("t1"),
+            )
+        )
+        ts = checker._threads["t1"]
+        assert not ts.update_reads
+        assert not ts.update_writes
+
+    def test_cross_thread_dependency_registered(self):
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(
+                begin("t1"),
+                write("t1", "g"),
+                read("t2", "g"),  # unary read ⋖E-after t1's open txn
+            )
+        )
+        ts = checker._threads["t1"]
+        assert "g" in {xs.name for xs in ts.update_reads}
+
+
+class TestEndPropagation:
+    def test_end_propagates_to_dependent_thread(self, rho4):
+        # In ρ4 the end of T2 must propagate its clock into W_y so that
+        # T3 later inherits the T1-dependency — exactly Figure 7.
+        checker = OptimizedAeroDromeChecker()
+        result = checker.run(rho4)
+        assert not result.serializable
+        assert result.events_processed == 11
+
+    def test_detects_rho3_cycle_early(self, rho3):
+        # The lazy write clock already carries t1's whole active
+        # transaction, so the cycle is visible at e6 = r(x), one event
+        # before basic Algorithm 1's end-event detection.
+        checker = OptimizedAeroDromeChecker()
+        result = checker.run(rho3)
+        assert not result.serializable
+        assert result.events_processed == 6
+
+
+class TestLocksAndForks:
+    def test_lock_handoff(self):
+        result = verdict(
+            begin("t1"),
+            acquire("t1", "l"),
+            write("t1", "x"),
+            release("t1", "l"),
+            acquire("t2", "l"),
+            read("t2", "x"),
+            write("t2", "y"),
+            release("t2", "l"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+    def test_acquire_after_gc_still_checks(self):
+        # Even when the releasing transaction was garbage collected, the
+        # lock clock is eagerly maintained and the acquire must join it.
+        checker = OptimizedAeroDromeChecker()
+        checker.run(
+            trace_of(
+                begin("t1"),
+                acquire("t1", "l"),
+                release("t1", "l"),
+                end("t1"),  # no incoming edge: GC branch resets lastRelThr
+                acquire("t2", "l"),
+            )
+        )
+        assert checker._threads["t2"].clock.get(0) >= 2
+
+    def test_fork_join_cycle(self):
+        result = verdict(
+            begin("t1"),
+            write("t1", "x"),
+            fork("t1", "t2"),
+            read("t2", "x"),
+            write("t2", "y"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+    def test_join_detects_dependency(self):
+        result = verdict(
+            begin("t1"),
+            write("t1", "x"),
+            begin("t2"),
+            read("t2", "x"),
+            write("t2", "y"),
+            end("t2"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+
+class TestStopping:
+    def test_processing_after_violation_raises(self, rho2):
+        checker = OptimizedAeroDromeChecker()
+        checker.run(rho2)
+        with pytest.raises(RuntimeError, match="already found"):
+            checker.process(read("t9", "q"))
+
+    def test_reset(self, rho2):
+        checker = OptimizedAeroDromeChecker()
+        assert not checker.run(rho2).serializable
+        checker.reset()
+        assert checker.run(trace_of(read("t", "x"))).serializable

@@ -1,0 +1,217 @@
+"""White-box tests for the optimized checker's lazy/GC machinery."""
+
+from repro import begin, end, fork, read, trace_of, write
+from repro.core.aerodrome import AeroDromeChecker
+from repro.core.aerodrome_opt import OptimizedAeroDromeChecker
+
+
+def run_prefix(events, count=None):
+    checker = OptimizedAeroDromeChecker()
+    for event in trace_of(*events).events[:count]:
+        checker.process(event)
+    return checker
+
+
+class TestStaleWriteTransitions:
+    def test_stale_takeover_by_second_writer(self):
+        # t1's lazy write is superseded by t2's write while t1 is still
+        # open; lastWThr moves to t2, staleness persists (t2 active).
+        checker = run_prefix(
+            [
+                begin("t1"),
+                write("t1", "x"),
+                begin("t2"),
+                write("t2", "x"),
+            ]
+        )
+        xs = checker._vars["x"]
+        assert xs.stale_write
+        assert xs.last_w_thr is checker._threads["t2"]
+
+    def test_superseded_writer_end_does_not_publish(self):
+        # When t1 ends, x is in its update set but lastWThr is t2 and
+        # the write is still stale: W_x must not resurrect t1's write.
+        checker = run_prefix(
+            [
+                begin("t1"),
+                write("t1", "x"),
+                begin("t2"),
+                write("t2", "x"),
+                end("t1"),
+            ]
+        )
+        xs = checker._vars["x"]
+        assert xs.stale_write
+        assert xs.write_clock.is_bottom()
+
+    def test_unary_write_supersedes_stale(self):
+        checker = run_prefix(
+            [
+                begin("t1"),
+                write("t1", "x"),
+                write("t2", "x"),  # unary: eager publish
+            ]
+        )
+        xs = checker._vars["x"]
+        assert not xs.stale_write
+        # The published clock absorbed t1's active transaction.
+        assert xs.write_clock.get(0) >= 2
+
+    def test_second_txn_same_writer_keeps_laziness(self):
+        checker = run_prefix(
+            [
+                begin("t1"),
+                write("t1", "x"),
+                end("t1"),
+                begin("t1"),
+                write("t1", "x"),
+            ]
+        )
+        xs = checker._vars["x"]
+        assert xs.stale_write
+        assert xs.last_w_thr is checker._threads["t1"]
+
+
+class TestGarbageCollection:
+    def test_fork_parent_alive_blocks_gc(self):
+        # t2's transaction sees nothing new, but its forking parent's
+        # transaction is still open: the fork edge is a real incoming
+        # edge, so no GC.
+        checker = run_prefix(
+            [
+                begin("t1"),
+                fork("t1", "t2"),
+                begin("t2"),
+                write("t2", "x"),
+            ]
+        )
+        ts = checker._threads["t2"]
+        assert checker._has_incoming_edge(ts)
+
+    def test_fork_parent_completed_allows_gc(self):
+        checker = run_prefix(
+            [
+                begin("t1"),
+                fork("t1", "t2"),
+                end("t1"),
+                begin("t2"),
+                write("t2", "x"),
+            ]
+        )
+        ts = checker._threads["t2"]
+        assert not checker._has_incoming_edge(ts)
+
+    def test_parent_txn_consumed_after_first_end(self):
+        checker = run_prefix(
+            [
+                begin("t1"),
+                fork("t1", "t2"),
+                begin("t2"),
+                end("t2"),
+            ]
+        )
+        assert checker._threads["t2"].parent_txn is None
+
+    def test_gc_clears_lock_ownership(self):
+        from repro import acquire, release
+
+        checker = run_prefix(
+            [
+                begin("t1"),
+                acquire("t1", "l"),
+                release("t1", "l"),
+                end("t1"),
+            ]
+        )
+        assert checker._locks["l"].last_rel_thr is None
+
+    def test_clock_growth_blocks_gc(self):
+        checker = run_prefix(
+            [
+                write("t2", "seed"),  # unary
+                begin("t1"),
+                read("t1", "seed"),  # t1's clock grows: t2's component
+            ]
+        )
+        assert checker._has_incoming_edge(checker._threads["t1"])
+
+
+class TestUpdateSetPlumbing:
+    def test_unary_read_registers_dependency_on_active_writer(self):
+        checker = run_prefix(
+            [
+                begin("t1"),
+                write("t1", "g"),
+                read("t2", "g"),  # unary, ⋖E-after t1's open txn
+            ]
+        )
+        names = {xs.name for xs in checker._threads["t1"].update_reads}
+        assert "g" in names
+
+    def test_independent_access_not_registered(self):
+        checker = run_prefix(
+            [
+                begin("t1"),
+                write("t1", "g"),
+                read("t2", "other"),  # no relation to t1's txn
+            ]
+        )
+        names = {xs.name for xs in checker._threads["t1"].update_reads}
+        assert "other" not in names
+
+    def test_txn_serial_increments(self):
+        checker = run_prefix(
+            [begin("t1"), end("t1"), begin("t1"), end("t1"), begin("t1")]
+        )
+        assert checker._threads["t1"].txn_serial == 3
+
+
+class TestAgreementOnTrickyShapes:
+    def assert_agrees(self, *events):
+        trace = trace_of(*events)
+        opt = OptimizedAeroDromeChecker().run(trace)
+        basic = AeroDromeChecker().run(trace)
+        assert opt.serializable == basic.serializable
+
+    def test_write_read_write_chain(self):
+        self.assert_agrees(
+            begin("t1"),
+            write("t1", "a"),
+            begin("t2"),
+            read("t2", "a"),
+            write("t2", "b"),
+            end("t2"),
+            begin("t3"),
+            read("t3", "b"),
+            write("t3", "c"),
+            end("t3"),
+            read("t1", "c"),
+            end("t1"),
+        )
+
+    def test_gc_then_reuse_variable(self):
+        self.assert_agrees(
+            begin("t1"),
+            write("t1", "x"),
+            end("t1"),  # GC branch: W_x dropped
+            begin("t2"),
+            read("t2", "x"),
+            write("t2", "y"),
+            end("t2"),
+            begin("t1"),
+            read("t1", "y"),
+            end("t1"),
+        )
+
+    def test_interleaved_stale_readers(self):
+        self.assert_agrees(
+            begin("t1"),
+            read("t1", "x"),
+            begin("t2"),
+            read("t2", "x"),
+            begin("t3"),
+            write("t3", "x"),
+            end("t3"),
+            end("t2"),
+            end("t1"),
+        )

@@ -1,0 +1,84 @@
+"""Binary trace format tests."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.trace.binary import (
+    MAGIC,
+    BinaryTraceError,
+    load_binary,
+    read_binary,
+    save_binary,
+    write_binary,
+)
+from repro.trace.parser import parse_trace
+from repro.trace.writer import dump_trace
+
+
+class TestRoundTrip:
+    def test_paper_trace(self, rho4, tmp_path):
+        path = tmp_path / "rho4.rtb"
+        save_binary(rho4, path)
+        again = load_binary(path)
+        assert again == rho4
+        assert again.name == rho4.name
+
+    def test_labeled_markers(self, tmp_path):
+        trace = parse_trace("t1|begin(work)\nt1|w(x)\nt1|end(work)\n")
+        path = tmp_path / "t.rtb"
+        save_binary(trace, path)
+        assert load_binary(path) == trace
+        assert load_binary(path)[0].target == "work"
+
+    def test_empty_trace(self, tmp_path):
+        from repro.trace.trace import Trace
+
+        path = tmp_path / "empty.rtb"
+        save_binary(Trace(name="nothing"), path)
+        loaded = load_binary(path)
+        assert len(loaded) == 0
+        assert loaded.name == "nothing"
+
+    def test_smaller_than_text(self, tmp_path):
+        trace = random_trace(1, RandomTraceConfig(length=500))
+        binary = io.BytesIO()
+        write_binary(trace, binary)
+        assert len(binary.getvalue()) < len(dump_trace(trace).encode())
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(BinaryTraceError, match="bad magic"):
+            read_binary(io.BytesIO(b"NOTATRACE"))
+
+    def test_truncated_header(self):
+        with pytest.raises(BinaryTraceError, match="truncated"):
+            read_binary(io.BytesIO(MAGIC))
+
+    def test_truncated_events(self, rho1):
+        buffer = io.BytesIO()
+        write_binary(rho1, buffer)
+        data = buffer.getvalue()
+        with pytest.raises(BinaryTraceError, match="truncated"):
+            read_binary(io.BytesIO(data[:-4]))
+
+    def test_corrupt_op_code(self, rho1):
+        buffer = io.BytesIO()
+        write_binary(rho1, buffer)
+        data = bytearray(buffer.getvalue())
+        data[-9] = 0xEE  # clobber the last event's op byte
+        with pytest.raises(BinaryTraceError, match="corrupt"):
+            read_binary(io.BytesIO(bytes(data)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_roundtrip_property(seed):
+    trace = random_trace(seed, RandomTraceConfig(length=40, with_forks=True))
+    buffer = io.BytesIO()
+    write_binary(trace, buffer)
+    buffer.seek(0)
+    assert read_binary(buffer) == trace

@@ -1,0 +1,60 @@
+"""Causal atomicity extension tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import begin, check_causal_atomicity, conflict_serializable, end, read, trace_of, write
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+
+
+class TestUnitCases:
+    def test_serializable_trace_all_atomic(self, rho1):
+        report = check_causal_atomicity(rho1)
+        assert report.all_atomic
+        assert not report.violating
+        assert len(report.causally_atomic) == 3
+        assert "all 3 transactions" in str(report)
+
+    def test_rho2_blames_both_transactions(self, rho2):
+        report = check_causal_atomicity(rho2)
+        assert not report.all_atomic
+        assert {t.thread for t in report.violating} == {"t1", "t2"}
+
+    def test_localizes_blame(self, rho4):
+        # All three of ρ4's transactions participate in the cycle
+        # T1 -> T2 -> T3 -> T1? T2 and T3 mediate; check which are cyclic.
+        report = check_causal_atomicity(rho4)
+        assert not report.all_atomic
+        blamed_threads = {t.thread for t in report.violating}
+        assert "t1" in blamed_threads
+
+    def test_innocent_bystander_stays_atomic(self):
+        trace = trace_of(
+            # The ρ2 cycle between t1 and t2 ...
+            begin("t1"),
+            begin("t2"),
+            write("t1", "x"),
+            read("t2", "x"),
+            write("t2", "y"),
+            read("t1", "y"),
+            end("t2"),
+            end("t1"),
+            # ... and an unrelated, perfectly atomic transaction.
+            begin("t3"),
+            write("t3", "z"),
+            end("t3"),
+        )
+        report = check_causal_atomicity(trace)
+        assert not report.all_atomic
+        atomic_threads = {t.thread for t in report.causally_atomic}
+        assert "t3" in atomic_threads
+        assert {t.thread for t in report.violating} == {"t1", "t2"}
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_all_atomic_iff_serializable(seed):
+    trace = random_trace(
+        seed, RandomTraceConfig(n_threads=3, n_vars=3, n_locks=1, length=30)
+    )
+    report = check_causal_atomicity(trace)
+    assert report.all_atomic == conflict_serializable(trace)

@@ -1,0 +1,129 @@
+"""≤CHB timestamp tests: unit cases plus brute-force cross-check."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Trace, acquire, begin, end, fork, join, read, release, trace_of, write
+from repro.analysis.chb import chb_pairs, compute_chb
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+
+
+def brute_force_chb(trace: Trace):
+    """Transitive closure over directly-conflicting pairs (paper §2)."""
+    n = len(trace)
+    events = trace.events
+
+    def conflicting(a, b) -> bool:
+        if a.thread == b.thread:
+            return True
+        if a.is_fork and a.target == b.thread:
+            return True
+        if b.is_join and b.target == a.thread:
+            return True
+        if (
+            a.is_memory_access
+            and b.is_memory_access
+            and a.target == b.target
+            and (a.is_write or b.is_write)
+        ):
+            return True
+        if a.is_release and b.is_acquire and a.target == b.target:
+            return True
+        return False
+
+    reach = [[False] * n for _ in range(n)]
+    for i in range(n):
+        reach[i][i] = True
+        for j in range(i + 1, n):
+            if conflicting(events[i], events[j]):
+                reach[i][j] = True
+    # Floyd-Warshall restricted to forward edges.
+    for k in range(n):
+        for i in range(k):
+            if reach[i][k]:
+                row_i, row_k = reach[i], reach[k]
+                for j in range(k + 1, n):
+                    if row_k[j]:
+                        row_i[j] = True
+    return {(i, j) for i in range(n) for j in range(i + 1, n) if reach[i][j]}
+
+
+class TestUnitCases:
+    def test_program_order(self):
+        trace = trace_of(read("t", "x"), read("t", "y"))
+        assert (0, 1) in chb_pairs(trace)
+
+    def test_read_read_not_ordered(self):
+        trace = trace_of(read("t1", "x"), read("t2", "x"))
+        assert (0, 1) not in chb_pairs(trace)
+
+    def test_write_read_ordered(self):
+        trace = trace_of(write("t1", "x"), read("t2", "x"))
+        assert (0, 1) in chb_pairs(trace)
+
+    def test_release_acquire_ordered(self):
+        trace = trace_of(
+            acquire("t1", "l"),
+            release("t1", "l"),
+            acquire("t2", "l"),
+        )
+        pairs = chb_pairs(trace)
+        assert (1, 2) in pairs
+        assert (0, 2) in pairs  # transitively through the release
+
+    def test_acquire_acquire_not_directly_ordered(self):
+        # Different locks: no ordering between the two threads at all.
+        trace = trace_of(acquire("t1", "l1"), acquire("t2", "l2"))
+        assert (0, 1) not in chb_pairs(trace)
+
+    def test_fork_orders_child(self):
+        trace = trace_of(write("t1", "a"), fork("t1", "t2"), write("t2", "b"))
+        pairs = chb_pairs(trace)
+        assert (0, 2) in pairs and (1, 2) in pairs
+
+    def test_join_orders_parent(self):
+        trace = trace_of(fork("t1", "t2"), write("t2", "b"), join("t1", "t2"), write("t1", "a"))
+        pairs = chb_pairs(trace)
+        assert (1, 2) in pairs and (1, 3) in pairs
+
+    def test_transitivity_through_variable(self, rho1):
+        # Example 1: e1 ≤CHB e5 because e1-e2 (thread), e2-e4 (w-r on x),
+        # e4-e5 (thread). Indices are 0-based here.
+        index = compute_chb(rho1)
+        assert index.ordered(0, 4)
+
+    def test_reflexive_and_order_respecting(self, rho2):
+        index = compute_chb(rho2)
+        assert index.ordered(3, 3)
+        assert not index.ordered(5, 2)
+
+    def test_no_chb_cycle_path_in_rho3(self, rho3):
+        # Example 4: no ≤CHB path starting and ending in one transaction.
+        index = compute_chb(rho3)
+        # t1's events are 0,2,4,6; t2's are 1,3,5,7.
+        # e3(w x by t1) ≤CHB e6(r x by t2): 2 -> 5
+        assert index.ordered(2, 5)
+        # but nothing of t2 is CHB-before anything of t1 except via y:
+        assert index.ordered(3, 4)  # w(y) -> r(y)
+        # begin of t1 must not reach back into t1 through t2:
+        assert not index.ordered(0, 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_chb_matches_brute_force(seed):
+    trace = random_trace(
+        seed, RandomTraceConfig(n_threads=3, n_vars=3, n_locks=2, length=24)
+    )
+    assert set(chb_pairs(trace)) == brute_force_chb(trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_chb_matches_brute_force_with_forks(seed):
+    trace = random_trace(
+        seed,
+        RandomTraceConfig(
+            n_threads=4, n_vars=2, n_locks=1, length=20, with_forks=True
+        ),
+    )
+    assert set(chb_pairs(trace)) == brute_force_chb(trace)

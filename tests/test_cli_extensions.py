@@ -1,0 +1,233 @@
+"""CLI tests for the extension subcommands (profile, dot, zoo,
+violations, atomizer, lockset, viewserial)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def violating_trace(tmp_path):
+    path = tmp_path / "viol.std"
+    path.write_text(
+        "t1|begin\nt2|begin\nt1|w(x)\nt2|r(x)\nt2|w(y)\nt1|r(y)\nt2|end\nt1|end\n"
+    )
+    return path
+
+
+@pytest.fixture
+def clean_trace(tmp_path):
+    path = tmp_path / "ok.std"
+    path.write_text("t1|begin\nt1|w(x)\nt1|end\n")
+    return path
+
+
+class TestProfile:
+    def test_reports_shape(self, violating_trace, capsys):
+        assert main(["profile", str(violating_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "events            : 8" in out
+        assert "hot variables" in out
+
+    def test_top_flag(self, violating_trace, capsys):
+        assert main(["profile", str(violating_trace), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # Only one variable line under the hot-variables header.
+        hot = out.split("hot variables")[1]
+        assert hot.count("r=") == 1
+
+
+class TestDot:
+    def test_stdout_transaction_graph(self, violating_trace, capsys):
+        assert main(["dot", str(violating_trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "crimson" in out  # witness highlighted
+
+    def test_event_graph(self, violating_trace, capsys):
+        assert main(["dot", str(violating_trace), "--events"]) == 0
+        assert "subgraph cluster_0" in capsys.readouterr().out
+
+    def test_output_file(self, violating_trace, tmp_path, capsys):
+        out_path = tmp_path / "g.dot"
+        assert main(["dot", str(violating_trace), "-o", str(out_path)]) == 0
+        assert out_path.read_text(encoding="utf-8").startswith("digraph")
+
+
+class TestZoo:
+    def test_listing(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-rho2" in out
+        assert "view-not-conflict" in out
+
+    def test_print_specimen(self, capsys):
+        assert main(["zoo", "paper-rho2"]) == 0
+        out = capsys.readouterr().out
+        assert "t1|begin" in out
+
+    def test_write_specimen(self, tmp_path, capsys):
+        out_path = tmp_path / "rho2.std"
+        assert main(["zoo", "paper-rho2", "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert main(["check", str(out_path)]) == 1
+
+    def test_unknown_specimen(self, capsys):
+        assert main(["zoo", "nope"]) == 2
+        assert "unknown specimen" in capsys.readouterr().err
+
+
+class TestViolations:
+    def test_streams_reports(self, violating_trace, capsys):
+        assert main(["violations", str(violating_trace)]) == 1
+        out = capsys.readouterr().out
+        assert "violation report(s)" in out
+
+    def test_clean_trace(self, clean_trace, capsys):
+        assert main(["violations", str(clean_trace)]) == 0
+        assert "0 violation report(s)" in capsys.readouterr().out
+
+    def test_limit(self, violating_trace, capsys):
+        assert main(["violations", str(violating_trace), "--limit", "1"]) == 1
+        assert "1 violation report(s)" in capsys.readouterr().out
+
+
+class TestAtomizer:
+    def test_clean(self, clean_trace, capsys):
+        assert main(["atomizer", str(clean_trace)]) == 0
+        assert "0 reduction warning(s)" in capsys.readouterr().out
+
+    def test_warns(self, tmp_path, capsys):
+        path = tmp_path / "red.std"
+        path.write_text(
+            "t2|w(x)\nt1|begin\nt1|acq(l)\nt1|rel(l)\nt1|w(x)\nt1|end\n"
+        )
+        assert main(["atomizer", str(path)]) == 1
+        assert "not reducible" in capsys.readouterr().out
+
+
+class TestLockset:
+    def test_clean(self, clean_trace, capsys):
+        assert main(["lockset", str(clean_trace)]) == 0
+        assert "0 lockset warning(s)" in capsys.readouterr().out
+
+    def test_warns(self, tmp_path, capsys):
+        path = tmp_path / "race.std"
+        path.write_text("t1|w(x)\nt2|w(x)\n")
+        assert main(["lockset", str(path)]) == 1
+        assert "no common lock" in capsys.readouterr().out
+
+
+class TestViewSerial:
+    def test_view_serializable(self, clean_trace, capsys):
+        assert main(["viewserial", str(clean_trace)]) == 0
+        assert "witness order" in capsys.readouterr().out
+
+    def test_not_view_serializable(self, violating_trace, capsys):
+        assert main(["viewserial", str(violating_trace)]) == 1
+        assert "not view serializable" in capsys.readouterr().out
+
+    def test_too_large(self, tmp_path, capsys):
+        lines = []
+        for _ in range(12):
+            lines += ["t1|begin", "t1|w(x)", "t1|end"]
+        path = tmp_path / "big.std"
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["viewserial", str(path)]) == 2
+        assert "undecided" in capsys.readouterr().err
+
+
+class TestSerialize:
+    def test_emits_witness(self, clean_trace, capsys):
+        assert main(["serialize", str(clean_trace)]) == 0
+        assert "t1|begin" in capsys.readouterr().out
+
+    def test_violating_has_no_witness(self, violating_trace, capsys):
+        assert main(["serialize", str(violating_trace)]) == 1
+        assert "no serial witness" in capsys.readouterr().err
+
+    def test_output_file_round_trips(self, tmp_path, capsys):
+        src = tmp_path / "rho1.std"
+        assert main(["zoo", "paper-rho1", "-o", str(src)]) == 0
+        out = tmp_path / "serial.std"
+        assert main(["serialize", str(src), "-o", str(out)]) == 0
+        assert main(["check", str(out)]) == 0
+
+
+class TestInferSpec:
+    def test_infers_and_writes(self, tmp_path, capsys):
+        trace_path = tmp_path / "labeled.std"
+        trace_path.write_text(
+            "t1|begin(m1)\nt2|begin(m2)\nt1|w(x)\nt2|r(x)\nt2|w(y)\n"
+            "t1|r(y)\nt2|end(m2)\nt1|end(m1)\n"
+        )
+        spec_path = tmp_path / "spec.txt"
+        code = main(["inferspec", str(trace_path), "-o", str(spec_path)])
+        assert code == 1  # something was refuted
+        out = capsys.readouterr().out
+        assert "refuted" in out
+        assert spec_path.exists()
+
+    def test_clean_trace_exits_zero(self, clean_trace, capsys):
+        assert main(["inferspec", str(clean_trace)]) == 0
+        assert "refuted = (none)" in capsys.readouterr().out
+
+    def test_unlabeled_violation_fails(self, violating_trace, capsys):
+        assert main(["inferspec", str(violating_trace)]) == 2
+        assert "inference failed" in capsys.readouterr().err
+
+
+class TestZooRender:
+    def test_render_draws_columns(self, capsys):
+        assert main(["zoo", "paper-rho2", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "⊲" in out
+        assert "← violation" in out
+        assert "✗" in out
+
+
+class TestMemory:
+    def test_growth_table(self, violating_trace, capsys):
+        assert main(["memory", str(violating_trace), "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "state growth" in out
+        assert "total_clocks" in out
+
+    def test_velodrome_reports_nodes(self, violating_trace, capsys):
+        code = main(
+            ["memory", str(violating_trace), "--algorithm", "velodrome"]
+        )
+        assert code == 0
+        assert "live_nodes" in capsys.readouterr().out
+
+
+class TestMinimize:
+    def test_minimizes_and_renders(self, violating_trace, capsys):
+        assert main(["minimize", str(violating_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "minimized 8 -> 8 events" in out  # rho2 is already minimal
+        assert "← violation" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        src = tmp_path / "noisy.std"
+        lines = []
+        for i in range(3):
+            lines += [f"t3|begin", f"t3|w(n{i})", "t3|end"]
+        lines += [
+            "t1|begin", "t2|begin", "t1|w(x)", "t2|r(x)",
+            "t2|w(y)", "t1|r(y)", "t2|end", "t1|end",
+        ]
+        src.write_text("\n".join(lines) + "\n")
+        out = tmp_path / "core.std"
+        assert main(["minimize", str(src), "-o", str(out)]) == 0
+        assert main(["check", str(out)]) == 1
+        event_lines = [
+            line
+            for line in out.read_text().strip().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(event_lines) == 8
+
+    def test_serializable_input_fails(self, clean_trace, capsys):
+        assert main(["minimize", str(clean_trace)]) == 2
+        assert "cannot minimize" in capsys.readouterr().err

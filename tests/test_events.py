@@ -1,0 +1,113 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.trace.events import (
+    Event,
+    Op,
+    acquire,
+    begin,
+    end,
+    fork,
+    format_op,
+    join,
+    read,
+    release,
+    write,
+)
+
+
+class TestConstructors:
+    def test_read(self):
+        event = read("t1", "x")
+        assert event.thread == "t1"
+        assert event.op is Op.READ
+        assert event.target == "x"
+
+    def test_write(self):
+        event = write("t2", "y")
+        assert event.op is Op.WRITE
+        assert event.target == "y"
+
+    def test_acquire_release(self):
+        assert acquire("t", "l").op is Op.ACQUIRE
+        assert release("t", "l").op is Op.RELEASE
+
+    def test_fork_join(self):
+        assert fork("t", "u").target == "u"
+        assert join("t", "u").op is Op.JOIN
+
+    def test_begin_end_unlabeled(self):
+        assert begin("t").target is None
+        assert end("t").target is None
+
+    def test_begin_end_labeled(self):
+        assert begin("t", "method").target == "method"
+        assert end("t", "method").target == "method"
+
+    def test_target_required_for_non_markers(self):
+        with pytest.raises(ValueError, match="require a target"):
+            Event("t", Op.READ)
+        with pytest.raises(ValueError, match="require a target"):
+            Event("t", Op.FORK)
+
+    def test_default_idx_is_unset(self):
+        assert read("t", "x").idx == -1
+
+
+class TestPredicates:
+    def test_memory_access(self):
+        assert read("t", "x").is_memory_access
+        assert write("t", "x").is_memory_access
+        assert not acquire("t", "l").is_memory_access
+
+    def test_lock_op(self):
+        assert acquire("t", "l").is_lock_op
+        assert release("t", "l").is_lock_op
+        assert not begin("t").is_lock_op
+
+    def test_marker(self):
+        assert begin("t").is_marker
+        assert end("t").is_marker
+        assert not join("t", "u").is_marker
+
+    def test_individual_predicates(self):
+        assert read("t", "x").is_read
+        assert write("t", "x").is_write
+        assert acquire("t", "l").is_acquire
+        assert release("t", "l").is_release
+        assert fork("t", "u").is_fork
+        assert join("t", "u").is_join
+        assert begin("t").is_begin
+        assert end("t").is_end
+
+
+class TestFormatting:
+    def test_format_op(self):
+        assert format_op(Op.READ, "x") == "r(x)"
+        assert format_op(Op.ACQUIRE, "l") == "acq(l)"
+        assert format_op(Op.BEGIN, None) == "begin"
+        assert format_op(Op.BEGIN, "m") == "begin(m)"
+
+    def test_str(self):
+        assert str(read("t1", "x")) == "t1|r(x)"
+        assert str(end("t2")) == "t2|end"
+
+    def test_repr_contains_idx(self):
+        event = read("t1", "x")
+        event.idx = 5
+        assert "5" in repr(event)
+
+
+class TestEquality:
+    def test_equal_ignores_idx(self):
+        a, b = read("t", "x"), read("t", "x")
+        a.idx, b.idx = 1, 2
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_different_op(self):
+        assert read("t", "x") != write("t", "x")
+
+    def test_not_equal_other_type(self):
+        assert read("t", "x") != "t|r(x)"

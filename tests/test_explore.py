@@ -1,0 +1,139 @@
+"""Schedule exploration tests."""
+
+import pytest
+
+from repro import conflict_serializable
+from repro.sim.explore import enumerate_schedules, explore, fuzz
+from repro.sim.program import Begin, End, Read, Write, program_of
+from repro.sim.workloads.patterns import (
+    locked_counter,
+    unprotected_counter,
+)
+from repro.trace.wellformed import validate
+from repro.trace.metainfo import metainfo
+
+
+def tiny_racy() -> "Program":
+    return program_of(
+        {
+            "a": [Begin(), Read("c"), Write("c"), End()],
+            "b": [Begin(), Read("c"), Write("c"), End()],
+        },
+        name="tiny_racy",
+    )
+
+
+def tiny_private():
+    return program_of(
+        {
+            "a": [Begin(), Write("pa"), End()],
+            "b": [Begin(), Write("pb"), End()],
+        },
+        name="tiny_private",
+    )
+
+
+class TestEnumeration:
+    def test_single_thread_has_one_schedule(self):
+        program = program_of({"t": [Read("x"), Write("x")]})
+        schedules = list(enumerate_schedules(program))
+        assert len(schedules) == 1
+        assert len(schedules[0]) == 2
+
+    def test_interleaving_count_two_independent_threads(self):
+        # Two threads of 2 events each: C(4,2) = 6 interleavings.
+        program = program_of(
+            {"a": [Read("x"), Read("y")], "b": [Read("p"), Read("q")]}
+        )
+        schedules = list(enumerate_schedules(program))
+        assert len(schedules) == 6
+        texts = {tuple(str(e) for e in t) for t in schedules}
+        assert len(texts) == 6  # all distinct
+
+    def test_all_schedules_well_formed(self):
+        for trace in enumerate_schedules(tiny_racy()):
+            validate(trace, allow_open_transactions=False)
+
+    def test_lock_semantics_respected(self):
+        from repro.sim.program import Acquire, Release
+
+        program = program_of(
+            {
+                "a": [Acquire("l"), Write("x"), Release("l")],
+                "b": [Acquire("l"), Write("x"), Release("l")],
+            }
+        )
+        for trace in enumerate_schedules(program):
+            validate(trace, allow_held_locks=False)
+
+    def test_max_schedules_cap(self):
+        schedules = list(enumerate_schedules(tiny_racy(), max_schedules=3))
+        assert len(schedules) == 3
+
+    def test_counts_match_manual_formula(self):
+        # Threads of lengths 4 and 4: C(8,4) = 70 interleavings.
+        assert sum(1 for _ in enumerate_schedules(tiny_racy())) == 70
+
+
+class TestExplore:
+    def test_racy_program_has_violating_and_clean_schedules(self):
+        result = explore(tiny_racy())
+        assert result.exhaustive
+        assert 0 < result.violating < result.schedules
+        assert result.witness is not None
+        assert not conflict_serializable(result.witness)
+
+    def test_private_program_proven_atomic(self):
+        result = explore(tiny_private())
+        assert result.exhaustive
+        assert result.always_atomic
+        assert result.witness is None
+
+    def test_locked_counter_proven_atomic_exhaustively(self):
+        result = explore(locked_counter(n_threads=2, increments=1))
+        assert result.exhaustive
+        assert result.always_atomic
+
+    def test_cap_marks_non_exhaustive(self):
+        result = explore(unprotected_counter(2, 2), max_schedules=10)
+        assert not result.exhaustive
+        assert result.schedules == 10
+
+    def test_str(self):
+        result = explore(tiny_private())
+        assert "0/" in str(result)
+        assert "all" in str(result)
+
+
+class TestFuzz:
+    def test_fuzz_finds_counter_violation(self):
+        result = fuzz(unprotected_counter(2, 3), schedules=30, seed=0)
+        assert not result.exhaustive
+        assert result.violating > 0
+        assert result.witness is not None
+
+    def test_fuzz_on_safe_program(self):
+        result = fuzz(locked_counter(2, 2), schedules=20, seed=0)
+        assert result.always_atomic
+
+    def test_fuzz_deterministic(self):
+        a = fuzz(unprotected_counter(2, 2), schedules=15, seed=9)
+        b = fuzz(unprotected_counter(2, 2), schedules=15, seed=9)
+        assert a.violating == b.violating
+
+
+class TestAgreementWithRuntime:
+    def test_enumerated_traces_match_runtime_semantics(self):
+        # Each enumerated schedule is a real execution: same event
+        # multiset per thread as the runtime produces.
+        program = tiny_racy()
+        from repro.sim.runtime import execute
+        from repro.sim.scheduler import RoundRobinScheduler
+
+        runtime_trace = execute(program, RoundRobinScheduler())
+        runtime_info = metainfo(runtime_trace)
+        for trace in enumerate_schedules(program, max_schedules=20):
+            info = metainfo(trace)
+            assert info.events == runtime_info.events
+            assert info.threads == runtime_info.threads
+            assert info.transactions == runtime_info.transactions

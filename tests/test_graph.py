@@ -1,0 +1,142 @@
+"""Digraph substrate tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.graph import Digraph
+
+
+class TestBasics:
+    def test_add_nodes_and_edges(self):
+        g = Digraph()
+        assert g.add_edge("a", "b")
+        assert not g.add_edge("a", "b")  # duplicate
+        assert len(g) == 2
+        assert g.edge_count() == 1
+        assert g.in_degree("b") == 1
+        assert "a" in g
+
+    def test_self_loops_rejected(self):
+        g = Digraph()
+        assert not g.add_edge("a", "a")
+        assert g.edge_count() == 0
+
+    def test_peak_nodes(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.remove_node("a")
+        assert g.peak_nodes == 3
+        assert len(g) == 2
+
+    def test_remove_node_returns_zeroed(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("d", "c")
+        zeroed = g.remove_node("a")
+        assert set(zeroed) == {"b"}  # c still has d's edge
+
+
+class TestReachability:
+    def test_reaches_direct_and_transitive(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.reaches(1, 3)
+        assert not g.reaches(3, 1)
+        assert g.reaches(2, 2)
+
+    def test_reaches_missing_nodes(self):
+        g = Digraph()
+        g.add_node(1)
+        assert not g.reaches(1, 99)
+        assert not g.reaches(99, 1)
+
+    def test_creates_cycle(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.creates_cycle(3, 1)
+        assert not g.creates_cycle(1, 3)
+        assert not g.creates_cycle(1, 1)
+
+
+class TestCycles:
+    def test_acyclic(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_edge(2, 3)
+        assert not g.has_cycle()
+        assert g.find_cycle() == []
+
+    def test_simple_cycle(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.has_cycle()
+        assert set(g.find_cycle()) == {1, 2}
+
+    def test_long_cycle_found(self):
+        g = Digraph()
+        for i in range(10):
+            g.add_edge(i, (i + 1) % 10)
+        cycle = g.find_cycle()
+        assert len(cycle) == 10
+
+    def test_cycle_in_disconnected_component(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("x", "y")
+        g.add_edge("y", "x")
+        assert g.has_cycle()
+
+
+_edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=60
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_edge_lists)
+def test_has_cycle_matches_networkx(edges):
+    g = Digraph()
+    nxg = nx.DiGraph()
+    for src, dst in edges:
+        if src != dst:
+            g.add_edge(src, dst)
+            nxg.add_edge(src, dst)
+    if len(nxg) == 0:
+        assert not g.has_cycle()
+    else:
+        assert g.has_cycle() == (not nx.is_directed_acyclic_graph(nxg))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_edge_lists, st.integers(0, 12), st.integers(0, 12))
+def test_reaches_matches_networkx(edges, src, dst):
+    g = Digraph()
+    nxg = nx.DiGraph()
+    for a, b in edges:
+        if a != b:
+            g.add_edge(a, b)
+            nxg.add_edge(a, b)
+    if src in g and dst in g:
+        assert g.reaches(src, dst) == nx.has_path(nxg, src, dst)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_edge_lists)
+def test_find_cycle_is_a_real_cycle(edges):
+    g = Digraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    cycle = g.find_cycle()
+    if cycle:
+        for i, node in enumerate(cycle):
+            succ = cycle[(i + 1) % len(cycle)]
+            assert succ in g.successors(node)
+    else:
+        assert not g.has_cycle()

@@ -1,0 +1,101 @@
+"""DOT export tests: structure, highlighting, escaping."""
+
+from repro import Trace, begin, end, fork, join, read, write
+from repro.analysis.graph_export import (
+    CYCLE_COLOR,
+    event_graph_dot,
+    save_dot,
+    transaction_graph_dot,
+)
+
+
+def test_transaction_graph_renders_nodes_and_edges(rho1):
+    dot = transaction_graph_dot(rho1)
+    assert dot.startswith('digraph "transactions" {')
+    assert dot.rstrip().endswith("}")
+    # Three named transactions, serial order T3 T1 T2 (edges forward).
+    assert dot.count("label=") >= 3
+    assert "->" in dot
+
+
+def test_serializable_trace_has_no_highlight(rho1):
+    assert CYCLE_COLOR not in transaction_graph_dot(rho1)
+
+
+def test_witness_cycle_is_highlighted(rho2):
+    dot = transaction_graph_dot(rho2)
+    assert CYCLE_COLOR in dot
+    assert "penwidth=2" in dot
+
+
+def test_highlight_can_be_disabled(rho2):
+    dot = transaction_graph_dot(rho2, highlight_witness=False)
+    assert CYCLE_COLOR not in dot
+
+
+def test_unary_transactions_hidden_by_default():
+    trace = Trace(
+        [
+            write("t1", "x"),  # unary
+            begin("t2"),
+            read("t2", "x"),
+            end("t2"),
+        ]
+    )
+    without = transaction_graph_dot(trace)
+    assert "(unary)" not in without
+    with_unary = transaction_graph_dot(trace, include_unary=True)
+    assert "(unary)" in with_unary
+    # The unary -> T edge only exists when unary nodes are drawn.
+    assert with_unary.count("->") > without.count("->")
+
+
+def test_event_graph_clusters_threads(rho2):
+    dot = event_graph_dot(rho2)
+    assert "subgraph cluster_0" in dot
+    assert "subgraph cluster_1" in dot
+    assert '"t1"' in dot and '"t2"' in dot
+    # Paper-style event labels: e1..e8.
+    for i in range(1, 9):
+        assert f"e{i}: " in dot
+
+
+def test_event_graph_conflict_kinds(rho2):
+    dot = event_graph_dot(rho2)
+    assert '[label="wr"]' in dot  # write->read on x and y
+    assert "style=dotted" in dot  # program order
+
+
+def test_event_graph_without_program_order(rho2):
+    dot = event_graph_dot(rho2, show_program_order=False)
+    assert "style=dotted" not in dot
+    assert '[label="wr"]' in dot
+
+
+def test_event_graph_fork_join_edges():
+    trace = Trace(
+        [
+            write("t1", "x"),
+            fork("t1", "t2"),
+            write("t2", "x"),
+            join("t1", "t2"),
+        ]
+    )
+    dot = event_graph_dot(trace)
+    assert '[label="fork"]' in dot
+    assert '[label="join"]' in dot
+    assert '[label="ww"]' in dot
+
+
+def test_quoting_of_awkward_names():
+    trace = Trace([write('t"1', 'x\\y')])
+    dot = event_graph_dot(trace)
+    assert '\\"' in dot  # the quote survived, escaped
+    assert "\\\\" in dot
+
+
+def test_save_dot(tmp_path, rho1):
+    path = tmp_path / "graph.dot"
+    dot = transaction_graph_dot(rho1)
+    save_dot(dot, path)
+    assert path.read_text(encoding="utf-8") == dot

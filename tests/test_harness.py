@@ -1,0 +1,95 @@
+"""Benchmark harness and reporting tests."""
+
+import pytest
+
+from repro.bench.harness import (
+    RowResult,
+    TimedRun,
+    run_case,
+    run_scaling,
+    run_table,
+    run_timed,
+)
+from repro.bench.reporting import (
+    format_comparison,
+    format_scaling,
+    format_table,
+)
+from repro.sim.workloads.benchmarks import TABLE2, get_case
+
+
+class TestRunTimed:
+    def test_runs_to_completion(self, rho1):
+        run = run_timed("aerodrome", rho1)
+        assert not run.timed_out
+        assert run.result.serializable
+        assert run.seconds >= 0
+        assert run.display_time != "TO"
+
+    def test_stops_at_violation(self, rho2):
+        run = run_timed("aerodrome", rho2)
+        assert run.violation is not None
+        assert run.result.events_processed == 6
+
+    def test_timeout_reported(self):
+        trace = get_case("avrora").generate(seed=1, scale=0.3)
+        run = run_timed("velodrome", trace, timeout=0.0)
+        assert run.timed_out
+        assert run.display_time == "TO"
+
+    def test_velodrome_exposes_peak_graph(self, rho1):
+        run = run_timed("velodrome", rho1)
+        assert run.peak_graph_size is not None
+        assert run.peak_graph_size >= 3
+
+    def test_aerodrome_has_no_graph(self, rho1):
+        assert run_timed("aerodrome", rho1).peak_graph_size is None
+
+
+class TestRunCase:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_case(get_case("crypt"), seed=3, scale=0.05)
+
+    def test_runs_both_algorithms(self, row):
+        assert set(row.runs) == {"aerodrome", "velodrome"}
+
+    def test_verdicts_agree(self, row):
+        assert row.verdicts_agree
+        assert row.serializable is False
+
+    def test_speedup_positive(self, row):
+        assert row.speedup > 0
+        assert row.speedup_display
+
+    def test_info_populated(self, row):
+        assert row.info.events > 0
+        assert row.info.threads == 7
+
+
+class TestRunTable:
+    def test_runs_all_rows(self):
+        results = run_table(TABLE2[:3], seed=3, scale=0.03)
+        assert len(results) == 3
+        assert all(r.verdicts_agree for r in results)
+
+    def test_formatting(self):
+        results = run_table(TABLE2[:2], seed=3, scale=0.03)
+        table = format_table(results, title="T")
+        assert "Program" in table and "Speed-up" in table
+        assert results[0].case.name in table
+        comparison = format_comparison(results)
+        assert "Match" in comparison
+
+
+class TestRunScaling:
+    def test_points_and_format(self):
+        points = run_scaling(get_case("raytracer"), sizes=[400, 800], seed=3)
+        assert [p.events >= 400 for p in points]
+        assert points[0].events < points[1].events
+        text = format_scaling(points, title="scaling")
+        assert "Events" in text and "Speed-up" in text
+
+    def test_speedup_property(self):
+        points = run_scaling(get_case("raytracer"), sizes=[500], seed=3)
+        assert points[0].speedup >= 0

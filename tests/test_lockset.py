@@ -1,0 +1,179 @@
+"""Eraser lockset analysis tests: state machine, refinement, and the
+canonical fork/join false positive."""
+
+import pytest
+
+from repro import (
+    Trace,
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    write,
+)
+from repro.analysis.lockset import (
+    LocksetAnalyzer,
+    VarState,
+    lockset_analysis,
+)
+from repro.analysis.races import find_races
+
+
+def test_virgin_to_exclusive_on_first_access():
+    analyzer = LocksetAnalyzer()
+    trace = Trace([write("t1", "x")])
+    analyzer.process(trace[0])
+    assert analyzer.state_of("x") is VarState.EXCLUSIVE
+
+
+def _run(events):
+    trace = Trace(list(events))
+    return lockset_analysis(trace)
+
+
+def test_single_thread_never_warns():
+    report = _run([write("t1", "x"), read("t1", "x"), write("t1", "x")])
+    assert report.warnings == []
+    assert report.final_states["x"] is VarState.EXCLUSIVE
+
+
+def test_consistently_locked_variable_is_clean():
+    report = _run(
+        [
+            acquire("t1", "l"),
+            write("t1", "x"),
+            release("t1", "l"),
+            acquire("t2", "l"),
+            write("t2", "x"),
+            release("t2", "l"),
+        ]
+    )
+    assert report.warnings == []
+    assert report.final_states["x"] is VarState.SHARED_MODIFIED
+
+
+def test_unprotected_shared_write_warns():
+    report = _run([write("t1", "x"), write("t2", "x")])
+    assert len(report.warnings) == 1
+    warning = report.warnings[0]
+    assert warning.variable == "x"
+    assert warning.thread == "t2"
+    assert warning.is_write
+
+
+def test_read_shared_without_locks_does_not_warn():
+    # Read-shared data is fine in Eraser: warnings only fire in
+    # SHARED_MODIFIED.
+    report = _run([write("t1", "x"), read("t2", "x"), read("t3", "x")])
+    assert report.warnings == []
+    assert report.final_states["x"] is VarState.SHARED
+
+
+def test_candidate_set_refinement_across_two_locks():
+    # t2 holds {l1,l2} at the first shared access; t1 then accesses under
+    # {l1} only — candidate set shrinks to {l1}, stays non-empty.
+    report = _run(
+        [
+            write("t1", "x"),
+            acquire("t2", "l1"),
+            acquire("t2", "l2"),
+            write("t2", "x"),
+            release("t2", "l2"),
+            release("t2", "l1"),
+            acquire("t1", "l1"),
+            write("t1", "x"),
+            release("t1", "l1"),
+        ]
+    )
+    assert report.warnings == []
+
+
+def test_refinement_to_empty_set_warns():
+    # Threads protect x with *different* locks. The first shared access
+    # initializes the candidate set to {l2}; t1's next access under l1
+    # refines it to the empty set.
+    report = _run(
+        [
+            acquire("t1", "l1"),
+            write("t1", "x"),
+            release("t1", "l1"),
+            acquire("t2", "l2"),
+            write("t2", "x"),
+            release("t2", "l2"),
+            acquire("t1", "l1"),
+            write("t1", "x"),
+            release("t1", "l1"),
+        ]
+    )
+    assert [w.variable for w in report.warnings] == ["x"]
+    assert report.warnings[0].event_idx == 7
+
+
+def test_one_warning_per_variable():
+    report = _run(
+        [
+            write("t1", "x"),
+            write("t2", "x"),
+            write("t1", "x"),
+            write("t2", "x"),
+        ]
+    )
+    assert len(report.warnings) == 1
+
+
+def test_fork_join_false_positive():
+    """The canonical Eraser false alarm: fork/join order is invisible.
+
+    The happens-before detector (FastTrack) correctly sees no race; the
+    lockset analysis flags the variable anyway.
+    """
+    trace = Trace(
+        [
+            write("t1", "x"),
+            fork("t1", "t2"),
+            write("t2", "x"),
+            join("t1", "t2"),
+            read("t1", "x"),
+        ]
+    )
+    assert find_races(trace) == []  # ground truth: ordered by fork
+    report = lockset_analysis(trace)
+    assert report.racy_variables == {"x"}
+
+
+def test_is_racy_is_online():
+    analyzer = LocksetAnalyzer()
+    events = Trace([write("t1", "x"), write("t2", "x")])
+    analyzer.process(events[0])
+    assert not analyzer.is_racy("x")
+    analyzer.process(events[1])
+    assert analyzer.is_racy("x")
+
+
+def test_locks_held_tracking():
+    analyzer = LocksetAnalyzer()
+    trace = Trace([acquire("t1", "l1"), acquire("t1", "l2"), release("t1", "l1")])
+    for event in trace:
+        analyzer.process(event)
+    assert analyzer.locks_held("t1") == frozenset({"l2"})
+    assert analyzer.locks_held("t2") == frozenset()
+
+
+def test_candidate_set_none_until_shared():
+    analyzer = LocksetAnalyzer()
+    trace = Trace([write("t1", "x")])
+    analyzer.process(trace[0])
+    assert analyzer.candidate_set("x") is None
+
+
+@pytest.mark.parametrize("n_threads", [2, 3, 4])
+def test_warning_count_bounded_by_variables(n_threads):
+    events = []
+    for v in ("a", "b"):
+        for i in range(n_threads):
+            events.append(write(f"t{i}", v))
+    report = _run(events)
+    assert len(report.warnings) == 2

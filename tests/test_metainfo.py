@@ -1,0 +1,67 @@
+"""MetaInfo analysis tests (paper tables, columns 2-6)."""
+
+from repro import (
+    Op,
+    acquire,
+    begin,
+    collect_metainfo,
+    end,
+    fork,
+    join,
+    metainfo,
+    read,
+    release,
+    trace_of,
+    write,
+)
+
+
+def test_counts_basic(rho4):
+    info = metainfo(rho4)
+    assert info.events == 12
+    assert info.threads == 3
+    assert info.locks == 0
+    assert info.variables == 3
+    assert info.transactions == 3
+
+
+def test_counts_locks_and_threads_from_targets():
+    trace = trace_of(
+        fork("t1", "t2"),
+        acquire("t2", "l1"),
+        release("t2", "l1"),
+        join("t1", "t2"),
+        join("t1", "t3"),  # t3 never acts but is counted
+    )
+    info = metainfo(trace)
+    assert info.threads == 3
+    assert info.locks == 1
+    assert info.variables == 0
+
+
+def test_nested_begins_count_once():
+    trace = trace_of(begin("t"), begin("t"), end("t"), end("t"))
+    assert metainfo(trace).transactions == 1
+
+
+def test_op_counts_and_ratios():
+    trace = trace_of(
+        read("t", "x"), read("t", "y"), write("t", "x"), begin("t"), end("t")
+    )
+    info = metainfo(trace)
+    assert info.reads == 2
+    assert info.writes == 1
+    assert info.memory_accesses == 3
+    assert info.op_counts[Op.BEGIN] == 1
+
+
+def test_streaming_over_iterator(rho1):
+    info = collect_metainfo(iter(rho1))
+    assert info.events == len(rho1)
+
+
+def test_as_row_and_str(rho1):
+    info = metainfo(rho1)
+    row = info.as_row()
+    assert row["events"] == 10
+    assert "threads=3" in str(info)

@@ -1,0 +1,71 @@
+"""Failure injection: every corruption class must be caught by the
+validator (and by nothing silently downstream)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import WellFormednessError, validate
+from repro.sim.mutations import MUTATORS, MutationError, mutate
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+
+
+def rich_trace(seed=0):
+    """A random trace guaranteed to contain locks, blocks and forks."""
+    return random_trace(
+        seed,
+        RandomTraceConfig(
+            n_threads=4,
+            n_vars=3,
+            n_locks=2,
+            length=60,
+            p_begin=0.25,
+            p_end=0.2,
+            p_lock=0.3,
+            with_forks=True,
+        ),
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(MUTATORS))
+@pytest.mark.parametrize("seed", range(3))
+def test_every_mutation_is_caught(kind, seed):
+    trace = rich_trace(seed)
+    try:
+        corrupted = mutate(trace, kind, seed=seed)
+    except MutationError:
+        pytest.skip(f"{kind} not applicable to this trace")
+    with pytest.raises(WellFormednessError):
+        validate(
+            corrupted,
+            allow_open_transactions=False,
+            allow_held_locks=False,
+            require_forked_threads=False,
+        )
+
+
+def test_unknown_mutation_rejected(rho1):
+    with pytest.raises(MutationError, match="unknown mutation"):
+        mutate(rho1, "made_up")
+
+
+def test_mutation_errors_on_missing_material(rho1):
+    # rho1 has no locks or joins.
+    with pytest.raises(MutationError):
+        mutate(rho1, "drop_release")
+    with pytest.raises(MutationError):
+        mutate(rho1, "event_after_join")
+
+
+def test_mutators_do_not_modify_input(rho2):
+    snapshot = [str(e) for e in rho2]
+    mutate(rho2, "drop_begin")
+    assert [str(e) for e in rho2] == snapshot
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_drop_begin_always_caught(seed):
+    trace = rich_trace(seed)
+    corrupted = mutate(trace, "drop_begin", seed=seed)
+    with pytest.raises(WellFormednessError):
+        validate(corrupted, allow_open_transactions=False)

@@ -1,0 +1,70 @@
+"""Exact-oracle tests on the paper's example traces."""
+
+from repro import begin, conflict_serializable, end, read, trace_of, violation_witness, write
+from repro.baselines.oracle import first_violating_prefix, transaction_graph
+
+
+class TestVerdicts:
+    def test_paper_traces(self, paper_traces):
+        for trace, expected in paper_traces:
+            assert conflict_serializable(trace) == expected, trace.name
+
+    def test_empty_trace(self):
+        assert conflict_serializable(trace_of())
+
+    def test_single_thread_always_serializable(self):
+        trace = trace_of(
+            begin("t"), write("t", "x"), end("t"), begin("t"), read("t", "x"), end("t")
+        )
+        assert conflict_serializable(trace)
+
+
+class TestTransactionGraph:
+    def test_rho1_edges(self, rho1):
+        # T1 ⋖ T2 (via x) and T3 ⋖ T1 (via z); no cycle.
+        graph = transaction_graph(rho1)
+        assert len(graph) == 3
+        assert graph.reaches(0, 1)  # T1 -> T2
+        assert graph.reaches(2, 0)  # T3 -> T1
+        assert not graph.has_cycle()
+
+    def test_rho2_cycle(self, rho2):
+        graph = transaction_graph(rho2)
+        assert graph.has_cycle()
+
+    def test_unary_transactions_participate(self):
+        # A unary read between two halves of a transaction's writes can
+        # still not form a cycle alone; but a unary write conflicting both
+        # ways with an open transaction can.
+        trace = trace_of(
+            begin("t1"),
+            write("t1", "x"),
+            write("t2", "x"),  # unary: after t1's write, before t1's read
+            read("t1", "x"),
+            end("t1"),
+        )
+        assert not conflict_serializable(trace)
+
+
+class TestWitness:
+    def test_witness_on_violation(self, rho4):
+        witness = violation_witness(rho4)
+        assert witness is not None
+        threads = {txn.thread for txn in witness}
+        assert len(witness) >= 2
+        assert threads <= {"t1", "t2", "t3"}
+
+    def test_no_witness_when_serializable(self, rho1):
+        assert violation_witness(rho1) is None
+
+
+class TestFirstViolatingPrefix:
+    def test_rho2_prefix(self, rho2):
+        # The cycle is complete once e6 = r(y) by t1 appears (1-based e6).
+        assert first_violating_prefix(rho2) == 6
+
+    def test_rho4_prefix(self, rho4):
+        assert first_violating_prefix(rho4) == 11
+
+    def test_serializable_returns_none(self, rho1):
+        assert first_violating_prefix(rho1) is None

@@ -1,0 +1,132 @@
+"""Executable versions of the paper's worked examples (Figures 1-7).
+
+Each test replays AeroDrome (Algorithm 1) on ρ2, ρ3 and ρ4 and asserts
+the exact intermediate clock values printed in Figures 5, 6 and 7, then
+that the violation fires at the event the paper says.
+"""
+
+import pytest
+
+from repro import VectorClock
+from repro.core.aerodrome import AeroDromeChecker
+
+
+def _feed(checker, trace, count):
+    """Process the first ``count`` events, returning the last violation."""
+    violation = None
+    for event in trace.events[:count]:
+        violation = checker.process(event)
+        if violation is not None:
+            break
+    return violation
+
+
+class TestFigure5Rho2:
+    """Figure 5: AeroDrome on ρ2; violation at e6 via C⊲_t1 ⊑ W_y."""
+
+    def test_clock_evolution(self, rho2):
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho2, 2) is None
+        # After the two begins: C_t1 = <2,0>, C_t2 = <0,2>.
+        assert checker.thread_clock("t1") == VectorClock([2, 0])
+        assert checker.thread_clock("t2") == VectorClock([0, 2])
+        assert checker.begin_clock("t1") == VectorClock([2, 0])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho2, 3) is None
+        # e3 = w(x): W_x = <2,0>.
+        assert checker.write_clock("x") == VectorClock([2, 0])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho2, 4) is None
+        # e4 = r(x) joins W_x into C_t2 = <2,2>.
+        assert checker.thread_clock("t2") == VectorClock([2, 2])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho2, 5) is None
+        # e5 = w(y): W_y = <2,2>.
+        assert checker.write_clock("y") == VectorClock([2, 2])
+
+    def test_violation_at_e6(self, rho2):
+        checker = AeroDromeChecker()
+        violation = _feed(checker, rho2, 6)
+        assert violation is not None
+        assert violation.event_idx == 5  # e6, 0-based
+        assert violation.thread == "t1"
+        assert violation.site == "read"
+
+
+class TestFigure6Rho3:
+    """Figure 6: AeroDrome on ρ3; violation at the end event e7."""
+
+    def test_clock_evolution(self, rho3):
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho3, 5) is None
+        # e5 = r(y) by t1 joins W_y: C_t1 = <2,2>, no violation because
+        # C⊲_t1 = <2,0> ⋢ W_y = <0,2>.
+        assert checker.thread_clock("t1") == VectorClock([2, 2])
+        assert checker.write_clock("x") == VectorClock([2, 0])
+        assert checker.write_clock("y") == VectorClock([0, 2])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho3, 6) is None
+        # e6 = r(x) by t2: C_t2 = <2,2>, still no violation.
+        assert checker.thread_clock("t2") == VectorClock([2, 2])
+
+    def test_violation_at_end_event(self, rho3):
+        checker = AeroDromeChecker()
+        violation = _feed(checker, rho3, 7)
+        assert violation is not None
+        assert violation.event_idx == 6  # e7 = <t1, end>
+        assert violation.site == "end"
+        # The cycle is closed against t2's active transaction.
+        assert violation.thread == "t2"
+
+
+class TestFigure7Rho4:
+    """Figure 7: AeroDrome on ρ4; violation at e11 via C⊲_t1 ⊑ W_z."""
+
+    def test_clock_evolution(self, rho4):
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho4, 5) is None
+        # e5 = r(x) by t2: C_t2 = <2,2,0>.
+        assert checker.thread_clock("t2") == VectorClock([2, 2, 0])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho4, 6) is None
+        # e6 = end of T2: W_y (written inside T2) absorbs C_t2 = <2,2,0>;
+        # thread clocks of t1/t3 unchanged.
+        assert checker.write_clock("y") == VectorClock([2, 2, 0])
+        assert checker.thread_clock("t1") == VectorClock([2, 0, 0])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho4, 8) is None
+        # e8 = r(y) by t3: C_t3 = <2,2,2>.
+        assert checker.thread_clock("t3") == VectorClock([2, 2, 2])
+
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho4, 9) is None
+        # e9 = w(z): W_z = <2,2,2>.
+        assert checker.write_clock("z") == VectorClock([2, 2, 2])
+
+    def test_violation_at_e11(self, rho4):
+        checker = AeroDromeChecker()
+        violation = _feed(checker, rho4, 11)
+        assert violation is not None
+        assert violation.event_idx == 10  # e11 = <t1, r(z)>
+        assert violation.thread == "t1"
+        assert violation.site == "read"
+
+
+class TestExample5Prefixes:
+    """Example 5: ρ3's prefixes — σ6 has no detectable violation yet."""
+
+    def test_sigma6_clean(self, rho3):
+        checker = AeroDromeChecker()
+        assert _feed(checker, rho3, 6) is None
+
+    def test_full_trace_detects(self, rho3):
+        checker = AeroDromeChecker()
+        result = checker.run(rho3)
+        assert not result.serializable
+        assert result.events_processed == 7  # stops at e7

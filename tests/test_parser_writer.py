@@ -1,0 +1,127 @@
+"""Parser/writer unit tests and round-trip properties."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    Op,
+    Trace,
+    dump_trace,
+    iter_events,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+from repro.trace.parser import TraceParseError, parse_line
+from repro.trace.writer import format_event
+
+
+class TestParseLine:
+    def test_read(self):
+        event = parse_line("t1|r(x)")
+        assert (event.thread, event.op, event.target) == ("t1", Op.READ, "x")
+
+    def test_whitespace_tolerated(self):
+        event = parse_line("  t1 | acq( l1 )  ")
+        assert (event.thread, event.op, event.target) == ("t1", Op.ACQUIRE, "l1")
+
+    def test_begin_without_target(self):
+        assert parse_line("t|begin").target is None
+
+    def test_begin_with_label(self):
+        assert parse_line("t|begin(work)").target == "work"
+
+    def test_case_insensitive_mnemonic(self):
+        assert parse_line("t|R(x)").op is Op.READ
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "no-pipe",
+            "t|unknownop(x)",
+            "t|r",  # read requires a target
+            "t|r()",  # empty target
+            "|r(x)",  # empty thread
+        ],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(TraceParseError):
+            parse_line(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(TraceParseError) as excinfo:
+            parse_line("garbage", line_number=42)
+        assert excinfo.value.line_number == 42
+
+
+class TestParseTrace:
+    def test_skips_comments_and_blanks(self):
+        trace = parse_trace("# header\n\nt1|w(x)\n  \n# trailing\nt2|r(x)\n")
+        assert len(trace) == 2
+
+    def test_iter_events_is_lazy(self):
+        lines = iter(["t1|w(x)", "bogus line"])
+        stream = iter_events(lines)
+        first = next(stream)
+        assert first.op is Op.WRITE
+        with pytest.raises(TraceParseError):
+            next(stream)
+
+
+class TestRoundTrip:
+    def test_dump_and_parse(self, rho4):
+        text = dump_trace(rho4)
+        again = parse_trace(text)
+        assert again == rho4
+
+    def test_save_and_load_path(self, tmp_path, rho2):
+        path = tmp_path / "rho2.std"
+        save_trace(rho2, path)
+        assert load_trace(path) == rho2
+        assert load_trace(path).name == "rho2"
+
+    def test_save_and_load_stream(self, rho1):
+        buffer = io.StringIO()
+        save_trace(rho1, buffer)
+        buffer.seek(0)
+        assert load_trace(buffer) == rho1
+
+    def test_format_event_matches_parser(self):
+        from repro import acquire, begin
+
+        for event in (acquire("t", "l"), begin("t", "m")):
+            assert parse_line(format_event(event)) == event
+
+
+_identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=8
+)
+
+
+@st.composite
+def _traces(draw):
+    trace = Trace()
+    kinds = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [Op.READ, Op.WRITE, Op.ACQUIRE, Op.RELEASE, Op.FORK, Op.JOIN]
+                ),
+                _identifiers,
+                _identifiers,
+            ),
+            max_size=30,
+        )
+    )
+    from repro.trace.events import Event
+
+    for op, thread, target in kinds:
+        trace.append(Event(thread, op, target))
+    return trace
+
+
+@given(_traces())
+def test_roundtrip_property(trace):
+    assert parse_trace(dump_trace(trace)) == trace

@@ -1,0 +1,126 @@
+"""Trace-profile tests (analysis.profile)."""
+
+from repro import Trace, acquire, begin, end, read, release, write
+from repro.analysis.profile import (
+    AccessProfile,
+    format_profile,
+    profile_trace,
+)
+from repro.sim.trace_zoo import get as zoo_get
+from repro.trace.events import Op
+
+
+def test_empty_trace():
+    profile = profile_trace(Trace([]))
+    assert profile.events == 0
+    assert profile.transactions == 0
+    assert profile.cross_thread_conflicts == 0
+    assert profile.first_cross_conflict_idx is None
+    assert profile.variables == []
+
+
+def test_op_counts_and_threads(rho2):
+    profile = profile_trace(rho2)
+    assert profile.events == 8
+    assert profile.op_counts[Op.WRITE] == 2
+    assert profile.op_counts[Op.READ] == 2
+    assert profile.op_counts[Op.BEGIN] == 2
+    assert profile.threads == ["t1", "t2"]
+
+
+def test_variable_profiles(rho2):
+    profile = profile_trace(rho2)
+    by_name = {v.name: v for v in profile.variables}
+    assert by_name["x"].reads == 1 and by_name["x"].writes == 1
+    assert by_name["x"].is_shared
+    assert set(by_name["x"].threads) == {"t1", "t2"}
+    assert profile.shared_variables == profile.variables
+
+
+def test_local_variable_not_shared():
+    trace = Trace([write("t1", "x"), read("t1", "x")])
+    profile = profile_trace(trace)
+    assert not profile.variables[0].is_shared
+
+
+def test_hot_variables_sorted_first():
+    trace = Trace(
+        [write("t1", "cold")]
+        + [read("t1", "hot") for _ in range(5)]
+        + [write("t2", "hot")]
+    )
+    profile = profile_trace(trace)
+    assert profile.variables[0].name == "hot"
+    assert profile.variables[0].total == 6
+
+
+def test_lock_profiles():
+    trace = Trace(
+        [
+            acquire("t1", "l"), release("t1", "l"),
+            acquire("t2", "l"), release("t2", "l"),
+        ]
+    )
+    profile = profile_trace(trace)
+    assert len(profile.locks) == 1
+    lock = profile.locks[0]
+    assert lock.reads == 2  # acquires
+    assert lock.writes == 2  # releases
+    assert lock.is_shared
+    # The rel(t1) -> acq(t2) hand-off is one cross-thread conflict.
+    assert profile.cross_thread_conflicts == 1
+    assert profile.first_cross_conflict_idx == 2
+
+
+def test_cross_conflict_counting(rho2):
+    profile = profile_trace(rho2)
+    # w(t1,x) -> r(t2,x) and w(t2,y) -> r(t1,y): two crossings; the
+    # first at event index 3.
+    assert profile.cross_thread_conflicts == 2
+    assert profile.first_cross_conflict_idx == 3
+
+
+def test_write_after_reads_counts_each_foreign_reader():
+    trace = Trace(
+        [
+            read("t1", "x"),
+            read("t2", "x"),
+            write("t3", "x"),  # conflicts with both foreign readers
+        ]
+    )
+    profile = profile_trace(trace)
+    assert profile.cross_thread_conflicts == 2
+
+
+def test_transaction_counts_and_histogram():
+    trace = zoo_get("locked-counter").trace()
+    profile = profile_trace(trace)
+    assert profile.transactions == 4
+    assert profile.unary_transactions == 0
+    # Each block has 6 events -> bucket [4-7].
+    assert profile.txn_length_histogram == {4: 4}
+
+
+def test_unary_transactions_counted():
+    trace = Trace([write("t1", "x"), read("t2", "x")])
+    profile = profile_trace(trace)
+    assert profile.transactions == 0
+    assert profile.unary_transactions == 2
+
+
+def test_access_profile_total():
+    profile = AccessProfile(name="x", reads=3, writes=2, threads=("t1",))
+    assert profile.total == 5
+
+
+def test_format_profile_mentions_key_lines(rho2):
+    report = format_profile(profile_trace(rho2))
+    assert "events            : 8" in report
+    assert "transactions      : 2" in report
+    assert "first cross confl : event 3/8" in report
+    assert "hot variables" in report
+
+
+def test_format_profile_no_conflicts():
+    report = format_profile(profile_trace(Trace([write("t1", "x")])))
+    assert "first cross confl : none" in report

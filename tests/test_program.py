@@ -1,0 +1,105 @@
+"""Program-model tests: builders and static validation."""
+
+import pytest
+
+from repro.sim.program import (
+    Acquire,
+    Begin,
+    End,
+    Fork,
+    Join,
+    Program,
+    ProgramError,
+    Read,
+    Release,
+    ThreadBody,
+    Write,
+    atomic,
+    flatten,
+    locked,
+    program_of,
+)
+
+
+class TestBuilders:
+    def test_atomic_wraps_body(self):
+        stmts = atomic(Read("x"), Write("x"), label="incr")
+        assert stmts[0] == Begin("incr")
+        assert stmts[-1] == End("incr")
+        assert len(stmts) == 4
+
+    def test_locked_wraps_body(self):
+        stmts = locked("l", Read("x"))
+        assert stmts == [Acquire("l"), Read("x"), Release("l")]
+
+    def test_nesting_flattens(self):
+        stmts = atomic(locked("l", Read("x")), Write("y"))
+        assert stmts == [
+            Begin(None),
+            Acquire("l"),
+            Read("x"),
+            Release("l"),
+            Write("y"),
+            End(None),
+        ]
+
+    def test_flatten_deep(self):
+        assert flatten([[Read("a")], [[Write("b")]]]) == [Read("a"), Write("b")]
+
+    def test_program_of(self):
+        program = program_of({"t1": [Read("x")], "t2": [Write("x")]})
+        assert program.thread_names() == ["t1", "t2"]
+        assert program.total_statements() == 2
+
+
+class TestValidation:
+    def test_duplicate_thread_names(self):
+        with pytest.raises(ProgramError, match="duplicate"):
+            Program([ThreadBody("t"), ThreadBody("t")])
+
+    def test_unknown_fork_target(self):
+        with pytest.raises(ProgramError, match="unknown thread"):
+            Program([ThreadBody("t", [Fork("ghost")])])
+
+    def test_self_fork(self):
+        with pytest.raises(ProgramError, match="forks/joins itself"):
+            Program([ThreadBody("t", [Fork("t")])])
+
+    def test_double_fork(self):
+        with pytest.raises(ProgramError, match="forked 2 times"):
+            Program(
+                [
+                    ThreadBody("a", [Fork("c")]),
+                    ThreadBody("b", [Fork("c")]),
+                    ThreadBody("c"),
+                ]
+            )
+
+    def test_unbalanced_end(self):
+        with pytest.raises(ProgramError, match="no matching Begin"):
+            Program([ThreadBody("t", [End()])])
+
+    def test_open_block(self):
+        with pytest.raises(ProgramError, match="open"):
+            Program([ThreadBody("t", [Begin()])])
+
+    def test_fork_cycle_has_no_root(self):
+        with pytest.raises(ProgramError, match="no root thread"):
+            Program(
+                [
+                    ThreadBody("a", [Fork("b")]),
+                    ThreadBody("b", [Fork("a")]),
+                ]
+            )
+
+    def test_root_threads(self):
+        program = Program(
+            [ThreadBody("main", [Fork("w")]), ThreadBody("w", [Read("x")])]
+        )
+        assert program.root_threads() == ["main"]
+
+    def test_body_lookup(self):
+        program = program_of({"t": [Read("x")]})
+        assert len(program.body("t")) == 1
+        with pytest.raises(KeyError):
+            program.body("ghost")

@@ -1,0 +1,63 @@
+"""Random trace generator tests: well-formedness and determinism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import metainfo, validate
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.trace.transactions import extract_transactions
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=80),
+)
+def test_always_well_formed(seed, n_threads, n_vars, n_locks, length):
+    config = RandomTraceConfig(
+        n_threads=n_threads, n_vars=n_vars, n_locks=n_locks, length=length
+    )
+    trace = random_trace(seed, config)
+    validate(trace, allow_open_transactions=False, allow_held_locks=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_with_forks_well_formed(seed):
+    config = RandomTraceConfig(n_threads=4, length=40, with_forks=True)
+    trace = random_trace(seed, config)
+    validate(
+        trace,
+        allow_open_transactions=False,
+        allow_held_locks=False,
+        require_forked_threads=True,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_all_transactions_complete(seed):
+    trace = random_trace(seed, RandomTraceConfig(length=50, p_begin=0.3))
+    index = extract_transactions(trace)
+    assert index.active_count == 0
+
+
+def test_deterministic():
+    config = RandomTraceConfig(length=100)
+    assert random_trace(42, config) == random_trace(42, config)
+    assert random_trace(42, config) != random_trace(43, config)
+
+
+def test_respects_entity_budgets():
+    config = RandomTraceConfig(n_threads=3, n_vars=2, n_locks=1, length=200)
+    info = metainfo(random_trace(0, config))
+    assert info.threads <= 3
+    assert info.variables <= 2
+    assert info.locks <= 1
+
+
+def test_name_default_and_override():
+    assert random_trace(9).name == "random-9"
+    assert random_trace(9, name="custom").name == "custom"

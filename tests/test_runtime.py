@@ -1,0 +1,150 @@
+"""Runtime tests: execution, blocking, deadlock, determinism."""
+
+import pytest
+
+from repro import Op, validate
+from repro.sim.program import (
+    Acquire,
+    Begin,
+    End,
+    Fork,
+    Join,
+    Program,
+    Read,
+    Release,
+    ThreadBody,
+    Write,
+    program_of,
+)
+from repro.sim.runtime import DeadlockError, execute
+from repro.sim.scheduler import FixedScheduler, RandomScheduler, RoundRobinScheduler
+
+
+class TestBasicExecution:
+    def test_single_thread(self):
+        program = program_of({"t": [Begin(), Write("x"), End()]})
+        trace = execute(program)
+        assert [e.op for e in trace] == [Op.BEGIN, Op.WRITE, Op.END]
+        assert all(e.thread == "t" for e in trace)
+
+    def test_round_robin_interleaving(self):
+        program = program_of({"a": [Read("x"), Read("y")], "b": [Write("z")]})
+        trace = execute(program, RoundRobinScheduler(quantum=1))
+        assert [e.thread for e in trace] == ["a", "b", "a"]
+
+    def test_output_well_formed(self):
+        program = program_of(
+            {
+                "main": [Fork("w"), Acquire("l"), Write("x"), Release("l"), Join("w")],
+                "w": [Acquire("l"), Read("x"), Release("l")],
+            }
+        )
+        trace = execute(program, RandomScheduler(seed=3), validate_output=True)
+        validate(trace, require_forked_threads=True)
+
+    def test_labels_propagate(self):
+        program = program_of({"t": [Begin("work"), End("work")]})
+        trace = execute(program)
+        assert trace[0].target == "work"
+
+
+class TestBlocking:
+    def test_lock_blocks_other_thread(self):
+        # b cannot run between a's acquire and release even though the
+        # scheduler would prefer alternating.
+        program = program_of(
+            {
+                "a": [Acquire("l"), Write("x"), Release("l")],
+                "b": [Acquire("l"), Read("x"), Release("l")],
+            }
+        )
+        trace = execute(program, RoundRobinScheduler(quantum=1))
+        acquire_indices = [e.idx for e in trace if e.op is Op.ACQUIRE]
+        release_indices = [e.idx for e in trace if e.op is Op.RELEASE]
+        assert release_indices[0] < acquire_indices[1]
+
+    def test_reentrant_lock(self):
+        program = program_of(
+            {"t": [Acquire("l"), Acquire("l"), Release("l"), Release("l")]}
+        )
+        trace = execute(program)
+        assert len(trace) == 4
+
+    def test_join_waits_for_child(self):
+        program = program_of(
+            {
+                "main": [Fork("w"), Join("w"), Read("done")],
+                "w": [Write("done")],
+            }
+        )
+        trace = execute(program, RoundRobinScheduler(quantum=1))
+        join_idx = next(e.idx for e in trace if e.op is Op.JOIN)
+        child_write = next(e.idx for e in trace if e.thread == "w")
+        assert child_write < join_idx
+
+    def test_forked_thread_waits_for_fork(self):
+        program = program_of(
+            {
+                "main": [Read("a"), Read("b"), Fork("w")],
+                "w": [Write("x")],
+            }
+        )
+        trace = execute(program, RoundRobinScheduler(quantum=1))
+        fork_idx = next(e.idx for e in trace if e.op is Op.FORK)
+        child_first = next(e.idx for e in trace if e.thread == "w")
+        assert fork_idx < child_first
+
+
+class TestDeadlock:
+    def test_lock_cycle_deadlocks(self):
+        program = program_of(
+            {
+                "a": [Acquire("l1"), Acquire("l2"), Release("l2"), Release("l1")],
+                "b": [Acquire("l2"), Acquire("l1"), Release("l1"), Release("l2")],
+            }
+        )
+        # Force the interleaving that deadlocks: a takes l1, b takes l2.
+        with pytest.raises(DeadlockError, match="waiting for lock"):
+            execute(program, FixedScheduler(["a", "b", "a", "b", "a", "b"]))
+
+    def test_never_forked_thread_detected(self):
+        # main holds the lock forever (blocked on joining w); src cannot
+        # take the lock to fork w; w never starts: a three-way deadlock.
+        program = Program(
+            [
+                ThreadBody("main", [Acquire("l"), Join("w"), Release("l")]),
+                ThreadBody("w", [Write("x")]),
+                ThreadBody("src", [Acquire("l"), Fork("w"), Release("l")]),
+            ]
+        )
+        with pytest.raises(DeadlockError, match="never forked"):
+            execute(program, RoundRobinScheduler())
+
+    def test_max_steps_guard(self):
+        program = program_of({"t": [Read("x")] * 10})
+        with pytest.raises(RuntimeError, match="exceeded"):
+            execute(program, max_steps=3)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        program = program_of(
+            {
+                "a": [Begin(), Read("x"), Write("x"), End()] * 5,
+                "b": [Begin(), Read("x"), Write("x"), End()] * 5,
+            }
+        )
+        t1 = execute(program, RandomScheduler(seed=11))
+        t2 = execute(program, RandomScheduler(seed=11))
+        assert t1 == t2
+
+    def test_different_seed_different_trace(self):
+        program = program_of(
+            {
+                "a": [Read("x")] * 10,
+                "b": [Write("y")] * 10,
+            }
+        )
+        t1 = execute(program, RandomScheduler(seed=1))
+        t2 = execute(program, RandomScheduler(seed=2))
+        assert t1 != t2

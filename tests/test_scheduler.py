@@ -1,0 +1,73 @@
+"""Scheduler tests: determinism and strategy behaviour."""
+
+import pytest
+
+from repro.sim.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_quantum_one_alternates(self):
+        scheduler = RoundRobinScheduler(quantum=1)
+        picks = [scheduler.pick(["a", "b"], i) for i in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_quantum_two_runs_pairs(self):
+        scheduler = RoundRobinScheduler(quantum=2)
+        picks = [scheduler.pick(["a", "b"], i) for i in range(6)]
+        assert picks == ["a", "a", "b", "b", "a", "a"]
+
+    def test_skips_unrunnable(self):
+        scheduler = RoundRobinScheduler(quantum=4)
+        assert scheduler.pick(["a"], 0) == "a"
+        assert scheduler.pick(["b"], 1) == "b"  # a no longer runnable
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        picks1 = [RandomScheduler(seed=5).pick(["a", "b", "c"], i) for i in range(1)]
+        scheduler1 = RandomScheduler(seed=5)
+        scheduler2 = RandomScheduler(seed=5)
+        runnable = ["a", "b", "c"]
+        seq1 = [scheduler1.pick(runnable, i) for i in range(20)]
+        seq2 = [scheduler2.pick(runnable, i) for i in range(20)]
+        assert seq1 == seq2
+
+    def test_different_seeds_differ(self):
+        runnable = ["a", "b", "c", "d"]
+        seq1 = [RandomScheduler(seed=1).pick(runnable, i) for i in range(10)]
+        seq2 = [RandomScheduler(seed=2).pick(runnable, i) for i in range(10)]
+        assert seq1 != seq2
+
+    def test_full_stickiness_never_switches(self):
+        scheduler = RandomScheduler(seed=0, stickiness=1.0)
+        first = scheduler.pick(["a", "b"], 0)
+        assert all(scheduler.pick(["a", "b"], i) == first for i in range(1, 10))
+
+    def test_stickiness_bounds(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(stickiness=1.5)
+
+
+class TestFixed:
+    def test_replays_script(self):
+        scheduler = FixedScheduler(["a", "b", "a"])
+        assert scheduler.pick(["a", "b"], 0) == "a"
+        assert scheduler.pick(["a", "b"], 1) == "b"
+
+    def test_rejects_unrunnable_choice(self):
+        scheduler = FixedScheduler(["a"])
+        with pytest.raises(ValueError, match="not runnable"):
+            scheduler.pick(["b"], 0)
+
+    def test_exhausted_script(self):
+        scheduler = FixedScheduler([])
+        with pytest.raises(IndexError):
+            scheduler.pick(["a"], 0)

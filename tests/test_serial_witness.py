@@ -1,0 +1,115 @@
+"""Serial-witness tests: existence iff serializable, and the witness is
+a serial, conflict-equivalent permutation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Trace, begin, conflict_serializable, end, read, write
+from repro.analysis.serial_witness import (
+    is_serial,
+    serial_order,
+    serial_witness,
+    verify_equivalence,
+)
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.sim.trace_zoo import all_specimens
+
+
+def test_rho1_witness_matches_example_1(rho1):
+    """Example 1 names the serial order T3 T1 T2; our deterministic
+    topological sort must produce an equivalent serial trace."""
+    witness = serial_witness(rho1)
+    assert witness is not None
+    assert is_serial(witness)
+    assert verify_equivalence(rho1, witness)
+    # The paper's ρ_serial: T3's events come before T1's continuation.
+    threads_in_order = []
+    for event in witness:
+        if not threads_in_order or threads_in_order[-1] != event.thread:
+            threads_in_order.append(event.thread)
+    # Serial means each thread's transaction appears as one block; T2
+    # must come after T1 (T1 ⋖ T2) and T3 before T1's r(z) (T3 ⋖ T1).
+    assert threads_in_order.index("t3") < threads_in_order.index("t2")
+
+
+def test_violating_traces_have_no_witness(rho2, rho3, rho4):
+    for trace in (rho2, rho3, rho4):
+        assert serial_order(trace) is None
+        assert serial_witness(trace) is None
+
+
+def test_already_serial_trace_is_its_own_shape():
+    trace = Trace(
+        [
+            begin("t1"), write("t1", "x"), end("t1"),
+            begin("t2"), read("t2", "x"), end("t2"),
+        ]
+    )
+    assert is_serial(trace)
+    witness = serial_witness(trace)
+    assert witness is not None
+    assert [e.thread for e in witness] == [e.thread for e in trace]
+
+
+def test_is_serial_detects_interruption(rho2):
+    assert not is_serial(rho2)
+
+
+def test_is_serial_detects_reentry():
+    # t1's transaction is split around t2's — even with no conflicts,
+    # that is not serial.
+    trace = Trace(
+        [
+            begin("t1"), write("t1", "x"),
+            begin("t2"), write("t2", "y"), end("t2"),
+            write("t1", "x"), end("t1"),
+        ]
+    )
+    assert not is_serial(trace)
+
+
+def test_verify_equivalence_rejects_conflict_inversion():
+    original = Trace([write("t1", "x"), write("t2", "x")])
+    swapped = Trace([write("t2", "x"), write("t1", "x")])
+    assert not verify_equivalence(original, swapped)
+
+
+def test_verify_equivalence_accepts_commuting_swap():
+    original = Trace([write("t1", "x"), write("t2", "y")])
+    swapped = Trace([write("t2", "y"), write("t1", "x")])
+    assert verify_equivalence(original, swapped)
+
+
+def test_verify_equivalence_rejects_wrong_events():
+    original = Trace([write("t1", "x")])
+    other = Trace([read("t1", "x")])
+    assert not verify_equivalence(original, other)
+    assert not verify_equivalence(original, Trace([]))
+
+
+def test_zoo_specimens():
+    for specimen in all_specimens():
+        trace = specimen.trace()
+        witness = serial_witness(trace)
+        if specimen.conflict_serializable:
+            assert witness is not None, specimen.name
+            assert is_serial(witness), specimen.name
+            assert verify_equivalence(trace, witness), specimen.name
+        else:
+            assert witness is None, specimen.name
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_witness_iff_serializable_on_random_traces(seed):
+    trace = random_trace(
+        seed,
+        RandomTraceConfig(n_threads=3, n_vars=3, n_locks=1, length=30,
+                          p_begin=0.25, p_end=0.2),
+    )
+    witness = serial_witness(trace)
+    if conflict_serializable(trace):
+        assert witness is not None
+        assert is_serial(witness)
+        assert verify_equivalence(trace, witness)
+    else:
+        assert witness is None

@@ -1,0 +1,107 @@
+"""Atomicity specification and trace filtering tests."""
+
+import pytest
+
+from repro import AtomicitySpec, apply_spec, load_spec, parse_trace, save_spec
+from repro.spec.atomicity_spec import NAIVE_EXCLUDED_METHODS
+from repro.trace.filters import strip_labels, strip_markers
+from repro.trace.metainfo import metainfo
+
+
+class TestSpecModel:
+    def test_explicit_spec(self):
+        spec = AtomicitySpec.of(["transfer", "deposit"])
+        assert spec.is_atomic("transfer")
+        assert not spec.is_atomic("main")
+
+    def test_naive_spec(self):
+        spec = AtomicitySpec.naive()
+        assert spec.is_atomic("anyMethod")
+        assert not spec.is_atomic("main")
+        assert not spec.is_atomic("run")
+        assert NAIVE_EXCLUDED_METHODS == {"main", "run"}
+
+    def test_none_spec(self):
+        spec = AtomicitySpec.none()
+        assert not spec.is_atomic("anything")
+
+    def test_unlabeled_markers_always_atomic(self):
+        assert AtomicitySpec.none().is_atomic(None)
+        assert AtomicitySpec.naive().is_atomic(None)
+
+    def test_load_save_roundtrip(self, tmp_path):
+        spec = AtomicitySpec.of(["a", "b", "c"], name="demo")
+        path = tmp_path / "demo.spec"
+        save_spec(spec, path)
+        loaded = load_spec(path)
+        assert loaded.atomic_methods == spec.atomic_methods
+        assert loaded.name == "demo"
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "s.spec"
+        path.write_text("# comment\nfoo\n\nbar\n")
+        assert load_spec(path).atomic_methods == {"foo", "bar"}
+
+    def test_save_naive_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no finite file form"):
+            save_spec(AtomicitySpec.naive(), tmp_path / "x")
+
+
+RAW = """
+t1|begin(main)
+t1|begin(transfer)
+t1|w(x)
+t1|end(transfer)
+t1|begin(log)
+t1|r(x)
+t1|end(log)
+t1|end(main)
+"""
+
+
+class TestApplySpec:
+    def test_realistic_spec_keeps_only_listed(self):
+        trace = parse_trace(RAW)
+        filtered = apply_spec(trace, AtomicitySpec.of(["transfer"]))
+        info = metainfo(filtered)
+        assert info.transactions == 1
+        assert info.events == 4  # begin, w, end for transfer + r(x) + ...
+
+    def test_naive_spec_drops_main(self):
+        trace = parse_trace(RAW)
+        filtered = apply_spec(trace, AtomicitySpec.naive())
+        info = metainfo(filtered)
+        assert info.transactions == 2  # transfer and log, not main
+
+    def test_matching_ends_follow_begin_decision(self):
+        trace = parse_trace(
+            """
+            t1|begin(keep)
+            t1|begin(drop)
+            t1|w(x)
+            t1|end(drop)
+            t1|end(keep)
+            """
+        )
+        filtered = apply_spec(trace, AtomicitySpec.of(["keep"]))
+        ops = [str(e) for e in filtered]
+        assert ops == ["t1|begin(keep)", "t1|w(x)", "t1|end(keep)"]
+
+    def test_unbalanced_end_raises(self):
+        trace = parse_trace("t1|end(x)")
+        with pytest.raises(ValueError, match="unmatched end"):
+            apply_spec(trace, AtomicitySpec.naive())
+
+    def test_strip_markers(self):
+        trace = parse_trace(RAW)
+        stripped = strip_markers(trace)
+        assert metainfo(stripped).transactions == 0
+        assert metainfo(stripped).events == 2
+
+    def test_strip_labels(self):
+        trace = parse_trace(RAW)
+        unlabeled = strip_labels(trace)
+        assert all(
+            e.target is None for e in unlabeled if e.is_marker
+        )
+        assert metainfo(unlabeled).transactions == metainfo(trace).transactions

@@ -1,0 +1,127 @@
+"""State-summary and growth-measurement tests: the Theorem 4 space
+story, asserted rather than narrated."""
+
+import pytest
+
+from repro import make_checker
+from repro.bench.memory import (
+    GrowthPoint,
+    format_growth,
+    growth_ratio,
+    sample_state_growth,
+)
+from repro.sim.runtime import execute
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.workloads.benchmarks import CASES_BY_NAME
+from repro.sim.workloads.patterns import locked_counter
+
+
+@pytest.fixture(scope="module")
+def long_fixed_universe_trace():
+    # The regime Theorem 4's space bound speaks to: a long-running
+    # program over a *fixed* set of objects (one counter, one lock,
+    # four threads) — trace length grows, the object universe does not.
+    program = locked_counter(n_threads=4, increments=150)
+    return execute(program, RoundRobinScheduler(quantum=3))
+
+
+class TestStateSummary:
+    def test_base_summary_has_position(self, rho1):
+        checker = make_checker("doublechecker")
+        checker.run(rho1)
+        assert checker.state_summary()["events_processed"] == len(rho1)
+
+    def test_aerodrome_basic_counts_per_thread_read_clocks(self, rho1):
+        checker = make_checker("aerodrome-basic")
+        checker.run(rho1)
+        summary = checker.state_summary()
+        assert summary["thread_clocks"] == 6  # 3 threads × (C_t, C⊲_t)
+        assert summary["write_clocks"] == 2  # x and z
+        assert summary["total_clocks"] == (
+            summary["thread_clocks"]
+            + summary["lock_clocks"]
+            + summary["write_clocks"]
+            + summary["read_clocks"]
+        )
+
+    def test_optimized_uses_constant_clocks_per_variable(self, rho1):
+        checker = make_checker("aerodrome")
+        checker.run(rho1)
+        summary = checker.state_summary()
+        assert summary["read_clocks"] == 2 * summary["write_clocks"]
+
+    def test_velodrome_reports_graph_size(self, rho1):
+        checker = make_checker("velodrome-nogc")
+        checker.run(rho1)
+        summary = checker.state_summary()
+        assert summary["live_nodes"] == 3
+        assert summary["peak_nodes"] >= summary["live_nodes"]
+        assert summary["edges_added"] >= summary["live_edges"]
+
+
+class TestGrowthSampling:
+    def test_rejects_zero_samples(self, rho1):
+        with pytest.raises(ValueError, match="at least one"):
+            sample_state_growth(rho1, samples=0)
+
+    def test_samples_cover_whole_trace(self, long_fixed_universe_trace):
+        points = sample_state_growth(long_fixed_universe_trace, "aerodrome", samples=5)
+        assert points[-1].events == len(long_fixed_universe_trace)
+        assert all(
+            earlier.events < later.events
+            for earlier, later in zip(points, points[1:])
+        )
+
+    def test_velodrome_nogc_state_grows_with_trace(self, long_fixed_universe_trace):
+        points = sample_state_growth(
+            long_fixed_universe_trace, "velodrome-nogc", samples=6
+        )
+        ratio = growth_ratio(points, "live_nodes")
+        events_ratio = points[-1].events / points[0].events
+        # No GC: every transaction stays live — node count tracks the
+        # event count to within a small factor.
+        assert ratio > events_ratio / 3
+
+    def test_aerodrome_state_grows_slower_than_graph(self, long_fixed_universe_trace):
+        # Theorem 4: clocks are bounded by the *object universe*
+        # (threads + variables + locks), which grows much slower than
+        # the trace; the no-GC graph is bounded only by the trace.
+        aero = sample_state_growth(long_fixed_universe_trace, "aerodrome", samples=6)
+        graph = sample_state_growth(
+            long_fixed_universe_trace, "velodrome-nogc", samples=6
+        )
+        aero_ratio = growth_ratio(aero, "total_clocks")
+        graph_ratio = growth_ratio(graph, "live_nodes")
+        assert aero_ratio < graph_ratio / 5
+        # And in absolute terms the clock count stays a small multiple
+        # of the object universe, far below the transaction count.
+        assert aero[-1].state["total_clocks"] < graph[-1].state["live_nodes"]
+
+    def test_velodrome_gc_stays_small_on_gc_friendly_shape(self):
+        trace = CASES_BY_NAME["sor"].generate(seed=7, scale=0.2)
+        points = sample_state_growth(trace, "velodrome", samples=5)
+        assert points[-1].state["live_nodes"] <= 50
+
+    def test_growth_ratio_edge_cases(self):
+        flat = [
+            GrowthPoint(1, {"k": 5}),
+            GrowthPoint(10, {"k": 5}),
+        ]
+        assert growth_ratio(flat, "k") == 1.0
+        from_zero = [GrowthPoint(1, {"k": 0}), GrowthPoint(10, {"k": 3})]
+        assert growth_ratio(from_zero, "k") == float("inf")
+        assert growth_ratio(from_zero, "missing") == 1.0
+        with pytest.raises(ValueError):
+            growth_ratio([], "k")
+
+
+class TestFormatting:
+    def test_format_growth_table(self, long_fixed_universe_trace):
+        points = sample_state_growth(long_fixed_universe_trace, "aerodrome", samples=3)
+        table = format_growth(points)
+        assert "events" in table
+        assert "total_clocks" in table
+        assert str(points[-1].events) in table
+
+    def test_format_empty(self):
+        assert format_growth([]) == "(no samples)"

@@ -1,0 +1,42 @@
+"""Trace statistics tests."""
+
+from repro import begin, end, read, trace_of, write
+from repro.analysis.stats import compute_stats
+
+
+def test_basic_stats(rho4):
+    stats = compute_stats(rho4)
+    assert stats.events_per_thread == {"t1": 4, "t2": 4, "t3": 4}
+    assert sorted(stats.txn_lengths) == [4, 4, 4]
+    assert stats.unary_events == 0
+    assert stats.max_nesting == 1
+    assert stats.mean_txn_length == 4.0
+    assert stats.max_txn_length == 4
+
+
+def test_unary_and_nesting():
+    trace = trace_of(
+        read("t", "a"),
+        begin("t"),
+        begin("t"),
+        write("t", "b"),
+        end("t"),
+        end("t"),
+        read("t", "c"),
+    )
+    stats = compute_stats(trace)
+    assert stats.unary_events == 2
+    assert stats.max_nesting == 2
+    assert stats.txn_lengths == [5]
+
+
+def test_read_write_ratio():
+    trace = trace_of(read("t", "a"), read("t", "b"), write("t", "a"))
+    assert compute_stats(trace).read_write_ratio == 2.0
+
+
+def test_empty_trace():
+    stats = compute_stats(trace_of())
+    assert stats.mean_txn_length == 0.0
+    assert stats.max_txn_length == 0
+    assert stats.read_write_ratio == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for the Trace container."""
+
+import pytest
+
+from repro import Op, Trace, acquire, begin, end, fork, read, release, trace_of, write
+
+
+@pytest.fixture
+def sample() -> Trace:
+    return trace_of(
+        begin("t1"),
+        write("t1", "x"),
+        acquire("t2", "l"),
+        read("t2", "x"),
+        release("t2", "l"),
+        fork("t1", "t3"),
+        end("t1"),
+        name="sample",
+    )
+
+
+class TestConstruction:
+    def test_append_stamps_idx(self, sample):
+        assert [e.idx for e in sample] == list(range(len(sample)))
+
+    def test_len(self, sample):
+        assert len(sample) == 7
+
+    def test_extend(self):
+        trace = Trace()
+        trace.extend([read("t", "x"), write("t", "x")])
+        assert len(trace) == 2
+        assert trace[1].idx == 1
+
+    def test_name_default(self):
+        assert Trace().name == "trace"
+
+
+class TestSequenceProtocol:
+    def test_getitem(self, sample):
+        assert sample[0].op is Op.BEGIN
+        assert sample[-1].op is Op.END
+
+    def test_slice_returns_trace(self, sample):
+        prefix = sample[:3]
+        assert isinstance(prefix, Trace)
+        assert len(prefix) == 3
+        assert [e.idx for e in prefix] == [0, 1, 2]
+
+    def test_prefix(self, sample):
+        assert len(sample.prefix(4)) == 4
+
+    def test_slice_is_a_copy(self, sample):
+        prefix = sample.prefix(2)
+        prefix.append(read("t9", "q"))
+        assert len(sample) == 7
+
+    def test_equality(self):
+        a = trace_of(read("t", "x"))
+        b = trace_of(read("t", "x"))
+        assert a == b
+        assert a != trace_of(write("t", "x"))
+
+    def test_repr(self, sample):
+        assert "sample" in repr(sample)
+        assert "7" in repr(sample)
+
+
+class TestEntityAccessors:
+    def test_threads_includes_fork_targets(self, sample):
+        assert sample.threads() == {"t1", "t2", "t3"}
+
+    def test_variables(self, sample):
+        assert sample.variables() == {"x"}
+
+    def test_locks(self, sample):
+        assert sample.locks() == {"l"}
+
+    def test_project(self, sample):
+        t2_events = sample.project("t2")
+        assert len(t2_events) == 3
+        assert all(e.thread == "t2" for e in t2_events)
+
+    def test_counts_by_op(self, sample):
+        counts = sample.counts_by_op()
+        assert counts[Op.READ] == 1
+        assert counts[Op.WRITE] == 1
+        assert counts[Op.BEGIN] == 1
+        assert counts[Op.JOIN] == 0

@@ -1,0 +1,98 @@
+"""Transaction extraction tests: nesting, unary, active transactions."""
+
+import pytest
+
+from repro import (
+    begin,
+    count_transactions,
+    end,
+    extract_transactions,
+    read,
+    trace_of,
+    write,
+)
+
+
+class TestBasicExtraction:
+    def test_single_transaction(self):
+        trace = trace_of(begin("t"), write("t", "x"), end("t"))
+        index = extract_transactions(trace)
+        assert len(index.transactions) == 1
+        txn = index.transactions[0]
+        assert txn.thread == "t"
+        assert txn.begin_idx == 0
+        assert txn.end_idx == 2
+        assert txn.event_indices == [0, 1, 2]
+        assert txn.is_completed and not txn.is_unary
+
+    def test_txn_of_mapping(self, rho1):
+        index = extract_transactions(rho1)
+        # e1..e2 and e9..e10 belong to T1; e3..e5 to T2; e6..e8 to T3.
+        assert index.txn_of[0] == index.txn_of[1] == index.txn_of[8] == index.txn_of[9]
+        assert index.txn_of[2] == index.txn_of[3] == index.txn_of[4]
+        assert index.txn_of[5] == index.txn_of[6] == index.txn_of[7]
+        assert index.non_unary_count == 3
+
+    def test_transaction_of(self, rho1):
+        index = extract_transactions(rho1)
+        assert index.transaction_of(3).thread == "t2"
+
+
+class TestNesting:
+    def test_nested_blocks_flattened(self):
+        trace = trace_of(
+            begin("t"),
+            begin("t"),
+            write("t", "x"),
+            end("t"),
+            end("t"),
+        )
+        index = extract_transactions(trace)
+        assert len(index.transactions) == 1
+        txn = index.transactions[0]
+        assert txn.begin_idx == 0
+        assert txn.end_idx == 4
+        assert len(txn) == 5
+
+    def test_sequential_transactions(self):
+        trace = trace_of(begin("t"), end("t"), begin("t"), end("t"))
+        index = extract_transactions(trace)
+        assert index.non_unary_count == 2
+
+
+class TestUnary:
+    def test_events_outside_blocks_are_unary(self):
+        trace = trace_of(read("t", "x"), begin("t"), write("t", "x"), end("t"))
+        index = extract_transactions(trace)
+        assert len(index.transactions) == 2
+        unary = index.transactions[0]
+        assert unary.is_unary
+        assert unary.is_completed
+        assert len(unary) == 1
+
+    def test_each_unary_event_its_own_transaction(self):
+        trace = trace_of(read("t", "x"), read("t", "y"))
+        index = extract_transactions(trace)
+        assert len(index.transactions) == 2
+
+
+class TestActive:
+    def test_open_transaction_is_active(self):
+        trace = trace_of(begin("t"), write("t", "x"))
+        index = extract_transactions(trace)
+        assert index.transactions[0].is_active
+        assert index.active_count == 1
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError, match="end without matching begin"):
+            extract_transactions(trace_of(end("t")))
+
+
+class TestCounting:
+    def test_count_matches_paper_columns(self, rho4):
+        assert count_transactions(rho4) == 3
+
+    def test_count_with_unary(self):
+        trace = trace_of(read("t", "x"), begin("t"), end("t"))
+        assert count_transactions(trace) == 1
+        assert count_transactions(trace, include_unary=True) == 2

@@ -1,0 +1,166 @@
+"""Vector clock unit tests and lattice-law properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ThreadRegistry, VectorClock
+
+
+class TestBasics:
+    def test_bottom(self):
+        assert VectorClock.bottom(3).as_tuple() == (0, 0, 0)
+        assert VectorClock.bottom(3).is_bottom()
+
+    def test_unit(self):
+        assert VectorClock.unit(1).as_tuple() == (0, 1)
+        assert VectorClock.unit(0, value=5, size=3).as_tuple() == (5, 0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock([1, -1])
+        with pytest.raises(ValueError):
+            VectorClock([1]).set_component(0, -2)
+
+    def test_get_beyond_length_is_zero(self):
+        assert VectorClock([1, 2]).get(7) == 0
+
+    def test_set_component_grows(self):
+        clock = VectorClock([1])
+        clock.set_component(3, 9)
+        assert clock.as_tuple() == (1, 0, 0, 9)
+
+    def test_increment(self):
+        clock = VectorClock([1, 2])
+        clock.increment(0)
+        clock.increment(4, amount=3)
+        assert clock.as_tuple() == (2, 2, 0, 0, 3)
+
+    def test_copy_is_independent(self):
+        a = VectorClock([1, 2])
+        b = a.copy()
+        b.increment(0)
+        assert a.as_tuple() == (1, 2)
+
+    def test_assign(self):
+        a, b = VectorClock([1]), VectorClock([5, 6])
+        a.assign(b)
+        assert a == b
+        b.increment(0)
+        assert a != b
+
+
+class TestOrder:
+    def test_leq_same_length(self):
+        assert VectorClock([1, 2]).leq(VectorClock([1, 3]))
+        assert not VectorClock([2, 0]).leq(VectorClock([1, 3]))
+
+    def test_leq_shorter_left(self):
+        assert VectorClock([1]).leq(VectorClock([1, 5]))
+
+    def test_leq_longer_left_with_zeros(self):
+        assert VectorClock([1, 0, 0]).leq(VectorClock([2]))
+        assert not VectorClock([1, 0, 1]).leq(VectorClock([2]))
+
+    def test_bottom_below_everything(self):
+        assert VectorClock.bottom().leq(VectorClock([0, 0, 4]))
+
+    def test_incomparable(self):
+        a, b = VectorClock([1, 0]), VectorClock([0, 1])
+        assert not a.leq(b) and not b.leq(a)
+
+
+class TestJoin:
+    def test_join_in_place(self):
+        a = VectorClock([1, 5, 0])
+        a.join(VectorClock([2, 3]))
+        assert a.as_tuple() == (2, 5, 0)
+
+    def test_join_grows(self):
+        a = VectorClock([1])
+        a.join(VectorClock([0, 0, 7]))
+        assert a.as_tuple() == (1, 0, 7)
+
+    def test_joined_functional(self):
+        a = VectorClock([1, 0])
+        b = a.joined(VectorClock([0, 2]))
+        assert a.as_tuple() == (1, 0)
+        assert b.as_tuple() == (1, 2)
+
+    def test_with_component(self):
+        a = VectorClock([1, 2])
+        assert a.with_component(0, 9).as_tuple() == (9, 2)
+        assert a.as_tuple() == (1, 2)
+
+    def test_zeroed(self):
+        assert VectorClock([3, 4]).zeroed(0).as_tuple() == (0, 4)
+
+
+class TestEquality:
+    def test_trailing_zeros_ignored(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2, 0, 0])
+        assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2, 0]))
+
+    def test_not_equal(self):
+        assert VectorClock([1]) != VectorClock([2])
+        assert VectorClock([1]) != (1,)
+
+    def test_repr(self):
+        assert repr(VectorClock([1, 2])) == "⟨1,2⟩"
+
+
+_clocks = st.builds(
+    VectorClock, st.lists(st.integers(min_value=0, max_value=8), max_size=5)
+)
+
+
+@given(_clocks, _clocks)
+def test_join_commutative(a, b):
+    assert a.joined(b) == b.joined(a)
+
+
+@given(_clocks, _clocks, _clocks)
+def test_join_associative(a, b, c):
+    assert a.joined(b).joined(c) == a.joined(b.joined(c))
+
+
+@given(_clocks)
+def test_join_idempotent(a):
+    assert a.joined(a) == a
+
+
+@given(_clocks, _clocks)
+def test_join_is_least_upper_bound(a, b):
+    j = a.joined(b)
+    assert a.leq(j) and b.leq(j)
+
+
+@given(_clocks, _clocks)
+def test_leq_antisymmetric(a, b):
+    if a.leq(b) and b.leq(a):
+        assert a == b
+
+
+@given(_clocks, _clocks, _clocks)
+def test_leq_transitive(a, b, c):
+    if a.leq(b) and b.leq(c):
+        assert a.leq(c)
+
+
+@given(_clocks, _clocks)
+def test_leq_iff_join_absorbs(a, b):
+    assert a.leq(b) == (a.joined(b) == b)
+
+
+class TestThreadRegistry:
+    def test_interning(self):
+        registry = ThreadRegistry()
+        assert registry.index_of("a") == 0
+        assert registry.index_of("b") == 1
+        assert registry.index_of("a") == 0
+        assert len(registry) == 2
+
+    def test_name_of(self):
+        registry = ThreadRegistry(["x", "y"])
+        assert registry.name_of(1) == "y"
+        assert "x" in registry
+        assert registry.names() == ["x", "y"]

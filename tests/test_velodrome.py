@@ -1,0 +1,174 @@
+"""Velodrome baseline tests: verdicts, edges, garbage collection."""
+
+import pytest
+
+from repro import (
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    trace_of,
+    write,
+)
+from repro.baselines.velodrome import VelodromeChecker
+
+
+def run(*events, gc=True):
+    checker = VelodromeChecker(garbage_collect=gc)
+    result = checker.run(trace_of(*events))
+    return checker, result
+
+
+class TestVerdicts:
+    def test_paper_traces(self, paper_traces):
+        for trace, expected in paper_traces:
+            for gc in (True, False):
+                result = VelodromeChecker(garbage_collect=gc).run(trace)
+                assert result.serializable == expected, (trace.name, gc)
+
+    def test_algorithm_names(self):
+        assert VelodromeChecker().algorithm == "velodrome"
+        assert VelodromeChecker(garbage_collect=False).algorithm == "velodrome-nogc"
+
+    def test_unary_only_trace_serializable(self):
+        _, result = run(
+            write("t1", "x"), read("t2", "x"), write("t1", "x"), read("t2", "x")
+        )
+        assert result.serializable
+
+    def test_violation_reports_event_index(self, rho2):
+        result = VelodromeChecker().run(rho2)
+        assert result.violation.event_idx == 5
+        assert result.violation.site == "cycle"
+
+
+class TestEdges:
+    def test_program_order_chains_transactions(self):
+        checker, _ = run(begin("t"), end("t"), begin("t"), end("t"), gc=False)
+        # Two transactions linked by program order.
+        assert checker.graph.edge_count() >= 1
+
+    def test_fork_edge(self):
+        _, result = run(
+            begin("t1"),
+            write("t1", "x"),
+            fork("t1", "t2"),
+            read("t2", "x"),
+            write("t2", "y"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+    def test_join_edge(self):
+        _, result = run(
+            fork("t1", "t2"),
+            begin("t1"),
+            write("t1", "x"),
+            read("t2", "x"),
+            write("t2", "y"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+    def test_lock_edge(self):
+        _, result = run(
+            begin("t1"),
+            acquire("t1", "l"),
+            write("t1", "x"),
+            release("t1", "l"),
+            acquire("t2", "l"),
+            read("t2", "x"),
+            write("t2", "y"),
+            release("t2", "l"),
+            read("t1", "y"),
+            end("t1"),
+        )
+        assert not result.serializable
+
+    def test_readers_cleared_on_write(self):
+        checker, _ = run(
+            read("t1", "x"), read("t2", "x"), write("t3", "x"), gc=False
+        )
+        assert checker._last_readers.get("x") in (None, {})
+
+
+class TestGarbageCollection:
+    def test_gc_keeps_graph_small_on_independent_txns(self):
+        events = []
+        for i in range(50):
+            thread = f"t{i % 3}"
+            events.extend(
+                [
+                    begin(thread),
+                    read(thread, f"{thread}_v"),
+                    write(thread, f"{thread}_v"),
+                    end(thread),
+                ]
+            )
+        checker, result = run(*events, gc=True)
+        assert result.serializable
+        assert checker.graph_size <= 6
+
+    def test_nogc_graph_grows(self):
+        events = []
+        for i in range(50):
+            thread = f"t{i % 3}"
+            events.extend(
+                [begin(thread), write(thread, f"{thread}_v"), end(thread)]
+            )
+        checker, _ = run(*events, gc=False)
+        assert checker.graph_size == 50
+        assert checker.peak_graph_size == 50
+
+    def test_gc_cascades(self):
+        # A chain of completed transactions collapses entirely.
+        events = []
+        for i in range(10):
+            events.extend([begin("t1"), write("t1", "x"), end("t1")])
+        checker, _ = run(*events, gc=True)
+        assert checker.graph_size <= 1
+
+    def test_open_transaction_pins_successors(self):
+        checker, _ = run(
+            begin("t1"),
+            write("t1", "g"),
+            begin("t2"),
+            read("t2", "g"),
+            end("t2"),
+            begin("t2"),
+            read("t2", "g"),
+            end("t2"),
+        )
+        # t1 still open; both t2 transactions hang off it.
+        assert checker.graph_size == 3
+
+    def test_gc_does_not_change_verdicts(self, paper_traces):
+        for trace, _ in paper_traces:
+            with_gc = VelodromeChecker(garbage_collect=True).run(trace)
+            without = VelodromeChecker(garbage_collect=False).run(trace)
+            assert with_gc.serializable == without.serializable
+
+
+class TestStopping:
+    def test_processing_after_violation_raises(self, rho2):
+        checker = VelodromeChecker()
+        checker.run(rho2)
+        with pytest.raises(RuntimeError, match="already found"):
+            checker.process(read("t9", "q"))
+
+    def test_reset_preserves_gc_flag(self, rho2):
+        checker = VelodromeChecker(garbage_collect=False)
+        checker.run(rho2)
+        checker.reset()
+        assert checker.garbage_collect is False
+        assert checker.violation is None
+
+    def test_unmatched_end_raises(self):
+        checker = VelodromeChecker()
+        with pytest.raises(ValueError, match="end without matching begin"):
+            checker.run(trace_of(end("t1")))

@@ -1,0 +1,151 @@
+"""View serializability tests.
+
+Includes the classic blind-write separation (view- but not
+conflict-serializable) and the containment property
+"conflict serializable ⇒ view serializable" on random traces.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import Trace, begin, conflict_serializable, end, read, write
+from repro.analysis.view_serializability import (
+    INITIAL,
+    MAX_TRANSACTIONS,
+    TooManyTransactions,
+    serializing_order,
+    view_profile,
+    view_serializable,
+)
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.trace.transactions import extract_transactions
+
+
+def blind_write_trace() -> Trace:
+    """The textbook separation: r1(x) w2(x) w1(x) w3(x).
+
+    View equivalent to the serial order T1 T2 T3 (the read still sees
+    the initial value; T3's blind write is final either way), but the
+    conflict graph has the cycle T1 ⇄ T2.
+    """
+    return Trace(
+        [
+            begin("t1"),
+            read("t1", "x"),
+            begin("t2"),
+            write("t2", "x"),
+            end("t2"),
+            write("t1", "x"),
+            end("t1"),
+            begin("t3"),
+            write("t3", "x"),
+            end("t3"),
+        ]
+    )
+
+
+# -- profiles ----------------------------------------------------------------
+
+
+def test_profile_reads_from_initial():
+    trace = Trace([read("t1", "x")])
+    profile = view_profile(trace)
+    assert profile.reads_from == ((0, INITIAL),)
+    assert profile.final_writes == ()
+
+
+def test_profile_reads_from_latest_write():
+    trace = Trace(
+        [write("t1", "x"), write("t2", "x"), read("t1", "x")]
+    )
+    profile = view_profile(trace)
+    assert profile.reads_from == ((2, 1),)
+    assert profile.final_writes == (("x", 1),)
+
+
+# -- verdicts ----------------------------------------------------------------
+
+
+def test_serial_trace_is_view_serializable(rho1):
+    assert view_serializable(rho1)
+
+
+def test_conflict_violation_that_is_also_view_violation(rho2):
+    assert not view_serializable(rho2)
+
+
+def test_rho3_not_view_serializable(rho3):
+    # Both orders change what the reads observe.
+    assert not view_serializable(rho3)
+
+
+def test_blind_write_separation():
+    trace = blind_write_trace()
+    assert not conflict_serializable(trace)
+    assert view_serializable(trace)
+    order = serializing_order(trace)
+    txns = extract_transactions(trace)
+    threads = [txns.transactions[tid].thread for tid in order]
+    assert threads == ["t1", "t2", "t3"]
+
+
+def test_serializing_order_respects_program_order():
+    # Two transactions of the same thread must stay in trace order even
+    # if swapping them would also be view equivalent.
+    trace = Trace(
+        [
+            begin("t1"),
+            write("t1", "x"),
+            end("t1"),
+            begin("t1"),
+            write("t1", "x"),
+            end("t1"),
+        ]
+    )
+    assert serializing_order(trace) == [0, 1]
+
+
+def test_too_many_transactions_raises():
+    events = []
+    for i in range(MAX_TRANSACTIONS + 1):
+        events.extend([begin("t1"), write("t1", "x"), end("t1")])
+    with pytest.raises(TooManyTransactions):
+        view_serializable(Trace(events))
+
+
+def test_unary_transactions_participate():
+    # Events outside blocks are unary transactions; they count toward
+    # the serial order and the profile.
+    trace = Trace([write("t1", "x"), read("t2", "x")])
+    assert view_serializable(trace)
+    assert serializing_order(trace) == [0, 1]
+
+
+# -- containment property -----------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_conflict_serializable_implies_view_serializable(seed):
+    cfg = RandomTraceConfig(
+        n_threads=2, n_vars=2, n_locks=0, length=12, p_begin=0.3, p_end=0.3
+    )
+    trace = random_trace(seed, cfg)
+    txns = extract_transactions(trace)
+    assume(len(txns.transactions) <= 7)
+    if conflict_serializable(trace):
+        assert view_serializable(trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_view_violation_implies_conflict_violation(seed):
+    # Contrapositive of the same containment, exercised independently.
+    cfg = RandomTraceConfig(
+        n_threads=3, n_vars=2, n_locks=0, length=10, p_begin=0.35, p_end=0.3
+    )
+    trace = random_trace(seed, cfg)
+    txns = extract_transactions(trace)
+    assume(len(txns.transactions) <= 6)
+    if not view_serializable(trace):
+        assert not conflict_serializable(trace)

@@ -1,0 +1,147 @@
+"""Well-formedness validator tests: each assumption of paper §2."""
+
+import pytest
+
+from repro import (
+    WellFormednessError,
+    acquire,
+    begin,
+    end,
+    fork,
+    is_well_formed,
+    join,
+    read,
+    release,
+    trace_of,
+    validate,
+    write,
+)
+
+
+class TestLockDiscipline:
+    def test_double_acquire_by_other_thread(self):
+        trace = trace_of(acquire("t1", "l"), acquire("t2", "l"))
+        with pytest.raises(WellFormednessError, match="while held by"):
+            validate(trace)
+
+    def test_reentrant_acquire_allowed(self):
+        trace = trace_of(
+            acquire("t1", "l"),
+            acquire("t1", "l"),
+            release("t1", "l"),
+            release("t1", "l"),
+        )
+        validate(trace)
+
+    def test_release_without_acquire(self):
+        with pytest.raises(WellFormednessError, match="released"):
+            validate(trace_of(release("t1", "l")))
+
+    def test_release_by_non_holder(self):
+        trace = trace_of(acquire("t1", "l"), release("t2", "l"))
+        with pytest.raises(WellFormednessError, match="held by"):
+            validate(trace)
+
+    def test_lock_freed_after_release(self):
+        trace = trace_of(
+            acquire("t1", "l"),
+            release("t1", "l"),
+            acquire("t2", "l"),
+            release("t2", "l"),
+        )
+        validate(trace)
+
+    def test_held_lock_at_end_optional(self):
+        trace = trace_of(acquire("t1", "l"))
+        validate(trace)  # permissive default
+        with pytest.raises(WellFormednessError, match="still held"):
+            validate(trace, allow_held_locks=False)
+
+
+class TestTransactionDiscipline:
+    def test_end_without_begin(self):
+        with pytest.raises(WellFormednessError, match="without matching begin"):
+            validate(trace_of(end("t1")))
+
+    def test_nesting_allowed(self):
+        validate(trace_of(begin("t"), begin("t"), end("t"), end("t")))
+
+    def test_open_transaction_optional(self):
+        trace = trace_of(begin("t1"), write("t1", "x"))
+        validate(trace)
+        with pytest.raises(WellFormednessError, match="open transaction"):
+            validate(trace, allow_open_transactions=False)
+
+    def test_end_in_other_thread_not_matched(self):
+        with pytest.raises(WellFormednessError):
+            validate(trace_of(begin("t1"), end("t2")))
+
+
+class TestForkJoinDiscipline:
+    def test_fork_after_child_started(self):
+        trace = trace_of(write("t2", "x"), fork("t1", "t2"))
+        with pytest.raises(WellFormednessError, match="after its first event"):
+            validate(trace)
+
+    def test_event_after_join(self):
+        trace = trace_of(fork("t1", "t2"), write("t2", "x"), join("t1", "t2"), write("t2", "y"))
+        with pytest.raises(WellFormednessError, match="after being joined"):
+            validate(trace)
+
+    def test_double_fork(self):
+        trace = trace_of(fork("t1", "t2"), fork("t3", "t2"))
+        with pytest.raises(WellFormednessError, match="forked twice"):
+            validate(trace)
+
+    def test_double_join(self):
+        trace = trace_of(
+            fork("t1", "t2"),
+            join("t1", "t2"),
+            join("t1", "t2"),
+        )
+        with pytest.raises(WellFormednessError, match="joined more than once"):
+            validate(trace)
+
+    def test_self_fork(self):
+        with pytest.raises(WellFormednessError, match="forks itself"):
+            validate(trace_of(fork("t1", "t1")))
+
+    def test_self_join(self):
+        with pytest.raises(WellFormednessError, match="joins itself"):
+            validate(trace_of(join("t1", "t1")))
+
+    def test_unforked_thread_allowed_by_default(self):
+        validate(trace_of(write("t1", "x"), write("t2", "x")))
+
+    def test_require_forked_threads(self):
+        trace = trace_of(write("t1", "x"), write("t2", "x"))
+        with pytest.raises(WellFormednessError, match="before being forked"):
+            validate(trace, require_forked_threads=True)
+
+    def test_forked_discipline_ok(self):
+        trace = trace_of(
+            write("t1", "x"),
+            fork("t1", "t2"),
+            write("t2", "y"),
+            join("t1", "t2"),
+        )
+        validate(trace, require_forked_threads=True)
+
+
+class TestPaperTraces:
+    def test_paper_traces_well_formed(self, paper_traces):
+        for trace, _ in paper_traces:
+            validate(trace, allow_open_transactions=False, allow_held_locks=False)
+
+    def test_is_well_formed_wrapper(self):
+        assert is_well_formed(trace_of(begin("t"), end("t")))
+        assert not is_well_formed(trace_of(end("t")))
+
+    def test_error_reports_event(self):
+        try:
+            validate(trace_of(begin("t"), end("t"), end("t")))
+        except WellFormednessError as error:
+            assert error.event is not None
+            assert error.event.idx == 2
+        else:  # pragma: no cover
+            pytest.fail("expected WellFormednessError")
