@@ -1,0 +1,7 @@
+"""Benchmark suite (pytest-benchmark based), run explicitly via
+``PYTHONPATH=src python -m pytest benchmarks``.
+
+This package marker gives every benchmark module a qualified name
+(``benchmarks.test_table1`` etc.) so the basenames shared with the
+tier-1 suite in ``tests/`` can never collide during collection.
+"""

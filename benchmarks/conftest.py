@@ -1,8 +1,15 @@
 """Shared benchmark fixtures: traces are generated once per session so
 only analysis time is measured (the paper times analysis on pre-logged
-traces, Appendix D)."""
+traces, Appendix D).
+
+``SCALE`` and ``SEED`` can be overridden through the environment —
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SEED`` — so CI can smoke-test the
+suite (e.g. ``REPRO_BENCH_SCALE=0.05``) without editing source.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -10,13 +17,17 @@ from repro.sim.workloads.benchmarks import CASES_BY_NAME
 
 #: Scale factor applied to every benchmark trace. 1.0 reproduces the
 #: sizes in DESIGN.md §5; lower it to smoke-test the suite quickly.
-SCALE = 1.0
-SEED = 7
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
 
 _cache = {}
 
 
-def trace_for(name: str, scale: float = SCALE, seed: int = SEED):
+def trace_for(name: str, scale: float = None, seed: int = None):
+    if scale is None:
+        scale = SCALE
+    if seed is None:
+        seed = SEED
     key = (name, scale, seed)
     if key not in _cache:
         _cache[key] = CASES_BY_NAME[name].generate(seed=seed, scale=scale)

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Standalone driver for the packed-vs-seed throughput benchmark.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py                 # full run
+    PYTHONPATH=src python benchmarks/perf_harness.py --scale 0.05 \\
+        --repeats 1 --check -o BENCH_SMOKE.json                      # CI smoke
+
+Equivalent to ``repro bench``; all the logic lives in
+:mod:`repro.bench.perf` so the CLI and this script cannot drift. The
+report schema is documented in ``docs/PERF.md``.
+"""
+
+import sys
+
+from repro.bench.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ import pytest
 from repro.core.checker import make_checker
 from repro.core.vector_clock import VectorClock
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 #: A coordinator workload at a size where algorithmic differences are
 #: visible but the slowest variant still finishes in seconds.

@@ -24,7 +24,7 @@ import pytest
 
 from repro.core.checker import make_checker
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 CASE = "elevator"
 

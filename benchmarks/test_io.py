@@ -15,7 +15,7 @@ from repro.trace.binary import read_binary, write_binary
 from repro.trace.parser import parse_trace
 from repro.trace.writer import dump_trace
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 NAME, SCALE = "moldyn", 0.2
 

@@ -20,7 +20,7 @@ from repro.baselines.atomizer import AtomizerChecker
 from repro.baselines.lock_models import FarzanMadhusudanChecker, LockModel
 from repro.core.checker import make_checker
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 #: A serializable, lock-heavy workload so every analysis consumes the
 #: entire trace (no early exit skews the comparison).

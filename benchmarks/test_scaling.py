@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.checker import make_checker
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 SIZES = [4_000, 8_000, 16_000, 32_000]
 BASE_EVENTS = 50_000  # the raytracer case's nominal size

@@ -18,7 +18,7 @@ from repro.core.multi import find_all_violations
 from repro.core.sharded import ShardedAeroDromeChecker
 from repro.core.snapshot import snapshot
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 CASE, SCALE = "elevator", 0.5
 

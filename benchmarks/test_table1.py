@@ -15,7 +15,7 @@ import pytest
 from repro.core.checker import make_checker
 from repro.sim.workloads.benchmarks import TABLE1
 
-from conftest import trace_for
+from benchmarks.conftest import trace_for
 
 
 def _run(algorithm, trace):

@@ -78,6 +78,7 @@ from .trace.events import (
 )
 from .trace.filters import apply_spec, strip_markers
 from .trace.metainfo import MetaInfo, collect_metainfo, metainfo
+from .trace.packed import Interner, PackedTrace, pack
 from .trace.parser import iter_events, load_trace, parse_trace
 from .trace.trace import Trace, trace_of
 from .trace.transactions import count_transactions, extract_transactions
@@ -110,6 +111,9 @@ __all__ = [
     "Event",
     "Op",
     "Trace",
+    "PackedTrace",
+    "pack",
+    "Interner",
     "trace_of",
     "read",
     "write",

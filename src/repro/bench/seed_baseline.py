@@ -1,0 +1,566 @@
+"""Frozen seed baseline: the pre-packed-trace checker, verbatim.
+
+``BENCH_PR1.json``'s headline speedups are measured against *the seed
+string path* — the checker and vector clock exactly as they were in the
+seed commit, before the packed-trace fast path landed. Measuring against
+the live string adapter would understate the win (the adapter shares the
+reworked core) and drift as the core evolves; this module pins the
+baseline instead, the way a performance PR pins its "before" build.
+
+Nothing here is exported for analysis use. The only consumer is
+:mod:`repro.bench.perf`. Do not "fix" or optimize this file: its value
+is that it does not change.
+
+Contents are the seed revisions of ``core/vector_clock.py`` (list-backed
+clocks) and ``core/aerodrome_opt.py`` (string-keyed optimized AeroDrome),
+renamed with a ``Seed`` prefix and rewired to use the frozen clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.checker import StreamingChecker
+from ..core.violations import Violation
+from ..trace.events import Event, Op
+
+class SeedVectorClock:
+    """A mutable vector time.
+
+    The in-place operations (:meth:`join`, :meth:`set_component`,
+    :meth:`increment`, :meth:`assign`) are the workhorses of the analysis
+    loops; the functional variants (:meth:`joined`, :meth:`with_component`)
+    are for tests and expository code.
+    """
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: Iterable[int] = ()) -> None:
+        self._times: List[int] = list(times)
+        if any(t < 0 for t in self._times):
+            raise ValueError("vector times are non-negative")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def bottom(cls, size: int = 0) -> "SeedVectorClock":
+        """The minimum time ⊥ (all zeros)."""
+        return cls([0] * size)
+
+    @classmethod
+    def unit(cls, thread: int, value: int = 1, size: int = 0) -> "SeedVectorClock":
+        """⊥[value/thread] — the initial clock C_t = ⊥[1/t]."""
+        clock = cls.bottom(max(size, thread + 1))
+        clock._times[thread] = value
+        return clock
+
+    def copy(self) -> "SeedVectorClock":
+        clock = SeedVectorClock.__new__(SeedVectorClock)
+        clock._times = self._times[:]
+        return clock
+
+    # -- component access ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def get(self, thread: int) -> int:
+        """Component ``V(thread)`` (0 if beyond the stored length)."""
+        if thread < len(self._times):
+            return self._times[thread]
+        return 0
+
+    def _grow(self, size: int) -> None:
+        if size > len(self._times):
+            self._times.extend([0] * (size - len(self._times)))
+
+    def set_component(self, thread: int, value: int) -> None:
+        """In-place ``V(thread) := value``."""
+        if value < 0:
+            raise ValueError("vector times are non-negative")
+        self._grow(thread + 1)
+        self._times[thread] = value
+
+    def increment(self, thread: int, amount: int = 1) -> None:
+        """In-place ``V(thread) := V(thread) + amount``."""
+        self._grow(thread + 1)
+        self._times[thread] += amount
+
+    def assign(self, other: "SeedVectorClock") -> None:
+        """In-place copy: ``V := other``."""
+        self._times[:] = other._times
+
+    # -- lattice operations ----------------------------------------------------
+
+    def leq(self, other: "SeedVectorClock") -> bool:
+        """The partial order ``self ⊑ other``."""
+        mine = self._times
+        theirs = other._times
+        if len(mine) <= len(theirs):
+            for a, b in zip(mine, theirs):
+                if a > b:
+                    return False
+            return True
+        for i, a in enumerate(mine):
+            b = theirs[i] if i < len(theirs) else 0
+            if a > b:
+                return False
+        return True
+
+    def join(self, other: "SeedVectorClock") -> None:
+        """In-place join: ``V := V ⊔ other``."""
+        theirs = other._times
+        self._grow(len(theirs))
+        mine = self._times
+        for i, b in enumerate(theirs):
+            if b > mine[i]:
+                mine[i] = b
+
+    def joined(self, other: "SeedVectorClock") -> "SeedVectorClock":
+        """Functional join: ``V ⊔ other`` as a new clock."""
+        result = self.copy()
+        result.join(other)
+        return result
+
+    def with_component(self, thread: int, value: int) -> "SeedVectorClock":
+        """Functional ``V[value/thread]`` as a new clock."""
+        result = self.copy()
+        result.set_component(thread, value)
+        return result
+
+    def zeroed(self, thread: int) -> "SeedVectorClock":
+        """``V[0/thread]`` — used by the check-read clock hR_x (App. C.1)."""
+        return self.with_component(thread, 0)
+
+    def is_bottom(self) -> bool:
+        return not any(self._times)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeedVectorClock):
+            return NotImplemented
+        mine, theirs = self._times, other._times
+        if len(mine) < len(theirs):
+            mine, theirs = theirs, mine
+        return mine[: len(theirs)] == theirs and not any(mine[len(theirs):])
+
+    def __hash__(self) -> int:
+        times = self._times[:]
+        while times and times[-1] == 0:
+            times.pop()
+        return hash(tuple(times))
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(t) for t in self._times)
+        return f"⟨{inner}⟩"
+
+    def as_tuple(self) -> tuple:
+        return tuple(self._times)
+
+
+
+
+class _SeedThreadState:
+    """Per-thread analysis state (C_t, C⊲_t, nesting, update sets)."""
+
+    __slots__ = (
+        "index",
+        "name",
+        "clock",
+        "begin_clock",
+        "depth",
+        "txn_serial",
+        "update_reads",
+        "update_writes",
+        "parent_txn",
+    )
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        self.clock = SeedVectorClock.unit(index)
+        self.begin_clock = SeedVectorClock.bottom()
+        self.depth = 0
+        #: Serial number of the current/most recent outermost transaction;
+        #: used to test whether the forking parent's transaction is alive.
+        self.txn_serial = 0
+        self.update_reads: Set["_SeedVarState"] = set()
+        self.update_writes: Set["_SeedVarState"] = set()
+        #: (parent thread state, parent txn serial) recorded at fork time,
+        #: None when the parent was not inside a transaction.
+        self.parent_txn: Optional[Tuple["_SeedThreadState", int]] = None
+
+    @property
+    def active(self) -> bool:
+        return self.depth > 0
+
+    def has_active_txn_with_serial(self, serial: int) -> bool:
+        return self.depth > 0 and self.txn_serial == serial
+
+
+class _SeedVarState:
+    """Per-variable analysis state (W_x, R_x, hR_x, staleness)."""
+
+    __slots__ = (
+        "name",
+        "write_clock",
+        "last_w_thr",
+        "read_clock",
+        "check_read_clock",
+        "stale_readers",
+        "stale_write",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.write_clock = SeedVectorClock.bottom()  # W_x
+        self.last_w_thr: Optional[_SeedThreadState] = None  # lastWThr_x
+        self.read_clock = SeedVectorClock.bottom()  # R_x
+        self.check_read_clock = SeedVectorClock.bottom()  # hR_x
+        self.stale_readers: Set[_SeedThreadState] = set()  # Stale^r_x
+        self.stale_write = False  # Stale^w_x
+
+
+class _SeedLockState:
+    """Per-lock analysis state (L_ℓ, lastRelThr_ℓ)."""
+
+    __slots__ = ("name", "clock", "last_rel_thr")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.clock = SeedVectorClock.bottom()  # L_ℓ
+        self.last_rel_thr: Optional[_SeedThreadState] = None
+
+
+class SeedOptimizedAeroDromeChecker(StreamingChecker):
+    """AeroDrome with all Appendix C optimizations (the default checker)."""
+
+    algorithm = "aerodrome-seed"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threads: Dict[str, _SeedThreadState] = {}
+        self._thread_list: List[_SeedThreadState] = []
+        self._vars: Dict[str, _SeedVarState] = {}
+        self._locks: Dict[str, _SeedLockState] = {}
+
+    # -- state helpers -------------------------------------------------------
+
+    def _thread(self, name: str) -> _SeedThreadState:
+        state = self._threads.get(name)
+        if state is None:
+            state = _SeedThreadState(len(self._thread_list), name)
+            self._threads[name] = state
+            self._thread_list.append(state)
+        return state
+
+    def _var(self, name: str) -> _SeedVarState:
+        state = self._vars.get(name)
+        if state is None:
+            state = _SeedVarState(name)
+            self._vars[name] = state
+        return state
+
+    def _lock(self, name: str) -> _SeedLockState:
+        state = self._locks.get(name)
+        if state is None:
+            state = _SeedLockState(name)
+            self._locks[name] = state
+        return state
+
+    @staticmethod
+    def _begin_leq(ts: _SeedThreadState, clk: SeedVectorClock) -> bool:
+        """``C⊲_t ⊑ clk`` via the O(1) local-component invariant."""
+        return ts.begin_clock.get(ts.index) <= clk.get(ts.index)
+
+    def _check_and_get(
+        self,
+        check_clk: SeedVectorClock,
+        join_clk: SeedVectorClock,
+        ts: _SeedThreadState,
+        event: Event,
+        site: str,
+    ) -> Optional[Violation]:
+        """``checkAndGet(clk1, clk2, t)`` of Algorithm 3."""
+        violation: Optional[Violation] = None
+        if ts.active and self._begin_leq(ts, check_clk):
+            violation = Violation(
+                event_idx=event.idx,
+                thread=ts.name,
+                site=site,
+                details=f"C⊲_{ts.name} ⊑ {check_clk!r} with an active transaction",
+            )
+        ts.clock.join(join_clk)
+        return violation
+
+    # -- lazy-clock plumbing ---------------------------------------------------
+
+    def _flush_stale_readers(self, xs: _SeedVarState) -> None:
+        """Fold pending lazy reads into R_x and hR_x (Alg. 3 lines 43-46)."""
+        for reader in xs.stale_readers:
+            xs.read_clock.join(reader.clock)
+            # hR_x excludes each reader's own component so that a thread's
+            # own reads never satisfy its write-time check.
+            saved = reader.clock.get(reader.index)
+            reader.clock.set_component(reader.index, 0)
+            xs.check_read_clock.join(reader.clock)
+            reader.clock.set_component(reader.index, saved)
+        xs.stale_readers.clear()
+
+    def _register_dependents(
+        self, ts: _SeedThreadState, xs: _SeedVarState, kind: str
+    ) -> None:
+        """Record which active transactions this access is ⋖E-after
+        (Alg. 3 lines 34-36 / 50-52): at their end events, x's clocks
+        must be refreshed."""
+        clock = ts.clock
+        for u in self._thread_list:
+            if u.active and u.begin_clock.get(u.index) <= clock.get(u.index):
+                if kind == "r":
+                    u.update_reads.add(xs)
+                else:
+                    u.update_writes.add(xs)
+
+    # -- event handlers ------------------------------------------------------
+
+    def _acquire(self, ts: _SeedThreadState, event: Event) -> Optional[Violation]:
+        ls = self._lock(event.target)  # type: ignore[arg-type]
+        # Note: after garbage collection lastRelThr_ℓ is NIL but L_ℓ still
+        # holds the (eagerly maintained) last-release timestamp, and the
+        # check must run — NIL ≠ t in the paper's line 18.
+        if ls.last_rel_thr is not ts:
+            return self._check_and_get(ls.clock, ls.clock, ts, event, "acquire")
+        return None
+
+    def _release(self, ts: _SeedThreadState, event: Event) -> None:
+        ls = self._lock(event.target)  # type: ignore[arg-type]
+        ls.clock = ts.clock.copy()
+        ls.last_rel_thr = ts
+
+    def _fork(self, ts: _SeedThreadState, event: Event) -> None:
+        child = self._thread(event.target)  # type: ignore[arg-type]
+        child.clock.join(ts.clock)
+        if ts.active:
+            child.parent_txn = (ts, ts.txn_serial)
+
+    def _join(self, ts: _SeedThreadState, event: Event) -> Optional[Violation]:
+        child = self._thread(event.target)  # type: ignore[arg-type]
+        return self._check_and_get(child.clock, child.clock, ts, event, "join")
+
+    def _read(self, ts: _SeedThreadState, event: Event) -> Optional[Violation]:
+        xs = self._var(event.target)  # type: ignore[arg-type]
+        writer = xs.last_w_thr
+        if writer is not None and writer is not ts:
+            if xs.stale_write:
+                # The last write sits in the writer's still-active
+                # transaction; its thread clock stands in for W_x.
+                violation = self._check_and_get(
+                    writer.clock, writer.clock, ts, event, "read"
+                )
+            else:
+                violation = self._check_and_get(
+                    xs.write_clock, xs.write_clock, ts, event, "read"
+                )
+            if violation is not None:
+                return violation
+        if ts.active:
+            xs.stale_readers.add(ts)
+        else:
+            # Unary read: flush eagerly — the lazy substitution of the
+            # thread clock for the event clock is only valid while the
+            # access's transaction is still the thread's active one.
+            xs.read_clock.join(ts.clock)
+            saved = ts.clock.get(ts.index)
+            ts.clock.set_component(ts.index, 0)
+            xs.check_read_clock.join(ts.clock)
+            ts.clock.set_component(ts.index, saved)
+        self._register_dependents(ts, xs, "r")
+        return None
+
+    def _write(self, ts: _SeedThreadState, event: Event) -> Optional[Violation]:
+        xs = self._var(event.target)  # type: ignore[arg-type]
+        writer = xs.last_w_thr
+        if writer is not None and writer is not ts:
+            if xs.stale_write:
+                violation = self._check_and_get(
+                    writer.clock, writer.clock, ts, event, "write-write"
+                )
+            else:
+                violation = self._check_and_get(
+                    xs.write_clock, xs.write_clock, ts, event, "write-write"
+                )
+            if violation is not None:
+                return violation
+        self._flush_stale_readers(xs)
+        violation = self._check_and_get(
+            xs.check_read_clock, xs.read_clock, ts, event, "write-read"
+        )
+        if violation is not None:
+            return violation
+        if ts.active:
+            xs.stale_write = True
+        else:
+            # Unary write: publish the timestamp eagerly.
+            xs.write_clock = ts.clock.copy()
+            xs.stale_write = False
+        xs.last_w_thr = ts
+        self._register_dependents(ts, xs, "w")
+        return None
+
+    def _begin(self, ts: _SeedThreadState, event: Event) -> None:
+        ts.depth += 1
+        if ts.depth > 1:
+            return  # nested begin
+        ts.txn_serial += 1
+        ts.clock.increment(ts.index)
+        ts.begin_clock = ts.clock.copy()
+
+    def _has_incoming_edge(self, ts: _SeedThreadState) -> bool:
+        """Whether the ending transaction may participate in a future cycle.
+
+        The paper's Algorithm 3 tests whether the forking parent's
+        transaction is still alive or some non-local clock component grew
+        since the begin event (``C⊲_t[0/t] ≠ C_t[0/t]``). That test alone
+        is *insufficient*: clock components count transactions, so
+        re-observing a long-lived, still-open transaction (whose begin
+        was already visible before this transaction started) grows
+        nothing, yet creates a real incoming ⋖Txn edge — garbage
+        collecting here loses genuine violations (see
+        ``tests/test_gc_soundness.py`` for the counterexample, and
+        EXPERIMENTS.md §Deviations). We therefore additionally keep the
+        transaction whenever its final clock covers the begin of any
+        still-active transaction of another thread: any cycle detected
+        later must route through a transaction that was active
+        throughout this window, and its begin timestamp would already be
+        ⊑ ``C_t`` here.
+        """
+        if ts.parent_txn is not None:
+            parent, serial = ts.parent_txn
+            if parent.has_active_txn_with_serial(serial):
+                return True
+        begin, now = ts.begin_clock, ts.clock
+        for u in self._thread_list:
+            if u is ts:
+                continue
+            if begin.get(u.index) != now.get(u.index):
+                return True
+            if u.active and u.begin_clock.get(u.index) <= now.get(u.index):
+                return True
+        return False
+
+    def _end(self, ts: _SeedThreadState, event: Event) -> Optional[Violation]:
+        if ts.depth == 0:
+            raise ValueError(
+                f"end without matching begin at event {event.idx}; "
+                "validate the trace with repro.trace.wellformed first"
+            )
+        if ts.depth > 1:
+            ts.depth -= 1
+            return None  # nested end
+
+        if self._has_incoming_edge(ts):
+            violation = self._end_propagate(ts, event)
+            if violation is not None:
+                return violation
+        else:
+            self._end_garbage_collect(ts)
+        ts.depth = 0
+        # The fork-edge from the parent is consumed by the first
+        # transaction; subsequent transactions of this thread are related
+        # to the parent only through the clocks.
+        ts.parent_txn = None
+        return None
+
+    def _end_propagate(self, ts: _SeedThreadState, event: Event) -> Optional[Violation]:
+        """Normal end handling (Alg. 3 lines 58-73)."""
+        begin = ts.begin_clock
+        clock = ts.clock
+        for u in self._thread_list:
+            if u is not ts and begin.get(ts.index) <= u.clock.get(ts.index):
+                violation = self._check_and_get(clock, clock, u, event, "end")
+                if violation is not None:
+                    return violation
+        for ls in self._locks.values():
+            if begin.get(ts.index) <= ls.clock.get(ts.index):
+                ls.clock.join(clock)
+        for xs in ts.update_writes:
+            if not xs.stale_write or xs.last_w_thr is ts:
+                xs.write_clock.join(clock)
+            if xs.last_w_thr is ts:
+                xs.stale_write = False
+        ts.update_writes = set()
+        saved = clock.get(ts.index)
+        for xs in ts.update_reads:
+            xs.read_clock.join(clock)
+            clock.set_component(ts.index, 0)
+            xs.check_read_clock.join(clock)
+            clock.set_component(ts.index, saved)
+            xs.stale_readers.discard(ts)
+        ts.update_reads = set()
+        return None
+
+    def _end_garbage_collect(self, ts: _SeedThreadState) -> None:
+        """GC end handling (Alg. 3 lines 75-86): the transaction has no
+        incoming edge, so it can never be on a cycle — drop its pending
+        lazy updates instead of propagating them."""
+        for xs in ts.update_reads:
+            xs.stale_readers.discard(ts)
+        ts.update_reads = set()
+        for xs in ts.update_writes:
+            if xs.last_w_thr is ts:
+                xs.stale_write = False
+                xs.last_w_thr = None
+        ts.update_writes = set()
+        for ls in self._locks.values():
+            if ls.last_rel_thr is ts:
+                ls.last_rel_thr = None
+
+    def state_summary(self) -> Dict[str, int]:
+        """Clock counts after the Algorithm 2 reduction: three clocks
+        per variable (W/R/hR) regardless of thread count."""
+        return {
+            "events_processed": self.events_processed,
+            "thread_clocks": 2 * len(self._thread_list),
+            "lock_clocks": len(self._locks),
+            "write_clocks": len(self._vars),
+            "read_clocks": 2 * len(self._vars),  # R_x and hR_x
+            "total_clocks": 2 * len(self._thread_list)
+            + len(self._locks)
+            + 3 * len(self._vars),
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Consume one event (see :class:`StreamingChecker`)."""
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        ts = self._thread(event.thread)
+        op = event.op
+        violation: Optional[Violation]
+        if op is Op.READ:
+            violation = self._read(ts, event)
+        elif op is Op.WRITE:
+            violation = self._write(ts, event)
+        elif op is Op.ACQUIRE:
+            violation = self._acquire(ts, event)
+        elif op is Op.RELEASE:
+            self._release(ts, event)
+            violation = None
+        elif op is Op.BEGIN:
+            self._begin(ts, event)
+            violation = None
+        elif op is Op.END:
+            violation = self._end(ts, event)
+        elif op is Op.FORK:
+            self._fork(ts, event)
+            violation = None
+        elif op is Op.JOIN:
+            violation = self._join(ts, event)
+        else:  # pragma: no cover - exhaustive over Op
+            raise AssertionError(f"unhandled op {op}")
+        self.events_processed += 1
+        if violation is not None:
+            self.violation = violation
+        return violation

@@ -44,19 +44,28 @@ from .bench.memory import format_growth, sample_state_growth
 from .bench.reporting import format_comparison, format_scaling, format_table
 from .core.checker import available_algorithms, check_trace
 from .sim.workloads.benchmarks import ALL_CASES, TABLE1, TABLE2, get_case
-from .trace.binary import load_binary, save_binary
+from .trace.binary import BinaryTraceError, load_binary, save_binary
 from .trace.metainfo import metainfo
-from .trace.parser import load_trace
+from .trace.packed import pack
+from .trace.parser import TraceParseError, load_trace
 from .trace.trace import Trace
 from .trace.wellformed import WellFormednessError, validate
 from .trace.writer import save_trace
 
 
 def _load(path: str) -> Trace:
-    """Load a trace, dispatching on extension (.rtb = binary)."""
-    if str(path).endswith(".rtb"):
-        return load_binary(path)
-    return load_trace(path)
+    """Load a trace, dispatching on extension (.rtb = binary).
+
+    Unreadable or corrupt inputs exit with a diagnostic instead of a
+    traceback — they are user errors, not bugs.
+    """
+    try:
+        if str(path).endswith(".rtb"):
+            return load_binary(path)
+        return load_trace(path)
+    except (BinaryTraceError, TraceParseError, OSError) as error:
+        print(f"cannot load {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -67,7 +76,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         except WellFormednessError as error:
             print(f"ill-formed trace: {error}", file=sys.stderr)
             return 2
-    result = check_trace(trace, algorithm=args.algorithm)
+    events = pack(trace) if args.packed else trace
+    result = check_trace(events, algorithm=args.algorithm)
     print(result)
     return 0 if result.serializable else 1
 
@@ -105,6 +115,26 @@ def _table_command(args: argparse.Namespace, cases) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Reuses the perf harness's own argv parsing so the flags of
+    # ``repro bench`` and ``benchmarks/perf_harness.py`` cannot drift.
+    from .bench.perf import main as bench_main
+
+    argv = [
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--repeats", str(args.repeats),
+        "--algorithm", args.algorithm,
+        "--tables", args.tables,
+        "-o", args.output,
+    ]
+    if args.no_scaling:
+        argv.append("--no-scaling")
+    if args.check:
+        argv.append("--check")
+    return bench_main(argv)
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -315,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the well-formedness check",
     )
+    check.add_argument(
+        "--packed",
+        action="store_true",
+        help="compile the trace once and run the packed fast path",
+    )
     check.set_defaults(func=_cmd_check)
 
     meta = sub.add_parser("metainfo", help="print trace characteristics")
@@ -346,6 +381,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-run timeout in seconds (paper: 10 hours)",
         )
         table.set_defaults(func=_table_command, cases=cases)
+
+    bench = sub.add_parser(
+        "bench",
+        help="packed-vs-seed throughput benchmark (writes BENCH_PR1.json)",
+    )
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--algorithm", default="aerodrome")
+    bench.add_argument("--tables", default="1,2")
+    bench.add_argument("--no-scaling", action="store_true")
+    bench.add_argument("-o", "--output", default="BENCH_PR1.json")
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless packed and string paths agree everywhere",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     scaling = sub.add_parser("scaling", help="linear-vs-cubic scaling sweep")
     scaling.add_argument("--benchmark", default="raytracer")

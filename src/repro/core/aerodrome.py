@@ -21,16 +21,26 @@ processed, Section 4.1.4) and unary transactions — events outside any
 block — never trigger the violation check.
 
 This module follows the paper's pseudocode line by line, trading speed for
-auditability. :mod:`repro.core.aerodrome_opt` implements the optimized
-variant (Appendix C) used by the benchmark harness.
+auditability: every ⊑ check walks the full vector (no local-component
+shortcut), and the end handler scans all clocks rather than keeping
+update sets. Entities are interned to dense indices once (threads,
+variables, locks each get their own namespace), ``checkAndGet`` uses the
+fused single-pass
+:meth:`~repro.core.vector_clock.VectorClock.join_into_and_check`, and
+the eager ``V := C_t`` snapshots are version-memoized so an unchanged
+clock is never re-copied — constant-factor engineering that leaves the
+per-event logic exactly the paper's.
+:mod:`repro.core.aerodrome_opt` implements the optimized variant
+(Appendix C) used by the benchmark harness.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..trace.events import Event, Op
-from .checker import StreamingChecker
+from ..trace.packed import Interner, PackedTrace
+from .checker import StreamingChecker, make_packed_step
 from .vector_clock import ThreadRegistry, VectorClock
 from .violations import Violation
 
@@ -48,28 +58,56 @@ class AeroDromeChecker(StreamingChecker):
     def __init__(self) -> None:
         super().__init__()
         self._threads = ThreadRegistry()
-        self._clock: Dict[int, VectorClock] = {}  # C_t
-        self._begin_clock: Dict[int, VectorClock] = {}  # C⊲_t
-        self._depth: Dict[int, int] = {}  # transaction nesting depth
-        self._lock_clock: Dict[str, VectorClock] = {}  # L_ℓ
-        self._last_rel_thr: Dict[str, int] = {}  # lastRelThr_ℓ
-        self._write_clock: Dict[str, VectorClock] = {}  # W_x
-        self._last_w_thr: Dict[str, int] = {}  # lastWThr_x
-        self._read_clock: Dict[str, Dict[int, VectorClock]] = {}  # R_{t,x}
+        self._var_names = Interner()
+        self._lock_names = Interner()
+        # Per-thread state, indexed by thread index.
+        self._clock: List[VectorClock] = []  # C_t
+        self._begin_clock: List[VectorClock] = []  # C⊲_t
+        self._depth: List[int] = []  # transaction nesting depth
+        # Per-lock state, indexed by lock index.
+        self._lock_clock: List[Optional[VectorClock]] = []  # L_ℓ
+        self._last_rel_thr: List[int] = []  # lastRelThr_ℓ (-1 = none)
+        self._lock_pub: List[Optional[tuple]] = []  # release epoch memo
+        # Per-variable state, indexed by variable index.
+        self._write_clock: List[Optional[VectorClock]] = []  # W_x
+        self._last_w_thr: List[int] = []  # lastWThr_x (-1 = none)
+        self._write_pub: List[Optional[tuple]] = []  # write epoch memo
+        self._read_clock: List[Optional[Dict[int, VectorClock]]] = []  # R_{t,x}
+        self._read_pub: List[Optional[Dict[int, tuple]]] = []  # read epoch memos
 
     # -- state helpers -------------------------------------------------------
 
     def _thread(self, name: str) -> int:
         """Intern a thread name, initializing its clocks on first sight."""
         t = self._threads.index_of(name)
-        if t not in self._clock:
-            self._clock[t] = VectorClock.unit(t)
-            self._begin_clock[t] = VectorClock.bottom()
-            self._depth[t] = 0
+        if t == len(self._clock):
+            self._clock.append(VectorClock.unit(t))
+            self._begin_clock.append(VectorClock.bottom())
+            self._depth.append(0)
         return t
 
+    def _var(self, name: str) -> int:
+        """Intern a variable name, initializing its state on first sight."""
+        x = self._var_names.index_of(name)
+        if x == len(self._write_clock):
+            self._write_clock.append(None)
+            self._last_w_thr.append(-1)
+            self._write_pub.append(None)
+            self._read_clock.append(None)
+            self._read_pub.append(None)
+        return x
+
+    def _lock(self, name: str) -> int:
+        """Intern a lock name, initializing its state on first sight."""
+        l = self._lock_names.index_of(name)
+        if l == len(self._lock_clock):
+            self._lock_clock.append(None)
+            self._last_rel_thr.append(-1)
+            self._lock_pub.append(None)
+        return l
+
     def _has_active_transaction(self, t: int) -> bool:
-        return self._depth.get(t, 0) > 0
+        return self._depth[t] > 0
 
     def thread_clock(self, name: str) -> VectorClock:
         """Read-only view of C_t (⊥ for threads not yet observed) —
@@ -86,112 +124,144 @@ class AeroDromeChecker(StreamingChecker):
 
     def write_clock(self, variable: str) -> VectorClock:
         """Read-only view of W_x (⊥ if x has not been written)."""
-        clock = self._write_clock.get(variable)
+        x = self._var_names.lookup(variable)
+        clock = self._write_clock[x] if x is not None else None
         return clock.copy() if clock is not None else VectorClock.bottom()
 
     def lock_clock(self, lock: str) -> VectorClock:
         """Read-only view of L_ℓ (⊥ if ℓ has not been released)."""
-        clock = self._lock_clock.get(lock)
+        l = self._lock_names.lookup(lock)
+        clock = self._lock_clock[l] if l is not None else None
         return clock.copy() if clock is not None else VectorClock.bottom()
 
     def read_clock(self, thread: str, variable: str) -> VectorClock:
         """Read-only view of R_{t,x} (⊥ if t has not read x)."""
-        per_thread = self._read_clock.get(variable)
-        if per_thread is not None and thread in self._threads:
-            clock = per_thread.get(self._threads.index_of(thread))
-            if clock is not None:
-                return clock.copy()
+        x = self._var_names.lookup(variable)
+        if x is not None and thread in self._threads:
+            per_thread = self._read_clock[x]
+            if per_thread is not None:
+                clock = per_thread.get(self._threads.index_of(thread))
+                if clock is not None:
+                    return clock.copy()
         return VectorClock.bottom()
 
     # -- checkAndGet (paper lines 9-12) -----------------------------------
 
     def _check_and_get(
-        self, clk: VectorClock, t: int, event: Event, site: str
+        self, clk: VectorClock, t: int, idx: int, site: str
     ) -> Optional[Violation]:
-        """``checkAndGet(clk, t)``: check C⊲_t ⊑ clk, then C_t ⊔= clk."""
-        violation: Optional[Violation] = None
-        if self._has_active_transaction(t) and self._begin_clock[t].leq(clk):
-            violation = Violation(
-                event_idx=event.idx,
-                thread=self._threads.name_of(t),
-                site=site,
-                details=(
-                    f"C⊲_{self._threads.name_of(t)} ⊑ {clk!r} with an "
-                    "active transaction"
-                ),
-            )
-        self._clock[t].join(clk)
-        return violation
+        """``checkAndGet(clk, t)``: check C⊲_t ⊑ clk, then C_t ⊔= clk.
+
+        The check and the join traverse the same operand, fused into one
+        pass; the check's verdict only matters inside a transaction.
+        """
+        if self._depth[t] > 0:
+            if self._clock[t].join_into_and_check(clk, self._begin_clock[t]):
+                name = self._threads.name_of(t)
+                return Violation(
+                    event_idx=idx,
+                    thread=name,
+                    site=site,
+                    details=(
+                        f"C⊲_{name} ⊑ {clk!r} with an active transaction"
+                    ),
+                )
+        else:
+            self._clock[t].join(clk)
+        return None
 
     # -- event handlers ------------------------------------------------------
 
-    def _acquire(self, t: int, event: Event) -> Optional[Violation]:
-        lock = event.target
-        assert lock is not None
-        if self._last_rel_thr.get(lock) != t:
-            clock = self._lock_clock.get(lock)
+    def _acquire(self, t: int, l: int, idx: int) -> Optional[Violation]:
+        if self._last_rel_thr[l] != t:
+            clock = self._lock_clock[l]
             if clock is not None:
-                return self._check_and_get(clock, t, event, "acquire")
+                return self._check_and_get(clock, t, idx, "acquire")
         return None
 
-    def _release(self, t: int, event: Event) -> None:
-        lock = event.target
-        assert lock is not None
-        self._lock_clock[lock] = self._clock[t].copy()
-        self._last_rel_thr[lock] = t
+    def _release(self, t: int, l: int, idx: int) -> None:
+        clock = self._clock[t]
+        old = self._lock_clock[l]
+        memo = self._lock_pub[l]
+        # Epoch memo: skip the snapshot when L_ℓ is already an untouched
+        # copy of this exact clock state.
+        if memo is None or old is None or memo != (t, clock.version, old.version):
+            snap = clock.copy()
+            self._lock_clock[l] = snap
+            self._lock_pub[l] = (t, clock.version, snap.version)
+        self._last_rel_thr[l] = t
+        return None
 
-    def _fork(self, t: int, event: Event) -> None:
-        u = self._thread(event.target)  # type: ignore[arg-type]
+    def _fork(self, t: int, u: int, idx: int) -> None:
         self._clock[u].join(self._clock[t])
-
-    def _join(self, t: int, event: Event) -> Optional[Violation]:
-        u = self._thread(event.target)  # type: ignore[arg-type]
-        return self._check_and_get(self._clock[u], t, event, "join")
-
-    def _read(self, t: int, event: Event) -> Optional[Violation]:
-        variable = event.target
-        assert variable is not None
-        if self._last_w_thr.get(variable) != t:
-            clock = self._write_clock.get(variable)
-            if clock is not None:
-                violation = self._check_and_get(clock, t, event, "read")
-                if violation is not None:
-                    return violation
-        self._read_clock.setdefault(variable, {})[t] = self._clock[t].copy()
         return None
 
-    def _write(self, t: int, event: Event) -> Optional[Violation]:
-        variable = event.target
-        assert variable is not None
-        if self._last_w_thr.get(variable) != t:
-            clock = self._write_clock.get(variable)
+    def _join(self, t: int, u: int, idx: int) -> Optional[Violation]:
+        return self._check_and_get(self._clock[u], t, idx, "join")
+
+    def _read(self, t: int, x: int, idx: int) -> Optional[Violation]:
+        if self._last_w_thr[x] != t:
+            clock = self._write_clock[x]
             if clock is not None:
-                violation = self._check_and_get(clock, t, event, "write-write")
+                violation = self._check_and_get(clock, t, idx, "read")
                 if violation is not None:
                     return violation
-        for u, read_clock in self._read_clock.get(variable, {}).items():
-            if u != t:
-                violation = self._check_and_get(read_clock, t, event, "write-read")
-                if violation is not None:
-                    return violation
-        self._write_clock[variable] = self._clock[t].copy()
-        self._last_w_thr[variable] = t
+        per_thread = self._read_clock[x]
+        if per_thread is None:
+            per_thread = {}
+            self._read_clock[x] = per_thread
+        memos = self._read_pub[x]
+        if memos is None:
+            memos = {}
+            self._read_pub[x] = memos
+        clock = self._clock[t]
+        old = per_thread.get(t)
+        memo = memos.get(t)
+        if memo is None or old is None or memo != (clock.version, old.version):
+            snap = clock.copy()
+            per_thread[t] = snap
+            memos[t] = (clock.version, snap.version)
         return None
 
-    def _begin(self, t: int, event: Event) -> None:
+    def _write(self, t: int, x: int, idx: int) -> Optional[Violation]:
+        if self._last_w_thr[x] != t:
+            clock = self._write_clock[x]
+            if clock is not None:
+                violation = self._check_and_get(clock, t, idx, "write-write")
+                if violation is not None:
+                    return violation
+        per_thread = self._read_clock[x]
+        if per_thread:
+            for u, read_clock in per_thread.items():
+                if u != t:
+                    violation = self._check_and_get(read_clock, t, idx, "write-read")
+                    if violation is not None:
+                        return violation
+        clock = self._clock[t]
+        old = self._write_clock[x]
+        memo = self._write_pub[x]
+        if memo is None or old is None or memo != (t, clock.version, old.version):
+            snap = clock.copy()
+            self._write_clock[x] = snap
+            self._write_pub[x] = (t, clock.version, snap.version)
+        self._last_w_thr[x] = t
+        return None
+
+    def _begin(self, t: int, idx: int) -> None:
         depth = self._depth[t]
         self._depth[t] = depth + 1
         if depth > 0:
-            return  # nested begin: only the outermost pair counts
+            return None  # nested begin: only the outermost pair counts
         clock = self._clock[t]
         clock.increment(t)
         self._begin_clock[t] = clock.copy()
+        return None
 
-    def _end(self, t: int, event: Event) -> Optional[Violation]:
+    def _end(self, t: int, idx: int) -> Optional[Violation]:
         depth = self._depth[t]
         if depth == 0:
             raise ValueError(
-                f"end without matching begin at event {event.idx}; "
+                f"end without matching begin at event {idx}; "
                 "validate the trace with repro.trace.wellformed first"
             )
         self._depth[t] = depth - 1
@@ -203,24 +273,25 @@ class AeroDromeChecker(StreamingChecker):
         # that already observed an event of this transaction (lines 38-40):
         # the checkAndGet there may discover a cycle closed by u's active
         # transaction.
-        for u, u_clock in self._clock.items():
+        for u, u_clock in enumerate(self._clock):
             if u != t and begin_clock.leq(u_clock):
-                violation = self._check_and_get(my_clock, u, event, "end")
+                violation = self._check_and_get(my_clock, u, idx, "end")
                 if violation is not None:
                     return violation
         # ... and into every lock/write/read clock that is after the begin
         # (lines 41-46), so future readers of those clocks inherit the
         # ⋖E-edge through this now-completed transaction.
-        for lock, clock in self._lock_clock.items():
-            if begin_clock.leq(clock):
+        for clock in self._lock_clock:
+            if clock is not None and begin_clock.leq(clock):
                 clock.join(my_clock)
-        for variable, clock in self._write_clock.items():
-            if begin_clock.leq(clock):
+        for clock in self._write_clock:
+            if clock is not None and begin_clock.leq(clock):
                 clock.join(my_clock)
-        for variable, per_thread in self._read_clock.items():
-            for u, clock in per_thread.items():
-                if begin_clock.leq(clock):
-                    clock.join(my_clock)
+        for per_thread in self._read_clock:
+            if per_thread is not None:
+                for u, clock in per_thread.items():
+                    if begin_clock.leq(clock):
+                        clock.join(my_clock)
         # The depth is already 0: t no longer has an active transaction.
         return None
 
@@ -230,17 +301,21 @@ class AeroDromeChecker(StreamingChecker):
         ``read_clocks`` is the O(|Thr|·V) term that Algorithm 2
         eliminates; compare with the optimized checker's summary.
         """
-        read_clocks = sum(len(per) for per in self._read_clock.values())
+        lock_clocks = sum(1 for clock in self._lock_clock if clock is not None)
+        write_clocks = sum(1 for clock in self._write_clock if clock is not None)
+        read_clocks = sum(
+            len(per) for per in self._read_clock if per is not None
+        )
         return {
             "events_processed": self.events_processed,
             "thread_clocks": 2 * len(self._clock),  # C_t and C⊲_t
-            "lock_clocks": len(self._lock_clock),
-            "write_clocks": len(self._write_clock),
+            "lock_clocks": lock_clocks,
+            "write_clocks": write_clocks,
             "read_clocks": read_clocks,
             "total_clocks": (
                 2 * len(self._clock)
-                + len(self._lock_clock)
-                + len(self._write_clock)
+                + lock_clocks
+                + write_clocks
                 + read_clocks
             ),
         }
@@ -252,7 +327,8 @@ class AeroDromeChecker(StreamingChecker):
 
         After a violation has been found the checker is *stopped*:
         further calls raise :class:`RuntimeError` (the paper's algorithm
-        exits at the first violation).
+        exits at the first violation). This is the string adapter over
+        the interned per-op handlers the packed path dispatches to.
         """
         if self.violation is not None:
             raise RuntimeError("checker already found a violation; reset() first")
@@ -260,27 +336,32 @@ class AeroDromeChecker(StreamingChecker):
         op = event.op
         violation: Optional[Violation]
         if op is Op.READ:
-            violation = self._read(t, event)
+            violation = self._read(t, self._var(event.target), event.idx)
         elif op is Op.WRITE:
-            violation = self._write(t, event)
+            violation = self._write(t, self._var(event.target), event.idx)
         elif op is Op.ACQUIRE:
-            violation = self._acquire(t, event)
+            violation = self._acquire(t, self._lock(event.target), event.idx)
         elif op is Op.RELEASE:
-            self._release(t, event)
-            violation = None
+            violation = self._release(t, self._lock(event.target), event.idx)
         elif op is Op.BEGIN:
-            self._begin(t, event)
-            violation = None
+            violation = self._begin(t, event.idx)
         elif op is Op.END:
-            violation = self._end(t, event)
+            violation = self._end(t, event.idx)
         elif op is Op.FORK:
-            self._fork(t, event)
-            violation = None
+            violation = self._fork(t, self._thread(event.target), event.idx)
         elif op is Op.JOIN:
-            violation = self._join(t, event)
+            violation = self._join(t, self._thread(event.target), event.idx)
         else:  # pragma: no cover - exhaustive over Op
             raise AssertionError(f"unhandled op {op}")
         self.events_processed += 1
         if violation is not None:
             self.violation = violation
         return violation
+
+    def packed_step(self, packed: PackedTrace):
+        """Per-op dispatch table over packed records (see base class)."""
+        return make_packed_step(
+            packed, self._thread, self._var, self._lock,
+            self._read, self._write, self._acquire, self._release,
+            self._fork, self._join, self._begin, self._end,
+        )

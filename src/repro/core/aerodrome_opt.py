@@ -32,6 +32,31 @@ Three optimizations over the basic Algorithm 1:
    incoming ⋖Txn edge (``hasIncomingEdge``) can never be part of a cycle,
    so its end event skips all propagation — the vector-clock analog of
    Velodrome's garbage collection.
+
+On top of the paper's optimizations, this module carries the
+reproduction's constant-factor machinery (measured in ``BENCH_PR1.json``,
+explained in ``docs/PERF.md``):
+
+* **Packed integer clocks** (:mod:`repro.core.intclock`). Every clock is
+  one big int, 64 bits per thread lane: joins are branch-free SWAR,
+  snapshots (``W_x := C_t``, ``L_ℓ := C_t``, ``C⊲_t := C_t``) are free
+  aliasing rebinds, and the incoming-edge test collapses to two int ops.
+* **Packed-event dispatch.** :meth:`OptimizedAeroDromeChecker.run_packed`
+  consumes a :class:`~repro.trace.packed.PackedTrace` through a per-op
+  dispatch loop over dense integer records; the string-event
+  :meth:`~OptimizedAeroDromeChecker.process` API survives as a thin
+  adapter that interns names and calls the same handlers.
+* **Epoch join memos.** Per variable/lock, the exact clock value each
+  thread last joined is remembered; a source that has not changed since
+  (value equality on immutable ints) is skipped in O(1) — the
+  way-memoization idea applied to clock traffic. The ⊑ checks are O(1)
+  single-lane compares regardless; only a genuinely new ordering pays a
+  full SWAR join.
+* **Active-transaction list + lock update sets.** The Algorithm 3
+  dependent-registration scan visits only threads with an *open*
+  transaction, and end-event lock propagation walks the locks registered
+  against the closing transaction (with an O(1) recheck for exactness)
+  instead of every lock in the trace.
 """
 
 from __future__ import annotations
@@ -39,37 +64,76 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..trace.events import Event, Op
-from .checker import StreamingChecker
+from ..trace.packed import PackedTrace
+from .checker import StreamingChecker, make_packed_step
+from .intclock import (
+    LANE_BITS,
+    LANE_MASK,
+    get as lane_get,
+    grow_guard,
+    to_vector_clock,
+)
 from .vector_clock import VectorClock
 from .violations import Violation
 
+_SHIFT = LANE_BITS - 1  # guard-bit offset within a lane
+
 
 class _ThreadState:
-    """Per-thread analysis state (C_t, C⊲_t, nesting, update sets)."""
+    """Per-thread analysis state (C_t, C⊲_t, nesting, update sets).
+
+    ``vc``/``begin_vc`` are packed int clocks; ``begin_local`` caches
+    C⊲_t(t), the only component of C⊲_t the O(1) checks ever read.
+    """
 
     __slots__ = (
         "index",
         "name",
-        "clock",
-        "begin_clock",
+        "shift",
+        "vc",
+        "begin_vc",
+        "begin_local",
         "depth",
         "txn_serial",
+        "unit",
+        "lane_clear",
         "update_reads",
         "update_writes",
+        "update_locks",
+        "observers",
+        "rel_locks",
         "parent_txn",
     )
 
     def __init__(self, index: int, name: str) -> None:
         self.index = index
         self.name = name
-        self.clock = VectorClock.unit(index)
-        self.begin_clock = VectorClock.bottom()
+        self.shift = LANE_BITS * index
+        #: The lane's unit (the begin increment) and a mask clearing it.
+        self.unit = 1 << self.shift
+        self.lane_clear = ~(LANE_MASK << self.shift)
+        self.vc = self.unit  # C_t = ⊥[1/t]
+        self.begin_vc = 0  # C⊲_t = ⊥
+        self.begin_local = 0
         self.depth = 0
         #: Serial number of the current/most recent outermost transaction;
         #: used to test whether the forking parent's transaction is alive.
         self.txn_serial = 0
         self.update_reads: Set["_VarState"] = set()
         self.update_writes: Set["_VarState"] = set()
+        self.update_locks: Set["_LockState"] = set()
+        #: Threads whose clocks may have observed this transaction — a
+        #: superset of {u : C_u(t) >= C⊲_t(t)}, maintained at every clock
+        #: consumption while this transaction is open and filtered by an
+        #: O(1) recheck at the end event. Replaces the all-threads scan
+        #: of the end handler. A dict keyed by thread index rather than a
+        #: set: insertion order is a pure function of the event stream,
+        #: so the packed and string paths report identical violation
+        #: attributions (object-hash set order would not).
+        self.observers: Dict[int, "_ThreadState"] = {}
+        #: Exactly the locks whose lastRelThr is this thread — keeps the
+        #: GC end handler's ownership NIL-ing O(own locks), not O(locks).
+        self.rel_locks: Set["_LockState"] = set()
         #: (parent thread state, parent txn serial) recorded at fork time,
         #: None when the parent was not inside a transaction.
         self.parent_txn: Optional[Tuple["_ThreadState", int]] = None
@@ -81,39 +145,77 @@ class _ThreadState:
     def has_active_txn_with_serial(self, serial: int) -> bool:
         return self.depth > 0 and self.txn_serial == serial
 
+    # Cold-path views for tests and expository code.
+    @property
+    def clock(self) -> VectorClock:
+        return to_vector_clock(self.vc)
+
+    @property
+    def begin_clock(self) -> VectorClock:
+        return to_vector_clock(self.begin_vc)
+
 
 class _VarState:
-    """Per-variable analysis state (W_x, R_x, hR_x, staleness)."""
+    """Per-variable analysis state (W_x, R_x, hR_x, staleness, epochs)."""
 
     __slots__ = (
         "name",
-        "write_clock",
+        "w_vc",
         "last_w_thr",
-        "read_clock",
-        "check_read_clock",
+        "r_vc",
+        "hr_vc",
         "stale_readers",
         "stale_write",
+        "write_joins",
+        "read_joins",
+        "read_flush",
     )
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.write_clock = VectorClock.bottom()  # W_x
+        self.w_vc = 0  # W_x
         self.last_w_thr: Optional[_ThreadState] = None  # lastWThr_x
-        self.read_clock = VectorClock.bottom()  # R_x
-        self.check_read_clock = VectorClock.bottom()  # hR_x
+        self.r_vc = 0  # R_x
+        self.hr_vc = 0  # hR_x
         self.stale_readers: Set[_ThreadState] = set()  # Stale^r_x
         self.stale_write = False  # Stale^w_x
+        # Epoch memos: thread index -> exact source clock value last
+        # joined into that thread (ints are immutable, so value equality
+        # certifies the join would be a no-op; see docs/PERF.md).
+        self.write_joins: Dict[int, int] = {}
+        self.read_joins: Dict[int, int] = {}
+        #: thread index -> thread clock value at its last eager (unary)
+        #: read flush into R_x/hR_x.
+        self.read_flush: Dict[int, int] = {}
+
+    # Cold-path views for tests and expository code.
+    @property
+    def write_clock(self) -> VectorClock:
+        return to_vector_clock(self.w_vc)
+
+    @property
+    def read_clock(self) -> VectorClock:
+        return to_vector_clock(self.r_vc)
+
+    @property
+    def check_read_clock(self) -> VectorClock:
+        return to_vector_clock(self.hr_vc)
 
 
 class _LockState:
-    """Per-lock analysis state (L_ℓ, lastRelThr_ℓ)."""
+    """Per-lock analysis state (L_ℓ, lastRelThr_ℓ, epochs)."""
 
-    __slots__ = ("name", "clock", "last_rel_thr")
+    __slots__ = ("name", "vc", "last_rel_thr", "joins")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.clock = VectorClock.bottom()  # L_ℓ
+        self.vc = 0  # L_ℓ
         self.last_rel_thr: Optional[_ThreadState] = None
+        self.joins: Dict[int, int] = {}
+
+    @property
+    def clock(self) -> VectorClock:
+        return to_vector_clock(self.vc)
 
 
 class OptimizedAeroDromeChecker(StreamingChecker):
@@ -127,6 +229,12 @@ class OptimizedAeroDromeChecker(StreamingChecker):
         self._thread_list: List[_ThreadState] = []
         self._vars: Dict[str, _VarState] = {}
         self._locks: Dict[str, _LockState] = {}
+        self._lock_list: List[_LockState] = []
+        #: Threads with an open outermost transaction, in begin order —
+        #: the only candidates dependent registration must visit.
+        self._active: List[_ThreadState] = []
+        #: SWAR guard mask covering one lane per interned thread.
+        self._H = 0
 
     # -- state helpers -------------------------------------------------------
 
@@ -136,6 +244,7 @@ class OptimizedAeroDromeChecker(StreamingChecker):
             state = _ThreadState(len(self._thread_list), name)
             self._threads[name] = state
             self._thread_list.append(state)
+            self._H = grow_guard(self._H, len(self._thread_list))
         return state
 
     def _var(self, name: str) -> _VarState:
@@ -150,154 +259,300 @@ class OptimizedAeroDromeChecker(StreamingChecker):
         if state is None:
             state = _LockState(name)
             self._locks[name] = state
+            self._lock_list.append(state)
         return state
 
-    @staticmethod
-    def _begin_leq(ts: _ThreadState, clk: VectorClock) -> bool:
-        """``C⊲_t ⊑ clk`` via the O(1) local-component invariant."""
-        return ts.begin_clock.get(ts.index) <= clk.get(ts.index)
-
-    def _check_and_get(
-        self,
-        check_clk: VectorClock,
-        join_clk: VectorClock,
-        ts: _ThreadState,
-        event: Event,
-        site: str,
-    ) -> Optional[Violation]:
-        """``checkAndGet(clk1, clk2, t)`` of Algorithm 3."""
-        violation: Optional[Violation] = None
-        if ts.active and self._begin_leq(ts, check_clk):
-            violation = Violation(
-                event_idx=event.idx,
-                thread=ts.name,
-                site=site,
-                details=f"C⊲_{ts.name} ⊑ {check_clk!r} with an active transaction",
-            )
-        ts.clock.join(join_clk)
-        return violation
+    def _make_violation(self, ts: _ThreadState, check_vc: int, idx: int, site: str) -> Violation:
+        return Violation(
+            event_idx=idx,
+            thread=ts.name,
+            site=site,
+            details=(
+                f"C⊲_{ts.name} ⊑ {to_vector_clock(check_vc)!r} "
+                "with an active transaction"
+            ),
+        )
 
     # -- lazy-clock plumbing ---------------------------------------------------
 
     def _flush_stale_readers(self, xs: _VarState) -> None:
-        """Fold pending lazy reads into R_x and hR_x (Alg. 3 lines 43-46)."""
+        """Fold pending lazy reads into R_x and hR_x (Alg. 3 lines 43-46).
+
+        The common flush is a thread folding its *own* lazy reads of a
+        variable only it touches, where the incoming clock dominates the
+        stored one outright — detected by one guarded subtraction and
+        resolved by aliasing the immutable source, which in turn lets
+        the identity fast paths downstream (``a != src``) fire.
+        """
+        h = self._H
+        r = xs.r_vc
+        hr = xs.hr_vc
         for reader in xs.stale_readers:
-            xs.read_clock.join(reader.clock)
-            # hR_x excludes each reader's own component so that a thread's
-            # own reads never satisfy its write-time check.
-            saved = reader.clock.get(reader.index)
-            reader.clock.set_component(reader.index, 0)
-            xs.check_read_clock.join(reader.clock)
-            reader.clock.set_component(reader.index, saved)
+            b = reader.vc
+            if r != b:
+                if ((b | h) - r) & h == h:  # incoming ⊒ stored: alias
+                    r = b
+                else:
+                    d = ((r | h) - b) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        r = b ^ ((r ^ b) & m)
+            # hR_x excludes each reader's own component so that a
+            # thread's own reads never satisfy its write-time check.
+            b &= reader.lane_clear
+            if hr != b:
+                if ((b | h) - hr) & h == h:
+                    hr = b
+                else:
+                    d = ((hr | h) - b) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        hr = b ^ ((hr ^ b) & m)
+        xs.r_vc = r
+        xs.hr_vc = hr
         xs.stale_readers.clear()
 
-    def _register_dependents(
-        self, ts: _ThreadState, xs: _VarState, kind: str
-    ) -> None:
-        """Record which active transactions this access is ⋖E-after
-        (Alg. 3 lines 34-36 / 50-52): at their end events, x's clocks
-        must be refreshed."""
-        clock = ts.clock
-        for u in self._thread_list:
-            if u.active and u.begin_clock.get(u.index) <= clock.get(u.index):
-                if kind == "r":
-                    u.update_reads.add(xs)
-                else:
-                    u.update_writes.add(xs)
+    def _register_observer(self, ts: _ThreadState) -> None:
+        """Mark ``ts`` as a candidate observer of every active
+        transaction its (just joined) clock covers. Runs at the consume
+        sites that have no dependent-registration loop of their own
+        (acquire, thread join, fork, end propagation)."""
+        c = ts.vc
+        for u in self._active:
+            if u is not ts and u.begin_local <= (c >> u.shift) & LANE_MASK:
+                u.observers[ts.index] = ts
+
+    def _register_lock_dependents(self, vc: int, ls: _LockState) -> None:
+        """Record ``ls`` with every active transaction the clock just
+        published into L_ℓ covers: their end events must refresh L_ℓ.
+        The exact seed condition is rechecked in O(1) at end time, so
+        this set only needs to be a superset of the locks the scan of
+        Algorithm 1 lines 41-42 would visit — and it is, because L_ℓ(u)
+        can only reach C⊲_u(u) through a publish that happens while u's
+        transaction is open, which is exactly when this runs."""
+        for u in self._active:
+            if u.begin_local <= (vc >> u.shift) & LANE_MASK:
+                u.update_locks.add(ls)
 
     # -- event handlers ------------------------------------------------------
+    #
+    # Handlers take resolved state objects plus the event index; both the
+    # string adapter (process) and the packed dispatch loop call them.
+    # Following the paper's checkAndGet, the clock join is performed even
+    # when the check reports a violation — report-and-continue
+    # (repro.core.multi) relies on the post-violation state.
 
-    def _acquire(self, ts: _ThreadState, event: Event) -> Optional[Violation]:
-        ls = self._lock(event.target)  # type: ignore[arg-type]
-        # Note: after garbage collection lastRelThr_ℓ is NIL but L_ℓ still
-        # holds the (eagerly maintained) last-release timestamp, and the
-        # check must run — NIL ≠ t in the paper's line 18.
-        if ls.last_rel_thr is not ts:
-            return self._check_and_get(ls.clock, ls.clock, ts, event, "acquire")
-        return None
-
-    def _release(self, ts: _ThreadState, event: Event) -> None:
-        ls = self._lock(event.target)  # type: ignore[arg-type]
-        ls.clock = ts.clock.copy()
-        ls.last_rel_thr = ts
-
-    def _fork(self, ts: _ThreadState, event: Event) -> None:
-        child = self._thread(event.target)  # type: ignore[arg-type]
-        child.clock.join(ts.clock)
-        if ts.active:
-            child.parent_txn = (ts, ts.txn_serial)
-
-    def _join(self, ts: _ThreadState, event: Event) -> Optional[Violation]:
-        child = self._thread(event.target)  # type: ignore[arg-type]
-        return self._check_and_get(child.clock, child.clock, ts, event, "join")
-
-    def _read(self, ts: _ThreadState, event: Event) -> Optional[Violation]:
-        xs = self._var(event.target)  # type: ignore[arg-type]
+    def _read_x(self, ts: _ThreadState, xs: _VarState, idx: int) -> Optional[Violation]:
         writer = xs.last_w_thr
+        violation = None
         if writer is not None and writer is not ts:
-            if xs.stale_write:
-                # The last write sits in the writer's still-active
-                # transaction; its thread clock stands in for W_x.
-                violation = self._check_and_get(
-                    writer.clock, writer.clock, ts, event, "read"
-                )
-            else:
-                violation = self._check_and_get(
-                    xs.write_clock, xs.write_clock, ts, event, "read"
-                )
+            # The last write sits in the writer's still-active
+            # transaction when stale: its thread clock stands in for W_x.
+            src = writer.vc if xs.stale_write else xs.w_vc
+            if ts.depth > 0 and ts.begin_local <= (src >> ts.shift) & LANE_MASK:
+                violation = self._make_violation(ts, src, idx, "read")
+            memo = xs.write_joins
+            ti = ts.index
+            if memo.get(ti) != src:
+                memo[ti] = src
+                a = ts.vc
+                if a != src:
+                    h = self._H
+                    d = ((a | h) - src) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        ts.vc = src ^ ((a ^ src) & m)
             if violation is not None:
                 return violation
-        if ts.active:
+        if ts.depth > 0:
             xs.stale_readers.add(ts)
         else:
             # Unary read: flush eagerly — the lazy substitution of the
             # thread clock for the event clock is only valid while the
             # access's transaction is still the thread's active one.
-            xs.read_clock.join(ts.clock)
-            saved = ts.clock.get(ts.index)
-            ts.clock.set_component(ts.index, 0)
-            xs.check_read_clock.join(ts.clock)
-            ts.clock.set_component(ts.index, saved)
-        self._register_dependents(ts, xs, "r")
+            c = ts.vc
+            memo = xs.read_flush
+            ti = ts.index
+            if memo.get(ti) != c:
+                memo[ti] = c
+                h = self._H
+                a = xs.r_vc
+                if a != c:
+                    if ((c | h) - a) & h == h:  # fresh clock ⊒ R_x: alias
+                        xs.r_vc = c
+                    else:
+                        d = ((a | h) - c) & h
+                        if d != h:
+                            g = d >> _SHIFT
+                            m = (d - g) | d
+                            xs.r_vc = c ^ ((a ^ c) & m)
+                b = c & ts.lane_clear
+                a = xs.hr_vc
+                if a != b:
+                    if ((b | h) - a) & h == h:
+                        xs.hr_vc = b
+                    else:
+                        d = ((a | h) - b) & h
+                        if d != h:
+                            g = d >> _SHIFT
+                            m = (d - g) | d
+                            xs.hr_vc = b ^ ((a ^ b) & m)
+        # Dependent registration (Alg. 3 lines 34-36), inlined: only
+        # active transactions qualify, and the coverage condition doubles
+        # as observer bookkeeping for the end scan.
+        c = ts.vc
+        for u in self._active:
+            if u is ts:  # a thread always covers its own open begin
+                u.update_reads.add(xs)
+            elif u.begin_local <= (c >> u.shift) & LANE_MASK:
+                u.update_reads.add(xs)
+                u.observers[ts.index] = ts
         return None
 
-    def _write(self, ts: _ThreadState, event: Event) -> Optional[Violation]:
-        xs = self._var(event.target)  # type: ignore[arg-type]
+    def _write_x(self, ts: _ThreadState, xs: _VarState, idx: int) -> Optional[Violation]:
         writer = xs.last_w_thr
+        ti = ts.index
         if writer is not None and writer is not ts:
-            if xs.stale_write:
-                violation = self._check_and_get(
-                    writer.clock, writer.clock, ts, event, "write-write"
-                )
-            else:
-                violation = self._check_and_get(
-                    xs.write_clock, xs.write_clock, ts, event, "write-write"
-                )
+            src = writer.vc if xs.stale_write else xs.w_vc
+            violation = None
+            if ts.depth > 0 and ts.begin_local <= (src >> ts.shift) & LANE_MASK:
+                violation = self._make_violation(ts, src, idx, "write-write")
+            memo = xs.write_joins
+            if memo.get(ti) != src:
+                memo[ti] = src
+                a = ts.vc
+                if a != src:
+                    h = self._H
+                    d = ((a | h) - src) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        ts.vc = src ^ ((a ^ src) & m)
             if violation is not None:
                 return violation
-        self._flush_stale_readers(xs)
-        violation = self._check_and_get(
-            xs.check_read_clock, xs.read_clock, ts, event, "write-read"
-        )
+        if xs.stale_readers:
+            self._flush_stale_readers(xs)
+        violation = None
+        if ts.depth > 0 and ts.begin_local <= (xs.hr_vc >> ts.shift) & LANE_MASK:
+            violation = self._make_violation(ts, xs.hr_vc, idx, "write-read")
+        src = xs.r_vc
+        memo = xs.read_joins
+        if memo.get(ti) != src:
+            memo[ti] = src
+            a = ts.vc
+            if a != src:
+                h = self._H
+                if ((src | h) - a) & h == h:  # R_x ⊒ C_t (post-flush): alias
+                    ts.vc = src
+                else:
+                    d = ((a | h) - src) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        ts.vc = src ^ ((a ^ src) & m)
         if violation is not None:
             return violation
-        if ts.active:
+        if ts.depth > 0:
             xs.stale_write = True
         else:
-            # Unary write: publish the timestamp eagerly.
-            xs.write_clock = ts.clock.copy()
+            # Unary write: publish the timestamp eagerly — an aliasing
+            # rebind; int clocks are immutable, so no copy, no epoch.
+            xs.w_vc = ts.vc
             xs.stale_write = False
         xs.last_w_thr = ts
-        self._register_dependents(ts, xs, "w")
+        # Dependent registration (Alg. 3 lines 50-52), inlined as above.
+        c = ts.vc
+        for u in self._active:
+            if u is ts:  # a thread always covers its own open begin
+                u.update_writes.add(xs)
+            elif u.begin_local <= (c >> u.shift) & LANE_MASK:
+                u.update_writes.add(xs)
+                u.observers[ts.index] = ts
         return None
 
-    def _begin(self, ts: _ThreadState, event: Event) -> None:
-        ts.depth += 1
-        if ts.depth > 1:
-            return  # nested begin
+    def _acquire_x(self, ts: _ThreadState, ls: _LockState, idx: int) -> Optional[Violation]:
+        # Note: after garbage collection lastRelThr_ℓ is NIL but L_ℓ still
+        # holds the (eagerly maintained) last-release timestamp, and the
+        # check must run — NIL ≠ t in the paper's line 18.
+        if ls.last_rel_thr is not ts:
+            src = ls.vc
+            violation = None
+            if ts.depth > 0 and ts.begin_local <= (src >> ts.shift) & LANE_MASK:
+                violation = self._make_violation(ts, src, idx, "acquire")
+            memo = ls.joins
+            ti = ts.index
+            if memo.get(ti) != src:
+                memo[ti] = src
+                a = ts.vc
+                if a != src:
+                    h = self._H
+                    d = ((a | h) - src) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        ts.vc = src ^ ((a ^ src) & m)
+            self._register_observer(ts)
+            return violation
+        return None
+
+    def _release_x(self, ts: _ThreadState, ls: _LockState, idx: int) -> None:
+        vc = ts.vc
+        ls.vc = vc  # aliasing snapshot: L_ℓ := C_t
+        prev = ls.last_rel_thr
+        if prev is not ts:
+            if prev is not None:
+                prev.rel_locks.discard(ls)
+            ls.last_rel_thr = ts
+            ts.rel_locks.add(ls)
+        self._register_lock_dependents(vc, ls)
+        return None
+
+    def _fork_x(self, ts: _ThreadState, child: _ThreadState, idx: int) -> None:
+        a = child.vc
+        b = ts.vc
+        if a != b:
+            h = self._H
+            d = ((a | h) - b) & h
+            if d != h:
+                g = d >> _SHIFT
+                m = (d - g) | d
+                child.vc = b ^ ((a ^ b) & m)
+        self._register_observer(child)
+        if ts.depth > 0:
+            child.parent_txn = (ts, ts.txn_serial)
+        return None
+
+    def _join_x(self, ts: _ThreadState, child: _ThreadState, idx: int) -> Optional[Violation]:
+        src = child.vc
+        violation = None
+        if ts.depth > 0 and ts.begin_local <= (src >> ts.shift) & LANE_MASK:
+            violation = self._make_violation(ts, src, idx, "join")
+        a = ts.vc
+        if a != src:
+            h = self._H
+            d = ((a | h) - src) & h
+            if d != h:
+                g = d >> _SHIFT
+                m = (d - g) | d
+                ts.vc = src ^ ((a ^ src) & m)
+        self._register_observer(ts)
+        return violation
+
+    def _begin_x(self, ts: _ThreadState, idx: int) -> None:
+        depth = ts.depth
+        ts.depth = depth + 1
+        if depth > 0:
+            return None  # nested begin
         ts.txn_serial += 1
-        ts.clock.increment(ts.index)
-        ts.begin_clock = ts.clock.copy()
+        c = ts.vc + ts.unit
+        ts.vc = c
+        ts.begin_vc = c  # aliasing snapshot: C⊲_t := C_t
+        ts.begin_local = (c >> ts.shift) & LANE_MASK
+        self._active.append(ts)
+        return None
 
     def _has_incoming_edge(self, ts: _ThreadState) -> bool:
         """Whether the ending transaction may participate in a future cycle.
@@ -322,63 +577,125 @@ class OptimizedAeroDromeChecker(StreamingChecker):
             parent, serial = ts.parent_txn
             if parent.has_active_txn_with_serial(serial):
                 return True
-        begin, now = ts.begin_clock, ts.clock
-        for u in self._thread_list:
-            if u is ts:
-                continue
-            if begin.get(u.index) != now.get(u.index):
-                return True
-            if u.active and u.begin_clock.get(u.index) <= now.get(u.index):
+        now = ts.vc
+        # C⊲_t and C_t can only differ outside t's own lane (the local
+        # component moves at begins alone), so one xor+mask decides the
+        # "some component grew" test for all threads at once.
+        if (ts.begin_vc ^ now) & ts.lane_clear:
+            return True
+        for u in self._active:
+            if u is not ts and u.begin_local <= (now >> u.shift) & LANE_MASK:
                 return True
         return False
 
-    def _end(self, ts: _ThreadState, event: Event) -> Optional[Violation]:
-        if ts.depth == 0:
+    def _end_x(self, ts: _ThreadState, idx: int) -> Optional[Violation]:
+        depth = ts.depth
+        if depth == 0:
             raise ValueError(
-                f"end without matching begin at event {event.idx}; "
+                f"end without matching begin at event {idx}; "
                 "validate the trace with repro.trace.wellformed first"
             )
-        if ts.depth > 1:
-            ts.depth -= 1
+        if depth > 1:
+            ts.depth = depth - 1
             return None  # nested end
 
-        if self._has_incoming_edge(ts):
-            violation = self._end_propagate(ts, event)
+        # _has_incoming_edge, inlined: the xor test is two int ops and
+        # decides the common propagate case without a method call.
+        if (
+            (ts.begin_vc ^ ts.vc) & ts.lane_clear
+            or self._has_incoming_edge(ts)
+        ):
+            violation = self._end_propagate(ts, idx)
             if violation is not None:
                 return violation
         else:
             self._end_garbage_collect(ts)
         ts.depth = 0
+        ts.observers = {}
+        self._active.remove(ts)
         # The fork-edge from the parent is consumed by the first
         # transaction; subsequent transactions of this thread are related
         # to the parent only through the clocks.
         ts.parent_txn = None
         return None
 
-    def _end_propagate(self, ts: _ThreadState, event: Event) -> Optional[Violation]:
+    def _end_propagate(self, ts: _ThreadState, idx: int) -> Optional[Violation]:
         """Normal end handling (Alg. 3 lines 58-73)."""
-        begin = ts.begin_clock
-        clock = ts.clock
-        for u in self._thread_list:
-            if u is not ts and begin.get(ts.index) <= u.clock.get(ts.index):
-                violation = self._check_and_get(clock, clock, u, event, "end")
+        clock = ts.vc
+        shift = ts.shift
+        begin_local = ts.begin_local
+        h = self._H
+        # Only threads that consumed a clock covering this transaction
+        # can satisfy the seed scan's condition; observers is a superset
+        # of those, and the O(1) lane recheck filters it exactly.
+        for u in list(ts.observers.values()):
+            if u is not ts and begin_local <= (u.vc >> shift) & LANE_MASK:
+                violation = None
+                if u.depth > 0 and u.begin_local <= (clock >> u.shift) & LANE_MASK:
+                    violation = self._make_violation(u, clock, idx, "end")
+                a = u.vc
+                if a != clock:
+                    d = ((a | h) - clock) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        u.vc = clock ^ ((a ^ clock) & m)
+                    self._register_observer(u)
                 if violation is not None:
                     return violation
-        for ls in self._locks.values():
-            if begin.get(ts.index) <= ls.clock.get(ts.index):
-                ls.clock.join(clock)
+        if ts.update_locks:
+            for ls in ts.update_locks:
+                # O(1) recheck of the seed condition: a later release may
+                # have replaced L_ℓ with a clock from before this begin.
+                a = ls.vc
+                if begin_local <= (a >> shift) & LANE_MASK and a != clock:
+                    if ((clock | h) - a) & h == h:  # clock ⊒ L_ℓ: alias
+                        ls.vc = clock
+                    else:
+                        d = ((a | h) - clock) & h
+                        if d != h:
+                            g = d >> _SHIFT
+                            m = (d - g) | d
+                            ls.vc = clock ^ ((a ^ clock) & m)
+                    self._register_lock_dependents(ls.vc, ls)
+            ts.update_locks = set()
         for xs in ts.update_writes:
             if not xs.stale_write or xs.last_w_thr is ts:
-                xs.write_clock.join(clock)
+                a = xs.w_vc
+                if a != clock:
+                    if ((clock | h) - a) & h == h:  # clock ⊒ W_x: alias
+                        xs.w_vc = clock
+                    else:
+                        d = ((a | h) - clock) & h
+                        if d != h:
+                            g = d >> _SHIFT
+                            m = (d - g) | d
+                            xs.w_vc = clock ^ ((a ^ clock) & m)
             if xs.last_w_thr is ts:
                 xs.stale_write = False
         ts.update_writes = set()
-        saved = clock.get(ts.index)
+        contrib = clock & ts.lane_clear
         for xs in ts.update_reads:
-            xs.read_clock.join(clock)
-            clock.set_component(ts.index, 0)
-            xs.check_read_clock.join(clock)
-            clock.set_component(ts.index, saved)
+            a = xs.r_vc
+            if a != clock:
+                if ((clock | h) - a) & h == h:  # clock ⊒ R_x: alias
+                    xs.r_vc = clock
+                else:
+                    d = ((a | h) - clock) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        xs.r_vc = clock ^ ((a ^ clock) & m)
+            a = xs.hr_vc
+            if a != contrib:
+                if ((contrib | h) - a) & h == h:
+                    xs.hr_vc = contrib
+                else:
+                    d = ((a | h) - contrib) & h
+                    if d != h:
+                        g = d >> _SHIFT
+                        m = (d - g) | d
+                        xs.hr_vc = contrib ^ ((a ^ contrib) & m)
             xs.stale_readers.discard(ts)
         ts.update_reads = set()
         return None
@@ -395,9 +712,15 @@ class OptimizedAeroDromeChecker(StreamingChecker):
                 xs.stale_write = False
                 xs.last_w_thr = None
         ts.update_writes = set()
-        for ls in self._locks.values():
-            if ls.last_rel_thr is ts:
-                ls.last_rel_thr = None
+        # Lock ownership must be cleared on *every* lock this thread last
+        # released, not just the registered ones: a unary release is not
+        # in the update set, yet NIL-ing it here is what forces the
+        # acquire-side check after GC (the paper's NIL ≠ t). rel_locks
+        # tracks exactly those locks.
+        for ls in ts.rel_locks:
+            ls.last_rel_thr = None
+        ts.rel_locks.clear()
+        ts.update_locks = set()
 
     def state_summary(self) -> Dict[str, int]:
         """Clock counts after the Algorithm 2 reduction: three clocks
@@ -416,34 +739,133 @@ class OptimizedAeroDromeChecker(StreamingChecker):
     # -- dispatch ------------------------------------------------------------
 
     def process(self, event: Event) -> Optional[Violation]:
-        """Consume one event (see :class:`StreamingChecker`)."""
+        """Consume one string event (see :class:`StreamingChecker`).
+
+        This is the compatibility adapter over the packed core: it
+        interns the event's names and calls the same per-op handlers the
+        packed dispatch loop uses.
+        """
         if self.violation is not None:
             raise RuntimeError("checker already found a violation; reset() first")
         ts = self._thread(event.thread)
         op = event.op
         violation: Optional[Violation]
         if op is Op.READ:
-            violation = self._read(ts, event)
+            violation = self._read_x(ts, self._var(event.target), event.idx)
         elif op is Op.WRITE:
-            violation = self._write(ts, event)
+            violation = self._write_x(ts, self._var(event.target), event.idx)
         elif op is Op.ACQUIRE:
-            violation = self._acquire(ts, event)
+            violation = self._acquire_x(ts, self._lock(event.target), event.idx)
         elif op is Op.RELEASE:
-            self._release(ts, event)
-            violation = None
+            violation = self._release_x(ts, self._lock(event.target), event.idx)
         elif op is Op.BEGIN:
-            self._begin(ts, event)
-            violation = None
+            violation = self._begin_x(ts, event.idx)
         elif op is Op.END:
-            violation = self._end(ts, event)
+            violation = self._end_x(ts, event.idx)
         elif op is Op.FORK:
-            self._fork(ts, event)
-            violation = None
+            violation = self._fork_x(ts, self._thread(event.target), event.idx)
         elif op is Op.JOIN:
-            violation = self._join(ts, event)
+            violation = self._join_x(ts, self._thread(event.target), event.idx)
         else:  # pragma: no cover - exhaustive over Op
             raise AssertionError(f"unhandled op {op}")
         self.events_processed += 1
         if violation is not None:
             self.violation = violation
         return violation
+
+    def packed_step(self, packed: PackedTrace):
+        """Per-op dispatch table over packed records (see base class)."""
+        return make_packed_step(
+            packed, self._thread, self._var, self._lock,
+            self._read_x, self._write_x, self._acquire_x, self._release_x,
+            self._fork_x, self._join_x, self._begin_x, self._end_x,
+        )
+
+    def run_packed(self, packed: PackedTrace, start: int = 0):
+        """The packed fast loop: dense records in, one branch per event.
+
+        Same contract as the base implementation; the four hot ops
+        (read/write/begin/end) are dispatched first, and bookkeeping
+        (events_processed, the violation verdict) is batched around the
+        loop instead of per event.
+        """
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        # Threads are bound eagerly (their lane layout fixes the SWAR
+        # guard mask before the loop); variables and locks are bound
+        # lazily so a run that stops early — a violation a few hundred
+        # events in — never pays for the namespaces it did not reach.
+        tmap = [self._thread(name) for name in packed.thread_names]
+        var_names = packed.variable_names
+        lock_names = packed.lock_names
+        vmap: List[Optional[_VarState]] = [None] * len(var_names)
+        lmap: List[Optional[_LockState]] = [None] * len(lock_names)
+        var_intern = self._var
+        lock_intern = self._lock
+        threads, ops, targets = packed.arrays()
+        n = len(ops)
+        if start:
+            threads = threads[start:]
+            ops = ops[start:]
+            targets = targets[start:]
+        read = self._read_x
+        write = self._write_x
+        acquire = self._acquire_x
+        release = self._release_x
+        fork = self._fork_x
+        join = self._join_x
+        begin = self._begin_x
+        end = self._end_x
+        active_append = self._active.append
+        violation: Optional[Violation] = None
+        processed = n - start
+        for i, op, t, target in zip(range(start, n), ops, threads, targets):
+            ts = tmap[t]
+            if op == 0:
+                xs = vmap[target]
+                if xs is None:
+                    xs = vmap[target] = var_intern(var_names[target])
+                violation = read(ts, xs, i)
+            elif op == 1:
+                xs = vmap[target]
+                if xs is None:
+                    xs = vmap[target] = var_intern(var_names[target])
+                violation = write(ts, xs, i)
+            elif op == 6:
+                # begin, inlined (the second-most frequent op after the
+                # accesses in transaction-dense workloads)
+                depth = ts.depth
+                ts.depth = depth + 1
+                if depth == 0:
+                    ts.txn_serial += 1
+                    c = ts.vc + ts.unit
+                    ts.vc = c
+                    ts.begin_vc = c
+                    ts.begin_local = (c >> ts.shift) & LANE_MASK
+                    active_append(ts)
+                continue
+            elif op == 7:
+                violation = end(ts, i)
+            elif op == 2:
+                ls = lmap[target]
+                if ls is None:
+                    ls = lmap[target] = lock_intern(lock_names[target])
+                violation = acquire(ts, ls, i)
+            elif op == 3:
+                ls = lmap[target]
+                if ls is None:
+                    ls = lmap[target] = lock_intern(lock_names[target])
+                release(ts, ls, i)
+                continue
+            elif op == 4:
+                fork(ts, tmap[target], i)
+                continue
+            else:
+                violation = join(ts, tmap[target], i)
+            if violation is not None:
+                processed = i - start + 1
+                break
+        self.events_processed += processed
+        if violation is not None:
+            self.violation = violation
+        return self.result()

@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterable, Optional
 
 from ..trace.events import Event
+from ..trace.packed import PackedTrace
 from .violations import AtomicityViolationError, CheckResult, Violation
 
 
@@ -33,10 +34,61 @@ class StreamingChecker(ABC):
         """Consume one event; return a violation iff this event closes one."""
 
     def run(self, events: Iterable[Event]) -> CheckResult:
-        """Consume events until exhaustion or the first violation."""
+        """Consume events until exhaustion or the first violation.
+
+        Packed traces are routed to :meth:`run_packed`, the dense
+        integer fast path; anything else is consumed event by event.
+        """
+        if isinstance(events, PackedTrace):
+            return self.run_packed(events)
         for event in events:
             if self.process(event) is not None:
                 break
+        return self.result()
+
+    def packed_step(self, packed: PackedTrace) -> Callable[[int, int, int, int], Optional[Violation]]:
+        """A per-event step function over ``packed``'s integer records.
+
+        The returned callable ``step(op, thread, target, idx)`` consumes
+        one packed event and returns its violation, if any. Checkers
+        with a packed fast path override this with a per-op dispatch
+        table over dense state; those fast steps do **not** maintain
+        :attr:`violation` / :attr:`events_processed` — the driving loop
+        (:meth:`run_packed`, or report-and-continue in
+        :mod:`repro.core.multi`) owns that bookkeeping. This generic
+        fallback reconstructs events and delegates to :meth:`process`,
+        which keeps its usual bookkeeping.
+        """
+        event_at = packed.event_at
+        process = self.process
+
+        def step(op: int, t: int, target: int, idx: int) -> Optional[Violation]:
+            return process(event_at(idx))
+
+        return step
+
+    def run_packed(self, packed: PackedTrace, start: int = 0) -> CheckResult:
+        """Consume a :class:`~repro.trace.packed.PackedTrace` from
+        ``start`` until exhaustion or the first violation."""
+        if self.violation is not None:
+            raise RuntimeError("checker already found a violation; reset() first")
+        step = self.packed_step(packed)
+        threads, ops, targets = packed.arrays()
+        n = len(ops)
+        counted_before = self.events_processed
+        i = start
+        violation: Optional[Violation] = None
+        while i < n:
+            violation = step(ops[i], threads[i], targets[i], i)
+            i += 1
+            if violation is not None:
+                break
+        if self.events_processed == counted_before:
+            # Fast steps leave the counter to us; the generic fallback
+            # (via process) already counted each event.
+            self.events_processed += i - start
+        if violation is not None:
+            self.violation = violation
         return self.result()
 
     def result(self) -> CheckResult:
@@ -61,6 +113,61 @@ class StreamingChecker(ABC):
         state growth along a trace.
         """
         return {"events_processed": self.events_processed}
+
+
+def lazy_binder(names, intern) -> Callable[[int], object]:
+    """A packed-namespace resolver: index -> interned checker state.
+
+    Resolution is lazy and cached, so a run that stops early (or a
+    report-and-continue stream over a violating prefix) never interns
+    names — or, for the sharded checker, creates thread shards that
+    would skew its access accounting — for events it did not reach.
+    """
+    cache: list = [None] * len(names)
+
+    def of(index: int):
+        state = cache[index]
+        if state is None:
+            state = cache[index] = intern(names[index])
+        return state
+
+    return of
+
+
+def make_packed_step(
+    packed: PackedTrace,
+    thread_intern,
+    var_intern,
+    lock_intern,
+    read, write, acquire, release, fork, join, begin, end,
+):
+    """Build the per-op dispatch table every packed checker shares.
+
+    The eight handlers receive ``(thread_state, target_state, idx)``
+    with states resolved through the checker's own interners — whatever
+    those interners return (dense ints for the basic checker, state
+    objects elsewhere). Checkers pass their bound per-op methods; only
+    the deliberately inlined hot loops (e.g. the optimized checker's
+    ``run_packed``) bypass this.
+    """
+    thread_of = lazy_binder(packed.thread_names, thread_intern)
+    var_of = lazy_binder(packed.variable_names, var_intern)
+    lock_of = lazy_binder(packed.lock_names, lock_intern)
+    handlers = (
+        lambda t, v, i: read(thread_of(t), var_of(v), i),       # Op.READ
+        lambda t, v, i: write(thread_of(t), var_of(v), i),      # Op.WRITE
+        lambda t, l, i: acquire(thread_of(t), lock_of(l), i),   # Op.ACQUIRE
+        lambda t, l, i: release(thread_of(t), lock_of(l), i),   # Op.RELEASE
+        lambda t, u, i: fork(thread_of(t), thread_of(u), i),    # Op.FORK
+        lambda t, u, i: join(thread_of(t), thread_of(u), i),    # Op.JOIN
+        lambda t, _l, i: begin(thread_of(t), i),                # Op.BEGIN
+        lambda t, _l, i: end(thread_of(t), i),                  # Op.END
+    )
+
+    def step(op: int, t: int, target: int, idx: int) -> Optional[Violation]:
+        return handlers[op](t, target, idx)
+
+    return step
 
 
 def _registry() -> Dict[str, Callable[[], StreamingChecker]]:

@@ -1,0 +1,146 @@
+"""Packed integer vector clocks — the checkers' epoch fast-path carrier.
+
+The analyses in :mod:`repro.core.aerodrome_opt` and
+:mod:`repro.core.sharded` only ever need four clock operations on their
+hot path: join, O(1) local-component compare, snapshot, and
+local-component increment. This module packs a whole vector time into a
+single arbitrary-precision Python ``int`` — one 64-bit *lane* per thread
+component — so those operations become a handful of C-speed big-integer
+instructions instead of per-component interpreter loops:
+
+* **snapshot is free**: ints are immutable, so ``W_x := C_t`` is an
+  aliasing rebind, not a copy. This deletes the per-event ``copy()``
+  traffic (release, write publish, begin) wholesale and is what makes
+  value-equality epoch memos exact: an unchanged source *is* the same
+  object/value.
+* **join is branch-free SWAR**: per-lane ``max`` via the carry-save
+  compare trick below, ~10 int ops regardless of how the interpreter
+  would have looped.
+* **component access** is a shift+mask, and the ⊑ checks the optimized
+  algorithms need are single-lane compares on these.
+* **growth is automatic**: a clock with fewer lanes than another is
+  zero-extended by integer arithmetic itself, so threads appearing
+  mid-trace need no resizing pass.
+
+Lanes hold non-negative values strictly below 2**63; the top bit of each
+lane is the SWAR *guard* bit and must stay clear in stored clocks. Clock
+components count transactions per thread, so a trace would need more
+than 2**63 events per thread to overflow a lane — unreachable by many
+orders of magnitude for anything this reproduction (or the paper's
+2.8B-event traces) analyzes.
+
+The guard mask ``H`` must span at least as many lanes as any operand has
+threads; oversizing it is correct but pads every intermediate, so the
+checkers grow their mask exactly with their thread registry
+(:func:`grow_guard`).
+
+The general-purpose, mutable :class:`~repro.core.vector_clock.VectorClock`
+remains the canonical representation (the basic checker's auditable
+line-by-line Algorithm 1 uses it exclusively); :func:`to_vector_clock`
+bridges packed clocks back for views, reprs and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .vector_clock import VectorClock
+
+#: Bits per lane (one lane per thread component).
+LANE_BITS = 64
+#: Mask of one full lane.
+LANE_MASK = (1 << LANE_BITS) - 1
+#: Largest storable component (guard bit must stay clear).
+LANE_MAX = (1 << (LANE_BITS - 1)) - 1
+#: The guard bit of lane 0.
+GUARD = 1 << (LANE_BITS - 1)
+
+
+def make_guard(lanes: int) -> int:
+    """The SWAR guard mask ``H`` for ``lanes`` lanes."""
+    h = 0
+    bit = GUARD
+    for _ in range(lanes):
+        h |= bit
+        bit <<= LANE_BITS
+    return h
+
+
+def grow_guard(h: int, lanes: int) -> int:
+    """Extend an existing guard mask to cover ``lanes`` lanes."""
+    have = h.bit_length() // LANE_BITS
+    bit = GUARD << (LANE_BITS * have)
+    for _ in range(lanes - have):
+        h |= bit
+        bit <<= LANE_BITS
+    return h
+
+
+def join(a: int, b: int, h: int) -> int:
+    """Per-lane ``max(a, b)`` (the lattice join ``a ⊔ b``).
+
+    SWAR compare-select: ``d`` keeps lane ``i``'s guard bit set iff
+    ``a_i >= b_i`` (the guarded subtraction cannot borrow across lanes
+    because stored lanes never use their guard bit); ``m`` widens each
+    surviving guard into a full-lane mask; the final expression picks
+    ``a``'s lane where the mask is set and ``b``'s elsewhere. The hot
+    handlers inline this formula — the function form is for cold paths
+    and tests.
+    """
+    if a == b:
+        return a
+    d = ((a | h) - b) & h
+    g = d >> (LANE_BITS - 1)
+    m = (d - g) | d
+    return b ^ ((a ^ b) & m)
+
+
+def leq(a: int, b: int, h: int) -> bool:
+    """The pointwise partial order ``a ⊑ b``."""
+    return ((b | h) - a) & h == h
+
+
+def get(v: int, lane: int) -> int:
+    """Component ``v(lane)``."""
+    return (v >> (LANE_BITS * lane)) & LANE_MASK
+
+
+def unit(lane: int, value: int = 1) -> int:
+    """``⊥[value/lane]``."""
+    return value << (LANE_BITS * lane)
+
+
+def clear_lane(v: int, lane: int) -> int:
+    """``v[0/lane]`` — the hR_x contribution with the own lane blanked."""
+    return v & ~(LANE_MASK << (LANE_BITS * lane))
+
+
+def pack(components: Iterable[int]) -> int:
+    """Pack a component list (index = lane) into an int clock."""
+    v = 0
+    shift = 0
+    for component in components:
+        if not 0 <= component <= LANE_MAX:
+            raise ValueError(f"component {component} out of lane range")
+        v |= component << shift
+        shift += LANE_BITS
+    return v
+
+
+def unpack(v: int) -> List[int]:
+    """The component list of ``v`` (empty for ⊥)."""
+    components = []
+    while v:
+        components.append(v & LANE_MASK)
+        v >>= LANE_BITS
+    return components
+
+
+def to_vector_clock(v: int) -> VectorClock:
+    """A :class:`VectorClock` view of ``v`` (for reprs, tests, tools)."""
+    return VectorClock(unpack(v))
+
+
+def from_vector_clock(clock: VectorClock) -> int:
+    """Pack a :class:`VectorClock` into an int clock."""
+    return pack(clock.as_tuple())

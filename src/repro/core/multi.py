@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..trace.events import Event, Op
+from ..trace.packed import PackedTrace
 from .checker import make_checker
 from .violations import Violation
 
@@ -42,7 +43,10 @@ def violation_stream(
     """Yield every violation a checker reports over ``events``.
 
     Args:
-        events: The trace (or any event iterable).
+        events: The trace (or any event iterable). A
+            :class:`~repro.trace.packed.PackedTrace` is consumed through
+            the checker's packed dispatch table without reconstructing
+            events.
         algorithm: Registry name of the underlying checker.
         dedupe: Suppress repeated (thread, site) reports until the
             reporting thread crosses its next begin/end boundary.
@@ -50,12 +54,46 @@ def violation_stream(
     Yields:
         :class:`Violation` objects in stream order.
     """
+    if isinstance(events, PackedTrace):
+        yield from _packed_violation_stream(events, algorithm, dedupe)
+        return
     checker = make_checker(algorithm)
     muted: Set[Tuple[str, str]] = set()
     for event in events:
         if dedupe and event.op in (Op.BEGIN, Op.END):
             muted = {key for key in muted if key[0] != event.thread}
         violation = checker.process(event)
+        if violation is not None:
+            checker.violation = None  # report-and-continue
+            key = (violation.thread, violation.site)
+            if dedupe:
+                if key in muted:
+                    continue
+                muted.add(key)
+            yield violation
+
+
+def _packed_violation_stream(
+    packed: PackedTrace, algorithm: str, dedupe: bool
+) -> Iterator[Violation]:
+    """Report-and-continue over packed records.
+
+    Same semantics as the string loop; the fast checkers' packed steps
+    leave :attr:`violation` untouched, so clearing it is a no-op there
+    and matches the string path for fallback checkers.
+    """
+    checker = make_checker(algorithm)
+    step = checker.packed_step(packed)
+    threads, ops, targets = packed.arrays()
+    thread_names = packed.thread_names
+    muted: Set[Tuple[str, str]] = set()
+    begin_code, end_code = int(Op.BEGIN), int(Op.END)
+    for i in range(len(ops)):
+        op = ops[i]
+        if dedupe and (op == begin_code or op == end_code):
+            name = thread_names[threads[i]]
+            muted = {key for key in muted if key[0] != name}
+        violation = step(op, threads[i], targets[i], i)
         if violation is not None:
             checker.violation = None  # report-and-continue
             key = (violation.thread, violation.site)

@@ -29,15 +29,24 @@ in trace order by one Python interpreter); what it quantifies is the
 communication structure: most events touch exactly one object shard
 (reads/writes/acquires), and only end events fan out — and then only to
 shards whose clocks are after the closing transaction's begin.
+
+Internally variables and locks are interned to dense indices with their
+shard assignment cached at intern time, events are consumed through the
+same per-op dispatch-table fast path as the other checkers
+(``run_packed``), and the clock joins/snapshots carry the version-epoch
+memos described in ``docs/PERF.md``. None of this changes the access
+accounting: a memo-skipped join still contacts the owning shard, and is
+counted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..trace.events import Event, Op
-from .checker import StreamingChecker
+from ..trace.packed import Interner, PackedTrace
+from .checker import StreamingChecker, make_packed_step
 from .vector_clock import ThreadRegistry, VectorClock
 from .violations import Violation
 
@@ -85,7 +94,13 @@ class _ThreadShard:
 
 
 class _ObjectShard:
-    """Owns the per-variable and per-lock clocks hashed to it."""
+    """Owns the per-variable and per-lock clocks hashed to it.
+
+    Variables and locks are identified by their dense namespace indices;
+    the ``*_pub`` / ``*_joined`` / ``read_flush`` maps are the epoch
+    memos that let an unchanged clock skip its redundant join or
+    snapshot (the shard contact is still counted by the caller).
+    """
 
     __slots__ = (
         "shard_id",
@@ -95,16 +110,26 @@ class _ObjectShard:
         "check_read_clock",
         "lock_clock",
         "last_rel_thr",
+        "write_pub",
+        "write_joined",
+        "read_flush",
+        "lock_pub",
+        "lock_joined",
     )
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
-        self.write_clock: Dict[str, VectorClock] = {}
-        self.last_w_thr: Dict[str, int] = {}
-        self.read_clock: Dict[str, VectorClock] = {}  # R_x = ⊔_u R_{u,x}
-        self.check_read_clock: Dict[str, VectorClock] = {}  # hR_x
-        self.lock_clock: Dict[str, VectorClock] = {}
-        self.last_rel_thr: Dict[str, int] = {}
+        self.write_clock: Dict[int, VectorClock] = {}
+        self.last_w_thr: Dict[int, int] = {}
+        self.read_clock: Dict[int, VectorClock] = {}  # R_x = ⊔_u R_{u,x}
+        self.check_read_clock: Dict[int, VectorClock] = {}  # hR_x
+        self.lock_clock: Dict[int, VectorClock] = {}
+        self.last_rel_thr: Dict[int, int] = {}
+        self.write_pub: Dict[int, tuple] = {}  # x -> (t, C_t ver, W_x ver)
+        self.write_joined: Dict[int, tuple] = {}  # x -> (t, W_x ver)
+        self.read_flush: Dict[int, tuple] = {}  # x -> (t, C_t ver)
+        self.lock_pub: Dict[int, tuple] = {}  # l -> (t, C_t ver, L_ℓ ver)
+        self.lock_joined: Dict[int, tuple] = {}  # l -> (t, L_ℓ ver)
 
 
 class ShardedAeroDromeChecker(StreamingChecker):
@@ -124,10 +149,14 @@ class ShardedAeroDromeChecker(StreamingChecker):
         self.n_object_shards = n_object_shards
         self.stats = SyncStats()
         self._threads = ThreadRegistry()
-        self._thread_shards: Dict[int, _ThreadShard] = {}
+        self._thread_shards: List[_ThreadShard] = []
         self._object_shards = [
             _ObjectShard(i) for i in range(n_object_shards)
         ]
+        self._var_names = Interner()
+        self._var_shard: List[_ObjectShard] = []
+        self._lock_names = Interner()
+        self._lock_shard: List[_ObjectShard] = []
 
     def reset(self) -> None:
         self.__init__(n_object_shards=self.n_object_shards)
@@ -136,11 +165,9 @@ class ShardedAeroDromeChecker(StreamingChecker):
 
     def _thread_shard(self, name: str) -> _ThreadShard:
         t = self._threads.index_of(name)
-        shard = self._thread_shards.get(t)
-        if shard is None:
-            shard = _ThreadShard(t)
-            self._thread_shards[t] = shard
-        return shard
+        if t == len(self._thread_shards):
+            self._thread_shards.append(_ThreadShard(t))
+        return self._thread_shards[t]
 
     def shard_of(self, target: str) -> _ObjectShard:
         """The object shard owning ``target`` (stable hash routing)."""
@@ -148,6 +175,19 @@ class ShardedAeroDromeChecker(StreamingChecker):
         # shard assignment reproducible across runs.
         digest = sum(target.encode("utf-8"))
         return self._object_shards[digest % self.n_object_shards]
+
+    def _var(self, name: str) -> int:
+        """Intern a variable, caching its shard assignment."""
+        x = self._var_names.index_of(name)
+        if x == len(self._var_shard):
+            self._var_shard.append(self.shard_of(name))
+        return x
+
+    def _lock(self, name: str) -> int:
+        l = self._lock_names.index_of(name)
+        if l == len(self._lock_shard):
+            self._lock_shard.append(self.shard_of(name))
+        return l
 
     def _local(self) -> None:
         self.stats.local_accesses += 1
@@ -159,171 +199,210 @@ class ShardedAeroDromeChecker(StreamingChecker):
 
     # -- checkAndGet --------------------------------------------------------
 
-    def _check_and_get(
-        self,
-        check_clk: VectorClock,
-        join_clk: VectorClock,
-        me: _ThreadShard,
-        event: Event,
-        site: str,
-    ) -> Optional[Violation]:
+    def _make_violation(
+        self, me: _ThreadShard, idx: int, site: str
+    ) -> Violation:
+        return Violation(
+            event_idx=idx,
+            thread=self._threads.name_of(me.index),
+            site=site,
+            details="sharded checkAndGet: C⊲_t ⊑ clk with active txn",
+        )
+
+    def _check(self, me: _ThreadShard, check_clk: VectorClock) -> bool:
         # The ⊑ check is the O(1) local-component comparison of Appendix
         # C.1 — required for exactness of the hR_x check, and what a
         # distributed implementation would actually ship between shards
         # (a single integer, not the whole vector).
-        if (
+        return (
             me.depth > 0
             and me.begin_clock.get(me.index) <= check_clk.get(me.index)
-        ):
-            return Violation(
-                event_idx=event.idx,
-                thread=self._threads.name_of(me.index),
-                site=site,
-                details="sharded checkAndGet: C⊲_t ⊑ clk with active txn",
-            )
-        me.clock.join(join_clk)
-        return None
+        )
 
     # -- handlers ------------------------------------------------------------
 
-    def _read(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
-        variable = event.target
-        assert variable is not None
-        shard = self.shard_of(variable)
+    def _read_x(self, me: _ThreadShard, x: int, idx: int) -> Optional[Violation]:
+        shard = self._var_shard[x]
         self._remote(shard)
-        if shard.last_w_thr.get(variable) != me.index:
-            write_clock = shard.write_clock.get(variable)
+        if shard.last_w_thr.get(x) != me.index:
+            write_clock = shard.write_clock.get(x)
             if write_clock is not None:
-                violation = self._check_and_get(
-                    write_clock, write_clock, me, event, "read"
-                )
-                if violation is not None:
-                    return violation
-        read_clock = shard.read_clock.get(variable)
+                if self._check(me, write_clock):
+                    me.clock.join(write_clock)
+                    return self._make_violation(me, idx, "read")
+                memo = shard.write_joined.get(x)
+                ver = write_clock.version
+                if memo is None or memo[0] != me.index or memo[1] != ver:
+                    me.clock.join(write_clock)
+                    shard.write_joined[x] = (me.index, ver)
+        clock = me.clock
+        read_clock = shard.read_clock.get(x)
         if read_clock is None:
-            shard.read_clock[variable] = me.clock.copy()
+            shard.read_clock[x] = clock.copy()
+            shard.check_read_clock[x] = clock.zeroed(me.index)
+            shard.read_flush[x] = (me.index, clock.version)
         else:
-            read_clock.join(me.clock)
-        check_read = shard.check_read_clock.get(variable)
-        contribution = me.clock.zeroed(me.index)
-        if check_read is None:
-            shard.check_read_clock[variable] = contribution
-        else:
-            check_read.join(contribution)
+            memo = shard.read_flush.get(x)
+            cver = clock.version
+            if memo is None or memo[0] != me.index or memo[1] != cver:
+                read_clock.join(clock)
+                times = clock._times
+                i = me.index
+                saved = times[i]
+                times[i] = 0
+                shard.check_read_clock[x].join(clock)
+                times[i] = saved
+                shard.read_flush[x] = (me.index, cver)
         return None
 
-    def _write(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
-        variable = event.target
-        assert variable is not None
-        shard = self.shard_of(variable)
+    def _write_x(self, me: _ThreadShard, x: int, idx: int) -> Optional[Violation]:
+        shard = self._var_shard[x]
         self._remote(shard)
-        if shard.last_w_thr.get(variable) != me.index:
-            write_clock = shard.write_clock.get(variable)
+        if shard.last_w_thr.get(x) != me.index:
+            write_clock = shard.write_clock.get(x)
             if write_clock is not None:
-                violation = self._check_and_get(
-                    write_clock, write_clock, me, event, "write-write"
-                )
+                violation = None
+                if self._check(me, write_clock):
+                    violation = self._make_violation(me, idx, "write-write")
+                memo = shard.write_joined.get(x)
+                ver = write_clock.version
+                if memo is None or memo[0] != me.index or memo[1] != ver:
+                    me.clock.join(write_clock)
+                    shard.write_joined[x] = (me.index, ver)
                 if violation is not None:
                     return violation
-        check_read = shard.check_read_clock.get(variable)
+        check_read = shard.check_read_clock.get(x)
         if check_read is not None:
-            read_clock = shard.read_clock[variable]
-            violation = self._check_and_get(
-                check_read, read_clock, me, event, "write-read"
-            )
+            read_clock = shard.read_clock[x]
+            violation = None
+            if self._check(me, check_read):
+                violation = self._make_violation(me, idx, "write-read")
+            me.clock.join(read_clock)
             if violation is not None:
                 return violation
-        shard.write_clock[variable] = me.clock.copy()
-        shard.last_w_thr[variable] = me.index
+        clock = me.clock
+        old = shard.write_clock.get(x)
+        memo = shard.write_pub.get(x)
+        if (
+            memo is None
+            or old is None
+            or memo != (me.index, clock.version, old.version)
+        ):
+            snap = clock.copy()
+            shard.write_clock[x] = snap
+            shard.write_pub[x] = (me.index, clock.version, snap.version)
+        shard.last_w_thr[x] = me.index
         # Reads before this write are summarized by W_x from now on
         # (W_x ⊒ every R_{u,x} after the joins above, so dropping the
         # read clocks loses no future check).
-        shard.read_clock.pop(variable, None)
-        shard.check_read_clock.pop(variable, None)
+        shard.read_clock.pop(x, None)
+        shard.check_read_clock.pop(x, None)
+        shard.read_flush.pop(x, None)
         return None
 
-    def _acquire(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
-        lock = event.target
-        assert lock is not None
-        shard = self.shard_of(lock)
+    def _acquire_x(self, me: _ThreadShard, l: int, idx: int) -> Optional[Violation]:
+        shard = self._lock_shard[l]
         self._remote(shard)
-        if shard.last_rel_thr.get(lock) != me.index:
-            lock_clock = shard.lock_clock.get(lock)
+        if shard.last_rel_thr.get(l) != me.index:
+            lock_clock = shard.lock_clock.get(l)
             if lock_clock is not None:
-                return self._check_and_get(
-                    lock_clock, lock_clock, me, event, "acquire"
-                )
+                violation = None
+                if self._check(me, lock_clock):
+                    violation = self._make_violation(me, idx, "acquire")
+                memo = shard.lock_joined.get(l)
+                ver = lock_clock.version
+                if memo is None or memo[0] != me.index or memo[1] != ver:
+                    me.clock.join(lock_clock)
+                    shard.lock_joined[l] = (me.index, ver)
+                return violation
         return None
 
-    def _release(self, me: _ThreadShard, event: Event) -> None:
-        lock = event.target
-        assert lock is not None
-        shard = self.shard_of(lock)
+    def _release_x(self, me: _ThreadShard, l: int, idx: int) -> None:
+        shard = self._lock_shard[l]
         self._remote(shard)
-        shard.lock_clock[lock] = me.clock.copy()
-        shard.last_rel_thr[lock] = me.index
+        clock = me.clock
+        old = shard.lock_clock.get(l)
+        memo = shard.lock_pub.get(l)
+        if (
+            memo is None
+            or old is None
+            or memo != (me.index, clock.version, old.version)
+        ):
+            snap = clock.copy()
+            shard.lock_clock[l] = snap
+            shard.lock_pub[l] = (me.index, clock.version, snap.version)
+        shard.last_rel_thr[l] = me.index
+        return None
 
-    def _fork(self, me: _ThreadShard, event: Event) -> None:
-        child = self._thread_shard(event.target)  # type: ignore[arg-type]
+    def _fork_x(self, me: _ThreadShard, child: _ThreadShard, idx: int) -> None:
         self.stats.remote_accesses += 1  # another thread's shard
         child.clock.join(me.clock)
+        return None
 
-    def _join(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
-        child = self._thread_shard(event.target)  # type: ignore[arg-type]
+    def _join_x(self, me: _ThreadShard, child: _ThreadShard, idx: int) -> Optional[Violation]:
         self.stats.remote_accesses += 1
-        return self._check_and_get(child.clock, child.clock, me, event, "join")
+        violation = None
+        if self._check(me, child.clock):
+            violation = self._make_violation(me, idx, "join")
+        me.clock.join(child.clock)
+        return violation
 
-    def _begin(self, me: _ThreadShard) -> None:
+    def _begin_x(self, me: _ThreadShard, idx: int) -> None:
         me.depth += 1
         if me.depth == 1:
             me.clock.increment(me.index)
             me.begin_clock = me.clock.copy()
+        return None
 
-    def _end(self, me: _ThreadShard, event: Event) -> Optional[Violation]:
+    def _end_x(self, me: _ThreadShard, idx: int) -> Optional[Violation]:
         if me.depth == 0:
             raise ValueError(
-                f"end without matching begin at event {event.idx}; "
+                f"end without matching begin at event {idx}; "
                 "validate the trace with repro.trace.wellformed first"
             )
         me.depth -= 1
         if me.depth > 0:
             return None
         begin_local = me.begin_clock.get(me.index)
+        my_clock = me.clock
+        mi = me.index
+        stats = self.stats
         # Fan-out 1: other thread shards that saw this transaction.
-        for u, other in self._thread_shards.items():
+        for other in self._thread_shards:
             if other is me:
                 continue
-            self.stats.remote_accesses += 1
-            self.stats.end_broadcasts += 1
-            if begin_local <= other.clock.get(me.index):
-                violation = self._check_and_get(
-                    me.clock, me.clock, other, event, "end"
-                )
+            stats.remote_accesses += 1
+            stats.end_broadcasts += 1
+            if begin_local <= other.clock.get(mi):
+                violation = None
+                if self._check(other, my_clock):
+                    violation = self._make_violation(other, idx, "end")
+                other.clock.join(my_clock)
                 if violation is not None:
                     return violation
         # Fan-out 2: object shards, each updating only clocks after the
         # begin (Algorithm 2 lines 24-30). One broadcast per shard, not
         # per object.
-        zeroed = me.clock.zeroed(me.index)
+        zeroed = my_clock.zeroed(mi)
         for shard in self._object_shards:
             self._remote(shard)
-            self.stats.end_broadcasts += 1
+            stats.end_broadcasts += 1
             for clock in shard.lock_clock.values():
-                if begin_local <= clock.get(me.index):
-                    clock.join(me.clock)
+                if begin_local <= clock.get(mi):
+                    clock.join(my_clock)
             for clock in shard.write_clock.values():
-                if begin_local <= clock.get(me.index):
-                    clock.join(me.clock)
-            for variable, clock in shard.read_clock.items():
-                if begin_local <= clock.get(me.index):
-                    clock.join(me.clock)
-                    shard.check_read_clock[variable].join(zeroed)
+                if begin_local <= clock.get(mi):
+                    clock.join(my_clock)
+            for x, clock in shard.read_clock.items():
+                if begin_local <= clock.get(mi):
+                    clock.join(my_clock)
+                    shard.check_read_clock[x].join(zeroed)
         return None
 
     # -- dispatch ------------------------------------------------------------
 
     def process(self, event: Event) -> Optional[Violation]:
-        """Consume one event (see :class:`StreamingChecker`)."""
+        """Consume one string event (the adapter over the packed core)."""
         if self.violation is not None:
             raise RuntimeError("checker already found a violation; reset() first")
         me = self._thread_shard(event.thread)
@@ -331,24 +410,46 @@ class ShardedAeroDromeChecker(StreamingChecker):
         op = event.op
         violation: Optional[Violation] = None
         if op is Op.READ:
-            violation = self._read(me, event)
+            violation = self._read_x(me, self._var(event.target), event.idx)
         elif op is Op.WRITE:
-            violation = self._write(me, event)
+            violation = self._write_x(me, self._var(event.target), event.idx)
         elif op is Op.ACQUIRE:
-            violation = self._acquire(me, event)
+            violation = self._acquire_x(me, self._lock(event.target), event.idx)
         elif op is Op.RELEASE:
-            self._release(me, event)
+            violation = self._release_x(me, self._lock(event.target), event.idx)
         elif op is Op.BEGIN:
-            self._begin(me)
+            violation = self._begin_x(me, event.idx)
         elif op is Op.END:
-            violation = self._end(me, event)
+            violation = self._end_x(me, event.idx)
         elif op is Op.FORK:
-            self._fork(me, event)
+            violation = self._fork_x(me, self._thread_shard(event.target), event.idx)
         elif op is Op.JOIN:
-            violation = self._join(me, event)
+            violation = self._join_x(me, self._thread_shard(event.target), event.idx)
         else:  # pragma: no cover - exhaustive over Op
             raise AssertionError(f"unhandled op {op}")
         self.events_processed += 1
         if violation is not None:
             self.violation = violation
         return violation
+
+    def packed_step(self, packed: PackedTrace):
+        """Per-op dispatch table over packed records (see base class).
+
+        Namespaces bind lazily — eagerly creating thread shards for
+        threads the stream has not reached yet would let the end-event
+        fan-out broadcast to them and inflate :attr:`stats` relative to
+        the string path, whose accounting this checker promises to
+        match exactly.
+        """
+        dispatch = make_packed_step(
+            packed, self._thread_shard, self._var, self._lock,
+            self._read_x, self._write_x, self._acquire_x, self._release_x,
+            self._fork_x, self._join_x, self._begin_x, self._end_x,
+        )
+        local = self._local
+
+        def step(op: int, t: int, target: int, idx: int) -> Optional[Violation]:
+            local()
+            return dispatch(op, t, target, idx)
+
+        return step

@@ -15,46 +15,74 @@ names through :class:`ThreadRegistry`. Clocks are conceptually
 infinite-dimensional with missing components equal to zero, so clocks of
 different lengths compare correctly and grow on demand as new threads
 appear mid-trace.
+
+Storage is a packed ``array('q')`` rather than a list: clocks are the
+dominant live state of the analyses (Theorem 4 bounds their *count*, not
+their width) and 8-byte machine words keep that state dense. Each clock
+also carries a :attr:`~VectorClock.version` stamp, drawn from a global
+monotone counter and refreshed on every state *change*. Two reads of the
+same version therefore witness the identical vector value, which is what
+the checkers' epoch fast paths rely on to skip provably no-op joins and
+copies (see ``docs/PERF.md``).
 """
 
 from __future__ import annotations
 
+from array import array
+from itertools import count
 from typing import Dict, Iterable, List, Sequence
+
+#: Global version stamps. Monotone and never reused, so equality of two
+#: stamps taken at different times implies the clock value is unchanged
+#: (and a replaced clock object can never masquerade as the old one).
+_next_version = count(1).__next__
+
+#: A single zero component, used to materialize runs of zeros in C.
+_ZERO = array("q", (0,))
 
 
 class VectorClock:
     """A mutable vector time.
 
-    The in-place operations (:meth:`join`, :meth:`set_component`,
-    :meth:`increment`, :meth:`assign`) are the workhorses of the analysis
-    loops; the functional variants (:meth:`joined`, :meth:`with_component`)
-    are for tests and expository code.
+    The in-place operations (:meth:`join`, :meth:`join_into_and_check`,
+    :meth:`set_component`, :meth:`increment`, :meth:`assign`) are the
+    workhorses of the analysis loops; the functional variants
+    (:meth:`joined`, :meth:`with_component`) are for tests and expository
+    code. Only the functional/public constructor validates its input —
+    the hot constructors (:meth:`bottom`, :meth:`unit`, :meth:`copy`)
+    produce non-negative vectors by construction and skip the scan.
     """
 
-    __slots__ = ("_times",)
+    __slots__ = ("_times", "version")
 
     def __init__(self, times: Iterable[int] = ()) -> None:
-        self._times: List[int] = list(times)
+        self._times = array("q", times)
         if any(t < 0 for t in self._times):
             raise ValueError("vector times are non-negative")
+        self.version = _next_version()
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
     def bottom(cls, size: int = 0) -> "VectorClock":
         """The minimum time ⊥ (all zeros)."""
-        return cls([0] * size)
+        clock = cls.__new__(cls)
+        clock._times = _ZERO * size
+        clock.version = _next_version()
+        return clock
 
     @classmethod
     def unit(cls, thread: int, value: int = 1, size: int = 0) -> "VectorClock":
         """⊥[value/thread] — the initial clock C_t = ⊥[1/t]."""
-        clock = cls.bottom(max(size, thread + 1))
+        clock = cls.bottom()
+        clock._grow(max(size, thread + 1))
         clock._times[thread] = value
         return clock
 
     def copy(self) -> "VectorClock":
         clock = VectorClock.__new__(VectorClock)
         clock._times = self._times[:]
+        clock.version = _next_version()
         return clock
 
     # -- component access ----------------------------------------------------
@@ -69,8 +97,11 @@ class VectorClock:
         return 0
 
     def _grow(self, size: int) -> None:
-        if size > len(self._times):
-            self._times.extend([0] * (size - len(self._times)))
+        missing = size - len(self._times)
+        if missing > 0:
+            # Appending zeros does not change the (conceptually
+            # infinite) vector value, so the version is untouched.
+            self._times.extend(_ZERO * missing)
 
     def set_component(self, thread: int, value: int) -> None:
         """In-place ``V(thread) := value``."""
@@ -78,15 +109,18 @@ class VectorClock:
             raise ValueError("vector times are non-negative")
         self._grow(thread + 1)
         self._times[thread] = value
+        self.version = _next_version()
 
     def increment(self, thread: int, amount: int = 1) -> None:
         """In-place ``V(thread) := V(thread) + amount``."""
         self._grow(thread + 1)
         self._times[thread] += amount
+        self.version = _next_version()
 
     def assign(self, other: "VectorClock") -> None:
         """In-place copy: ``V := other``."""
         self._times[:] = other._times
+        self.version = _next_version()
 
     # -- lattice operations ----------------------------------------------------
 
@@ -99,20 +133,77 @@ class VectorClock:
                 if a > b:
                     return False
             return True
+        n = len(theirs)
         for i, a in enumerate(mine):
-            b = theirs[i] if i < len(theirs) else 0
-            if a > b:
+            if a > (theirs[i] if i < n else 0):
                 return False
         return True
+
+    def leq_local(self, other: "VectorClock", thread: int) -> bool:
+        """The O(1) local-component comparison ``V(thread) <= other(thread)``.
+
+        For the event timestamps the optimized algorithms maintain, this
+        single component decides the ⋖E-path checks (Appendix C.1); it is
+        *not* the pointwise order for arbitrary vectors.
+        """
+        mine = self._times
+        theirs = other._times
+        a = mine[thread] if thread < len(mine) else 0
+        b = theirs[thread] if thread < len(theirs) else 0
+        return a <= b
 
     def join(self, other: "VectorClock") -> None:
         """In-place join: ``V := V ⊔ other``."""
         theirs = other._times
         self._grow(len(theirs))
         mine = self._times
+        changed = False
         for i, b in enumerate(theirs):
             if b > mine[i]:
                 mine[i] = b
+                changed = True
+        if changed:
+            self.version = _next_version()
+
+    def join_into_and_check(
+        self, other: "VectorClock", check: "VectorClock" = None
+    ) -> bool:
+        """Fused ``V ⊔= other`` and ``check ⊑ other`` in one traversal.
+
+        This is the shape of the paper's ``checkAndGet``: the violation
+        check and the clock update read the same operand, so fusing them
+        halves the vector passes on the basic checker's hot path. With
+        ``check=None`` it degenerates to :meth:`join` and returns True.
+        """
+        theirs = other._times
+        n = len(theirs)
+        self._grow(n)
+        mine = self._times
+        changed = False
+        if check is None:
+            for i, b in enumerate(theirs):
+                if b > mine[i]:
+                    mine[i] = b
+                    changed = True
+            ok = True
+        else:
+            cts = check._times
+            m = len(cts)
+            ok = True
+            for i, b in enumerate(theirs):
+                if b > mine[i]:
+                    mine[i] = b
+                    changed = True
+                if i < m and cts[i] > b:
+                    ok = False
+            if ok and m > n:
+                for i in range(n, m):
+                    if cts[i] > 0:
+                        ok = False
+                        break
+        if changed:
+            self.version = _next_version()
+        return ok
 
     def joined(self, other: "VectorClock") -> "VectorClock":
         """Functional join: ``V ⊔ other`` as a new clock."""
@@ -155,6 +246,19 @@ class VectorClock:
 
     def as_tuple(self) -> tuple:
         return tuple(self._times)
+
+    # -- pickling ----------------------------------------------------------
+    #
+    # array('q') pickles fine, but spelling the state out keeps
+    # checkpoints (repro.core.snapshot) independent of slot layout.
+
+    def __getstate__(self) -> tuple:
+        return (self._times.tolist(), self.version)
+
+    def __setstate__(self, state: tuple) -> None:
+        times, version = state
+        self._times = array("q", times)
+        self.version = version
 
 
 class ThreadRegistry:

@@ -15,6 +15,7 @@ from .events import (
 )
 from .filters import apply_spec, strip_labels, strip_markers
 from .metainfo import MetaInfo, collect_metainfo, metainfo
+from .packed import Interner, PackedTrace, pack
 from .parser import TraceParseError, iter_events, load_trace, parse_trace
 from .slicing import project_threads, project_variables, window
 from .trace import Trace, trace_of
@@ -41,6 +42,9 @@ __all__ = [
     "join",
     "begin",
     "end",
+    "PackedTrace",
+    "pack",
+    "Interner",
     "parse_trace",
     "load_trace",
     "iter_events",

@@ -101,9 +101,14 @@ def read_binary(stream: BinaryIO) -> Trace:
             op = Op(op_code)
             thread = threads[thread_idx]
             target = None if target_idx == _NO_TARGET else targets[target_idx]
+            # Event() validates op/target consistency and raises
+            # ValueError for e.g. a read whose target index was
+            # corrupted into the no-target sentinel — that is a corrupt
+            # record too, not a programming error.
+            event = Event(thread, op, target)
         except (ValueError, IndexError) as error:
             raise BinaryTraceError(f"corrupt event record: {error}") from error
-        trace.append(Event(thread, op, target))
+        trace.append(event)
     return trace
 
 

@@ -1,0 +1,277 @@
+"""Packed traces: one-pass compilation of a trace to dense integer records.
+
+The string event model (:mod:`repro.trace.events`) is what the paper's
+traces look like and what the parsers, writers and tests speak. It is
+also what every checker used to *re*-intern, event by event, through
+per-checker dictionaries — a large constant factor on the hot path for
+an analysis whose selling point is linearity.
+
+A :class:`PackedTrace` pays the interning cost exactly once. Compiling a
+:class:`~repro.trace.trace.Trace` produces three parallel machine-word
+arrays —
+
+* ``thread`` — dense thread index (shared namespace with fork/join
+  targets),
+* ``op`` — the :class:`~repro.trace.events.Op` code,
+* ``target`` — a dense index in the *per-op namespace*: variables for
+  read/write, locks for acquire/release, threads for fork/join, block
+  labels for begin/end (``-1`` when absent)
+
+— plus one :class:`Interner` per namespace mapping the indices back to
+names. Checkers consume the arrays directly via their per-op dispatch
+tables (``StreamingChecker.run_packed``); everything else can keep
+treating a packed trace as an iterable of events, because iteration and
+indexing reconstruct :class:`~repro.trace.events.Event` objects on
+demand.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from .events import Event, Op
+from .trace import Trace
+
+#: Sentinel target index for begin/end events without a label.
+NO_TARGET = -1
+
+#: Which interner namespace each op's target lives in.
+_NS_VARIABLE = 0
+_NS_LOCK = 1
+_NS_THREAD = 2
+_NS_LABEL = 3
+
+_NAMESPACE_OF_OP = (
+    _NS_VARIABLE,  # READ
+    _NS_VARIABLE,  # WRITE
+    _NS_LOCK,      # ACQUIRE
+    _NS_LOCK,      # RELEASE
+    _NS_THREAD,    # FORK
+    _NS_THREAD,    # JOIN
+    _NS_LABEL,     # BEGIN
+    _NS_LABEL,     # END
+)
+
+
+class Interner:
+    """Interns strings of one namespace to dense indices.
+
+    The generalization of :class:`~repro.core.vector_clock.ThreadRegistry`
+    to arbitrary namespaces (variables, locks, block labels).
+    """
+
+    __slots__ = ("_index", "_names")
+
+    def __init__(self, names: Sequence[str] = ()) -> None:
+        self._index: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.index_of(name)
+
+    def index_of(self, name: str) -> int:
+        """The index for ``name``, interning it on first sight."""
+        idx = self._index.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._index[name] = idx
+            self._names.append(name)
+        return idx
+
+    def lookup(self, name: str) -> Optional[int]:
+        """The index for ``name`` without interning (None if unseen)."""
+        return self._index.get(name)
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def names(self) -> List[str]:
+        """The interned names, in index order (a copy)."""
+        return self._names[:]
+
+
+class PackedTrace:
+    """A trace compiled to dense integer event records.
+
+    Build one with :func:`pack` / :meth:`from_trace` (single pass over
+    the source trace). Event ``i`` is the triple
+    ``(thread[i], op[i], target[i])``; ``idx`` is implicit in the
+    position, so a packed trace costs ~9 bytes of array payload per
+    event instead of one :class:`Event` object.
+
+    Iteration, ``trace[i]`` and slicing reconstruct events on demand, so
+    a packed trace can stand in for a :class:`Trace` anywhere events are
+    only read. Checkers detect packed input and switch to their
+    dispatch-table fast path instead (no Event materialization at all).
+    """
+
+    __slots__ = ("name", "threads", "variables", "locks", "labels",
+                 "_thread", "_op", "_target")
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.threads = Interner()
+        self.variables = Interner()
+        self.locks = Interner()
+        self.labels = Interner()
+        self._thread = array("i")
+        self._op = array("b")
+        self._target = array("i")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_trace(
+        cls, trace: Iterable[Event], name: Optional[str] = None
+    ) -> "PackedTrace":
+        """Compile ``trace`` (any event iterable) in one pass."""
+        packed = cls(name=name or getattr(trace, "name", "trace"))
+        thread_of = packed.threads.index_of
+        interner_of_ns = (
+            packed.variables.index_of,
+            packed.locks.index_of,
+            thread_of,
+            packed.labels.index_of,
+        )
+        threads_arr = packed._thread
+        ops_arr = packed._op
+        targets_arr = packed._target
+        for event in trace:
+            op = event.op
+            target = event.target
+            threads_arr.append(thread_of(event.thread))
+            ops_arr.append(op)
+            targets_arr.append(
+                NO_TARGET if target is None
+                else interner_of_ns[_NAMESPACE_OF_OP[op]](target)
+            )
+        return packed
+
+    def append(self, event: Event) -> None:
+        """Append one event (interning names as needed)."""
+        op = event.op
+        target = event.target
+        self._thread.append(self.threads.index_of(event.thread))
+        self._op.append(op)
+        if target is None:
+            self._target.append(NO_TARGET)
+        else:
+            ns = _NAMESPACE_OF_OP[op]
+            interner = (self.variables, self.locks, self.threads, self.labels)[ns]
+            self._target.append(interner.index_of(target))
+
+    # -- raw access --------------------------------------------------------
+
+    def arrays(self) -> tuple:
+        """The ``(thread, op, target)`` arrays — the checker fast path."""
+        return self._thread, self._op, self._target
+
+    @property
+    def thread_names(self) -> List[str]:
+        return self.threads._names
+
+    @property
+    def variable_names(self) -> List[str]:
+        return self.variables._names
+
+    @property
+    def lock_names(self) -> List[str]:
+        return self.locks._names
+
+    def target_name(self, i: int) -> Optional[str]:
+        """The target of event ``i`` as a string (None for bare markers)."""
+        target = self._target[i]
+        if target == NO_TARGET:
+            return None
+        ns = _NAMESPACE_OF_OP[self._op[i]]
+        interner = (self.variables, self.locks, self.threads, self.labels)[ns]
+        return interner.name_of(target)
+
+    def nbytes(self) -> int:
+        """Payload size of the event arrays in bytes."""
+        return (
+            self._thread.itemsize * len(self._thread)
+            + self._op.itemsize * len(self._op)
+            + self._target.itemsize * len(self._target)
+        )
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._op)
+
+    def event_at(self, i: int) -> Event:
+        """Reconstruct event ``i`` (a fresh :class:`Event`, idx stamped)."""
+        op = Op(self._op[i])
+        return Event(
+            self.threads.name_of(self._thread[i]),
+            op,
+            self.target_name(i),
+            idx=i,
+        )
+
+    def __iter__(self) -> Iterator[Event]:
+        thread_name = self.threads.name_of
+        target_name = self.target_name
+        for i, code in enumerate(self._op):
+            yield Event(
+                thread_name(self._thread[i]), Op(code), target_name(i), idx=i
+            )
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[Event, "PackedTrace"]:
+        if isinstance(index, slice):
+            sliced = PackedTrace(name=f"{self.name}[{index.start}:{index.stop}]")
+            # Interners are shared: indices in the slice stay valid and
+            # nothing is re-hashed. Slices are read-mostly; appending to
+            # a slice interns into the shared namespaces, which is
+            # harmless (indices only grow).
+            sliced.threads = self.threads
+            sliced.variables = self.variables
+            sliced.locks = self.locks
+            sliced.labels = self.labels
+            sliced._thread = self._thread[index]
+            sliced._op = self._op[index]
+            sliced._target = self._target[index]
+            return sliced
+        return self.event_at(index)
+
+    def __repr__(self) -> str:
+        return f"PackedTrace({self.name!r}, {len(self)} events)"
+
+    # -- conversion and entity accessors -----------------------------------
+
+    def to_trace(self) -> Trace:
+        """Materialize back into a string-event :class:`Trace`."""
+        return Trace(iter(self), name=self.name)
+
+    def counts_by_op(self) -> Dict[Op, int]:
+        """Histogram of event counts per operation kind."""
+        histogram = {op: 0 for op in Op}
+        for code in self._op:
+            histogram[Op(code)] += 1
+        return histogram
+
+    def thread_set(self) -> Set[str]:
+        """All thread names (including fork/join targets)."""
+        return set(self.threads._names)
+
+    def variable_set(self) -> Set[str]:
+        return set(self.variables._names)
+
+    def lock_set(self) -> Set[str]:
+        return set(self.locks._names)
+
+
+def pack(trace: Iterable[Event], name: Optional[str] = None) -> PackedTrace:
+    """Compile a trace (or any event iterable) into a :class:`PackedTrace`."""
+    if isinstance(trace, PackedTrace):
+        return trace
+    return PackedTrace.from_trace(trace, name=name)

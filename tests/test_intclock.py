@@ -1,0 +1,116 @@
+"""Packed int-clock (SWAR) laws, cross-checked against VectorClock."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import intclock
+from repro.core.intclock import (
+    LANE_MAX,
+    clear_lane,
+    from_vector_clock,
+    get,
+    grow_guard,
+    join,
+    leq,
+    make_guard,
+    pack,
+    to_vector_clock,
+    unit,
+    unpack,
+)
+from repro.core.vector_clock import VectorClock
+
+_LANES = 5
+_H = make_guard(_LANES)
+
+# Mix small and large components; large ones exercise multi-digit
+# big-int limbs, and LANE_MAX-1 sits just below the guard bit.
+_component = st.one_of(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=LANE_MAX - 1),
+)
+_clocks = st.lists(_component, min_size=0, max_size=_LANES).map(pack)
+
+
+class TestBasics:
+    def test_pack_unpack(self):
+        values = [3, 0, 7, 0, 9]
+        assert unpack(pack(values)) == [3, 0, 7, 0, 9]
+
+    def test_unpack_drops_trailing_zeros(self):
+        assert unpack(pack([1, 0, 0])) == [1]
+        assert unpack(0) == []
+
+    def test_unit_and_get(self):
+        v = unit(3, 5)
+        assert get(v, 3) == 5
+        assert get(v, 0) == 0
+        assert get(v, 7) == 0
+
+    def test_clear_lane(self):
+        v = pack([4, 5, 6])
+        assert unpack(clear_lane(v, 1)) == [4, 0, 6]
+
+    def test_guard_growth(self):
+        h3 = make_guard(3)
+        assert grow_guard(h3, 5) == make_guard(5)
+        assert grow_guard(0, 2) == make_guard(2)
+
+    def test_vector_clock_bridge(self):
+        clock = VectorClock([2, 0, 9])
+        assert to_vector_clock(from_vector_clock(clock)) == clock
+
+    def test_pack_rejects_out_of_range(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            pack([-1])
+        with pytest.raises(ValueError):
+            pack([LANE_MAX + 1])
+
+
+def _ref_join(a: int, b: int) -> int:
+    return from_vector_clock(to_vector_clock(a).joined(to_vector_clock(b)))
+
+
+@settings(max_examples=300, deadline=None)
+@given(_clocks, _clocks)
+def test_join_matches_vector_clock(a, b):
+    assert join(a, b, _H) == _ref_join(a, b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_clocks, _clocks)
+def test_leq_matches_vector_clock(a, b):
+    assert leq(a, b, _H) == to_vector_clock(a).leq(to_vector_clock(b))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_clocks, _clocks)
+def test_join_commutative(a, b):
+    assert join(a, b, _H) == join(b, a, _H)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_clocks, _clocks, _clocks)
+def test_join_associative(a, b, c):
+    assert join(join(a, b, _H), c, _H) == join(a, join(b, c, _H), _H)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_clocks)
+def test_join_idempotent(a):
+    assert join(a, a, _H) == a
+
+
+@settings(max_examples=200, deadline=None)
+@given(_clocks, _clocks)
+def test_leq_iff_join_absorbs(a, b):
+    assert leq(a, b, _H) == (join(a, b, _H) == b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_clocks, _clocks)
+def test_oversized_guard_is_harmless(a, b):
+    big_h = make_guard(_LANES + 3)
+    assert join(a, b, big_h) == join(a, b, _H)
+    assert leq(a, b, big_h) == leq(a, b, _H)

@@ -1,0 +1,137 @@
+"""PackedTrace unit tests: compilation, reconstruction, slicing, APIs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.trace.events import Op, acquire, begin, end, fork, join, read, release, write
+from repro.trace.packed import NO_TARGET, Interner, PackedTrace, pack
+from repro.trace.trace import Trace
+
+
+def sample_trace() -> Trace:
+    return Trace(
+        [
+            begin("t1", "m"),
+            write("t1", "x"),
+            fork("t1", "t2"),
+            acquire("t2", "l"),
+            read("t2", "x"),
+            release("t2", "l"),
+            end("t1"),
+            join("t1", "t2"),
+        ],
+        name="sample",
+    )
+
+
+class TestInterner:
+    def test_interning_is_stable(self):
+        interner = Interner()
+        assert interner.index_of("a") == 0
+        assert interner.index_of("b") == 1
+        assert interner.index_of("a") == 0
+        assert interner.name_of(1) == "b"
+        assert len(interner) == 2
+        assert "a" in interner and "c" not in interner
+
+    def test_lookup_does_not_intern(self):
+        interner = Interner()
+        assert interner.lookup("ghost") is None
+        assert len(interner) == 0
+
+    def test_seeded_names(self):
+        interner = Interner(["x", "y"])
+        assert interner.names() == ["x", "y"]
+
+
+class TestCompilation:
+    def test_round_trip_events(self):
+        trace = sample_trace()
+        packed = pack(trace)
+        assert len(packed) == len(trace)
+        assert list(packed) == list(trace)
+        assert [e.idx for e in packed] == list(range(len(trace)))
+
+    def test_namespaces_are_separate(self):
+        # "x" the variable and a hypothetical lock "x" must not collide.
+        trace = Trace([write("t", "x"), acquire("t", "x"), release("t", "x")])
+        packed = pack(trace)
+        assert packed.variable_names == ["x"]
+        assert packed.lock_names == ["x"]
+        assert list(packed) == list(trace)
+
+    def test_fork_targets_intern_into_thread_namespace(self):
+        packed = pack(sample_trace())
+        assert "t2" in packed.thread_set()
+        assert packed.thread_names == ["t1", "t2"]
+
+    def test_marker_labels_preserved(self):
+        trace = Trace([begin("t", "method"), end("t", "method"), begin("t"), end("t")])
+        packed = pack(trace)
+        assert [e.target for e in packed] == ["method", "method", None, None]
+        threads_arr, ops_arr, targets_arr = packed.arrays()
+        assert targets_arr[2] == NO_TARGET
+
+    def test_pack_is_idempotent(self):
+        packed = pack(sample_trace())
+        assert pack(packed) is packed
+
+    def test_to_trace(self):
+        trace = sample_trace()
+        assert pack(trace).to_trace() == trace
+
+    def test_counts_by_op(self):
+        trace = sample_trace()
+        assert pack(trace).counts_by_op() == trace.counts_by_op()
+
+    def test_entity_sets_match_trace(self):
+        trace = sample_trace()
+        packed = pack(trace)
+        assert packed.thread_set() == trace.threads()
+        assert packed.variable_set() == trace.variables()
+        assert packed.lock_set() == trace.locks()
+
+    def test_nbytes_is_dense(self):
+        packed = pack(sample_trace())
+        # 4 (thread) + 1 (op) + 4 (target) bytes per event.
+        assert packed.nbytes() == 9 * len(packed)
+
+
+class TestSequenceProtocol:
+    def test_indexing(self):
+        trace = sample_trace()
+        packed = pack(trace)
+        assert packed[1] == trace[1]
+        assert packed[1].idx == 1
+
+    def test_slicing_returns_packed(self):
+        packed = pack(sample_trace())
+        sliced = packed[2:5]
+        assert isinstance(sliced, PackedTrace)
+        assert len(sliced) == 3
+        assert [str(e) for e in sliced] == [str(e) for e in list(pack(sample_trace()))[2:5]]
+
+    def test_slice_shares_interners(self):
+        packed = pack(sample_trace())
+        assert packed[:3].threads is packed.threads
+
+    def test_append(self):
+        packed = PackedTrace(name="built")
+        for event in sample_trace():
+            packed.append(event)
+        assert list(packed) == list(sample_trace())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_random_round_trip(seed):
+    trace = random_trace(
+        seed,
+        RandomTraceConfig(n_threads=3, n_vars=3, n_locks=2, length=40, with_forks=True),
+    )
+    packed = pack(trace)
+    assert list(packed) == list(trace)
+    assert packed.thread_set() == trace.threads()
+    assert packed.variable_set() == trace.variables()
+    assert packed.lock_set() == trace.locks()
