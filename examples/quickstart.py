@@ -5,9 +5,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    available_algorithms,
     begin,
-    check_trace,
     dump_trace,
     end,
     metainfo,
@@ -16,6 +14,7 @@ from repro import (
     trace_of,
     write,
 )
+from repro.api import check, checker_names
 
 
 def main() -> None:
@@ -39,7 +38,7 @@ def main() -> None:
     print()
 
     # 2. Check it with AeroDrome (the default algorithm).
-    result = check_trace(trace)
+    result = check(trace)
     print("AeroDrome verdict:", result)
     if result.violation is not None:
         print(f"  -> the cycle closes at event {result.violation.event_idx}: "
@@ -47,8 +46,8 @@ def main() -> None:
     print()
 
     # 3. Every checker agrees; they differ in cost, not verdicts.
-    for algorithm in available_algorithms():
-        print(f"  {algorithm:16s}: {check_trace(trace, algorithm)}")
+    for algorithm in checker_names():
+        print(f"  {algorithm:16s}: {check(trace, algorithm)}")
     print()
 
     # 4. Traces can also come from .std text (the RAPID format used by
@@ -63,7 +62,7 @@ def main() -> None:
         t2|end
         """
     )
-    print("A serializable trace:", check_trace(serializable))
+    print("A serializable trace:", check(serializable))
 
 
 if __name__ == "__main__":

@@ -24,8 +24,27 @@ Quickstart::
     result = check_trace(trace)          # optimized AeroDrome
     print(result.serializable)            # False
     print(result.violation)               # where and why
+
+Or co-run any number of registered analyses on **one** pass over the
+trace through the session API (the front door; see ``docs/API.md``)::
+
+    from repro import run
+
+    result = run(trace, ["aerodrome", "races", "lockset", "profile"])
+    print(result.ok)                      # every analysis clean?
+    print(result.to_json())               # versioned repro-report/1
 """
 
+from .api import (
+    Analysis,
+    Report,
+    Session,
+    SessionResult,
+    available_analyses,
+    create_analysis,
+    register_analysis,
+    run,
+)
 from .analysis.causal import CausalAtomicityReport, check_causal_atomicity
 from .analysis.explain import Explanation, explain
 from .analysis.graph_export import event_graph_dot, transaction_graph_dot
@@ -89,7 +108,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    # checking
+    # the session API (the front door; see docs/API.md)
+    "Session",
+    "SessionResult",
+    "Report",
+    "Analysis",
+    "run",
+    "available_analyses",
+    "create_analysis",
+    "register_analysis",
+    # checking (deprecated facades delegate to repro.api)
     "check_trace",
     "make_checker",
     "available_algorithms",

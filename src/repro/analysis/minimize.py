@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from ..core.checker import check_trace
 from ..trace.events import Event
 from ..trace.trace import Trace
 from ..trace.transactions import extract_transactions
@@ -48,6 +47,8 @@ def _subtrace(trace: Trace, units: Sequence[List[int]], keep: Sequence[bool]) ->
 
 
 def _violates(trace: Trace, algorithm: str) -> bool:
+    from ..api.session import check as check_trace
+
     return not check_trace(trace, algorithm=algorithm).serializable
 
 

@@ -97,7 +97,7 @@ def render_with_verdict(trace: Trace, algorithm: str = "aerodrome") -> str:
     Convenience used by the CLI: runs ``algorithm``, draws the columns
     with the violation row marked, and adds a one-line verdict footer.
     """
-    from ..core.checker import check_trace
+    from ..api.session import check as check_trace
 
     result = check_trace(trace, algorithm=algorithm)
     body = render_columns(trace, violation=result.violation)

@@ -1,0 +1,70 @@
+"""``repro.api`` — the unified analysis-session front door.
+
+One trace ingest, any number of analyses, one structured report::
+
+    from repro.api import run
+
+    result = run(trace, ["aerodrome", "races", "lockset", "profile"])
+    print(result.reports["aerodrome"].summary)
+    print(json.dumps(result.to_json()))      # repro-report/1
+
+See ``docs/API.md`` for the Session lifecycle, the ``Analysis``
+protocol, the JSON schema and the migration table from the old
+per-analysis entrypoints.
+"""
+
+from .analysis import (
+    Analysis,
+    CausalAnalysis,
+    CheckerAnalysis,
+    ExplainAnalysis,
+    LocksetAnalysis,
+    ProfileAnalysis,
+    RacesAnalysis,
+    TraceMeta,
+    ViewSerialAnalysis,
+)
+from .registry import (
+    AnalysisSpec,
+    available_analyses,
+    analysis_specs,
+    checker_names,
+    create_analysis,
+    make_checker,
+    register_analysis,
+    unregister_analysis,
+)
+from .report import (
+    SCHEMA,
+    Report,
+    SessionResult,
+    validate_report,
+)
+from .session import Session, check, run
+
+__all__ = [
+    "SCHEMA",
+    "Analysis",
+    "AnalysisSpec",
+    "CausalAnalysis",
+    "CheckerAnalysis",
+    "ExplainAnalysis",
+    "LocksetAnalysis",
+    "ProfileAnalysis",
+    "RacesAnalysis",
+    "Report",
+    "Session",
+    "SessionResult",
+    "TraceMeta",
+    "ViewSerialAnalysis",
+    "available_analyses",
+    "analysis_specs",
+    "check",
+    "checker_names",
+    "create_analysis",
+    "make_checker",
+    "register_analysis",
+    "run",
+    "unregister_analysis",
+    "validate_report",
+]

@@ -1,0 +1,222 @@
+"""Structured analysis reports — the stable JSON surface of ``repro.api``.
+
+Every analysis driven by a :class:`~repro.api.session.Session` finishes
+into a :class:`Report`; the session collects them into a
+:class:`SessionResult` whose :meth:`~SessionResult.to_json` emits the
+versioned ``repro-report/1`` schema shared by the CLI (``--json``), the
+bench harness and the tests. The schema is documented in ``docs/API.md``
+and machine-checked by :func:`validate_report` (CI's CLI smoke job runs
+it against a real ``repro check --json`` invocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, is_dataclass, asdict
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Version tag stamped into every serialized session result.
+SCHEMA = "repro-report/1"
+
+#: The three verdict labels of the JSON schema.
+VERDICT_PASS = "pass"
+VERDICT_FAIL = "fail"
+VERDICT_UNDECIDED = "undecided"
+
+
+def finding_dict(finding: Any) -> Dict[str, Any]:
+    """Normalize one finding (Violation, Race, LocksetWarning, …) to a dict.
+
+    Dataclasses serialize field-by-field; anything else falls back to a
+    ``{"details": str(finding)}`` record so exotic plugin findings never
+    break the schema.
+    """
+    if is_dataclass(finding) and not isinstance(finding, type):
+        return asdict(finding)
+    return {"details": str(finding)}
+
+
+@dataclass
+class Report:
+    """One analysis's outcome over one trace ingest.
+
+    Attributes:
+        analysis: Registry name of the analysis (``"aerodrome"``,
+            ``"races"``, …).
+        kind: Family tag (``"checker"``, ``"races"``, ``"lockset"``, …).
+        mode: Run mode the analysis executed under (``"stop_first"``,
+            ``"report_all"``, ``"sample"``, or ``"offline"`` for
+            whole-trace analyses).
+        verdict: ``True`` = clean/pass, ``False`` = findings, ``None`` =
+            undecided (e.g. view serializability over the search bound).
+        violations: Normalized finding dicts, in detection order.
+        payload: Analysis-specific JSON-able detail.
+        events_processed: Events this analysis consumed.
+        summary: One human-readable line for multi-analysis CLI output.
+        native: The analysis's own result object (``CheckResult``,
+            ``List[Race]``, ``TraceProfile``, …) — not serialized, but
+            byte-identical to what the standalone entrypoint returns.
+    """
+
+    analysis: str
+    kind: str
+    mode: str
+    verdict: Optional[bool]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    payload: Dict[str, Any] = field(default_factory=dict)
+    events_processed: int = 0
+    summary: str = ""
+    native: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the verdict is a clean pass."""
+        return self.verdict is True
+
+    @property
+    def verdict_label(self) -> str:
+        if self.verdict is None:
+            return VERDICT_UNDECIDED
+        return VERDICT_PASS if self.verdict else VERDICT_FAIL
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "analysis": self.analysis,
+            "kind": self.kind,
+            "mode": self.mode,
+            "verdict": self.verdict_label,
+            "events_processed": self.events_processed,
+            "violations": self.violations,
+            "payload": self.payload,
+            "summary": self.summary,
+        }
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one :meth:`Session.run` — every report plus timing.
+
+    Attributes:
+        trace_name: Name of the analyzed trace.
+        events: Total events in the trace (``None`` for bare iterables
+            of unknown length).
+        events_swept: Events the shared sweep actually visited (the
+            sweep stops early once every analysis is done).
+        packed: Whether the packed integer fast path drove the sweep.
+        seconds: Wall-clock time of the whole session.
+        reports: Per-analysis reports, keyed by analysis name in
+            session order.
+        path: Source file of the trace, when loaded from disk.
+    """
+
+    trace_name: str
+    events: Optional[int]
+    events_swept: int
+    packed: bool
+    seconds: float
+    reports: Dict[str, Report] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff every analysis passed cleanly."""
+        return all(report.ok for report in self.reports.values())
+
+    @property
+    def verdict_label(self) -> str:
+        """Three-valued session verdict: any fail > any undecided > pass."""
+        verdicts = [report.verdict for report in self.reports.values()]
+        if any(v is False for v in verdicts):
+            return VERDICT_FAIL
+        if any(v is None for v in verdicts):
+            return VERDICT_UNDECIDED
+        return VERDICT_PASS
+
+    @property
+    def events_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.events_swept / self.seconds
+
+    def report(self, analysis: str) -> Report:
+        return self.reports[analysis]
+
+    def __getitem__(self, analysis: str) -> Report:
+        return self.reports[analysis]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "trace": {
+                "name": self.trace_name,
+                "path": self.path,
+                "events": self.events,
+                "packed": self.packed,
+            },
+            "timing": {
+                "seconds": self.seconds,
+                "events_swept": self.events_swept,
+                # The property's inf (sub-resolution run) is not JSON.
+                "events_per_second": (
+                    None
+                    if self.seconds <= 0
+                    else self.events_per_second
+                ),
+            },
+            "verdict": self.verdict_label,
+            "analyses": [report.to_json() for report in self.reports.values()],
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"session over {self.trace_name!r}: "
+            f"{len(self.reports)} analyses, {self.events_swept} events, "
+            f"{self.seconds:.3f}s"
+        ]
+        for report in self.reports.values():
+            lines.append(f"  [{report.analysis}] {report.summary}")
+        return "\n".join(lines)
+
+
+_VERDICTS = {VERDICT_PASS, VERDICT_FAIL, VERDICT_UNDECIDED}
+
+
+def validate_report(data: Mapping[str, Any]) -> None:
+    """Check ``data`` against the ``repro-report/1`` schema.
+
+    Raises:
+        ValueError: On any missing key, wrong type or unknown verdict.
+            Silence means the document is well-formed.
+    """
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid repro-report/1 document: {message}")
+
+    if not isinstance(data, Mapping):
+        fail(f"expected an object, got {type(data).__name__}")
+    if data.get("schema") != SCHEMA:
+        fail(f"schema is {data.get('schema')!r}, expected {SCHEMA!r}")
+    trace = data.get("trace")
+    if not isinstance(trace, Mapping) or "name" not in trace or "events" not in trace:
+        fail("trace block must carry name and events")
+    timing = data.get("timing")
+    if not isinstance(timing, Mapping) or not isinstance(
+        timing.get("seconds"), (int, float)
+    ):
+        fail("timing block must carry numeric seconds")
+    if data.get("verdict") not in _VERDICTS:
+        fail(f"session verdict {data.get('verdict')!r} not in {sorted(_VERDICTS)}")
+    analyses = data.get("analyses")
+    if not isinstance(analyses, list):
+        fail("analyses must be a list")
+    for entry in analyses:
+        if not isinstance(entry, Mapping):
+            fail("each analysis entry must be an object")
+        for key in ("analysis", "kind", "mode", "verdict", "violations", "payload"):
+            if key not in entry:
+                fail(f"analysis entry missing {key!r}")
+        if entry["verdict"] not in _VERDICTS:
+            fail(f"analysis verdict {entry['verdict']!r} unknown")
+        if not isinstance(entry["violations"], list):
+            fail("violations must be a list")
+        if not isinstance(entry["payload"], Mapping):
+            fail("payload must be an object")

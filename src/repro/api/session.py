@@ -1,0 +1,220 @@
+"""The one-pass analysis session: ingest a trace once, run everything.
+
+A :class:`Session` takes one trace — a string-event
+:class:`~repro.trace.trace.Trace`, a compiled
+:class:`~repro.trace.packed.PackedTrace`, or any event iterable — and
+any number of analyses (instances, or registry names resolved through
+:mod:`repro.api.registry`), then drives them all over a **single**
+event sweep:
+
+* on the packed path, checker analyses step through their per-op
+  dispatch tables over the shared integer arrays (the trace's interners
+  are compiled once and shared by construction), while event-based
+  analyses receive each reconstructed event exactly once, shared among
+  all of them;
+* on the string path, every analysis steps on the same event object;
+* an analysis that declares itself ``finished`` (a stop-first checker
+  after its violation, a limited report-all run) drops out of the
+  sweep, and the sweep stops early once every analysis is done.
+
+When the session holds exactly one stop-first checker, it delegates to
+the checker's own (possibly inlined) ``run``/``run_packed`` hot loop —
+so the ``check_trace`` facade loses nothing by routing through here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..trace.events import Event
+from ..trace.packed import PackedTrace
+from .analysis import Analysis, CheckerAnalysis, TraceMeta
+from .report import Report, SessionResult
+
+
+class Session:
+    """One trace ingest driving any number of registered analyses.
+
+    Args:
+        trace: The events to analyze — ``Trace``, ``PackedTrace`` or any
+            iterable of events. A ``PackedTrace`` selects the packed
+            dispatch sweep automatically.
+        analyses: Analysis instances or registry names (strings). A
+            fresh instance is created for each name; instances are used
+            as-is and must be fresh (single-use).
+        name: Override the trace name in reports.
+        path: Source file path recorded in the JSON report.
+    """
+
+    def __init__(
+        self,
+        trace: Union[Iterable[Event], PackedTrace],
+        analyses: Sequence[Union[str, Analysis]],
+        name: Optional[str] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        if not analyses:
+            raise ValueError("a session needs at least one analysis")
+        from .registry import create_analysis
+
+        self.trace = trace
+        self.path = path
+        self.analyses: List[Analysis] = [
+            create_analysis(a) if isinstance(a, str) else a for a in analyses
+        ]
+        self.name = name or getattr(trace, "name", "trace")
+        self._result: Optional[SessionResult] = None
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        """Sweep the trace once and finish every analysis."""
+        if self._result is not None:
+            raise RuntimeError("session already ran; sessions are single-use")
+        trace = self.trace
+        packed = isinstance(trace, PackedTrace)
+        try:
+            total: Optional[int] = len(trace)  # type: ignore[arg-type]
+        except TypeError:
+            total = None
+        meta = TraceMeta(
+            name=self.name,
+            events=total,
+            packed=packed,
+            source=trace if total is not None else None,
+        )
+        start = time.perf_counter()
+        for analysis in self.analyses:
+            analysis.begin(meta)
+        solo = self._solo_checker()
+        if solo is not None:
+            solo.run_solo(trace)
+            swept = solo.checker.events_processed
+        elif packed:
+            swept = self._sweep_packed(trace)
+        else:
+            swept = self._sweep_string(trace)
+        reports: Dict[str, Report] = {}
+        for analysis in self.analyses:
+            report = analysis.finish()
+            key = report.analysis
+            serial = 2
+            while key in reports:  # same analysis twice in one session
+                key = f"{report.analysis}#{serial}"
+                serial += 1
+            reports[key] = report
+        self._result = SessionResult(
+            trace_name=self.name,
+            events=total,
+            events_swept=swept,
+            packed=packed,
+            seconds=time.perf_counter() - start,
+            reports=reports,
+            path=self.path,
+        )
+        return self._result
+
+    def _solo_checker(self) -> Optional[CheckerAnalysis]:
+        """The lone stop-first checker, when its own hot loop applies."""
+        if len(self.analyses) != 1:
+            return None
+        only = self.analyses[0]
+        if isinstance(only, CheckerAnalysis) and only.can_run_solo():
+            return only
+        return None
+
+    def _sweep_string(self, events: Iterable[Event]) -> int:
+        # Analyses may finish at begin() (offline passes holding the
+        # whole source already) — they need no sweep at all.
+        live = [(a, a.step) for a in self.analyses if not a.finished]
+        if not live:
+            return 0
+        swept = 0
+        for event in events:
+            swept += 1
+            finished = False
+            for analysis, step in live:
+                step(event)
+                finished = finished or analysis.finished
+            if finished:
+                live = [(a, s) for a, s in live if not a.finished]
+                if not live:
+                    break
+        return swept
+
+    def _sweep_packed(self, packed: PackedTrace) -> int:
+        threads, ops, targets = packed.arrays()
+        n = len(ops)
+        event_at = packed.event_at
+        packed_live = []
+        event_live = []
+        for analysis in self.analyses:
+            if analysis.finished:  # done at begin(): nothing to feed
+                continue
+            bound = analysis.bind_packed(packed)
+            if bound is None:
+                event_live.append((analysis, analysis.step))
+            else:
+                packed_live.append((analysis, bound))
+        if not packed_live and not event_live:
+            return 0
+        swept = 0
+        for i in range(n):
+            swept += 1
+            op = ops[i]
+            t = threads[i]
+            target = targets[i]
+            finished = False
+            for analysis, step in packed_live:
+                step(op, t, target, i)
+                finished = finished or analysis.finished
+            if event_live:
+                event = event_at(i)  # one shared reconstruction per index
+                for analysis, step in event_live:
+                    step(event)
+                    finished = finished or analysis.finished
+            if finished:
+                packed_live = [(a, s) for a, s in packed_live if not a.finished]
+                event_live = [(a, s) for a, s in event_live if not a.finished]
+                if not packed_live and not event_live:
+                    break
+        return swept
+
+    @property
+    def result(self) -> Optional[SessionResult]:
+        return self._result
+
+
+def run(
+    trace: Union[Iterable[Event], PackedTrace],
+    analyses: Sequence[Union[str, Analysis]],
+    name: Optional[str] = None,
+    path: Optional[str] = None,
+) -> SessionResult:
+    """One-shot convenience: ``Session(trace, analyses).run()``."""
+    return Session(trace, analyses, name=name, path=path).run()
+
+
+def check(
+    events: Union[Iterable[Event], PackedTrace],
+    algorithm: str = "aerodrome",
+    raise_on_violation: bool = False,
+):
+    """Check a trace for atomicity violations — the session-era front door.
+
+    Drop-in successor of :func:`repro.core.checker.check_trace` (which
+    now delegates here): same arguments, same
+    :class:`~repro.core.violations.CheckResult` return, same
+    :class:`~repro.core.violations.AtomicityViolationError` behavior —
+    routed through a single-analysis :class:`Session`, which delegates
+    to the checker's own hot loop.
+    """
+    from ..core.violations import AtomicityViolationError
+
+    analysis = CheckerAnalysis(algorithm)
+    result = Session(events, [analysis]).run()
+    check_result = result.reports[algorithm].native
+    if raise_on_violation and check_result.violation is not None:
+        raise AtomicityViolationError(check_result.violation)
+    return check_result

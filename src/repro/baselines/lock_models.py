@@ -35,7 +35,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable, Iterator, Optional
 
-from ..core.checker import StreamingChecker, make_checker
+from ..core.checker import StreamingChecker
 from ..core.violations import Violation
 from ..trace.events import Event, Op
 
@@ -100,6 +100,8 @@ class FarzanMadhusudanChecker(StreamingChecker):
         self.model = model
         self.engine = engine
         self.algorithm = f"farzan-madhusudan[{model.value}]"
+        from ..api.registry import make_checker
+
         self._inner = make_checker(engine)
 
     def reset(self) -> None:

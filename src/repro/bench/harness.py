@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from ..core.checker import make_checker
+from ..api.registry import make_checker
 from ..core.violations import CheckResult, Violation
 from ..sim.workloads.benchmarks import BenchmarkCase
 from ..trace.metainfo import MetaInfo, metainfo

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..core.checker import make_checker
+from ..api.registry import make_checker
 from ..trace.trace import Trace
 
 

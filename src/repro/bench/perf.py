@@ -36,11 +36,16 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
-from ..core.checker import make_checker
+from ..api.registry import create_analysis, make_checker
+from ..api.session import Session
 from ..sim.workloads.benchmarks import TABLE1, TABLE2, CASES_BY_NAME
 from ..trace.packed import PackedTrace, pack
 from ..trace.trace import Trace
 from .seed_baseline import SeedOptimizedAeroDromeChecker
+
+#: Analyses co-run in the one-pass vs N-pass session comparison: the
+#: checker under test plus the two streaming extension analyses.
+SESSION_EXTRAS = ("races", "lockset")
 
 #: Schema tag stamped into every report.
 SCHEMA = "repro-bench/1"
@@ -160,6 +165,46 @@ def bench_case(
     }
 
 
+def bench_session(
+    packed: PackedTrace,
+    algorithm: str = "aerodrome",
+    repeats: int = 3,
+) -> Dict:
+    """One-pass vs N-pass: co-run K analyses on one sweep, or K sweeps.
+
+    Both sides consume the same :class:`PackedTrace`. The N-pass side
+    runs one single-analysis session per analysis (so the checker gets
+    its own inlined hot loop); the one-pass side co-runs them all on a
+    single shared sweep — the ``repro.api`` session's whole point.
+    """
+    names = (algorithm,) + SESSION_EXTRAS
+    events = len(packed)
+
+    def make_onepass():
+        session = Session(packed, [create_analysis(n) for n in names])
+        return session.run
+
+    def make_npass():
+        sessions = [Session(packed, [create_analysis(n)]) for n in names]
+
+        def run_all():
+            for session in sessions:
+                session.run()
+
+        return run_all
+
+    onepass = _timed_eps(make_onepass, events, repeats)
+    npass = _timed_eps(make_npass, events, repeats)
+    return {
+        "analyses": list(names),
+        "onepass_seconds": onepass["seconds"],
+        "npass_seconds": npass["seconds"],
+        "onepass_speedup": npass["seconds"] / onepass["seconds"]
+        if onepass["seconds"] > 0
+        else math.inf,
+    }
+
+
 def _summary(rows: List[Dict]) -> Dict:
     if not rows:
         return {}
@@ -186,6 +231,7 @@ def run_bench(
     algorithm: str = "aerodrome",
     tables: Iterable[int] = (1, 2),
     scaling_sizes: Iterable[int] = SCALING_SIZES,
+    session: bool = True,
     verbose: bool = True,
 ) -> Dict:
     """Run the full benchmark matrix and return the report dict."""
@@ -212,14 +258,23 @@ def run_bench(
         )
         row["table"] = case.table
         row["pack_seconds"] = pack_seconds
+        if session:
+            row["session"] = bench_session(
+                packed, algorithm=algorithm, repeats=repeats
+            )
         report["workloads"].append(row)
         if verbose:
             flag = "" if row["agree"] else "  !! DISAGREE"
+            onepass = (
+                f"  1pass {row['session']['onepass_speedup']:4.2f}x"
+                if session
+                else ""
+            )
             print(
                 f"table{case.table} {case.name:14s} {row['events']:7d} ev  "
                 f"seed {row['seed_eps']:9.0f} ev/s  "
                 f"packed {row['packed_eps']:9.0f} ev/s  "
-                f"{row['speedup_vs_seed']:5.2f}x{flag}",
+                f"{row['speedup_vs_seed']:5.2f}x{onepass}{flag}",
                 file=sys.stderr,
             )
     # Scaling sweep: the linear-time story at growing trace lengths.
@@ -254,6 +309,15 @@ def run_bench(
         "all_agree": all(r["agree"] for r in report["workloads"])
         and all(r["agree"] for r in report["scaling"]),
     }
+    session_speedups = [
+        r["session"]["onepass_speedup"]
+        for r in report["workloads"]
+        if "session" in r
+    ]
+    if session_speedups:
+        report["summary"]["session_onepass_geomean"] = math.exp(
+            sum(math.log(s) for s in session_speedups) / len(session_speedups)
+        )
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 
@@ -285,6 +349,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-scaling", action="store_true", help="skip the scaling sweep"
     )
     parser.add_argument(
+        "--no-session",
+        action="store_true",
+        help="skip the one-pass vs N-pass session comparison column",
+    )
+    parser.add_argument(
         "-o", "--output", default="BENCH_PR1.json",
         help="where to write the JSON report",
     )
@@ -307,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         algorithm=args.algorithm,
         tables=tables,
         scaling_sizes=() if args.no_scaling else SCALING_SIZES,
+        session=not args.no_session,
     )
     write_report(report, args.output)
     summary = report["summary"]

@@ -3,47 +3,42 @@
 Mirrors the paper artifact's workflow (Appendix D):
 
 * ``repro metainfo trace.std`` — RAPID's MetaInfo analysis;
-* ``repro check trace.std --algorithm aerodrome`` — run one checker;
+* ``repro check trace.std --analysis aerodrome,races,lockset`` — run any
+  set of registered analyses on one trace ingest;
 * ``repro generate sunflow -o sunflow.std`` — produce a benchmark analog
   trace (the RoadRunner logging + atomicity-spec filtering stage);
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
 * ``repro scaling`` — the linear-vs-cubic scaling sweep;
-* ``repro algorithms`` — list available checkers.
+* ``repro algorithms`` — list every registered analysis.
 
-Beyond the artifact workflow, the extension analyses are also exposed:
-``profile`` (workload shape report), ``dot`` (Graphviz export),
-``zoo`` (named example traces), ``violations`` (report-and-continue),
-``atomizer`` (Lipton-reduction warnings), ``lockset`` (Eraser) and
-``viewserial`` (exact view serializability on small traces).
+The analysis verbs — ``check``, ``races``, ``lockset``, ``viewserial``,
+``causal``, ``profile``, ``violations``, ``explain`` — are thin wrappers
+over one :class:`repro.api.Session` run each: the trace is ingested
+once, every requested analysis rides the same sweep, and ``--json``
+emits the versioned ``repro-report/1`` document (see ``docs/API.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
-from .analysis.causal import check_causal_atomicity
-from .analysis.explain import explain
-from .analysis.graph_export import event_graph_dot, save_dot, transaction_graph_dot
-from .analysis.lockset import lockset_analysis
-from .analysis.profile import format_profile, profile_trace
-from .analysis.races import find_races
-from .analysis.serial_witness import serial_witness
-from .analysis.view_serializability import (
-    TooManyTransactions,
-    serializing_order,
-)
-from .baselines.atomizer import atomizer_warnings
-from .core.multi import find_all_violations
-from .spec.inference import InferenceError, infer_spec
+from .api.analysis import Analysis, CheckerAnalysis
+from .api.registry import available_analyses, checker_names
+from .api.report import SessionResult
+from .api.session import Session
 from .analysis.minimize import minimize_violation
+from .analysis.graph_export import event_graph_dot, save_dot, transaction_graph_dot
+from .analysis.profile import format_profile
 from .analysis.timeline import render_with_verdict
 from .bench.harness import run_scaling, run_table
 from .bench.memory import format_growth, sample_state_growth
 from .bench.reporting import format_comparison, format_scaling, format_table
-from .core.checker import available_algorithms, check_trace
+from .baselines.atomizer import atomizer_warnings
 from .sim.workloads.benchmarks import ALL_CASES, TABLE1, TABLE2, get_case
+from .spec.inference import InferenceError, infer_spec
 from .trace.binary import BinaryTraceError, load_binary, save_binary
 from .trace.metainfo import metainfo
 from .trace.packed import pack
@@ -51,6 +46,11 @@ from .trace.parser import TraceParseError, load_trace
 from .trace.trace import Trace
 from .trace.wellformed import WellFormednessError, validate
 from .trace.writer import save_trace
+
+_EPILOG = (
+    "Session/Analysis API, run modes and the repro-report/1 JSON schema "
+    "are documented in docs/API.md."
+)
 
 
 def _load(path: str) -> Trace:
@@ -68,6 +68,27 @@ def _load(path: str) -> Trace:
         raise SystemExit(2)
 
 
+def _run_session(
+    args: argparse.Namespace,
+    analyses: Sequence[Union[str, Analysis]],
+    trace: Optional[Trace] = None,
+) -> SessionResult:
+    """One Session.run() — the shared engine behind every analysis verb."""
+    if trace is None:
+        trace = _load(args.trace)
+    events = pack(trace) if getattr(args, "packed", False) else trace
+    try:
+        session = Session(events, analyses, path=getattr(args, "trace", None))
+    except (ValueError, TypeError) as error:
+        print(error, file=sys.stderr)
+        raise SystemExit(2)
+    return session.run()
+
+
+def _emit_json(result: SessionResult) -> None:
+    print(json.dumps(result.to_json(), indent=2))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
     if not args.no_validate:
@@ -76,10 +97,25 @@ def _cmd_check(args: argparse.Namespace) -> int:
         except WellFormednessError as error:
             print(f"ill-formed trace: {error}", file=sys.stderr)
             return 2
-    events = pack(trace) if args.packed else trace
-    result = check_trace(events, algorithm=args.algorithm)
-    print(result)
-    return 0 if result.serializable else 1
+    if args.analysis:
+        names = [name.strip() for name in args.analysis.split(",") if name.strip()]
+        # An explicitly requested --algorithm still runs alongside.
+        if args.algorithm is not None and args.algorithm not in names:
+            names.insert(0, args.algorithm)
+    else:
+        names = [args.algorithm or "aerodrome"]
+    result = _run_session(args, names, trace=trace)
+    if args.json:
+        _emit_json(result)
+    elif len(result.reports) == 1:
+        report = next(iter(result.reports.values()))
+        # Single-checker runs keep the historical CheckResult line.
+        print(report.native if report.kind == "checker" else report.summary)
+    else:
+        for report in result.reports.values():
+            print(f"[{report.analysis}] {report.summary}")
+    # Same convention as the dedicated verbs: 2 = could not decide.
+    return {"pass": 0, "fail": 1, "undecided": 2}[result.verdict_label]
 
 
 def _cmd_metainfo(args: argparse.Namespace) -> int:
@@ -132,6 +168,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ]
     if args.no_scaling:
         argv.append("--no-scaling")
+    if args.no_session:
+        argv.append("--no-session")
     if args.check:
         argv.append("--check")
     return bench_main(argv)
@@ -146,8 +184,12 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    trace = _load(args.trace)
-    explanation = explain(trace)
+    result = _run_session(args, ["explain"])
+    report = result.reports["explain"]
+    if args.json:
+        _emit_json(result)
+        return 0 if report.ok else 1
+    explanation = report.native
     if explanation is None:
         print("conflict serializable: nothing to explain")
         return 0
@@ -156,7 +198,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_races(args: argparse.Namespace) -> int:
-    races = find_races(_load(args.trace))
+    result = _run_session(args, ["races"])
+    report = result.reports["races"]
+    if args.json:
+        _emit_json(result)
+        return 0 if report.ok else 1
+    races = report.native
     if not races:
         print("no happens-before data races")
         return 0
@@ -167,19 +214,36 @@ def _cmd_races(args: argparse.Namespace) -> int:
 
 
 def _cmd_causal(args: argparse.Namespace) -> int:
-    report = check_causal_atomicity(_load(args.trace))
-    print(report)
-    return 0 if report.all_atomic else 1
+    result = _run_session(args, ["causal"])
+    report = result.reports["causal"]
+    if args.json:
+        _emit_json(result)
+        return 0 if report.ok else 1
+    print(report.native)
+    return 0 if report.ok else 1
 
 
 def _cmd_algorithms(args: argparse.Namespace) -> int:
-    for name in available_algorithms():
-        print(name)
+    if args.checkers:
+        for name in checker_names():
+            print(name)
+        return 0
+    from .api.registry import analysis_specs
+
+    for spec in analysis_specs():
+        print(f"{spec.name:<18} [{spec.kind}] {spec.summary}")
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    print(format_profile(profile_trace(_load(args.trace)), top=args.top))
+    from .api.analysis import ProfileAnalysis
+
+    result = _run_session(args, [ProfileAnalysis(top=args.top)])
+    report = result.reports["profile"]
+    if args.json:
+        _emit_json(result)
+        return 0
+    print(format_profile(report.native, top=args.top))
     return 0
 
 
@@ -223,12 +287,18 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
 
 
 def _cmd_violations(args: argparse.Namespace) -> int:
-    violations = find_all_violations(
-        _load(args.trace),
-        algorithm=args.algorithm,
-        limit=args.limit,
+    analysis = CheckerAnalysis(
+        args.algorithm,
+        mode="report_all",
         dedupe=args.dedupe,
+        limit=args.limit,
     )
+    result = _run_session(args, [analysis])
+    report = result.reports[args.algorithm]
+    if args.json:
+        _emit_json(result)
+        return 0 if report.ok else 1
+    violations = report.native
     for violation in violations:
         print(violation)
     print(f"{len(violations)} violation report(s)")
@@ -244,11 +314,15 @@ def _cmd_atomizer(args: argparse.Namespace) -> int:
 
 
 def _cmd_lockset(args: argparse.Namespace) -> int:
-    report = lockset_analysis(_load(args.trace))
-    for warning in report.warnings:
+    result = _run_session(args, ["lockset"])
+    report = result.reports["lockset"]
+    if args.json:
+        _emit_json(result)
+        return 0 if report.ok else 1
+    for warning in report.native.warnings:
         print(warning)
-    print(f"{len(report.warnings)} lockset warning(s)")
-    return 0 if not report.warnings else 1
+    print(f"{len(report.native.warnings)} lockset warning(s)")
+    return 0 if report.ok else 1
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
@@ -298,6 +372,8 @@ def _cmd_inferspec(args: argparse.Namespace) -> int:
 
 
 def _cmd_serialize(args: argparse.Namespace) -> int:
+    from .analysis.serial_witness import serial_witness
+
     trace = _load(args.trace)
     witness = serial_witness(trace)
     if witness is None:
@@ -313,43 +389,65 @@ def _cmd_serialize(args: argparse.Namespace) -> int:
 
 
 def _cmd_viewserial(args: argparse.Namespace) -> int:
-    trace = _load(args.trace)
-    try:
-        order = serializing_order(trace)
-    except TooManyTransactions as error:
-        print(f"undecided: {error}", file=sys.stderr)
+    result = _run_session(args, ["viewserial"])
+    report = result.reports["viewserial"]
+    if args.json:
+        _emit_json(result)
+        return {True: 0, False: 1, None: 2}[report.verdict]
+    if report.verdict is None:
+        print(report.summary, file=sys.stderr)
         return 2
-    if order is None:
-        print("not view serializable")
-        return 1
-    print("view serializable; witness order: " + " ".join(f"T{t}" for t in order))
-    return 0
+    print(report.summary)
+    return 0 if report.verdict else 1
+
+
+def _add_session_flags(parser: argparse.ArgumentParser) -> None:
+    """The common surface every session-backed verb shares."""
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-report/1 JSON document instead of text",
+    )
+    parser.add_argument(
+        "--packed",
+        action="store_true",
+        help="compile the trace once and run the packed fast path",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AeroDrome reproduction: atomicity checking on traces",
+        epilog=_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="check a trace for atomicity violations")
+    check = sub.add_parser(
+        "check",
+        help="run one or more analyses over a trace (one ingest)",
+        epilog=_EPILOG,
+    )
     check.add_argument("trace", help="path to a .std trace file")
     check.add_argument(
+        "--analysis",
+        metavar="A,B,C",
+        help="comma-separated registered analyses to co-run on one sweep "
+        f"(any of: {', '.join(available_analyses())})",
+    )
+    check.add_argument(
         "--algorithm",
-        default="aerodrome",
-        choices=available_algorithms(),
+        default=None,
+        choices=checker_names(),
+        help="deprecated alias: checker to run, default aerodrome "
+        "(use --analysis; given together, both run)",
     )
     check.add_argument(
         "--no-validate",
         action="store_true",
         help="skip the well-formedness check",
     )
-    check.add_argument(
-        "--packed",
-        action="store_true",
-        help="compile the trace once and run the packed fast path",
-    )
+    _add_session_flags(check)
     check.set_defaults(func=_cmd_check)
 
     meta = sub.add_parser("metainfo", help="print trace characteristics")
@@ -392,6 +490,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--algorithm", default="aerodrome")
     bench.add_argument("--tables", default="1,2")
     bench.add_argument("--no-scaling", action="store_true")
+    bench.add_argument(
+        "--no-session",
+        action="store_true",
+        help="skip the one-pass vs N-pass session comparison",
+    )
     bench.add_argument("-o", "--output", default="BENCH_PR1.json")
     bench.add_argument(
         "--check",
@@ -413,27 +516,38 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="extract a witness cycle for a violating trace"
     )
     explain_cmd.add_argument("trace")
+    _add_session_flags(explain_cmd)
     explain_cmd.set_defaults(func=_cmd_explain)
 
     races_cmd = sub.add_parser(
         "races", help="happens-before data race detection (FastTrack)"
     )
     races_cmd.add_argument("trace")
+    _add_session_flags(races_cmd)
     races_cmd.set_defaults(func=_cmd_races)
 
     causal_cmd = sub.add_parser(
         "causal", help="per-transaction causal atomicity report"
     )
     causal_cmd.add_argument("trace")
+    _add_session_flags(causal_cmd)
     causal_cmd.set_defaults(func=_cmd_causal)
 
-    algos = sub.add_parser("algorithms", help="list available checkers")
+    algos = sub.add_parser(
+        "algorithms", help="list registered analyses (checkers and more)"
+    )
+    algos.add_argument(
+        "--checkers",
+        action="store_true",
+        help="only the StreamingChecker algorithm names, one per line",
+    )
     algos.set_defaults(func=_cmd_algorithms)
 
     profile_cmd = sub.add_parser("profile", help="workload shape report")
     profile_cmd.add_argument("trace")
     profile_cmd.add_argument("--top", type=int, default=10,
                              help="hot variables/locks to list")
+    _add_session_flags(profile_cmd)
     profile_cmd.set_defaults(func=_cmd_profile)
 
     dot_cmd = sub.add_parser("dot", help="Graphviz export of a trace")
@@ -466,7 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     memory_cmd.add_argument("trace")
     memory_cmd.add_argument(
-        "--algorithm", default="aerodrome", choices=available_algorithms()
+        "--algorithm", default="aerodrome", choices=checker_names()
     )
     memory_cmd.add_argument("--samples", type=int, default=10)
     memory_cmd.set_defaults(func=_cmd_memory)
@@ -476,10 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     violations_cmd.add_argument("trace")
     violations_cmd.add_argument(
-        "--algorithm", default="aerodrome", choices=available_algorithms()
+        "--algorithm", default="aerodrome", choices=checker_names()
     )
     violations_cmd.add_argument("--limit", type=int, default=None)
     violations_cmd.add_argument("--dedupe", action="store_true")
+    _add_session_flags(violations_cmd)
     violations_cmd.set_defaults(func=_cmd_violations)
 
     atomizer_cmd = sub.add_parser(
@@ -492,12 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
         "lockset", help="Eraser lockset race warnings"
     )
     lockset_cmd.add_argument("trace")
+    _add_session_flags(lockset_cmd)
     lockset_cmd.set_defaults(func=_cmd_lockset)
 
     viewserial_cmd = sub.add_parser(
         "viewserial", help="exact view-serializability (small traces)"
     )
     viewserial_cmd.add_argument("trace")
+    _add_session_flags(viewserial_cmd)
     viewserial_cmd.set_defaults(func=_cmd_viewserial)
 
     serialize_cmd = sub.add_parser(
@@ -512,7 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inferspec_cmd.add_argument("trace", help="raw trace with labeled markers")
     inferspec_cmd.add_argument(
-        "--algorithm", default="aerodrome", choices=available_algorithms()
+        "--algorithm", default="aerodrome", choices=checker_names()
     )
     inferspec_cmd.add_argument("-o", "--output", help="write the spec file")
     inferspec_cmd.set_defaults(func=_cmd_inferspec)
@@ -522,7 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     minimize_cmd.add_argument("trace")
     minimize_cmd.add_argument(
-        "--algorithm", default="aerodrome", choices=available_algorithms()
+        "--algorithm", default="aerodrome", choices=checker_names()
     )
     minimize_cmd.add_argument("-o", "--output", help="write the core as .std")
     minimize_cmd.set_defaults(func=_cmd_minimize)

@@ -170,44 +170,56 @@ def make_packed_step(
     return step
 
 
+# ---------------------------------------------------------------------------
+# Deprecated facade.
+#
+# The registry and the check facade moved to :mod:`repro.api` (PR 3's
+# unified analysis-session front door). The names below keep every old
+# caller working by delegating there, with a DeprecationWarning.
+# ---------------------------------------------------------------------------
+
+
 def _registry() -> Dict[str, Callable[[], StreamingChecker]]:
-    # Imported lazily: the algorithm modules import this module for the
-    # base class.
-    from ..baselines.doublechecker import DoubleCheckerChecker
-    from ..baselines.velodrome import VelodromeChecker
-    from .aerodrome import AeroDromeChecker
-    from .aerodrome_opt import OptimizedAeroDromeChecker
+    # Kept (without a warning) because a few tests and downstreams poke
+    # at it; the authoritative table now lives in repro.api.registry.
+    from ..api.registry import _checker_factories
 
-    from ..baselines.atomizer import AtomizerChecker
-    from .sharded import ShardedAeroDromeChecker
+    return _checker_factories()
 
-    return {
-        "aerodrome": OptimizedAeroDromeChecker,
-        "aerodrome-basic": AeroDromeChecker,
-        "aerodrome-sharded": ShardedAeroDromeChecker,
-        "velodrome": lambda: VelodromeChecker(garbage_collect=True),
-        "velodrome-nogc": lambda: VelodromeChecker(garbage_collect=False),
-        "velodrome-pk": lambda: VelodromeChecker(incremental_topology=True),
-        "doublechecker": DoubleCheckerChecker,
-        "atomizer": AtomizerChecker,
-    }
+
+def _deprecated(old: str, new: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"repro.core.checker.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def available_algorithms() -> list:
-    """Names accepted by :func:`check_trace` and the CLI."""
-    return sorted(_registry())
+    """Names accepted by :func:`check_trace` and the CLI.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.checker_names` (checkers only) or
+        :func:`repro.api.available_analyses` (everything).
+    """
+    _deprecated("available_algorithms", "repro.api.checker_names")
+    from ..api.registry import checker_names
+
+    return checker_names()
 
 
 def make_checker(algorithm: str = "aerodrome") -> StreamingChecker:
-    """Instantiate a fresh checker by algorithm name."""
-    registry = _registry()
-    try:
-        factory = registry[algorithm]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(registry)}"
-        ) from None
-    return factory()
+    """Instantiate a fresh checker by algorithm name.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.make_checker`.
+    """
+    _deprecated("make_checker", "repro.api.make_checker")
+    from ..api.registry import make_checker as api_make_checker
+
+    return api_make_checker(algorithm)
 
 
 def check_trace(
@@ -217,12 +229,10 @@ def check_trace(
 ) -> CheckResult:
     """Check a trace (or any event stream) for atomicity violations.
 
-    This is the library's front door::
-
-        from repro import check_trace, parse_trace
-        result = check_trace(parse_trace(text))
-        if not result.serializable:
-            print(result.violation)
+    .. deprecated:: 1.1
+        Use :func:`repro.api.check` (same signature and return), or a
+        :class:`repro.api.Session` to co-run several analyses on one
+        ingest. This facade delegates to ``repro.api.check``.
 
     Args:
         events: A :class:`~repro.trace.trace.Trace` or any iterable of
@@ -236,8 +246,9 @@ def check_trace(
     Returns:
         The :class:`CheckResult` verdict.
     """
-    checker = make_checker(algorithm)
-    result = checker.run(events)
-    if raise_on_violation and result.violation is not None:
-        raise AtomicityViolationError(result.violation)
-    return result
+    _deprecated("check_trace", "repro.api.check")
+    from ..api.session import check
+
+    return check(
+        events, algorithm=algorithm, raise_on_violation=raise_on_violation
+    )

@@ -4,8 +4,12 @@ The paper's algorithms (and our faithful implementations) exit at the
 first violation — that is what the complexity claims are stated over.
 Deployed monitors usually want more: keep watching and report each
 offending access, the way FastTrack keeps reporting races after the
-first. This module provides that mode as a wrapper, leaving the
-faithful checkers untouched.
+first. This module provides that mode as a thin generator over the
+shared session machinery: the actual report-and-continue bookkeeping
+(verdict clearing, dedupe muting, packed per-op dispatch) lives in one
+place — :class:`repro.api.analysis.CheckerAnalysis` with
+``mode="report_all"`` — and is exactly what a
+:class:`repro.api.Session` co-runs with other analyses.
 
 Semantics and caveats, stated precisely:
 
@@ -27,11 +31,10 @@ Semantics and caveats, stated precisely:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Iterable, Iterator, List, Optional
 
-from ..trace.events import Event, Op
+from ..trace.events import Event
 from ..trace.packed import PackedTrace
-from .checker import make_checker
 from .violations import Violation
 
 
@@ -52,56 +55,41 @@ def violation_stream(
             reporting thread crosses its next begin/end boundary.
 
     Yields:
-        :class:`Violation` objects in stream order.
+        :class:`Violation` objects in stream order, as they are found
+        (the stream is lazy; abandon it to stop early).
     """
-    if isinstance(events, PackedTrace):
-        yield from _packed_violation_stream(events, algorithm, dedupe)
-        return
-    checker = make_checker(algorithm)
-    muted: Set[Tuple[str, str]] = set()
-    for event in events:
-        if dedupe and event.op in (Op.BEGIN, Op.END):
-            muted = {key for key in muted if key[0] != event.thread}
-        violation = checker.process(event)
-        if violation is not None:
-            checker.violation = None  # report-and-continue
-            key = (violation.thread, violation.site)
-            if dedupe:
-                if key in muted:
-                    continue
-                muted.add(key)
-            yield violation
+    from ..api.analysis import CheckerAnalysis, TraceMeta
 
-
-def _packed_violation_stream(
-    packed: PackedTrace, algorithm: str, dedupe: bool
-) -> Iterator[Violation]:
-    """Report-and-continue over packed records.
-
-    Same semantics as the string loop; the fast checkers' packed steps
-    leave :attr:`violation` untouched, so clearing it is a no-op there
-    and matches the string path for fallback checkers.
-    """
-    checker = make_checker(algorithm)
-    step = checker.packed_step(packed)
-    threads, ops, targets = packed.arrays()
-    thread_names = packed.thread_names
-    muted: Set[Tuple[str, str]] = set()
-    begin_code, end_code = int(Op.BEGIN), int(Op.END)
-    for i in range(len(ops)):
-        op = ops[i]
-        if dedupe and (op == begin_code or op == end_code):
-            name = thread_names[threads[i]]
-            muted = {key for key in muted if key[0] != name}
-        violation = step(op, threads[i], targets[i], i)
-        if violation is not None:
-            checker.violation = None  # report-and-continue
-            key = (violation.thread, violation.site)
-            if dedupe:
-                if key in muted:
-                    continue
-                muted.add(key)
-            yield violation
+    analysis = CheckerAnalysis(algorithm, mode="report_all", dedupe=dedupe)
+    try:
+        total: Optional[int] = len(events)  # type: ignore[arg-type]
+    except TypeError:
+        total = None
+    packed = isinstance(events, PackedTrace)
+    analysis.begin(
+        TraceMeta(
+            name=getattr(events, "name", "trace"),
+            events=total,
+            packed=packed,
+            source=events if total is not None else None,
+        )
+    )
+    mark = 0
+    if packed:
+        step = analysis.bind_packed(events)
+        threads, ops, targets = events.arrays()
+        for i in range(len(ops)):
+            step(ops[i], threads[i], targets[i], i)
+            if len(analysis.violations) > mark:
+                yield from analysis.violations[mark:]
+                mark = len(analysis.violations)
+    else:
+        step = analysis.step
+        for event in events:
+            step(event)
+            if len(analysis.violations) > mark:
+                yield from analysis.violations[mark:]
+                mark = len(analysis.violations)
 
 
 def find_all_violations(

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Union
 
-from ..core.checker import StreamingChecker, make_checker
+from ..core.checker import StreamingChecker
 from ..core.violations import AtomicityViolationError, Violation
 from ..trace.events import Event, Op
 from .recorder import TraceRecorder
@@ -67,6 +67,8 @@ class LiveMonitor(TraceRecorder):
             )
         self.algorithm = algorithm
         self.policy = policy
+        from ..api.registry import make_checker
+
         self.checker: StreamingChecker = make_checker(algorithm)
         self.violations: List[Violation] = []
 

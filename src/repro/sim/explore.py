@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
-from ..core.checker import check_trace
+from ..api.session import check as check_trace
 from ..trace.events import Event, Op
 from ..trace.trace import Trace
 from .program import (

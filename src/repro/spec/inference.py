@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.checker import check_trace
 from ..core.violations import Violation
 from ..trace.events import Op
 from ..trace.trace import Trace
@@ -138,6 +137,8 @@ def infer_spec(
         iterations += 1
         spec = AtomicitySpec.of(atomic, name=name)
         filtered = apply_spec(trace, spec)
+        from ..api.session import check as check_trace
+
         result = check_trace(filtered, algorithm=algorithm)
         if result.serializable:
             return InferredSpec(

@@ -44,6 +44,37 @@ class TestCheck:
         path.write_text("t1|acq(l)\nt2|acq(l)\n")  # double acquire
         assert main(["check", str(path), "--no-validate"]) == 0
 
+    def test_analysis_co_run(self, violating_trace, capsys):
+        code = main(
+            ["check", str(violating_trace), "--analysis", "aerodrome,races"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[aerodrome]" in out
+        assert "[races]" in out
+
+    def test_explicit_algorithm_joins_analysis_list(
+        self, violating_trace, capsys
+    ):
+        code = main(
+            ["check", str(violating_trace),
+             "--algorithm", "velodrome", "--analysis", "races"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[velodrome]" in out
+        assert "[races]" in out
+
+    def test_json_report_validates(self, violating_trace, capsys):
+        import json
+
+        from repro.api import validate_report
+
+        assert main(["check", str(violating_trace), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        validate_report(document)
+        assert document["verdict"] == "fail"
+
 
 class TestMetainfo:
     def test_prints_counts(self, violating_trace, capsys):
