@@ -38,9 +38,26 @@ from .report import (
     SCHEMA,
     Report,
     SessionResult,
+    report_from_json,
     validate_report,
 )
 from .session import Session, check, run
+
+#: Re-exported lazily (PEP 562): ``Session.run(jobs=1)`` must never pay
+#: the multiprocessing import, so ``repro.api.parallel`` only loads when
+#: one of these names (or a parallel run) is actually used.
+_PARALLEL_EXPORTS = frozenset(
+    {"ParallelExecutionError", "ParallelExecutor", "default_jobs"}
+)
+
+
+def __getattr__(name):
+    if name in _PARALLEL_EXPORTS:
+        from . import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "SCHEMA",
@@ -50,9 +67,13 @@ __all__ = [
     "CheckerAnalysis",
     "ExplainAnalysis",
     "LocksetAnalysis",
+    "ParallelExecutionError",
+    "ParallelExecutor",
     "ProfileAnalysis",
     "RacesAnalysis",
     "Report",
+    "report_from_json",
+    "default_jobs",
     "Session",
     "SessionResult",
     "TraceMeta",

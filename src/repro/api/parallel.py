@@ -1,0 +1,305 @@
+"""Process-parallel session execution.
+
+A :class:`~repro.api.session.Session` co-runs its analyses on one sweep
+— but the sweep itself lived on one core. This module fans the analyses
+across ``multiprocessing`` workers:
+
+* the trace is **not copied** on POSIX: workers are forked, so the
+  packed columns — and, for a :class:`~repro.trace.packed_io.
+  MappedPackedTrace`, the ``mmap``-ed file pages themselves — are
+  inherited zero-copy (shared physical memory, copy-on-write that never
+  gets written);
+* each worker drives an ordinary sub-:class:`Session` over its share of
+  the analyses and ships back the ``repro-report/1`` dicts of its
+  reports — always picklable, however exotic the analysis's in-memory
+  state is;
+* the parent merges them into one :class:`~repro.api.report.
+  SessionResult` in the original analysis order. Reports rebuilt from
+  the wire carry ``native=None`` (the schema doesn't serialize native
+  result objects); everything else — verdicts, violations, payloads,
+  events processed, summaries — is identical to a serial run.
+
+``Session.run(jobs=N)`` is the front door; ``jobs=1`` never imports
+this module and keeps the serial hot loop byte-for-byte. On platforms
+without ``fork`` (Windows, macOS spawn default) the trace and analyses
+must be picklable; when they are not, the executor raises
+:class:`ParallelExecutionError` and ``Session.run`` falls back to the
+serial sweep with a warning (see docs/API.md, "Parallel execution").
+
+:meth:`ParallelExecutor.map` is the generic building block the bench
+harness uses to fan whole workloads (generate + time a benchmark row)
+across cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .report import Report, report_from_json
+
+__all__ = [
+    "ParallelExecutionError",
+    "ParallelExecutor",
+    "default_jobs",
+    "partition_analyses",
+]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A parallel run could not start or a worker died."""
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPU count (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def _pick_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    # fork shares the trace (and any mmap) zero-copy; fall back to the
+    # platform default (spawn on Windows/macOS) where it doesn't exist.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - no fork on this platform
+        return multiprocessing.get_context()
+
+
+#: Relative sweep cost by analysis shape, for balanced partitioning:
+#: packed-dispatch checkers are cheap, event-object analyses pay the
+#: shared reconstruction plus their own dict work, offline passes run
+#: whole-trace algorithms at finish().
+_WEIGHT_CHECKER = 2
+_WEIGHT_EVENT = 3
+_WEIGHT_OFFLINE = 2
+
+
+def _analysis_weight(analysis: Any) -> int:
+    from .analysis import BufferedAnalysis, CheckerAnalysis
+
+    if isinstance(analysis, CheckerAnalysis):
+        return _WEIGHT_CHECKER
+    if isinstance(analysis, BufferedAnalysis):
+        return _WEIGHT_OFFLINE
+    return _WEIGHT_EVENT
+
+
+def partition_analyses(
+    analyses: Sequence[Any], jobs: int
+) -> List[List[int]]:
+    """Split analysis *indices* into at most ``jobs`` balanced chunks.
+
+    Greedy longest-processing-time: heaviest analyses first, each onto
+    the currently lightest chunk. Returns chunks of indices into
+    ``analyses`` (every chunk non-empty, original order within a chunk
+    preserved so per-chunk report order is deterministic).
+    """
+    jobs = max(1, min(jobs, len(analyses)))
+    order = sorted(
+        range(len(analyses)),
+        key=lambda i: (-_analysis_weight(analyses[i]), i),
+    )
+    loads = [0] * jobs
+    chunks: List[List[int]] = [[] for _ in range(jobs)]
+    for index in order:
+        lightest = loads.index(min(loads))
+        chunks[lightest].append(index)
+        loads[lightest] += _analysis_weight(analyses[index])
+    for chunk in chunks:
+        chunk.sort()
+    return [chunk for chunk in chunks if chunk]
+
+
+def _session_worker(
+    trace: Any,
+    analyses: Sequence[Any],
+    name: str,
+    path: Optional[str],
+    indices: Sequence[int],
+    conn,
+) -> None:
+    """Run one chunk in a worker process; ship repro-report/1 dicts back."""
+    try:
+        from .session import Session
+
+        result = Session(trace, list(analyses), name=name, path=path).run()
+        payload = {
+            "indices": list(indices),
+            "reports": [r.to_json() for r in result.reports.values()],
+            "events_swept": result.events_swept,
+        }
+        conn.send(("ok", payload))
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+def _map_worker(fn: Callable, items: Sequence[Any], indices, conn) -> None:
+    try:
+        conn.send(("ok", (list(indices), [fn(item) for item in items])))
+    except BaseException as error:  # noqa: BLE001
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class ParallelExecutor:
+    """Fans work across ``multiprocessing`` workers.
+
+    Args:
+        jobs: Worker count; ``None`` means :func:`default_jobs`.
+        start_method: ``"fork"`` / ``"spawn"`` / ``"forkserver"``;
+            ``None`` prefers ``fork`` (zero-copy trace inheritance) and
+            falls back to the platform default.
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self._ctx = _pick_context(start_method)
+
+    @property
+    def start_method(self) -> str:
+        return self._ctx.get_start_method()
+
+    # -- generic fan-out ----------------------------------------------------
+
+    def _scatter_gather(
+        self, worker: Callable, per_chunk_args: List[Tuple]
+    ) -> List[Any]:
+        """Start one process per chunk; collect one message from each."""
+        procs = []
+        try:
+            for args in per_chunk_args:
+                recv, send = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
+                    target=worker, args=args + (send,), daemon=True
+                )
+                try:
+                    proc.start()
+                except Exception as error:
+                    raise ParallelExecutionError(
+                        f"cannot start worker process: {error}"
+                    ) from error
+                finally:
+                    send.close()  # parent keeps only the read end
+                procs.append((proc, recv))
+            payloads = []
+            for proc, recv in procs:
+                try:
+                    status, payload = recv.recv()
+                except EOFError:
+                    proc.join()
+                    raise ParallelExecutionError(
+                        f"worker died without a result "
+                        f"(exit code {proc.exitcode})"
+                    ) from None
+                if status != "ok":
+                    raise ParallelExecutionError(f"worker failed: {payload}")
+                payloads.append(payload)
+            return payloads
+        finally:
+            for proc, recv in procs:
+                recv.close()
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join()
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """``[fn(item) for item in items]`` across worker processes.
+
+        Items are dealt round-robin into ``jobs`` chunks (one process
+        per chunk); results come back in input order. ``fn`` runs in a
+        child process, so side effects don't reach the parent, and the
+        results must be picklable. With zero or one worker, or a single
+        item, it degenerates to an in-process loop.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunks: List[List[int]] = [[] for _ in range(min(self.jobs, len(items)))]
+        for i in range(len(items)):
+            chunks[i % len(chunks)].append(i)
+        payloads = self._scatter_gather(
+            _map_worker,
+            [(fn, [items[i] for i in chunk], chunk) for chunk in chunks],
+        )
+        results: List[Any] = [None] * len(items)
+        for indices, values in payloads:
+            for index, value in zip(indices, values):
+                results[index] = value
+        return results
+
+    # -- session fan-out ----------------------------------------------------
+
+    def run_session(self, session) -> "Any":
+        """Fan ``session``'s analyses across workers; merge one result.
+
+        Each chunk of analyses sweeps the (shared, zero-copy under
+        ``fork``) trace in its own process. Returns the merged
+        :class:`~repro.api.report.SessionResult`; reports keep the
+        session's original analysis order and key-collision suffixes.
+        """
+        import time
+
+        from ..trace.packed import PackedTrace
+        from .report import SessionResult
+
+        analyses = session.analyses
+        chunks = partition_analyses(analyses, self.jobs)
+        trace = session.trace
+        start = time.perf_counter()
+        payloads = self._scatter_gather(
+            _session_worker,
+            [
+                (
+                    trace,
+                    [analyses[i] for i in chunk],
+                    session.name,
+                    session.path,
+                    chunk,
+                    # conn appended by _scatter_gather
+                )
+                for chunk in chunks
+            ],
+        )
+        seconds = time.perf_counter() - start
+        by_index: Dict[int, Report] = {}
+        events_swept = 0
+        for payload in payloads:
+            events_swept = max(events_swept, payload["events_swept"])
+            for index, data in zip(payload["indices"], payload["reports"]):
+                by_index[index] = report_from_json(data)
+        reports: Dict[str, Report] = {}
+        for index in range(len(analyses)):
+            report = by_index[index]
+            key = report.analysis
+            serial = 2
+            while key in reports:  # same duplicate-name rule as serial runs
+                key = f"{report.analysis}#{serial}"
+                serial += 1
+            reports[key] = report
+        try:
+            total: Optional[int] = len(trace)  # type: ignore[arg-type]
+        except TypeError:
+            total = None
+        return SessionResult(
+            trace_name=session.name,
+            events=total,
+            events_swept=events_swept,
+            packed=isinstance(trace, PackedTrace),
+            seconds=seconds,
+            reports=reports,
+            path=session.path,
+        )

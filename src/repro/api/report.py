@@ -177,6 +177,38 @@ class SessionResult:
         return "\n".join(lines)
 
 
+#: Verdict label -> three-valued verdict, the inverse of ``verdict_label``.
+_VERDICT_OF_LABEL = {VERDICT_PASS: True, VERDICT_FAIL: False, VERDICT_UNDECIDED: None}
+
+
+def report_from_json(data: Mapping[str, Any]) -> Report:
+    """Rebuild a :class:`Report` from its ``to_json()`` dict.
+
+    The wire form the process-parallel executor ships between workers
+    (:mod:`repro.api.parallel`): everything the schema carries survives
+    the round trip; only ``native`` — the analysis's in-memory result
+    object, which is not part of the schema — comes back as ``None``.
+    Raises ``ValueError`` on unknown verdict labels or missing keys.
+    """
+    try:
+        verdict = _VERDICT_OF_LABEL[data["verdict"]]
+        return Report(
+            analysis=data["analysis"],
+            kind=data["kind"],
+            mode=data["mode"],
+            verdict=verdict,
+            violations=list(data["violations"]),
+            payload=dict(data["payload"]),
+            events_processed=data["events_processed"],
+            summary=data.get("summary", ""),
+            native=None,
+        )
+    except KeyError as error:
+        raise ValueError(
+            f"invalid serialized report: missing or unknown {error}"
+        ) from error
+
+
 _VERDICTS = {VERDICT_PASS, VERDICT_FAIL, VERDICT_UNDECIDED}
 
 

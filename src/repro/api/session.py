@@ -68,10 +68,30 @@ class Session:
 
     # -- driving -----------------------------------------------------------
 
-    def run(self) -> SessionResult:
-        """Sweep the trace once and finish every analysis."""
+    def run(self, jobs: int = 1) -> SessionResult:
+        """Sweep the trace once and finish every analysis.
+
+        Args:
+            jobs: With the default ``1``, everything runs in-process on
+                the existing (possibly inlined) hot loops. With ``2+``
+                (or ``0`` = one per CPU), the analyses are fanned across
+                worker processes by :class:`repro.api.parallel.
+                ParallelExecutor` — under ``fork`` the trace columns are
+                inherited zero-copy — and the per-worker reports are
+                merged back into one :class:`SessionResult` (identical
+                up to ``native``, which does not cross the process
+                boundary). A session that cannot run in parallel (a
+                single analysis, a one-shot iterator trace, unpicklable
+                state under ``spawn``) silently degrades to the serial
+                sweep.
+        """
         if self._result is not None:
             raise RuntimeError("session already ran; sessions are single-use")
+        if jobs != 1:
+            result = self._run_parallel(jobs)
+            if result is not None:
+                self._result = result
+                return result
         trace = self.trace
         packed = isinstance(trace, PackedTrace)
         try:
@@ -114,6 +134,37 @@ class Session:
             path=self.path,
         )
         return self._result
+
+    def _run_parallel(self, jobs: int) -> Optional[SessionResult]:
+        """Try the process-parallel executor; None = use the serial sweep.
+
+        Not every session parallelizes: one analysis has nothing to fan
+        out, and a bare iterator trace cannot be swept twice. Worker
+        failures (e.g. unpicklable analyses under ``spawn``) degrade to
+        the serial path with a warning rather than failing the run.
+        """
+        if len(self.analyses) < 2:
+            return None
+        try:
+            len(self.trace)  # type: ignore[arg-type]
+        except TypeError:
+            return None  # one-shot iterator: only one sweep exists
+        from .parallel import ParallelExecutionError, ParallelExecutor
+
+        executor = ParallelExecutor(jobs=None if jobs == 0 else jobs)
+        if executor.jobs < 2:
+            return None
+        try:
+            return executor.run_session(self)
+        except ParallelExecutionError as error:
+            import warnings
+
+            warnings.warn(
+                f"parallel session degraded to serial: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
 
     def _solo_checker(self) -> Optional[CheckerAnalysis]:
         """The lone stop-first checker, when its own hot loop applies."""
@@ -191,9 +242,10 @@ def run(
     analyses: Sequence[Union[str, Analysis]],
     name: Optional[str] = None,
     path: Optional[str] = None,
+    jobs: int = 1,
 ) -> SessionResult:
-    """One-shot convenience: ``Session(trace, analyses).run()``."""
-    return Session(trace, analyses, name=name, path=path).run()
+    """One-shot convenience: ``Session(trace, analyses).run(jobs=jobs)``."""
+    return Session(trace, analyses, name=name, path=path).run(jobs=jobs)
 
 
 def check(

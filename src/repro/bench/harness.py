@@ -9,6 +9,7 @@ bound (``> x``), exactly as in Table 1.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
@@ -153,12 +154,32 @@ def run_table(
     seed: int = 7,
     scale: float = 1.0,
     timeout: Optional[float] = None,
+    jobs: int = 1,
 ) -> List[RowResult]:
-    """Run every row of a table (E1/E2 in DESIGN.md)."""
-    return [
-        run_case(case, algorithms=algorithms, seed=seed, scale=scale, timeout=timeout)
-        for case in cases
-    ]
+    """Run every row of a table (E1/E2 in DESIGN.md).
+
+    With ``jobs`` > 1 (or ``0`` = one worker per CPU, the same
+    convention as ``Session.run``) the rows are fanned across worker
+    processes by :class:`repro.api.parallel.ParallelExecutor` — each
+    worker generates and times whole benchmark rows independently (the
+    rows share no state), and the results come back in table order.
+    Timings stay honest only when the machine has idle cores to run
+    the workers on.
+    """
+    cases = list(cases)
+    worker = functools.partial(
+        run_case, algorithms=tuple(algorithms), seed=seed, scale=scale,
+        timeout=timeout,
+    )
+    if jobs == 0:
+        from ..api.parallel import default_jobs
+
+        jobs = default_jobs()
+    if jobs > 1 and len(cases) > 1:
+        from ..api.parallel import ParallelExecutor
+
+        return ParallelExecutor(jobs=jobs).map(worker, cases)
+    return [worker(case) for case in cases]
 
 
 @dataclass(frozen=True)

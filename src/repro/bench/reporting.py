@@ -102,6 +102,72 @@ def format_comparison(results: Iterable[RowResult], title: str = "") -> str:
     return f"{title}\n{table}" if title else table
 
 
+def format_ingest_split(rows: Iterable[dict], title: str = "") -> str:
+    """Render the cold-start ingest split of a bench report's workloads.
+
+    ``rows`` are workload dicts from the ``repro-bench/2`` report that
+    carry an ``ingest`` block (see :func:`repro.bench.perf.bench_ingest`).
+    """
+    headers = [
+        "Program",
+        "Events",
+        "Parse (s)",
+        "Pack (s)",
+        "Fused (s)",
+        "Load (s)",
+        "Cold-start",
+    ]
+    table_rows = []
+    for row in rows:
+        ingest = row.get("ingest")
+        if not ingest:
+            continue
+        table_rows.append(
+            [
+                row["name"],
+                f"{row['events']}",
+                f"{ingest['parse_seconds']:.4f}",
+                f"{ingest['pack_seconds']:.4f}",
+                f"{ingest['parse_packed_seconds']:.4f}",
+                f"{ingest['load_seconds']:.6f}",
+                f"{ingest['cold_start_speedup']:.0f}x",
+            ]
+        )
+    table = _render(headers, table_rows)
+    return f"{title}\n{table}" if title else table
+
+
+def format_parallel(rows: Iterable[dict], title: str = "") -> str:
+    """Render the serial-vs-parallel session column of a bench report."""
+    headers = [
+        "Program",
+        "Events",
+        "Analyses",
+        "Serial (s)",
+        "Parallel (s)",
+        "Speed-up",
+        "Agree",
+    ]
+    table_rows = []
+    for row in rows:
+        parallel = row.get("parallel")
+        if not parallel:
+            continue
+        table_rows.append(
+            [
+                row["name"],
+                f"{row['events']}",
+                f"{len(parallel['analyses'])}x jobs={parallel['jobs']}",
+                f"{parallel['serial_seconds']:.3f}",
+                f"{parallel['parallel_seconds']:.3f}",
+                f"{parallel['parallel_speedup']:.2f}",
+                "yes" if parallel["agree"] else "NO",
+            ]
+        )
+    table = _render(headers, table_rows)
+    return f"{title}\n{table}" if title else table
+
+
 def format_scaling(points: Iterable[ScalingPoint], title: str = "") -> str:
     """Render the E3 scaling sweep."""
     headers = ["Events", "AeroDrome (s)", "Velodrome (s)", "Speed-up"]

@@ -41,7 +41,8 @@ from .sim.workloads.benchmarks import ALL_CASES, TABLE1, TABLE2, get_case
 from .spec.inference import InferenceError, infer_spec
 from .trace.binary import BinaryTraceError, load_binary, save_binary
 from .trace.metainfo import metainfo
-from .trace.packed import pack
+from .trace.packed import PackedTrace, pack
+from .trace.packed_io import PackedTraceError, load_any, save_packed
 from .trace.parser import TraceParseError, load_trace
 from .trace.trace import Trace
 from .trace.wellformed import WellFormednessError, validate
@@ -49,21 +50,29 @@ from .trace.writer import save_trace
 
 _EPILOG = (
     "Session/Analysis API, run modes and the repro-report/1 JSON schema "
-    "are documented in docs/API.md."
+    "are documented in docs/API.md. Trace files are sniffed by magic "
+    "bytes: .std text, REPROTR1 binary (.rtb), and the zero-copy "
+    "repro-packed/1 column store (.rpt — write one with 'repro pack', "
+    "spec in docs/PERF.md) all load interchangeably. --jobs N fans a "
+    "multi-analysis session across N worker processes (docs/API.md, "
+    "'Parallel execution')."
 )
 
 
-def _load(path: str) -> Trace:
-    """Load a trace, dispatching on extension (.rtb = binary).
+def _load(path: str) -> Union[Trace, PackedTrace]:
+    """Load a trace of any format, sniffing the magic bytes.
 
-    Unreadable or corrupt inputs exit with a diagnostic instead of a
-    traceback — they are user errors, not bugs.
+    ``repro-packed/1`` files come back as mmap-backed packed traces
+    (already compiled — analyses take the packed fast path with zero
+    per-event ingest work); ``REPROTR1`` binary and ``.std`` text come
+    back as string traces. Unreadable or corrupt inputs exit with a
+    diagnostic instead of a traceback — they are user errors, not bugs.
     """
     try:
-        if str(path).endswith(".rtb"):
-            return load_binary(path)
-        return load_trace(path)
-    except (BinaryTraceError, TraceParseError, OSError) as error:
+        return load_any(path)
+    except (
+        PackedTraceError, BinaryTraceError, TraceParseError, OSError
+    ) as error:
         print(f"cannot load {path}: {error}", file=sys.stderr)
         raise SystemExit(2)
 
@@ -71,7 +80,7 @@ def _load(path: str) -> Trace:
 def _run_session(
     args: argparse.Namespace,
     analyses: Sequence[Union[str, Analysis]],
-    trace: Optional[Trace] = None,
+    trace: Optional[Union[Trace, PackedTrace]] = None,
 ) -> SessionResult:
     """One Session.run() — the shared engine behind every analysis verb."""
     if trace is None:
@@ -82,7 +91,7 @@ def _run_session(
     except (ValueError, TypeError) as error:
         print(error, file=sys.stderr)
         raise SystemExit(2)
-    return session.run()
+    return session.run(jobs=getattr(args, "jobs", 1))
 
 
 def _emit_json(result: SessionResult) -> None:
@@ -91,7 +100,10 @@ def _emit_json(result: SessionResult) -> None:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
-    if not args.no_validate:
+    # repro-packed/1 input skips the well-formedness sweep: the store
+    # was validated at pack time, and re-validating would reconstruct
+    # every Event — exactly the O(n) cold start the format eliminates.
+    if not args.no_validate and not isinstance(trace, PackedTrace):
         try:
             validate(trace)
         except WellFormednessError as error:
@@ -118,6 +130,42 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return {"pass": 0, "fail": 1, "undecided": 2}[result.verdict_label]
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .trace.packed_io import parse_packed, sniff_format
+
+    try:
+        kind = sniff_format(args.trace)
+        if kind == "text":
+            # Fused text->packed parse: no Event objects on the way in.
+            packed = parse_packed(args.trace)
+        else:
+            packed = pack(_load(args.trace))
+    except (
+        PackedTraceError, BinaryTraceError, TraceParseError, OSError
+    ) as error:
+        print(f"cannot pack {args.trace}: {error}", file=sys.stderr)
+        return 2
+    if not args.no_validate:
+        # Well-formedness is checked once here, so `repro check` can
+        # trust .rpt files and skip the O(n) validation sweep forever.
+        try:
+            validate(packed)
+        except WellFormednessError as error:
+            print(f"ill-formed trace: {error}", file=sys.stderr)
+            return 2
+    save_packed(packed, args.output)
+    from pathlib import Path as _Path
+
+    size = _Path(args.output).stat().st_size
+    print(
+        f"packed {len(packed)} events "
+        f"({len(packed.thread_names)} threads, "
+        f"{len(packed.variable_names)} variables, "
+        f"{len(packed.lock_names)} locks) -> {args.output} ({size} bytes)"
+    )
+    return 0
+
+
 def _cmd_metainfo(args: argparse.Namespace) -> int:
     info = metainfo(_load(args.trace))
     print(info)
@@ -137,7 +185,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _table_command(args: argparse.Namespace, cases) -> int:
     results = run_table(
-        cases, seed=args.seed, scale=args.scale, timeout=args.timeout
+        cases, seed=args.seed, scale=args.scale, timeout=args.timeout,
+        jobs=args.jobs,
     )
     print(format_table(results, title=f"Measured (scale={args.scale})"))
     print()
@@ -164,12 +213,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "--repeats", str(args.repeats),
         "--algorithm", args.algorithm,
         "--tables", args.tables,
+        "--jobs", str(args.jobs),
         "-o", args.output,
     ]
     if args.no_scaling:
         argv.append("--no-scaling")
     if args.no_session:
         argv.append("--no-session")
+    if args.no_ingest:
+        argv.append("--no-ingest")
     if args.check:
         argv.append("--check")
     return bench_main(argv)
@@ -413,6 +465,14 @@ def _add_session_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="compile the trace once and run the packed fast path",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the analyses across N worker processes "
+        "(0 = one per CPU; needs 2+ analyses to matter)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -450,6 +510,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_flags(check)
     check.set_defaults(func=_cmd_check)
 
+    pack_cmd = sub.add_parser(
+        "pack",
+        help="compile a trace to the zero-copy repro-packed/1 column store",
+        epilog="Check the result directly: repro check file.rpt "
+        "(formats are sniffed by magic bytes). Spec in docs/PERF.md.",
+    )
+    pack_cmd.add_argument("trace", help="source trace (.std text or .rtb binary)")
+    pack_cmd.add_argument(
+        "-o", "--output", required=True,
+        help="destination .rpt file (mmap-loadable, pack once analyze many)",
+    )
+    pack_cmd.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the one-time well-formedness check "
+        "(checking .rpt files later never re-validates)",
+    )
+    pack_cmd.set_defaults(func=_cmd_pack)
+
     meta = sub.add_parser("metainfo", help="print trace characteristics")
     meta.add_argument("trace")
     meta.set_defaults(func=_cmd_metainfo)
@@ -478,11 +557,17 @@ def build_parser() -> argparse.ArgumentParser:
             default=20.0,
             help="per-run timeout in seconds (paper: 10 hours)",
         )
+        table.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="fan table rows across N worker processes (0 = one per CPU)",
+        )
         table.set_defaults(func=_table_command, cases=cases)
 
     bench = sub.add_parser(
         "bench",
-        help="packed-vs-seed throughput benchmark (writes BENCH_PR1.json)",
+        help="throughput + ingest + parallel benchmark (writes BENCH_PR4.json)",
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=7)
@@ -495,11 +580,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the one-pass vs N-pass session comparison",
     )
-    bench.add_argument("-o", "--output", default="BENCH_PR1.json")
+    bench.add_argument(
+        "--no-ingest",
+        action="store_true",
+        help="skip the cold-start ingest split (parse/pack/load timings)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="workers for the serial-vs-parallel session column "
+        "(0 or 1 skips it; default 2)",
+    )
+    bench.add_argument("-o", "--output", default="BENCH_PR4.json")
     bench.add_argument(
         "--check",
         action="store_true",
-        help="exit nonzero unless packed and string paths agree everywhere",
+        help="exit nonzero unless every path agrees everywhere "
+        "(packed/string, reloaded traces, parallel sessions)",
     )
     bench.set_defaults(func=_cmd_bench)
 

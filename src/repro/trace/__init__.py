@@ -16,6 +16,16 @@ from .events import (
 from .filters import apply_spec, strip_labels, strip_markers
 from .metainfo import MetaInfo, collect_metainfo, metainfo
 from .packed import Interner, PackedTrace, pack
+from .packed_io import (
+    MappedPackedTrace,
+    PackedTraceError,
+    load_any,
+    load_packed,
+    parse_packed,
+    parse_packed_text,
+    save_packed,
+    sniff_format,
+)
 from .parser import TraceParseError, iter_events, load_trace, parse_trace
 from .slicing import project_threads, project_variables, window
 from .trace import Trace, trace_of
@@ -45,6 +55,14 @@ __all__ = [
     "PackedTrace",
     "pack",
     "Interner",
+    "MappedPackedTrace",
+    "PackedTraceError",
+    "save_packed",
+    "load_packed",
+    "parse_packed",
+    "parse_packed_text",
+    "load_any",
+    "sniff_format",
     "parse_trace",
     "load_trace",
     "iter_events",

@@ -14,6 +14,12 @@ simple interned, fixed-width encoding:
 At 9 bytes/event plus the tables this is typically 3-4x smaller than
 ``.std`` text and parses without regexes. Round-trips exactly with the
 in-memory representation.
+
+This format still decodes into per-event :class:`Event` objects. For
+the analyze-many-times workflow, prefer the ``repro-packed/1`` column
+store (:mod:`repro.trace.packed_io`), which ``mmap``-loads with O(1)
+per-event work; :func:`repro.trace.packed_io.load_any` sniffs the
+magic bytes of either format (or text) and dispatches.
 """
 
 from __future__ import annotations

@@ -1,0 +1,484 @@
+"""Persistent zero-copy columnar storage for packed traces.
+
+``repro.trace.packed`` made analysis cheap by compiling a trace to dense
+integer columns *once* — but "once" was still once **per process**. The
+cold-start path (text parse → per-event ``Event`` objects → ``pack()``)
+dwarfs the analysis itself on the table-1 workloads, and every run paid
+it again. This module makes the compiled form durable:
+
+* :func:`save_packed` writes a :class:`~repro.trace.packed.PackedTrace`
+  as a versioned on-disk column store — the ``repro-packed/1`` format;
+* :func:`load_packed` ``mmap``-s the file back and wraps the event
+  columns in :class:`memoryview` objects directly over the page cache —
+  **O(1) work per event**: only the (tiny) interner string tables are
+  materialized. Pack once, analyze many times;
+* :func:`parse_packed` is the fused text→packed streaming parser: it
+  interns straight out of the line tokenizer and never constructs an
+  ``Event`` object at all — the fastest route from ``.std`` text to a
+  packed trace when no ``.rpt`` file exists yet;
+* :func:`sniff_format` / :func:`load_any` dispatch on the magic bytes so
+  the CLI can accept text, ``REPROTR1`` binary and ``repro-packed/1``
+  files interchangeably.
+
+``repro-packed/1`` layout (all integers little-endian)::
+
+    offset  field
+    0       magic            8 bytes  b"RPACKED1"
+    8       trace name       u16 length + UTF-8 bytes
+    .       string tables    threads, variables, locks, labels — each:
+                             u32 count, then per entry u16 length + UTF-8
+    .       event count n    u64
+    .       zero padding to the next 8-byte boundary
+    .       thread column    n × i32
+    .       zero padding to the next 8-byte boundary
+    .       op column        n × i8
+    .       zero padding to the next 8-byte boundary
+    .       target column    n × i32
+
+Columns are 8-byte aligned so a loader may overlay them with typed views
+(or foreign readers with ``numpy.memmap``) without re-copying. A mapped
+trace is **read-only**: appending raises :class:`PackedTraceError`.
+Forked worker processes (:mod:`repro.api.parallel`) inherit the mapping
+itself, so co-running analyses across processes shares one physical copy
+of the columns.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import BinaryIO, Iterable, List, Optional, TextIO, Tuple, Union
+
+from .events import Op
+from .packed import NO_TARGET, PackedTrace
+from .parser import TraceParseError, parse_fields
+from .trace import Trace
+
+#: Magic prefix of the ``repro-packed/1`` format.
+MAGIC = b"RPACKED1"
+
+#: Human-readable schema tag (documented in docs/PERF.md).
+SCHEMA = "repro-packed/1"
+
+#: Bytes per entry of the thread/target columns (i32) and op column (i8).
+_COLUMN_ALIGN = 8
+
+#: Highest valid op code, for the optional deep verification pass.
+_MAX_OP = max(int(op) for op in Op)
+
+
+class PackedTraceError(ValueError):
+    """The input is not a valid ``repro-packed/1`` trace file."""
+
+
+def _check_itemsizes() -> None:
+    # The format stores i32/i8 columns; CPython's array('i')/array('b')
+    # match on every supported platform. Fail loudly on exotica rather
+    # than writing a file other readers cannot interpret.
+    if array("i").itemsize != 4 or array("b").itemsize != 1:
+        raise PackedTraceError(
+            "platform int sizes do not match the repro-packed/1 format"
+        )
+
+
+# -- writing ----------------------------------------------------------------
+
+
+def _write_string(stream: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise PackedTraceError(f"string too long for format: {text[:40]!r}...")
+    stream.write(struct.pack("<H", len(data)))
+    stream.write(data)
+
+
+def _write_table(stream: BinaryIO, names: Iterable[str]) -> None:
+    names = list(names)
+    stream.write(struct.pack("<I", len(names)))
+    for name in names:
+        _write_string(stream, name)
+
+
+def _column_bytes(column, code: str) -> bytes:
+    """The raw little-endian bytes of one column."""
+    if isinstance(column, memoryview):  # a mapped trace being re-saved
+        data = column.tobytes()
+        if sys.byteorder == "little":
+            return data
+        swapped = array(code)
+        swapped.frombytes(data)
+        swapped.byteswap()
+        return swapped.tobytes()
+    if sys.byteorder == "little":
+        return column.tobytes()
+    swapped = array(code, column)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def write_packed(packed: PackedTrace, stream: BinaryIO) -> None:
+    """Serialize ``packed`` to an open binary stream (``repro-packed/1``)."""
+    _check_itemsizes()
+    stream.write(MAGIC)
+    _write_string(stream, packed.name)
+    for interner in (packed.threads, packed.variables, packed.locks, packed.labels):
+        _write_table(stream, interner.names())
+    threads, ops, targets = packed.arrays()
+    n = len(ops)
+    stream.write(struct.pack("<Q", n))
+
+    # Header sizes are data-dependent, so track the position manually
+    # when the stream cannot seek (e.g. a pipe).
+    if stream.seekable():
+        position = stream.tell()
+    else:
+        position = (
+            len(MAGIC)
+            + 2 + len(packed.name.encode("utf-8"))
+            + sum(
+                4 + sum(2 + len(s.encode("utf-8")) for s in interner.names())
+                for interner in (
+                    packed.threads, packed.variables, packed.locks, packed.labels
+                )
+            )
+            + 8
+        )
+    # Each column starts on an 8-byte boundary (zero padding before it);
+    # nothing follows the last column.
+    for column, code in ((threads, "i"), (ops, "b"), (targets, "i")):
+        gap = -position % _COLUMN_ALIGN
+        if gap:
+            stream.write(b"\x00" * gap)
+        data = _column_bytes(column, code)
+        stream.write(data)
+        position += gap + len(data)
+
+
+def save_packed(
+    trace: Union[PackedTrace, Trace, Iterable], destination: Union[str, Path]
+) -> None:
+    """Write a packed trace to a ``.rpt`` file (packing first if needed)."""
+    from .packed import pack
+
+    packed = pack(trace)
+    with Path(destination).open("wb") as stream:
+        write_packed(packed, stream)
+
+
+# -- reading ----------------------------------------------------------------
+
+
+def _read_exact(buffer: memoryview, offset: int, count: int) -> memoryview:
+    if offset + count > len(buffer):
+        raise PackedTraceError("truncated packed trace")
+    return buffer[offset : offset + count]
+
+
+def _read_string(buffer: memoryview, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack("<H", _read_exact(buffer, offset, 2))
+    data = _read_exact(buffer, offset + 2, length)
+    try:
+        return bytes(data).decode("utf-8"), offset + 2 + length
+    except UnicodeDecodeError as error:
+        raise PackedTraceError(f"corrupt string table entry: {error}") from error
+
+
+def _read_table(buffer: memoryview, offset: int) -> Tuple[List[str], int]:
+    (count,) = struct.unpack("<I", _read_exact(buffer, offset, 4))
+    offset += 4
+    if count > len(buffer):  # cheap sanity bound before looping
+        raise PackedTraceError(f"implausible string table size {count}")
+    names: List[str] = []
+    for _ in range(count):
+        name, offset = _read_string(buffer, offset)
+        names.append(name)
+    return names, offset
+
+
+class MappedPackedTrace(PackedTrace):
+    """A :class:`PackedTrace` whose columns live in an ``mmap``-ed file.
+
+    The event columns are :class:`memoryview` casts straight over the
+    mapping — no per-event work happened at load time and no copy of
+    the payload exists in the Python heap. The trace is therefore
+    read-only; :meth:`append` raises. Everything read-shaped —
+    iteration, indexing, slicing, ``arrays()``, the checkers' packed
+    dispatch loops — works unchanged.
+
+    Pickling re-opens the source file (the mapping itself cannot
+    cross a ``spawn`` boundary; ``fork`` children inherit it for free).
+    """
+
+    __slots__ = ("path", "_mmap")
+
+    def __init__(self, name: str, path: Optional[Path]) -> None:
+        super().__init__(name=name)
+        self.path = path
+        self._mmap: Optional[mmap.mmap] = None
+
+    def append(self, event) -> None:
+        raise PackedTraceError(
+            "mapped packed traces are read-only; "
+            "copy via pack(trace.to_trace()) to get a mutable one"
+        )
+
+    def __reduce__(self):
+        if self.path is None:
+            raise PackedTraceError(
+                "cannot pickle a mapped trace loaded from an anonymous stream"
+            )
+        return (load_packed, (str(self.path),))
+
+
+def read_packed(
+    buffer: Union[bytes, bytearray, memoryview, mmap.mmap],
+    name_hint: str = "",
+    path: Optional[Path] = None,
+    verify: bool = False,
+) -> MappedPackedTrace:
+    """Overlay a ``repro-packed/1`` buffer as a read-only packed trace.
+
+    Only the header and the string tables are decoded; the three event
+    columns are wrapped zero-copy (on little-endian hosts) as typed
+    :class:`memoryview` columns. Structural integrity — magic, table
+    decoding, declared sizes vs. actual buffer size — is always checked;
+    ``verify=True`` additionally bounds-checks every record (O(n), for
+    untrusted files).
+
+    Raises:
+        PackedTraceError: On any structural corruption.
+    """
+    _check_itemsizes()
+    view = memoryview(buffer)
+    if bytes(_read_exact(view, 0, len(MAGIC))) != MAGIC:
+        raise PackedTraceError("bad magic: not a repro-packed/1 trace")
+    offset = len(MAGIC)
+    name, offset = _read_string(view, offset)
+    tables = []
+    for _ in range(4):
+        table, offset = _read_table(view, offset)
+        tables.append(table)
+    (n,) = struct.unpack("<Q", _read_exact(view, offset, 8))
+    offset += 8
+
+    def aligned(position: int) -> int:
+        return position + (-position % _COLUMN_ALIGN)
+
+    thread_off = aligned(offset)
+    op_off = aligned(thread_off + 4 * n)
+    target_off = aligned(op_off + n)
+    end = target_off + 4 * n
+    if end > len(view):
+        raise PackedTraceError(
+            f"truncated packed trace: need {end} bytes, have {len(view)}"
+        )
+
+    packed = MappedPackedTrace(name=name or name_hint or "trace", path=path)
+    threads, variables, locks, labels = tables
+    for interner, names in (
+        (packed.threads, threads),
+        (packed.variables, variables),
+        (packed.locks, locks),
+        (packed.labels, labels),
+    ):
+        for entry in names:
+            interner.index_of(entry)
+
+    if sys.byteorder == "little":
+        packed._thread = view[thread_off : thread_off + 4 * n].cast("i")
+        packed._op = view[op_off : op_off + n].cast("b")
+        packed._target = view[target_off : target_off + 4 * n].cast("i")
+    else:  # pragma: no cover - big-endian fallback pays one copy
+        for slot, off, size, code in (
+            ("_thread", thread_off, 4 * n, "i"),
+            ("_op", op_off, n, "b"),
+            ("_target", target_off, 4 * n, "i"),
+        ):
+            column = array(code)
+            column.frombytes(bytes(view[off : off + size]))
+            column.byteswap()
+            setattr(packed, slot, column)
+
+    if verify:
+        _verify_records(packed)
+    return packed
+
+
+def _verify_records(packed: PackedTrace) -> None:
+    """O(n) bounds check of every record against the string tables."""
+    from .packed import _NAMESPACE_OF_OP  # noqa: PLC2701 - same package
+
+    sizes = (
+        len(packed.variables),
+        len(packed.locks),
+        len(packed.threads),
+        len(packed.labels),
+    )
+    n_threads = len(packed.threads)
+    threads, ops, targets = packed.arrays()
+    for i in range(len(ops)):
+        op = ops[i]
+        if not 0 <= op <= _MAX_OP:
+            raise PackedTraceError(f"corrupt event record {i}: op code {op}")
+        if not 0 <= threads[i] < n_threads:
+            raise PackedTraceError(
+                f"corrupt event record {i}: thread index {threads[i]}"
+            )
+        target = targets[i]
+        if target == NO_TARGET:
+            if op < int(Op.BEGIN):  # only markers may omit the target
+                raise PackedTraceError(
+                    f"corrupt event record {i}: {Op(op).name} without target"
+                )
+        elif not 0 <= target < sizes[_NAMESPACE_OF_OP[op]]:
+            raise PackedTraceError(
+                f"corrupt event record {i}: target index {target}"
+            )
+
+
+def load_packed(
+    source: Union[str, Path], verify: bool = False
+) -> MappedPackedTrace:
+    """``mmap`` a ``.rpt`` file into a read-only packed trace.
+
+    Cold-start cost is O(string tables), not O(events): the columns stay
+    in the page cache and are faulted in lazily as analyses touch them.
+    The file must outlive the returned trace (the mapping holds it open).
+    """
+    path = Path(source)
+    with path.open("rb") as handle:
+        try:
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as error:  # zero-length file cannot be mapped
+            raise PackedTraceError(f"cannot map {path}: {error}") from error
+    packed = read_packed(mapping, name_hint=path.stem, path=path, verify=verify)
+    packed._mmap = mapping
+    return packed
+
+
+# -- fused text -> packed parsing -------------------------------------------
+
+
+def parse_packed_lines(
+    lines: Iterable[str], name: str = "trace"
+) -> PackedTrace:
+    """Stream ``.std`` lines straight into a :class:`PackedTrace`.
+
+    The fused fast path: tokenize each line (same grammar and errors as
+    :func:`repro.trace.parser.parse_line`) and intern the fields
+    directly into the packed columns — no ``Event`` objects, no
+    intermediate :class:`Trace`. Distinct lines are memoized, so the
+    per-event cost on realistic traces (few distinct sites, many
+    repetitions) is one dict hit plus three array appends.
+    """
+    packed = PackedTrace(name=name)
+    thread_of = packed.threads.index_of
+    interner_of_ns = (
+        packed.variables.index_of,
+        packed.locks.index_of,
+        thread_of,
+        packed.labels.index_of,
+    )
+    # Local aliases and the line memo: dense traces repeat a small set
+    # of distinct lines, and interner indices never change once issued.
+    from .packed import _NAMESPACE_OF_OP  # noqa: PLC2701 - same package
+
+    threads_arr = packed._thread
+    ops_arr = packed._op
+    targets_arr = packed._target
+    memo: dict = {}
+    memo_get = memo.get
+    for line_number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        record = memo_get(stripped)
+        if record is None:
+            thread, op, target = parse_fields(stripped, line_number)
+            op = int(op)
+            record = (
+                thread_of(thread),
+                op,
+                NO_TARGET
+                if target is None
+                else interner_of_ns[_NAMESPACE_OF_OP[op]](target),
+            )
+            memo[stripped] = record
+        threads_arr.append(record[0])
+        ops_arr.append(record[1])
+        targets_arr.append(record[2])
+    return packed
+
+
+def parse_packed(
+    source: Union[str, Path, TextIO], name: str = ""
+) -> PackedTrace:
+    """Parse a ``.std`` file (path or open text stream) into a packed trace."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="utf-8") as handle:
+            return parse_packed_lines(handle, name=name or path.stem)
+    return parse_packed_lines(source, name=name or "trace")
+
+
+def parse_packed_text(text: str, name: str = "trace") -> PackedTrace:
+    """Parse a complete trace from a string, straight to packed columns."""
+    return parse_packed_lines(io.StringIO(text), name=name)
+
+
+# -- format sniffing --------------------------------------------------------
+
+#: Formats :func:`sniff_format` can report.
+FORMAT_PACKED = "packed"
+FORMAT_BINARY = "binary"
+FORMAT_TEXT = "text"
+
+
+def sniff_format(source: Union[str, Path]) -> str:
+    """Classify a trace file by its magic bytes.
+
+    Returns ``"packed"`` (``repro-packed/1``), ``"binary"``
+    (``REPROTR1``) or ``"text"`` (anything else — the ``.std`` grammar
+    has no magic).
+    """
+    from .binary import MAGIC as BINARY_MAGIC
+
+    with Path(source).open("rb") as handle:
+        head = handle.read(max(len(MAGIC), len(BINARY_MAGIC)))
+    if head.startswith(MAGIC):
+        return FORMAT_PACKED
+    if head.startswith(BINARY_MAGIC):
+        return FORMAT_BINARY
+    return FORMAT_TEXT
+
+
+def load_any(
+    source: Union[str, Path], prefer_packed: bool = False
+) -> Union[Trace, PackedTrace]:
+    """Load a trace of any on-disk format, sniffing the magic bytes.
+
+    ``repro-packed/1`` files come back as zero-copy
+    :class:`MappedPackedTrace`; binary and text come back as string
+    :class:`Trace` (or, with ``prefer_packed``, fused straight into a
+    :class:`PackedTrace` — text never materializes events then).
+    """
+    from .binary import load_binary
+    from .parser import load_trace
+
+    kind = sniff_format(source)
+    if kind == FORMAT_PACKED:
+        return load_packed(source)
+    if kind == FORMAT_BINARY:
+        trace = load_binary(source)
+        if prefer_packed:
+            from .packed import pack
+
+            return pack(trace)
+        return trace
+    if prefer_packed:
+        return parse_packed(source)
+    return load_trace(source)

@@ -57,8 +57,15 @@ _LINE_RE = re.compile(
 )
 
 
-def parse_line(line: str, line_number: int = 0) -> Event:
-    """Parse a single ``thread|op(target)`` line into an :class:`Event`."""
+def parse_fields(line: str, line_number: int = 0):
+    """Tokenize one ``thread|op(target)`` line to ``(thread, op, target)``.
+
+    The validation core of :func:`parse_line`, shared with the fused
+    text→packed parser (:func:`repro.trace.packed_io.parse_packed`)
+    which interns the fields directly without building an
+    :class:`Event`. Raises :class:`TraceParseError` exactly where
+    :func:`parse_line` would.
+    """
     match = _LINE_RE.match(line.strip())
     if match is None:
         raise TraceParseError("malformed event line", line_number, line)
@@ -74,11 +81,15 @@ def parse_line(line: str, line_number: int = 0) -> Event:
     op = MNEMONIC_OP.get(mnemonic)
     if op is None:
         raise TraceParseError(f"unknown operation {mnemonic!r}", line_number, line)
-    if op in (Op.BEGIN, Op.END):
+    if op not in (Op.BEGIN, Op.END) and target is None:
         # begin/end take an optional method label: "t|begin" or "t|begin(m)".
-        return Event(thread, op, target)
-    if target is None:
         raise TraceParseError(f"{mnemonic} requires a target", line_number, line)
+    return thread, op, target
+
+
+def parse_line(line: str, line_number: int = 0) -> Event:
+    """Parse a single ``thread|op(target)`` line into an :class:`Event`."""
+    thread, op, target = parse_fields(line, line_number)
     return Event(thread, op, target)
 
 

@@ -1,0 +1,367 @@
+"""repro-packed/1 column store: round trips, mmap loads, corrupt inputs.
+
+The contract mirrors the binary format's hardening (tests/test_binary*):
+``save_packed``/``load_packed`` round-trip every valid packed trace
+(interners, ops, targets, event reconstruction, slicing), the loader is
+O(1) per event (``memoryview`` columns over the mapping, never a heap
+copy), and corrupt or truncated files raise the typed
+:class:`~repro.trace.packed_io.PackedTraceError` — never a raw
+``struct.error`` or ``IndexError``, never silent garbage.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.trace.events import (
+    Op,
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    write,
+)
+from repro.trace.packed import PackedTrace, pack
+from repro.trace.packed_io import (
+    MAGIC,
+    MappedPackedTrace,
+    PackedTraceError,
+    load_any,
+    load_packed,
+    parse_packed,
+    parse_packed_text,
+    read_packed,
+    save_packed,
+    sniff_format,
+    write_packed,
+)
+from repro.trace.parser import TraceParseError, parse_trace
+from repro.trace.trace import Trace
+from repro.trace.writer import dump_trace
+
+
+def sample_trace() -> Trace:
+    return Trace(
+        [
+            begin("t1", "m"),
+            write("t1", "x"),
+            fork("t1", "t2"),
+            acquire("t2", "l"),
+            read("t2", "x"),
+            release("t2", "l"),
+            end("t1"),
+            join("t1", "t2"),
+            begin("t2"),
+            end("t2"),
+        ],
+        name="sample",
+    )
+
+
+def encode(packed: PackedTrace) -> bytes:
+    buffer = io.BytesIO()
+    write_packed(packed, buffer)
+    return buffer.getvalue()
+
+
+class TestRoundTrip:
+    def test_events_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.rpt"
+        save_packed(pack(trace), path)
+        loaded = load_packed(path)
+        assert list(loaded) == list(trace)
+        assert loaded.name == "sample"
+
+    def test_interners_round_trip(self, tmp_path):
+        packed = pack(sample_trace())
+        path = tmp_path / "t.rpt"
+        save_packed(packed, path)
+        loaded = load_packed(path)
+        assert loaded.thread_names == packed.thread_names
+        assert loaded.variable_names == packed.variable_names
+        assert loaded.lock_names == packed.lock_names
+        assert loaded.labels.names() == packed.labels.names()
+
+    def test_columns_round_trip(self, tmp_path):
+        packed = pack(sample_trace())
+        path = tmp_path / "t.rpt"
+        save_packed(packed, path)
+        loaded = load_packed(path)
+        for original, reloaded in zip(packed.arrays(), loaded.arrays()):
+            assert list(original) == list(reloaded)
+
+    def test_event_at_equality(self, tmp_path):
+        packed = pack(sample_trace())
+        path = tmp_path / "t.rpt"
+        save_packed(packed, path)
+        loaded = load_packed(path)
+        for i in range(len(packed)):
+            a, b = packed.event_at(i), loaded.event_at(i)
+            assert a == b and a.idx == b.idx == i
+
+    def test_slicing_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.rpt"
+        save_packed(pack(trace), path)
+        loaded = load_packed(path)
+        assert list(loaded[2:7]) == [trace[i] for i in range(2, 7)]
+        assert list(loaded[::2]) == [trace[i] for i in range(0, len(trace), 2)]
+
+    def test_save_accepts_unpacked_trace(self, tmp_path):
+        path = tmp_path / "t.rpt"
+        save_packed(sample_trace(), path)  # packs on the way out
+        assert list(load_packed(path)) == list(sample_trace())
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.rpt"
+        save_packed(pack(Trace(name="empty")), path)
+        loaded = load_packed(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+    def test_loaded_trace_analyzes_identically(self, tmp_path):
+        from repro.api import run
+
+        trace = random_trace(
+            3, RandomTraceConfig(n_threads=4, n_vars=5, n_locks=2, length=400)
+        )
+        packed = pack(trace)
+        path = tmp_path / "t.rpt"
+        save_packed(packed, path)
+        loaded = load_packed(path)
+        names = ["aerodrome", "races", "lockset"]
+        a = run(packed, names)
+        b = run(loaded, names)
+        assert [r.to_json() for r in a.reports.values()] == [
+            r.to_json() for r in b.reports.values()
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_random_traces_round_trip(self, seed):
+        trace = random_trace(
+            seed, RandomTraceConfig(n_threads=3, n_vars=4, n_locks=2, length=60)
+        )
+        packed = pack(trace)
+        loaded = read_packed(encode(packed))
+        assert list(loaded) == list(trace)
+        for original, reloaded in zip(packed.arrays(), loaded.arrays()):
+            assert list(original) == list(reloaded)
+
+
+class TestMappedSemantics:
+    def test_loaded_columns_are_zero_copy_views(self, tmp_path):
+        path = tmp_path / "t.rpt"
+        save_packed(pack(sample_trace()), path)
+        loaded = load_packed(path)
+        threads, ops, targets = loaded.arrays()
+        assert isinstance(threads, memoryview)
+        assert isinstance(ops, memoryview)
+        assert isinstance(targets, memoryview)
+        assert threads.itemsize == 4 and ops.itemsize == 1
+
+    def test_mapped_trace_is_read_only(self, tmp_path):
+        path = tmp_path / "t.rpt"
+        save_packed(pack(sample_trace()), path)
+        loaded = load_packed(path)
+        with pytest.raises(PackedTraceError):
+            loaded.append(read("t1", "x"))
+
+    def test_mapped_trace_pickles_by_reloading(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "t.rpt"
+        save_packed(pack(sample_trace()), path)
+        loaded = load_packed(path)
+        clone = pickle.loads(pickle.dumps(loaded))
+        assert isinstance(clone, MappedPackedTrace)
+        assert list(clone) == list(loaded)
+
+    def test_resave_of_mapped_trace_round_trips(self, tmp_path):
+        first = tmp_path / "a.rpt"
+        second = tmp_path / "b.rpt"
+        save_packed(pack(sample_trace()), first)
+        save_packed(load_packed(first), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_verify_accepts_valid_file(self, tmp_path):
+        path = tmp_path / "t.rpt"
+        save_packed(pack(sample_trace()), path)
+        loaded = load_packed(path, verify=True)
+        assert len(loaded) == len(sample_trace())
+
+
+class TestCorruptInputs:
+    def test_bad_magic(self):
+        with pytest.raises(PackedTraceError, match="magic"):
+            read_packed(b"NOTMAGIC" + b"\x00" * 64)
+
+    def test_empty_buffer(self):
+        with pytest.raises(PackedTraceError):
+            read_packed(b"")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.rpt"
+        path.write_bytes(b"")
+        with pytest.raises(PackedTraceError):
+            load_packed(path)
+
+    def test_truncated_everywhere(self):
+        data = encode(pack(sample_trace()))
+        for cut in range(len(data)):
+            with pytest.raises(PackedTraceError):
+                read_packed(data[:cut])
+
+    def test_bad_utf8_in_table(self):
+        data = bytearray(encode(pack(sample_trace())))
+        # The trace name starts right after the magic: length then text.
+        data[len(MAGIC) + 2] = 0xFF
+        data[len(MAGIC) + 3] = 0xFE
+        with pytest.raises(PackedTraceError, match="string table|truncated"):
+            read_packed(bytes(data))
+
+    def test_implausible_event_count(self):
+        data = bytearray(encode(pack(sample_trace())))
+        # The u64 event count is the 8 bytes before the first column;
+        # blow it up far past the file size.
+        head = encode(pack(sample_trace()))
+        count_at = head.rindex((10).to_bytes(8, "little"))
+        data[count_at : count_at + 8] = (2**40).to_bytes(8, "little")
+        with pytest.raises(PackedTraceError, match="truncated"):
+            read_packed(bytes(data))
+
+    def test_verify_rejects_out_of_range_op(self, tmp_path):
+        packed = pack(sample_trace())
+        data = bytearray(encode(packed))
+        loaded = read_packed(bytes(data))  # find the op column offset
+        threads, ops, targets = loaded.arrays()
+        # Mutate one op byte to an invalid code and re-verify.
+        raw = bytes(data)
+        op_bytes = bytes(ops)
+        op_off = raw.index(op_bytes)
+        data[op_off] = 99
+        with pytest.raises(PackedTraceError, match="op code"):
+            read_packed(bytes(data), verify=True)
+
+    def test_verify_rejects_out_of_range_target(self):
+        packed = pack(sample_trace())
+        data = bytearray(encode(packed))
+        loaded = read_packed(bytes(data))
+        threads, ops, targets = loaded.arrays()
+        raw = bytes(data)
+        target_off = len(raw) - 4 * len(targets)
+        data[target_off : target_off + 4] = (12345).to_bytes(
+            4, "little", signed=True
+        )
+        with pytest.raises(PackedTraceError, match="target|without target"):
+            read_packed(bytes(data), verify=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        position=st.integers(0, 10**6),
+        byte=st.integers(0, 255),
+    )
+    def test_single_byte_corruption_never_crashes(self, seed, position, byte):
+        trace = random_trace(
+            seed % 50,
+            RandomTraceConfig(n_threads=2, n_vars=2, n_locks=1, length=15),
+        )
+        data = bytearray(encode(pack(trace)))
+        position %= len(data)
+        data[position] = byte
+        try:
+            loaded = read_packed(bytes(data), verify=True)
+        except PackedTraceError:
+            return  # clean typed failure
+        # Otherwise the byte hit a don't-care position (padding, a
+        # name byte, ...) and the result must still be consumable.
+        for event in loaded:
+            pass
+
+
+class TestFusedParser:
+    def test_matches_parse_then_pack(self):
+        text = dump_trace(sample_trace())
+        via_events = pack(parse_trace(text, name="t"))
+        fused = parse_packed_text(text, name="t")
+        assert list(fused) == list(via_events)
+        for a, b in zip(fused.arrays(), via_events.arrays()):
+            assert list(a) == list(b)
+        assert fused.thread_names == via_events.thread_names
+        assert fused.variable_names == via_events.variable_names
+        assert fused.lock_names == via_events.lock_names
+
+    def test_comments_and_blanks_skipped(self):
+        fused = parse_packed_text("# header\n\nt1|begin\nt1|w(x)\nt1|end\n")
+        assert [str(e) for e in fused] == ["t1|begin", "t1|w(x)", "t1|end"]
+
+    def test_parse_errors_match_event_parser(self):
+        for bad in ("t1|frobnicate(x)", "t1|r", "|w(x)", "t1|r()"):
+            with pytest.raises(TraceParseError):
+                parse_packed_text(f"t1|begin\n{bad}\n")
+
+    def test_parse_from_path(self, tmp_path):
+        path = tmp_path / "t.std"
+        path.write_text(dump_trace(sample_trace()), encoding="utf-8")
+        fused = parse_packed(path)
+        assert fused.name == "t"
+        assert list(fused) == list(sample_trace())
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_random_traces_fuse_identically(self, seed):
+        trace = random_trace(
+            seed, RandomTraceConfig(n_threads=3, n_vars=4, n_locks=2, length=60)
+        )
+        text = dump_trace(trace)
+        assert list(parse_packed_text(text)) == list(trace)
+
+
+class TestSniffing:
+    def test_sniffs_all_three_formats(self, tmp_path):
+        from repro.trace.binary import save_binary
+        from repro.trace.writer import save_trace
+
+        trace = sample_trace()
+        std = tmp_path / "t.std"
+        rtb = tmp_path / "t.rtb"
+        rpt = tmp_path / "t.rpt"
+        save_trace(trace, std)
+        save_binary(trace, rtb)
+        save_packed(pack(trace), rpt)
+        assert sniff_format(std) == "text"
+        assert sniff_format(rtb) == "binary"
+        assert sniff_format(rpt) == "packed"
+
+    def test_load_any_dispatches(self, tmp_path):
+        from repro.trace.binary import save_binary
+        from repro.trace.writer import save_trace
+
+        trace = sample_trace()
+        std = tmp_path / "t.std"
+        rtb = tmp_path / "t.rtb"
+        rpt = tmp_path / "t.rpt"
+        save_trace(trace, std)
+        save_binary(trace, rtb)
+        save_packed(pack(trace), rpt)
+        assert isinstance(load_any(rpt), MappedPackedTrace)
+        assert isinstance(load_any(rtb), Trace)
+        assert isinstance(load_any(std), Trace)
+        assert isinstance(load_any(std, prefer_packed=True), PackedTrace)
+        assert isinstance(load_any(rtb, prefer_packed=True), PackedTrace)
+        for loaded in (load_any(std), load_any(rtb), load_any(rpt)):
+            assert list(loaded) == list(trace)
+
+    def test_extension_is_irrelevant(self, tmp_path):
+        # A packed file under a .std name still loads as packed.
+        disguised = tmp_path / "lies.std"
+        save_packed(pack(sample_trace()), disguised)
+        assert sniff_format(disguised) == "packed"
+        assert isinstance(load_any(disguised), MappedPackedTrace)

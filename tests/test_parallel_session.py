@@ -1,0 +1,188 @@
+"""Process-parallel sessions agree with serial runs, byte for byte.
+
+``Session.run(jobs=N)`` fans the analyses across worker processes
+(:mod:`repro.api.parallel`); the merged result must match the serial
+sweep on verdicts, violation indices and the full ``repro-report/1``
+JSON of every analysis — the only sanctioned difference is ``native``
+(in-memory result objects do not cross the process boundary) and
+timing. Runs with a single analysis, iterator traces, or ``jobs=1``
+must keep the serial hot path.
+"""
+
+import pytest
+
+from repro.api import Session, validate_report
+from repro.api.parallel import ParallelExecutor, partition_analyses
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+from repro.sim.workloads.benchmarks import CASES_BY_NAME
+from repro.trace import pack, save_packed, load_packed
+from repro.trace.events import begin, end, read, write
+from repro.trace.trace import Trace
+
+#: The co-run set every agreement test uses (>= 4 analyses, mixed shapes:
+#: two packed-dispatch checkers, two event-path analyses, one offline).
+ANALYSES = ["aerodrome", "doublechecker", "races", "lockset", "profile"]
+
+
+def violating_trace() -> Trace:
+    """Two overlapping transactions with a conflict cycle."""
+    return Trace(
+        [
+            begin("t1"),
+            write("t1", "x"),
+            begin("t2"),
+            write("t2", "y"),
+            read("t2", "x"),
+            end("t2"),
+            read("t1", "y"),
+            end("t1"),
+        ],
+        name="violating",
+    )
+
+
+def workload_packed(scale: float = 0.05):
+    case = CASES_BY_NAME["raytracer"]
+    return pack(case.generate(seed=7, scale=scale))
+
+
+def reports_json(result):
+    return [r.to_json() for r in result.reports.values()]
+
+
+def assert_sessions_agree(trace, analyses, jobs):
+    serial = Session(trace, list(analyses)).run()
+    parallel = Session(trace, list(analyses)).run(jobs=jobs)
+    assert list(serial.reports.keys()) == list(parallel.reports.keys())
+    assert reports_json(serial) == reports_json(parallel)
+    assert serial.to_json()["verdict"] == parallel.to_json()["verdict"]
+    validate_report(parallel.to_json())
+    return serial, parallel
+
+
+class TestAgreement:
+    def test_packed_workload_jobs2(self):
+        assert_sessions_agree(workload_packed(), ANALYSES, jobs=2)
+
+    def test_packed_workload_jobs3(self):
+        assert_sessions_agree(workload_packed(), ANALYSES, jobs=3)
+
+    def test_string_trace_jobs2(self):
+        trace = random_trace(
+            11, RandomTraceConfig(n_threads=4, n_vars=5, n_locks=2, length=600)
+        )
+        assert_sessions_agree(trace, ANALYSES, jobs=2)
+
+    def test_mapped_trace_jobs2(self, tmp_path):
+        path = tmp_path / "w.rpt"
+        save_packed(workload_packed(), path)
+        assert_sessions_agree(load_packed(path), ANALYSES, jobs=2)
+
+    def test_violation_indices_agree(self):
+        trace = pack(violating_trace())
+        serial, parallel = assert_sessions_agree(
+            trace, ["aerodrome", "aerodrome-basic", "velodrome", "races"], jobs=2
+        )
+        report = parallel.reports["aerodrome"]
+        assert report.verdict is False
+        assert (
+            report.violations
+            == serial.reports["aerodrome"].violations
+        )
+        assert report.violations[0]["event_idx"] == (
+            serial.reports["aerodrome"].violations[0]["event_idx"]
+        )
+
+    def test_more_jobs_than_analyses(self):
+        assert_sessions_agree(workload_packed(0.02), ANALYSES, jobs=16)
+
+    def test_jobs_zero_means_cpu_count(self):
+        # jobs=0 resolves to the CPU count; on a 1-CPU host that is a
+        # clean serial fallback, elsewhere a real fan-out — either way
+        # the reports agree.
+        assert_sessions_agree(workload_packed(0.02), ANALYSES, jobs=0)
+
+    def test_duplicate_analyses_keep_suffix_keys(self):
+        trace = workload_packed(0.02)
+        serial = Session(trace, ["aerodrome", "aerodrome", "races"]).run()
+        parallel = Session(trace, ["aerodrome", "aerodrome", "races"]).run(jobs=2)
+        assert list(serial.reports.keys()) == ["aerodrome", "aerodrome#2", "races"]
+        assert list(parallel.reports.keys()) == list(serial.reports.keys())
+        assert reports_json(serial) == reports_json(parallel)
+
+
+class TestSerialFallbacks:
+    def test_single_analysis_stays_serial(self):
+        result = Session(workload_packed(0.02), ["aerodrome"]).run(jobs=4)
+        # Solo stop-first checkers keep their native result object —
+        # proof the inlined serial hot loop ran, not a worker.
+        assert result.reports["aerodrome"].native is not None
+
+    def test_iterator_trace_stays_serial(self):
+        events = list(violating_trace())
+        result = Session(iter(events), ["aerodrome", "races"]).run(jobs=2)
+        assert result.reports["aerodrome"].verdict is False
+        assert result.reports["aerodrome"].native is not None
+
+    def test_jobs1_is_the_serial_path(self):
+        result = Session(workload_packed(0.02), ANALYSES).run(jobs=1)
+        for report in result.reports.values():
+            assert report.native is not None
+
+    def test_parallel_reports_have_no_native(self):
+        result = Session(workload_packed(0.02), ANALYSES).run(jobs=2)
+        for report in result.reports.values():
+            assert report.native is None
+
+    def test_sessions_stay_single_use(self):
+        session = Session(workload_packed(0.02), ANALYSES)
+        session.run(jobs=2)
+        with pytest.raises(RuntimeError, match="single-use"):
+            session.run(jobs=2)
+
+
+class TestPartition:
+    def test_all_analyses_covered_exactly_once(self):
+        from repro.api.registry import create_analysis
+
+        analyses = [create_analysis(name) for name in ANALYSES]
+        for jobs in (1, 2, 3, 8):
+            chunks = partition_analyses(analyses, jobs)
+            flat = sorted(i for chunk in chunks for i in chunk)
+            assert flat == list(range(len(analyses)))
+            assert len(chunks) <= max(1, jobs)
+            assert all(chunk for chunk in chunks)
+
+    def test_chunks_preserve_order_within(self):
+        from repro.api.registry import create_analysis
+
+        analyses = [create_analysis(name) for name in ANALYSES]
+        for chunk in partition_analyses(analyses, 3):
+            assert chunk == sorted(chunk)
+
+
+class TestExecutorMap:
+    def test_map_returns_in_order(self):
+        executor = ParallelExecutor(jobs=3)
+        assert executor.map(_square, list(range(10))) == [
+            i * i for i in range(10)
+        ]
+
+    def test_map_single_worker_runs_inline(self):
+        executor = ParallelExecutor(jobs=1)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_map_propagates_worker_failure(self):
+        from repro.api.parallel import ParallelExecutionError
+
+        executor = ParallelExecutor(jobs=2)
+        with pytest.raises(ParallelExecutionError, match="boom"):
+            executor.map(_explode, [1, 2])
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise RuntimeError("boom")
