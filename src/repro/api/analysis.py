@@ -191,8 +191,12 @@ class CheckerAnalysis(Analysis):
 
     def bind_packed(self, packed: PackedTrace):
         inner = self.checker.packed_step(packed)
-        self._packed = True
-        self._counted_before = self.checker.events_processed
+        if not self._packed:
+            # First bind only: a rebind (checkpoint restore mid-stream)
+            # must keep the original baseline, or finish() would add
+            # the step count on top of a checker that already counted.
+            self._packed = True
+            self._counted_before = self.checker.events_processed
         if self.mode == "report_all":
             thread_names = packed.thread_names
             dedupe = self.dedupe
@@ -393,6 +397,20 @@ class BufferedAnalysis(Analysis):
             self._source = meta.source
             self.step = lambda event: None
             self.finished = True  # needs no events from the sweep
+
+    def __getstate__(self):
+        # ``step`` is a rebindable hot-path alias (possibly a lambda);
+        # drop it so mid-stream sessions checkpoint cleanly.
+        state = self.__dict__.copy()
+        state.pop("step", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self._source is not None:
+            self.step = lambda event: None
+        else:
+            self.step = self._events.append
 
     def _buffered_trace(self) -> Trace:
         if self._source is not None:

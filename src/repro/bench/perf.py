@@ -19,7 +19,11 @@ On top of the analyze-phase columns, every workload row measures the
 text→packed parser, and a ``repro-packed/1`` ``load_packed`` mmap
 (:mod:`repro.trace.packed_io`) — and the **process-parallel session**
 comparison: ``Session.run(jobs=1)`` vs ``Session.run(jobs=N)`` on the
-same co-run analysis set (:mod:`repro.api.parallel`).
+same co-run analysis set (:mod:`repro.api.parallel`). A top-level
+**service block** additionally streams one workload through a live
+loopback ``repro serve`` daemon (:mod:`repro.service`) at 1 and 8
+concurrent sessions, comparing every streamed report against the
+offline session (the agreement flags CI gates on).
 
 Each measurement is best-of-``repeats`` wall time on a fresh checker;
 tiny traces are looped until a run lasts long enough to time (the loop
@@ -29,8 +33,8 @@ traces and the parallel reports — a disagreement marks the run
 ``agree: false`` and fails ``--check`` mode, which is what CI's
 benchmark smoke gates on.
 
-The output (``BENCH_PR4.json`` by default) schema is documented in
-``docs/PERF.md``.
+The output (``BENCH_PR5.json`` by default, schema ``repro-bench/3``)
+is documented in ``docs/PERF.md``.
 """
 
 from __future__ import annotations
@@ -66,7 +70,13 @@ SESSION_EXTRAS = ("races", "lockset")
 PARALLEL_EXTRAS = ("doublechecker", "atomizer", "races", "lockset", "profile")
 
 #: Schema tag stamped into every report.
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
+
+#: Analyses streamed in the service benchmark block.
+SERVICE_ANALYSES = ("aerodrome", "races", "lockset")
+
+#: Concurrent-session counts measured by the service block.
+SERVICE_SESSIONS = (1, 8)
 
 #: A timed run should last at least this long; shorter traces are
 #: looped (fresh checker per iteration, loop count divided out).
@@ -345,6 +355,97 @@ def bench_parallel(
     }
 
 
+def bench_service(
+    trace: Trace,
+    analyses: Iterable[str] = SERVICE_ANALYSES,
+    sessions: Iterable[int] = SERVICE_SESSIONS,
+    batch: int = 512,
+    shards: int = 2,
+) -> Dict:
+    """Streamed-vs-offline throughput + agreement for the service.
+
+    Starts an in-process ``repro serve`` (thread shards, loopback TCP),
+    then for each concurrency level streams the workload through that
+    many simultaneous sessions and compares every returned
+    ``repro-report/1`` document against the offline ``Session.run()``
+    on the same trace. The ``agree`` flags are the hardware-independent
+    gate (``--check`` and CI fail on them); the events/sec columns only
+    mean something on hardware with idle cores — same policy as the
+    ``parallel`` block, recorded in the summary note on 1-CPU hosts.
+    """
+    import threading
+
+    from ..service.client import submit_trace
+    from ..service.server import ServiceServer
+
+    names = list(analyses)
+    events = list(trace.events)
+    n = len(events)
+
+    # One offline run serves as both the comparison document and the
+    # timing baseline (a single whole-trace sweep is long enough to
+    # time directly at these sizes).
+    offline_start = time.perf_counter()
+    offline_result = Session(trace, [create_analysis(a) for a in names]).run()
+    offline_seconds = time.perf_counter() - offline_start
+    offline_doc = offline_result.to_json()["analyses"]
+    offline = {
+        "seconds": offline_seconds,
+        "eps": n / offline_seconds if offline_seconds > 0 else math.inf,
+    }
+
+    rows = []
+    with ServiceServer(shards=shards).start() as server:
+        for k in sessions:
+            docs: List[Optional[Dict]] = [None] * k
+
+            def stream(slot: int) -> None:
+                docs[slot] = submit_trace(
+                    server.host, server.port, events, names,
+                    name=f"{trace.name}#{slot}", batch=batch,
+                    encoding="delta",
+                )
+
+            start = time.perf_counter()
+            if k == 1:
+                stream(0)
+            else:
+                threads = [
+                    threading.Thread(target=stream, args=(slot,))
+                    for slot in range(k)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            seconds = time.perf_counter() - start
+            agree = all(
+                doc is not None and doc["analyses"] == offline_doc
+                for doc in docs
+            )
+            rows.append(
+                {
+                    "sessions": k,
+                    "events": n * k,
+                    "seconds": seconds,
+                    "events_per_second": (n * k) / seconds
+                    if seconds > 0
+                    else math.inf,
+                    "agree": agree,
+                }
+            )
+    return {
+        "analyses": names,
+        "batch": batch,
+        "shards": shards,
+        "workload": trace.name,
+        "offline_eps": offline["eps"],
+        "offline_seconds": offline["seconds"],
+        "sessions": rows,
+        "agree": all(row["agree"] for row in rows),
+    }
+
+
 def _row_agrees(row: Dict) -> bool:
     """Every agreement flag of one workload row, folded together."""
     ok = row["agree"]
@@ -388,12 +489,14 @@ def run_bench(
     session: bool = True,
     ingest: bool = True,
     jobs: int = 2,
+    service: bool = True,
     verbose: bool = True,
 ) -> Dict:
     """Run the full benchmark matrix and return the report dict.
 
     ``ingest=False`` skips the cold-start split; ``jobs`` < 2 skips the
-    serial-vs-parallel session comparison.
+    serial-vs-parallel session comparison; ``service=False`` skips the
+    streamed-vs-offline service block.
     """
     report: Dict = {
         "schema": SCHEMA,
@@ -488,14 +591,49 @@ def run_bench(
                 f"{row['speedup_vs_seed']:5.2f}x",
                 file=sys.stderr,
             )
+    if service:
+        # Streamed-vs-offline over a live loopback server, on the
+        # scaling workload's shape at the current scale.
+        service_case = CASES_BY_NAME["raytracer"]
+        service_trace = service_case.generate(seed=seed, scale=scale)
+        report["service"] = bench_service(service_trace)
+        if verbose:
+            for row in report["service"]["sessions"]:
+                flag = "" if row["agree"] else "  !! DISAGREE"
+                print(
+                    f"service {row['sessions']}x{row['events'] // row['sessions']:6d} ev  "
+                    f"streamed {row['events_per_second']:9.0f} ev/s  "
+                    f"offline {report['service']['offline_eps']:9.0f} ev/s"
+                    f"{flag}",
+                    file=sys.stderr,
+                )
     table1_rows = [r for r in report["workloads"] if r["table"] == 1]
     table2_rows = [r for r in report["workloads"] if r["table"] == 2]
     report["summary"] = {
         "table1": _summary(table1_rows),
         "table2": _summary(table2_rows),
         "all_agree": all(_row_agrees(r) for r in report["workloads"])
-        and all(r["agree"] for r in report["scaling"]),
+        and all(r["agree"] for r in report["scaling"])
+        and (report.get("service", {}).get("agree", True)),
     }
+    if service:
+        block = report["service"]
+        report["summary"]["service"] = {
+            "analyses": block["analyses"],
+            "offline_eps": block["offline_eps"],
+            "streamed_eps": {
+                str(row["sessions"]): row["events_per_second"]
+                for row in block["sessions"]
+            },
+            "all_agree": block["agree"],
+        }
+        if (os.cpu_count() or 1) < 2:
+            report["summary"]["service"]["note"] = (
+                "single-CPU host: streamed events/sec rides one core "
+                "plus wire overhead, so streamed < offline is expected "
+                "here; the agree flags (streamed report equality with "
+                "the offline session) are the hardware-independent gate"
+            )
     session_speedups = [
         r["session"]["onepass_speedup"]
         for r in report["workloads"]
@@ -556,7 +694,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="packed-vs-seed throughput benchmark (BENCH_PR4.json)",
+        description="packed-vs-seed throughput benchmark (BENCH_PR5.json)",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=7)
@@ -590,14 +728,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(0 or 1 skips it; default 2)",
     )
     parser.add_argument(
-        "-o", "--output", default="BENCH_PR4.json",
+        "--no-service",
+        action="store_true",
+        help="skip the streamed-vs-offline service block",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_PR5.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="exit nonzero unless every path agrees on every workload "
-        "(including reloaded traces and parallel sessions)",
+        "(including reloaded traces, parallel sessions and streamed "
+        "service sessions)",
     )
     args = parser.parse_args(argv)
     try:
@@ -616,6 +760,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         session=not args.no_session,
         ingest=not args.no_ingest,
         jobs=args.jobs,
+        service=not args.no_service,
     )
     write_report(report, args.output)
     summary = report["summary"]
@@ -645,6 +790,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"parallel: jobs={parallel['jobs']} on {parallel['cpus']} cpu(s), "
             f"{parallel['geomean_parallel_speedup']:.2f}x geomean session speedup, "
             f"agree={parallel['all_agree']}"
+        )
+    service_summary = summary.get("service") or {}
+    if service_summary:
+        from .reporting import format_service
+
+        print(format_service(report["service"], title="Streaming service"))
+        streamed = ", ".join(
+            f"{k} session(s) {eps:.0f} ev/s"
+            for k, eps in service_summary["streamed_eps"].items()
+        )
+        print(
+            f"service: offline {service_summary['offline_eps']:.0f} ev/s; "
+            f"streamed {streamed}; agree={service_summary['all_agree']}"
         )
     print(f"wrote {args.output} (all_agree={summary['all_agree']})")
     if args.check and not summary["all_agree"]:

@@ -168,6 +168,35 @@ def format_parallel(rows: Iterable[dict], title: str = "") -> str:
     return f"{title}\n{table}" if title else table
 
 
+def format_service(block: dict, title: str = "") -> str:
+    """Render the streamed-vs-offline service block of a bench report.
+
+    ``block`` is the top-level ``service`` dict of a ``repro-bench/3``
+    report (see :func:`repro.bench.perf.bench_service`).
+    """
+    headers = [
+        "Sessions",
+        "Events",
+        "Streamed (s)",
+        "Streamed ev/s",
+        "Offline ev/s",
+        "Agree",
+    ]
+    table_rows = [
+        [
+            f"{row['sessions']}",
+            f"{row['events']}",
+            f"{row['seconds']:.3f}",
+            f"{row['events_per_second']:.0f}",
+            f"{block['offline_eps']:.0f}",
+            "yes" if row["agree"] else "NO",
+        ]
+        for row in block["sessions"]
+    ]
+    table = _render(headers, table_rows)
+    return f"{title}\n{table}" if title else table
+
+
 def format_scaling(points: Iterable[ScalingPoint], title: str = "") -> str:
     """Render the E3 scaling sweep."""
     headers = ["Events", "AeroDrome (s)", "Velodrome (s)", "Speed-up"]

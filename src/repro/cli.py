@@ -166,6 +166,99 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServiceServer
+
+    try:
+        server = ServiceServer(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            workers=args.workers,
+            spool=args.spool,
+            checkpoint_every=args.checkpoint_every,
+            queue_size=args.queue_size,
+        )
+    except OSError as error:
+        print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    if server.recovered:
+        print(
+            f"recovered {len(server.recovered)} session(s) from spool: "
+            + ", ".join(server.recovered),
+            file=sys.stderr,
+        )
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    if args.ready_file:
+        from pathlib import Path as _Path
+
+        _Path(args.ready_file).write_text(f"{server.host} {server.port}\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceError, submit_trace
+    from .service.protocol import WireError
+
+    trace = _load(args.trace)
+    names = [n.strip() for n in args.analysis.split(",") if n.strip()]
+    if not names:
+        print("--analysis needs at least one name", file=sys.stderr)
+        return 2
+    try:
+        doc = submit_trace(
+            args.host,
+            args.port,
+            iter(trace),
+            names,
+            name=getattr(trace, "name", None) or "trace",
+            batch=args.batch,
+            encoding=args.encoding,
+            packed=args.packed,
+            session_id=args.session_id,
+            resume=args.resume,
+            stop_after=args.stop_after,
+            checkpoint=args.stop_after is not None,
+        )
+    except (ServiceError, WireError, OSError) as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 2
+    if doc.get("open"):
+        # --stop-after: the stream was cut on purpose; report position.
+        print(
+            f"session {doc['session']} checkpointed and left open "
+            f"at position {doc['position']}"
+        )
+        return 0
+    doc["trace"]["path"] = args.trace  # the server never saw the path
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for entry in doc["analyses"]:
+            print(f"[{entry['analysis']}] {entry['summary']}")
+    return {"pass": 0, "fail": 1, "undecided": 2}[doc["verdict"]]
+
+
+def _cmd_service_stats(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+    from .service.protocol import WireError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            stats = client.stats()
+    except (ServiceError, WireError, OSError) as error:
+        print(f"cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
 def _cmd_metainfo(args: argparse.Namespace) -> int:
     info = metainfo(_load(args.trace))
     print(info)
@@ -222,6 +315,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--no-session")
     if args.no_ingest:
         argv.append("--no-ingest")
+    if args.no_service:
+        argv.append("--no-service")
     if args.check:
         argv.append("--check")
     return bench_main(argv)
@@ -529,6 +624,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack_cmd.set_defaults(func=_cmd_pack)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant streaming analysis service",
+        epilog="Wire format, lifecycle and recovery semantics are "
+        "documented in docs/SERVICE.md. Stream a trace to a running "
+        "server with 'repro submit'.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7207,
+        help="TCP port (0 = pick a free one; printed on startup)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="share-nothing worker shards sessions hash across",
+    )
+    serve.add_argument(
+        "--workers", choices=("thread", "process"), default="thread",
+        help="shard workers: threads (default; right for 1-CPU hosts) "
+        "or one OS process per shard for parallel ingest",
+    )
+    serve.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="checkpoint spool directory: enables durable recovery "
+        "(restart resumes every open session from its last checkpoint)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=1000, metavar="N",
+        help="auto-checkpoint each session every N events (with --spool)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="per-shard inbox bound in batches (full = BUSY backpressure)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write 'host port' here once listening (for scripts/CI)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="stream a trace to a running service and print the report",
+        epilog="Exit codes follow the session verdict like 'repro check' "
+        "(0 pass, 1 fail, 2 undecided). See docs/SERVICE.md.",
+    )
+    submit.add_argument("trace", help="trace file (.std/.rtb/.rpt)")
+    submit.add_argument(
+        "--analysis", default="aerodrome", metavar="A,B,C",
+        help="analyses the remote session runs "
+        f"(any of: {', '.join(available_analyses())})",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7207)
+    submit.add_argument(
+        "--batch", type=int, default=512, help="events per EVENTS frame"
+    )
+    submit.add_argument(
+        "--encoding", choices=("text", "delta"), default="text",
+        help="wire encoding: .std text lines or packed column deltas",
+    )
+    submit.add_argument(
+        "--packed", action="store_true",
+        help="analyze on the server's packed dispatch path",
+    )
+    submit.add_argument(
+        "--session-id", default=None,
+        help="pin the session id (required to resume after a crash)",
+    )
+    submit.add_argument(
+        "--resume", action="store_true",
+        help="resume a checkpointed session: skip the events the "
+        "server already has and stream the remainder",
+    )
+    submit.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="send only the first N events, checkpoint, and leave the "
+        "session open (crash-drill half of the recovery story)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit the final repro-report/1 JSON document",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    service_stats = sub.add_parser(
+        "service-stats",
+        help="print a running service's aggregated shard metrics",
+    )
+    service_stats.add_argument("--host", default="127.0.0.1")
+    service_stats.add_argument("--port", type=int, default=7207)
+    service_stats.set_defaults(func=_cmd_service_stats)
+
     meta = sub.add_parser("metainfo", help="print trace characteristics")
     meta.add_argument("trace")
     meta.set_defaults(func=_cmd_metainfo)
@@ -567,7 +755,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="throughput + ingest + parallel benchmark (writes BENCH_PR4.json)",
+        help="throughput + ingest + parallel + service benchmark "
+        "(writes BENCH_PR5.json)",
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=7)
@@ -592,12 +781,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers for the serial-vs-parallel session column "
         "(0 or 1 skips it; default 2)",
     )
-    bench.add_argument("-o", "--output", default="BENCH_PR4.json")
+    bench.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the streamed-vs-offline service block",
+    )
+    bench.add_argument("-o", "--output", default="BENCH_PR5.json")
     bench.add_argument(
         "--check",
         action="store_true",
         help="exit nonzero unless every path agrees everywhere "
-        "(packed/string, reloaded traces, parallel sessions)",
+        "(packed/string, reloaded traces, parallel and streamed sessions)",
     )
     bench.set_defaults(func=_cmd_bench)
 

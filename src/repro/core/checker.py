@@ -122,11 +122,20 @@ def lazy_binder(names, intern) -> Callable[[int], object]:
     report-and-continue stream over a violating prefix) never interns
     names — or, for the sharded checker, creates thread shards that
     would skew its access accounting — for events it did not reach.
+
+    ``names`` may grow after binding: an incremental session
+    (:meth:`repro.api.session.Session.feed`) keeps appending to the
+    shared interner tables mid-stream, so the cache is resized on
+    demand rather than fixed at bind time.
     """
     cache: list = [None] * len(names)
 
     def of(index: int):
-        state = cache[index]
+        try:
+            state = cache[index]
+        except IndexError:
+            cache.extend([None] * (len(names) - len(cache)))
+            state = cache[index]
         if state is None:
             state = cache[index] = intern(names[index])
         return state

@@ -56,6 +56,35 @@ class CheckpointError(RuntimeError):
     """A checkpoint could not be taken or restored."""
 
 
+def freeze(state: object, what: str = "state") -> bytes:
+    """Pickle any checkpointable state, wrapping failures uniformly.
+
+    The serialization core shared by checker checkpoints here and the
+    streaming-service session checkpoints
+    (:mod:`repro.service.recovery`). ``what`` names the object in the
+    :class:`CheckpointError` message.
+
+    Raises:
+        CheckpointError: If the state is not picklable.
+    """
+    try:
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CheckpointError(f"cannot checkpoint {what}: {exc}") from exc
+
+
+def thaw(payload: bytes, what: str = "state") -> object:
+    """Inverse of :func:`freeze`; corrupt payloads raise uniformly.
+
+    Raises:
+        CheckpointError: On any unpickling failure.
+    """
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"corrupt {what} payload: {exc}") from exc
+
+
 def snapshot(checker: StreamingChecker) -> Checkpoint:
     """Freeze ``checker``'s full analysis state into a :class:`Checkpoint`.
 
@@ -64,12 +93,7 @@ def snapshot(checker: StreamingChecker) -> Checkpoint:
     Raises:
         CheckpointError: If the checker state is not picklable.
     """
-    try:
-        payload = pickle.dumps(checker, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:  # pickle raises a zoo of types
-        raise CheckpointError(
-            f"cannot checkpoint {checker.algorithm}: {exc}"
-        ) from exc
+    payload = freeze(checker, what=checker.algorithm)
     return Checkpoint(
         algorithm=checker.algorithm,
         events_processed=checker.events_processed,
@@ -91,10 +115,7 @@ def restore(checkpoint: Checkpoint) -> StreamingChecker:
             f"checkpoint version {checkpoint.version} != "
             f"supported {CHECKPOINT_VERSION}"
         )
-    try:
-        checker = pickle.loads(checkpoint.payload)
-    except Exception as exc:
-        raise CheckpointError(f"corrupt checkpoint payload: {exc}") from exc
+    checker = thaw(checkpoint.payload, what="checkpoint")
     if not isinstance(checker, StreamingChecker):
         raise CheckpointError(
             f"checkpoint payload is a {type(checker).__name__}, "

@@ -52,6 +52,13 @@ class LiveMonitor(TraceRecorder):
         policy: ``"record"``, ``"raise"``, or a callable — see the
             module docstring.
         name: Trace name (as for :class:`TraceRecorder`).
+        checker: Host this checker-shaped backend instead of
+            constructing one from ``algorithm``. Anything with the
+            ``process(event) -> Optional[Violation]`` /
+            ``violation`` surface works — notably
+            :class:`repro.service.client.RemoteChecker`, which ships
+            the events to a remote analysis service (violations then
+            surface at its batch boundaries rather than instantly).
     """
 
     def __init__(
@@ -59,17 +66,20 @@ class LiveMonitor(TraceRecorder):
         algorithm: str = "aerodrome",
         policy: Policy = "record",
         name: str = "monitored",
+        checker: Optional[StreamingChecker] = None,
     ) -> None:
         super().__init__(name=name)
         if isinstance(policy, str) and policy not in ("record", "raise"):
             raise ValueError(
                 f"policy must be 'record', 'raise' or a callable, got {policy!r}"
             )
-        self.algorithm = algorithm
         self.policy = policy
-        from ..api.registry import make_checker
+        if checker is None:
+            from ..api.registry import make_checker
 
-        self.checker: StreamingChecker = make_checker(algorithm)
+            checker = make_checker(algorithm)
+        self.checker: StreamingChecker = checker
+        self.algorithm = getattr(checker, "algorithm", algorithm)
         self.violations: List[Violation] = []
 
     # -- the hook ----------------------------------------------------------

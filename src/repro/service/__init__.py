@@ -1,0 +1,62 @@
+"""``repro.service`` — the multi-tenant streaming analysis service.
+
+The paper's deployment model is *online*: AeroDrome's constant-space
+vector-clock state (Theorem 4) means a per-client checker never grows
+with the stream, so the analysis is servable — many concurrent event
+streams, analyzed as they arrive, for as long as they run. This package
+turns the one-pass :mod:`repro.api` session engine into that service:
+
+* :mod:`~repro.service.protocol` — the versioned ``repro-wire/1``
+  framed wire format (length-prefixed frames; events travel as text
+  lines or packed column deltas riding the
+  :class:`~repro.trace.packed.Interner` tables);
+* :mod:`~repro.service.session` — :class:`StreamingSession`, one live
+  tenant: incremental analyses state, a monotonic violation log, a
+  checkpoint handle;
+* :mod:`~repro.service.router` — shard-per-worker routing: sessions
+  hash to shards, shards share nothing, bounded inbox queues give
+  backpressure (``BUSY``), per-shard metrics aggregate into
+  ``stats()``;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  TCP daemon behind ``repro serve`` and the client SDK behind
+  ``repro submit`` (plus :class:`~repro.service.client.RemoteChecker`,
+  the adapter that lets :class:`repro.instrument.LiveMonitor` police a
+  program against a remote service);
+* :mod:`~repro.service.recovery` — checkpoint spooling and
+  restart-from-spool, riding :mod:`repro.core.snapshot`.
+
+See ``docs/SERVICE.md`` for the wire format spec, the session
+lifecycle, and the recovery semantics.
+"""
+
+from .protocol import (
+    FrameError,
+    FrameType,
+    PayloadError,
+    PROTOCOL,
+    WireError,
+)
+from .session import StreamingSession
+from .router import BusyError, Router, SessionNotFound
+from .recovery import RecoveryManager, SessionCheckpoint
+from .server import ServiceServer
+from .client import RemoteChecker, ServiceClient, ServiceError, submit_trace
+
+__all__ = [
+    "PROTOCOL",
+    "BusyError",
+    "FrameError",
+    "FrameType",
+    "PayloadError",
+    "RecoveryManager",
+    "RemoteChecker",
+    "Router",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SessionCheckpoint",
+    "SessionNotFound",
+    "StreamingSession",
+    "WireError",
+    "submit_trace",
+]

@@ -1,0 +1,386 @@
+"""Client SDK for the streaming analysis service.
+
+:class:`ServiceClient` opens sessions over ``repro-wire/1``;
+:class:`SessionHandle` streams batches, flushes, checkpoints and
+collects the final report. ``BUSY`` backpressure is retried with a
+small exponential backoff, transparently.
+
+:func:`submit_trace` is the one-call form behind ``repro submit``: it
+streams a whole trace (with optional resume-from-server-position for
+crash recovery) and returns the final ``repro-report/1`` document.
+
+:class:`RemoteChecker` adapts the service to the
+:class:`~repro.core.checker.StreamingChecker` surface that
+:class:`repro.instrument.LiveMonitor` hosts — so a live instrumented
+program can ship its events to a remote analysis service instead of
+paying for an in-process checker. Events are batched; violations
+surface at batch boundaries (the price of remoteness: detection lags by
+at most one batch).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.violations import CheckResult, Violation
+from ..trace.events import Event
+from . import protocol
+from .protocol import FrameType
+
+#: Default events per EVENTS frame.
+DEFAULT_BATCH = 512
+
+
+class ServiceError(RuntimeError):
+    """The server answered ERROR (the code is in :attr:`code`)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class ServiceClient:
+    """A connection to a ``repro serve`` daemon.
+
+    One client drives one session at a time (the wire binds a
+    connection to a session at HELLO); open several clients for
+    concurrent streams.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7207,
+        timeout: float = 650.0, connect_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        # The I/O timeout must outlive the router's REPLY_TIMEOUT
+        # (600s): a barrier command (CLOSE behind a deep inbox) is
+        # already enqueued server-side, and hanging up early would
+        # orphan the final report while the server still executes it.
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- one round trip ----------------------------------------------------
+
+    def roundtrip(
+        self,
+        frame: bytes,
+        busy_retries: int = 200,
+        retry_delay: float = 0.01,
+    ) -> Any:
+        """Send one frame, read one reply, retry through BUSY.
+
+        Returns ``(type, payload_dict)``; raises :class:`ServiceError`
+        on an ERROR reply and :class:`protocol.WireError` on a broken
+        stream.
+        """
+        delay = retry_delay
+        for _ in range(busy_retries + 1):
+            self._sock.sendall(frame)
+            reply = protocol.read_frame(self._rfile)
+            if reply is None:
+                raise protocol.FrameError("server closed the connection")
+            ftype, payload = reply
+            obj = protocol.decode_json(payload)
+            if ftype == FrameType.BUSY:
+                time.sleep(min(delay, 0.5))
+                delay *= 2
+                continue
+            if ftype == FrameType.ERROR:
+                raise ServiceError(
+                    obj.get("code", "unknown"), obj.get("message", "")
+                )
+            return ftype, obj
+        raise ServiceError("busy", "server still busy after retries")
+
+    # -- sessions ----------------------------------------------------------
+
+    def open_session(
+        self,
+        analyses: Sequence[Union[str, Dict[str, Any]]],
+        name: str = "stream",
+        packed: bool = False,
+        encoding: str = "text",
+        session_id: Optional[str] = None,
+        resume: bool = False,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "SessionHandle":
+        """HELLO: open (or resume) a session and bind this connection.
+
+        ``encoding`` picks how batches travel: ``"text"`` (``.std``
+        lines) or ``"delta"`` (packed column deltas — cheaper for long
+        streams). ``packed`` selects the *analysis* path server-side,
+        independent of the wire encoding.
+        """
+        if encoding not in ("text", "delta"):
+            raise ValueError(f"encoding must be 'text' or 'delta', not {encoding!r}")
+        hello = {
+            "protocol": protocol.PROTOCOL,
+            "analyses": list(analyses),
+            "name": name,
+            "packed": packed,
+            "session": session_id,
+            "resume": resume,
+            "meta": meta or {},
+        }
+        ftype, info = self.roundtrip(
+            protocol.encode_json(FrameType.HELLO, hello)
+        )
+        return SessionHandle(self, info, encoding)
+
+    def stats(self) -> Dict[str, Any]:
+        """The router's aggregated metrics snapshot."""
+        ftype, obj = self.roundtrip(protocol.encode_frame(FrameType.STATS))
+        return obj["stats"]
+
+
+class SessionHandle:
+    """One open streaming session (returned by ``open_session``)."""
+
+    def __init__(
+        self, client: ServiceClient, info: Dict[str, Any], encoding: str
+    ) -> None:
+        self.client = client
+        self.session_id: str = info["session"]
+        #: Server-side stream position at open — a resumed session
+        #: tells the client how many events to skip re-sending.
+        self.position: int = info.get("position", 0)
+        self.resumed: bool = bool(info.get("resumed", False))
+        self.encoding = encoding
+        self._encoder = (
+            protocol.DeltaEncoder() if encoding == "delta" else None
+        )
+        #: Findings delivered by FLUSH/CLOSE frames so far.
+        self.findings: List[Dict[str, Any]] = []
+        self.report: Optional[Dict[str, Any]] = None
+
+    def send(self, events: Iterable[Event]) -> int:
+        """Ship one batch of events (one EVENTS frame)."""
+        events = list(events)
+        if not events:
+            return 0
+        if self._encoder is not None:
+            payload = self._encoder.encode(events)
+        else:
+            payload = protocol.encode_events_text(events)
+        self.client.roundtrip(
+            protocol.encode_frame(FrameType.EVENTS, payload)
+        )
+        return len(events)
+
+    def flush(self) -> Dict[str, Any]:
+        """Barrier: everything sent is processed; collects new findings."""
+        ftype, info = self.client.roundtrip(
+            protocol.encode_frame(FrameType.FLUSH)
+        )
+        self.position = info.get("position", self.position)
+        self.findings.extend(info.get("findings", []))
+        return info
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Spool a durable checkpoint of the session server-side."""
+        self.flush()  # checkpoint what was sent, not what was queued
+        ftype, info = self.client.roundtrip(
+            protocol.encode_frame(FrameType.CHECKPOINT)
+        )
+        return info
+
+    def result(self) -> Dict[str, Any]:
+        """CLOSE the session; returns the final ``repro-report/1`` doc."""
+        if self.report is None:
+            ftype, info = self.client.roundtrip(
+                protocol.encode_frame(FrameType.CLOSE)
+            )
+            self.findings.extend(info.get("findings", []))
+            self.report = info["report"]
+        return self.report
+
+    close = result
+
+
+def submit_trace(
+    host: str,
+    port: int,
+    events: Iterable[Event],
+    analyses: Sequence[Union[str, Dict[str, Any]]],
+    name: str = "stream",
+    batch: int = DEFAULT_BATCH,
+    encoding: str = "text",
+    packed: bool = False,
+    session_id: Optional[str] = None,
+    resume: bool = False,
+    stop_after: Optional[int] = None,
+    checkpoint: bool = False,
+) -> Dict[str, Any]:
+    """Stream a whole trace to a service and return its report.
+
+    With ``resume=True`` the server's checkpointed position is honored:
+    the first ``position`` events of ``events`` are skipped (the server
+    already has them) and only the remainder travels. ``stop_after``
+    sends only the first N events and leaves the session **open**
+    (taking a durable checkpoint when ``checkpoint`` is set), returning
+    a position document instead of a report — the crash-drill half of
+    the CI ``service-smoke`` job.
+    """
+    with ServiceClient(host, port) as client:
+        handle = client.open_session(
+            analyses,
+            name=name,
+            packed=packed,
+            encoding=encoding,
+            session_id=session_id,
+            resume=resume,
+        )
+        skip = handle.position if resume else 0
+        sent = 0
+        pending: List[Event] = []
+        for idx, event in enumerate(events):
+            if idx < skip:
+                continue
+            if stop_after is not None and skip + sent >= stop_after:
+                break
+            pending.append(event)
+            sent += 1
+            if len(pending) >= batch:
+                handle.send(pending)
+                pending.clear()
+        if pending:
+            handle.send(pending)
+        if stop_after is not None and skip + sent >= stop_after:
+            info = handle.checkpoint() if checkpoint else handle.flush()
+            return {
+                "session": handle.session_id,
+                "position": info.get("position", skip + sent),
+                "open": True,
+                "findings": handle.findings,
+            }
+        report = handle.result()
+        report.setdefault("service", {})
+        report["service"].update(
+            {"session": handle.session_id, "resumed": handle.resumed}
+        )
+        return report
+
+
+class RemoteChecker:
+    """The service as a checker: LiveMonitor's remote backend.
+
+    Looks enough like a :class:`~repro.core.checker.StreamingChecker`
+    to be hosted by :class:`repro.instrument.LiveMonitor`: ``process``
+    buffers events and ships a frame per ``batch`` events, ``result``
+    returns a :class:`~repro.core.violations.CheckResult`. Violations
+    discovered server-side surface at the next batch boundary (or at
+    :meth:`finish`), reconstructed as
+    :class:`~repro.core.violations.Violation` objects.
+
+    Args:
+        host/port: The service address.
+        analyses: Analyses the remote session runs (first checker-kind
+            finding becomes the reported violation).
+        algorithm: Label used in results.
+        batch: Events per frame; 1 = a frame per event (lowest lag).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        analyses: Sequence[Union[str, Dict[str, Any]]] = ("aerodrome",),
+        algorithm: str = "remote",
+        batch: int = 64,
+        name: str = "live",
+        encoding: str = "text",
+    ) -> None:
+        self.algorithm = algorithm
+        self.batch = max(1, batch)
+        self.violation: Optional[Violation] = None
+        self.events_processed = 0
+        self.violations: List[Violation] = []
+        self._client = ServiceClient(host, port)
+        self._handle = self._client.open_session(
+            analyses, name=name, encoding=encoding
+        )
+        self._buffer: List[Event] = []
+        self._seen_findings = 0
+        self.report: Optional[Dict[str, Any]] = None
+
+    # -- StreamingChecker surface ------------------------------------------
+
+    def process(self, event: Event) -> Optional[Violation]:
+        """Buffer one event; ship and poll at batch boundaries."""
+        self._buffer.append(event)
+        self.events_processed += 1
+        if len(self._buffer) >= self.batch:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[Violation]:
+        """Ship the buffer, collect findings; first new one is returned."""
+        if self._buffer:
+            self._handle.send(self._buffer)
+            self._buffer.clear()
+        self._handle.flush()
+        return self._drain()
+
+    def _drain(self) -> Optional[Violation]:
+        first: Optional[Violation] = None
+        for entry in self._handle.findings[self._seen_findings :]:
+            violation = _finding_to_violation(entry)
+            if violation is not None:
+                self.violations.append(violation)
+                if first is None:
+                    first = violation
+        self._seen_findings = len(self._handle.findings)
+        if first is not None and self.violation is None:
+            self.violation = first
+        return first
+
+    def result(self) -> CheckResult:
+        return CheckResult(
+            algorithm=self.algorithm,
+            violation=self.violation,
+            events_processed=self.events_processed,
+        )
+
+    def finish(self) -> Dict[str, Any]:
+        """Close the remote session and return its final report."""
+        if self.report is None:
+            if self._buffer:
+                self._handle.send(self._buffer)
+                self._buffer.clear()
+            self.report = self._handle.result()
+            self._drain()
+            self._client.close()
+        return self.report
+
+
+def _finding_to_violation(entry: Dict[str, Any]) -> Optional[Violation]:
+    """Rebuild a Violation from a wire finding dict (when it is one)."""
+    finding = entry.get("finding", {})
+    try:
+        return Violation(
+            event_idx=finding["event_idx"],
+            thread=finding["thread"],
+            site=finding["site"],
+            details=finding.get("details", ""),
+        )
+    except (KeyError, TypeError):
+        return None  # a race/lockset finding, not a checker violation

@@ -1,0 +1,427 @@
+"""The ``repro-wire/1`` framed wire format — pure encode/decode.
+
+Every message between a streaming client and the analysis service is
+one **frame**::
+
+    +----------------+--------+------------------+
+    | length (u32 BE)| type u8| payload bytes    |
+    +----------------+--------+------------------+
+
+``length`` counts the type byte plus the payload, so an empty frame has
+length 1. Frames are capped at :data:`MAX_FRAME` — a stream claiming
+more is corrupt by definition and fails before any allocation.
+
+Client→server types: ``HELLO`` (open or resume a session), ``EVENTS``
+(one batch of events), ``CHECKPOINT``, ``FLUSH``, ``CLOSE``, ``STATS``.
+Server→client: ``OK``, ``REPORT`` (the final ``repro-report/1``
+document), ``VIOLATION`` (new findings), ``ERROR``, ``BUSY``
+(backpressure: the session's shard queue is full, retry).
+
+All payloads are UTF-8 JSON except ``EVENTS``, whose payload is a
+1-byte encoding tag followed by the batch body:
+
+* tag ``0`` — **text**: newline-joined ``.std`` event lines, exactly
+  the :mod:`repro.trace.parser` grammar;
+* tag ``1`` — **packed delta**: the incremental form of
+  :class:`~repro.trace.packed.PackedTrace` columns. A
+  :class:`DeltaEncoder`/:class:`DeltaDecoder` pair mirrors the four
+  interner namespaces (threads, variables, locks, labels); each frame
+  ships only the names interned since the previous frame, then the
+  batch's dense ``(thread, op, target)`` integer triples. Long streams
+  stop paying for strings almost immediately.
+
+Everything here is pure — no sockets, no sessions — and hardened the
+same way the binary trace reader is: any corrupt or truncated input
+raises a typed :class:`WireError` (``FrameError`` at the framing layer,
+``PayloadError`` inside a payload), never an uncontrolled exception.
+``tests/test_service_protocol.py`` fuzzes exactly that contract.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from enum import IntEnum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..trace.events import Event, Op
+from ..trace.packed import _NAMESPACE_OF_OP, NO_TARGET, Interner
+from ..trace.parser import TraceParseError, parse_fields
+
+#: Protocol identifier carried in every HELLO.
+PROTOCOL = "repro-wire/1"
+
+#: Hard cap on one frame's (type + payload) size.
+MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">IB")  # frame length, frame type
+_U32 = struct.Struct("<I")
+_TRIPLE = struct.Struct("<IBi")  # thread index, op, target index
+
+#: Event-batch encoding tags (first payload byte of an EVENTS frame).
+TEXT_EVENTS = 0
+DELTA_EVENTS = 1
+
+
+class WireError(Exception):
+    """Base of every protocol-level failure (never raised raw)."""
+
+
+class FrameError(WireError):
+    """The framing layer is broken: truncation, oversize, unknown type."""
+
+
+class PayloadError(WireError):
+    """A well-framed payload failed to decode."""
+
+
+class FrameType(IntEnum):
+    """Frame type codes of ``repro-wire/1``."""
+
+    # client -> server
+    HELLO = 1
+    EVENTS = 2
+    CHECKPOINT = 3
+    FLUSH = 4
+    CLOSE = 5
+    STATS = 6
+    # server -> client
+    OK = 16
+    REPORT = 17
+    VIOLATION = 18
+    ERROR = 19
+    BUSY = 20
+
+
+_KNOWN_TYPES = frozenset(int(t) for t in FrameType)
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + type + payload."""
+    length = 1 + len(payload)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(length, ftype) + payload
+
+
+def decode_frame(
+    data: bytes, offset: int = 0
+) -> Optional[Tuple[int, bytes, int]]:
+    """Decode one frame from ``data[offset:]``.
+
+    Returns ``(type, payload, next_offset)``, or ``None`` when the
+    buffer holds only an incomplete frame (read more and retry).
+
+    Raises:
+        FrameError: On an oversize length or an unknown frame type.
+    """
+    if len(data) - offset < _HEADER.size:
+        return None
+    length, ftype = _HEADER.unpack_from(data, offset)
+    if length < 1 or length > MAX_FRAME:
+        raise FrameError(f"frame length {length} out of range [1, {MAX_FRAME}]")
+    if ftype not in _KNOWN_TYPES:
+        raise FrameError(f"unknown frame type {ftype}")
+    end = offset + _HEADER.size + (length - 1)
+    if len(data) < end:
+        return None
+    return ftype, bytes(data[offset + _HEADER.size : end]), end
+
+
+def read_frame(stream) -> Optional[Tuple[int, bytes]]:
+    """Read one frame from a blocking binary stream.
+
+    Returns ``(type, payload)``, or ``None`` on a clean EOF at a frame
+    boundary.
+
+    Raises:
+        FrameError: On EOF inside a frame, oversize, or unknown type.
+    """
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise FrameError("truncated frame header")
+    length, ftype = _HEADER.unpack(header)
+    if length < 1 or length > MAX_FRAME:
+        raise FrameError(f"frame length {length} out of range [1, {MAX_FRAME}]")
+    if ftype not in _KNOWN_TYPES:
+        raise FrameError(f"unknown frame type {ftype}")
+    payload = stream.read(length - 1) if length > 1 else b""
+    if len(payload) != length - 1:
+        raise FrameError("truncated frame payload")
+    return ftype, payload
+
+
+# -- JSON payloads ----------------------------------------------------------
+
+
+def encode_json(ftype: int, obj: Dict[str, Any]) -> bytes:
+    """A frame whose payload is a JSON object."""
+    return encode_frame(
+        ftype, json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def decode_json(payload: bytes) -> Dict[str, Any]:
+    """Decode a JSON-object payload.
+
+    Raises:
+        PayloadError: On invalid UTF-8/JSON or a non-object document.
+    """
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise PayloadError(f"bad JSON payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise PayloadError(
+            f"JSON payload must be an object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def parse_hello(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a HELLO payload and normalize its analysis specs.
+
+    Returns a dict with keys ``analyses`` (list of ``(name, options)``
+    pairs), ``name``, ``packed``, ``resume``, ``session`` and ``meta``.
+
+    Raises:
+        PayloadError: On a protocol mismatch or a malformed field.
+    """
+    protocol = obj.get("protocol")
+    if protocol != PROTOCOL:
+        raise PayloadError(
+            f"protocol {protocol!r} unsupported (want {PROTOCOL!r})"
+        )
+    raw = obj.get("analyses")
+    resume = bool(obj.get("resume", False))
+    if not isinstance(raw, list) or (not raw and not resume):
+        raise PayloadError("HELLO must carry a non-empty analyses list")
+    analyses: List[Tuple[str, Dict[str, Any]]] = []
+    for entry in raw:
+        if isinstance(entry, str):
+            analyses.append((entry, {}))
+        elif isinstance(entry, dict) and isinstance(entry.get("name"), str):
+            options = entry.get("options", {})
+            if not isinstance(options, dict):
+                raise PayloadError("analysis options must be an object")
+            analyses.append((entry["name"], options))
+        else:
+            raise PayloadError(f"bad analysis spec {entry!r}")
+    session = obj.get("session")
+    if session is not None and not isinstance(session, str):
+        raise PayloadError("session id must be a string")
+    if resume and session is None:
+        raise PayloadError("resume requires a session id")
+    name = obj.get("name", "stream")
+    if not isinstance(name, str):
+        raise PayloadError("trace name must be a string")
+    meta = obj.get("meta", {})
+    if not isinstance(meta, dict):
+        raise PayloadError("meta must be an object")
+    return {
+        "analyses": analyses,
+        "name": name,
+        "packed": bool(obj.get("packed", False)),
+        "resume": resume,
+        "session": session,
+        "meta": meta,
+    }
+
+
+# -- EVENTS payloads --------------------------------------------------------
+
+
+def encode_events_text(events: Iterable[Event]) -> bytes:
+    """An EVENTS payload in text encoding (``.std`` lines)."""
+    body = "\n".join(str(event) for event in events)
+    return bytes([TEXT_EVENTS]) + body.encode("utf-8")
+
+
+class DeltaEncoder:
+    """Client half of the packed-delta event encoding.
+
+    Owns the four interner namespaces for one stream and remembers how
+    many names of each the peer has already seen; :meth:`encode` ships
+    only the new ones, then the batch's integer triples. Mirrors
+    :class:`~repro.trace.packed.PackedTrace.from_trace`'s namespace
+    discipline exactly, so indices mean the same thing on both ends.
+    """
+
+    def __init__(self) -> None:
+        self.threads = Interner()
+        self.variables = Interner()
+        self.locks = Interner()
+        self.labels = Interner()
+        # namespace order matches trace.packed: variable, lock, thread, label
+        self._by_ns = (self.variables, self.locks, self.threads, self.labels)
+        self._sent = [0, 0, 0, 0]
+
+    def encode(self, events: Iterable[Event]) -> bytes:
+        """One EVENTS payload (delta encoding) for this batch.
+
+        Each namespace's name table is prefixed with its **base index**
+        (how many names the peer already has), which makes frames
+        retransmission-safe: a decoder that already absorbed a frame's
+        names (say, before answering ``BUSY``) recognizes the resent
+        base and skips the duplicates instead of shifting every later
+        index.
+        """
+        triples = bytearray()
+        n = 0
+        thread_of = self.threads.index_of
+        for event in events:
+            op = event.op
+            target = event.target
+            t_idx = thread_of(event.thread)
+            if target is None:
+                target_idx = NO_TARGET
+            else:
+                target_idx = self._by_ns[_NAMESPACE_OF_OP[op]].index_of(target)
+            triples += _TRIPLE.pack(t_idx, op, target_idx)
+            n += 1
+        out = bytearray([DELTA_EVENTS])
+        for ns, interner in enumerate(self._by_ns):
+            base = self._sent[ns]
+            names = interner.names_from(base)
+            self._sent[ns] = len(interner)
+            out += _U32.pack(base)
+            out += _U32.pack(len(names))
+            for name in names:
+                raw = name.encode("utf-8")
+                out += _U32.pack(len(raw))
+                out += raw
+        out += _U32.pack(n)
+        out += triples
+        return bytes(out)
+
+
+class DeltaDecoder:
+    """Server half of the packed-delta event encoding.
+
+    Accumulates the name tables frame by frame and reconstructs
+    :class:`~repro.trace.events.Event` objects with global stream
+    indices stamped by the caller.
+    """
+
+    def __init__(self) -> None:
+        # variable, lock, thread, label — same order as the encoder.
+        self._names: Tuple[List[str], ...] = ([], [], [], [])
+
+    def decode(self, body: bytes) -> List[Event]:
+        """Decode one delta body into events.
+
+        Raises:
+            PayloadError: On truncation, bad UTF-8, an op code outside
+                the eight known kinds, or an index past the tables.
+        """
+        view = memoryview(body)
+        pos = 0
+
+        def take(n: int) -> memoryview:
+            nonlocal pos
+            if len(view) - pos < n:
+                raise PayloadError("truncated delta body")
+            chunk = view[pos : pos + n]
+            pos += n
+            return chunk
+
+        for names in self._names:
+            (base,) = _U32.unpack(take(4))
+            (count,) = _U32.unpack(take(4))
+            if count > len(body):  # cheap sanity bound before the loop
+                raise PayloadError(f"absurd name count {count}")
+            if base > len(names):
+                raise PayloadError(
+                    f"name table gap: frame base {base}, have {len(names)}"
+                )
+            for k in range(count):
+                (size,) = _U32.unpack(take(4))
+                if size > len(body):
+                    raise PayloadError(f"absurd name length {size}")
+                try:
+                    name = bytes(take(size)).decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise PayloadError(f"bad name encoding: {exc}") from exc
+                if base + k < len(names):
+                    # a retransmitted frame (e.g. resent through BUSY):
+                    # this name is already in the table — don't shift it.
+                    if names[base + k] != name:
+                        raise PayloadError(
+                            f"retransmit mismatch at index {base + k}"
+                        )
+                else:
+                    names.append(name)
+        (n,) = _U32.unpack(take(4))
+        if n * _TRIPLE.size != len(view) - pos:
+            raise PayloadError(
+                f"delta body claims {n} events, "
+                f"{len(view) - pos} bytes of triples remain"
+            )
+        variables, locks, threads, labels = self._names
+        events: List[Event] = []
+        for _ in range(n):
+            t_idx, op_code, target_idx = _TRIPLE.unpack(take(_TRIPLE.size))
+            if op_code > 7:
+                raise PayloadError(f"unknown op code {op_code}")
+            op = Op(op_code)
+            try:
+                thread = threads[t_idx]
+            except IndexError:
+                raise PayloadError(f"thread index {t_idx} unknown") from None
+            if target_idx == NO_TARGET:
+                if op not in (Op.BEGIN, Op.END):
+                    raise PayloadError(f"{op.name} event without a target")
+                target = None
+            else:
+                table = self._names[_NAMESPACE_OF_OP[op]]
+                if not 0 <= target_idx < len(table):
+                    raise PayloadError(
+                        f"target index {target_idx} unknown for {op.name}"
+                    )
+                target = table[target_idx]
+            events.append(Event(thread, op, target))
+        return events
+
+
+def decode_events(
+    payload: bytes, decoder: Optional[DeltaDecoder] = None
+) -> List[Event]:
+    """Decode an EVENTS payload of either encoding.
+
+    ``decoder`` carries the per-stream delta state; text payloads do
+    not need one. Returned events carry ``idx = -1`` — the session
+    stamps global stream positions.
+
+    Raises:
+        PayloadError: On an unknown encoding tag or any body defect.
+    """
+    if not payload:
+        raise PayloadError("empty EVENTS payload")
+    tag = payload[0]
+    if tag == TEXT_EVENTS:
+        try:
+            text = payload[1:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PayloadError(f"bad text encoding: {exc}") from exc
+        events: List[Event] = []
+        for line_number, line in enumerate(io.StringIO(text), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                thread, op, target = parse_fields(stripped, line_number)
+            except TraceParseError as exc:
+                raise PayloadError(str(exc)) from exc
+            events.append(Event(thread, op, target))
+        return events
+    if tag == DELTA_EVENTS:
+        if decoder is None:
+            raise PayloadError("delta-encoded events need a stream decoder")
+        return decoder.decode(payload[1:])
+    raise PayloadError(f"unknown events encoding tag {tag}")

@@ -1,0 +1,218 @@
+"""Checkpointed recovery: the service's durability layer.
+
+Rides :mod:`repro.core.snapshot` — the same freeze/thaw core and the
+same guarantee (Theorem 4 keeps checker state constant-size, so
+checkpoints stay small no matter how long a stream runs) — but at the
+*session* level: one :class:`SessionCheckpoint` freezes every analysis
+a tenant is running, plus the stream position.
+
+The :class:`RecoveryManager` spools checkpoints to a directory, one
+file per session, written atomically (temp file + ``os.replace``) so a
+``kill -9`` can never leave a half-written checkpoint where a good one
+used to be. On restart the server reloads every spooled session and
+re-opens it at its checkpointed position; a resuming client learns that
+position from the HELLO response and re-sends only the remainder of its
+stream. Because feed-in-any-chunking ≡ ``run()`` (the
+``tests/test_api_feed.py`` property) and checkpoint/restore is
+state-transparent, the recovered session's final report is identical to
+an uninterrupted one — the service extension of the
+``tests/test_snapshot.py`` equivalence property, asserted end-to-end by
+CI's ``service-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.snapshot import CheckpointError, freeze, thaw
+from .session import StreamingSession
+
+#: Format tag stored in every spooled session checkpoint.
+SESSION_CHECKPOINT_VERSION = 1
+
+#: Spool file suffix.
+SUFFIX = ".ckpt"
+
+#: Spool file magic. The file layout is
+#: ``magic | u32 id-length | id utf-8 | frozen SessionCheckpoint`` —
+#: the header lets :meth:`RecoveryManager.session_ids` enumerate the
+#: spool without unpickling any (possibly large) session payloads.
+SPOOL_MAGIC = b"RSPOOL1\n"
+
+_HEADER_LEN = struct.Struct("<I")
+
+_SAFE_ID = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """A frozen, self-describing streaming-session state.
+
+    Attributes:
+        session_id: The session this checkpoint belongs to.
+        name: Trace name (for listings; the payload carries it too).
+        analyses: Analysis names, for listings.
+        position: Events ingested when the checkpoint was taken — the
+            offset a resuming client restarts its stream from.
+        payload: The frozen :class:`StreamingSession` (opaque).
+        version: :data:`SESSION_CHECKPOINT_VERSION`.
+    """
+
+    session_id: str
+    name: str
+    analyses: List[str]
+    position: int
+    payload: bytes
+    version: int = SESSION_CHECKPOINT_VERSION
+
+    def __len__(self) -> int:
+        """Payload size in bytes (the checkpoint-size metric)."""
+        return len(self.payload)
+
+
+def checkpoint_session(session: StreamingSession) -> SessionCheckpoint:
+    """Freeze a live session into a :class:`SessionCheckpoint`.
+
+    The session keeps running; the checkpoint is independent state.
+    """
+    return SessionCheckpoint(
+        session_id=session.session_id,
+        name=session.session.name,
+        analyses=list(session.analysis_names),
+        position=session.position,
+        payload=session.to_bytes(),
+    )
+
+
+def restore_session(checkpoint: SessionCheckpoint) -> StreamingSession:
+    """Thaw a session from a checkpoint (the inverse of
+    :func:`checkpoint_session`).
+
+    Raises:
+        CheckpointError: On version mismatch or a corrupt payload.
+    """
+    if checkpoint.version != SESSION_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"session checkpoint version {checkpoint.version} != "
+            f"supported {SESSION_CHECKPOINT_VERSION}"
+        )
+    return StreamingSession.from_bytes(checkpoint.payload)
+
+
+class RecoveryManager:
+    """A checkpoint spool directory: save, load, enumerate, delete.
+
+    One file per session, named after a sanitized session id. All
+    writes are atomic replaces; a crash mid-save leaves the previous
+    checkpoint intact.
+    """
+
+    def __init__(self, spool: Union[str, Path]) -> None:
+        self.spool = Path(spool)
+        self.spool.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, session_id: str) -> Path:
+        return self.spool / (_SAFE_ID.sub("_", session_id) + SUFFIX)
+
+    def save(self, session: StreamingSession) -> SessionCheckpoint:
+        """Checkpoint ``session`` and spool it atomically."""
+        checkpoint = checkpoint_session(session)
+        blob = freeze(checkpoint, what=f"spool entry {session.session_id}")
+        raw_id = session.session_id.encode("utf-8")
+        target = self.path_for(session.session_id)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.spool), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(SPOOL_MAGIC)
+                handle.write(_HEADER_LEN.pack(len(raw_id)))
+                handle.write(raw_id)
+                handle.write(blob)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return checkpoint
+
+    @staticmethod
+    def _read_header(handle) -> str:
+        """The spooled session id, from the header alone."""
+        magic = handle.read(len(SPOOL_MAGIC))
+        if magic != SPOOL_MAGIC:
+            raise CheckpointError("not a spool file (bad magic)")
+        length_raw = handle.read(_HEADER_LEN.size)
+        if len(length_raw) < _HEADER_LEN.size:
+            raise CheckpointError("truncated spool header")
+        (length,) = _HEADER_LEN.unpack(length_raw)
+        raw_id = handle.read(length)
+        if len(raw_id) < length:
+            raise CheckpointError("truncated spool header")
+        try:
+            return raw_id.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CheckpointError(f"corrupt spool header: {exc}") from exc
+
+    def load_checkpoint(self, session_id: str) -> SessionCheckpoint:
+        """The spooled checkpoint for ``session_id``.
+
+        Raises:
+            CheckpointError: If missing or corrupt.
+        """
+        path = self.path_for(session_id)
+        try:
+            with open(path, "rb") as handle:
+                self._read_header(handle)
+                blob = handle.read()
+        except OSError as exc:
+            raise CheckpointError(
+                f"no spooled checkpoint for session {session_id!r}: {exc}"
+            ) from exc
+        checkpoint = thaw(blob, what=f"spool entry {session_id}")
+        if not isinstance(checkpoint, SessionCheckpoint):
+            raise CheckpointError(
+                f"{path} does not contain a SessionCheckpoint"
+            )
+        return checkpoint
+
+    def load(self, session_id: str) -> StreamingSession:
+        """Restore the live session spooled under ``session_id``."""
+        return restore_session(self.load_checkpoint(session_id))
+
+    def session_ids(self) -> List[str]:
+        """Spooled session ids, header-only (no payload is unpickled)."""
+        ids = []
+        for path in sorted(self.spool.glob(f"*{SUFFIX}")):
+            try:
+                with open(path, "rb") as handle:
+                    ids.append(self._read_header(handle))
+            except (CheckpointError, OSError):
+                continue  # a corrupt entry must not block recovery
+        return ids
+
+    def load_all(self) -> Dict[str, StreamingSession]:
+        """Restore every recoverable spooled session (corrupt files
+        are skipped, not fatal — recovery is best-effort per session)."""
+        sessions: Dict[str, StreamingSession] = {}
+        for session_id in self.session_ids():
+            try:
+                sessions[session_id] = self.load(session_id)
+            except CheckpointError:
+                continue
+        return sessions
+
+    def delete(self, session_id: str) -> None:
+        """Drop the spool entry (a closed session needs no recovery)."""
+        try:
+            self.path_for(session_id).unlink()
+        except OSError:
+            pass

@@ -1,0 +1,547 @@
+"""Sharded session routing — the multi-tenant core of the service.
+
+The sharding discipline follows the "Is Parallel Programming Hard"
+survey's data-ownership pattern: **partition by session, share nothing
+across shards, serialize only at the ingest frame boundary.** Every
+session hashes (stable CRC32 of its id) to exactly one shard; a shard
+owns its sessions' entire analysis state and is driven by exactly one
+worker, so no lock ever guards checker state. The only cross-shard
+structures are the bounded inbox queues — which are also the
+backpressure mechanism: when a shard's inbox is full, the router raises
+:class:`BusyError` and the server answers the client with a ``BUSY``
+frame instead of buffering unboundedly.
+
+Shards are **threads by default** — on the 1-CPU build container
+processes cannot help, and threads keep checkpoint spools and stats in
+one address space. On real hardware, ``workers="process"`` runs every
+shard as its own OS process (the same worker loop, driven through
+multiprocessing queues, with the start method chosen the way
+:mod:`repro.api.parallel` chooses it — fork preferred so interner
+tables and code are inherited copy-on-write), giving true parallel
+ingest across shards.
+
+Event batches are fire-and-forget (pipelined): ``feed`` returns as soon
+as the batch is enqueued, and any processing error is parked on the
+session and surfaced at the next synchronous command (flush, close).
+Control commands are synchronous request/response futures.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..trace.events import Event
+from .recovery import RecoveryManager
+from .session import StreamingSession
+
+#: Default bound of each shard's inbox queue (batches, not events).
+DEFAULT_QUEUE_SIZE = 64
+
+#: Seconds a control command may wait to *enqueue* before BusyError.
+#: Only the enqueue is retryable — once a command is in a shard's
+#: inbox it WILL execute, so timing out on the reply must never be
+#: reported as BUSY (a client would retry a non-idempotent command).
+CONTROL_TIMEOUT = 30.0
+
+#: Seconds to wait for an enqueued control command's reply before
+#: failing hard (RouterError, not BUSY): long enough to drain a full
+#: inbox of event batches ahead of a CLOSE barrier.
+REPLY_TIMEOUT = 600.0
+
+
+class RouterError(RuntimeError):
+    """A shard command failed (the message carries the worker error)."""
+
+
+class BusyError(RouterError):
+    """A shard's inbox is full — backpressure; retry after a pause."""
+
+
+class SessionNotFound(RouterError):
+    """The session id is not open on its shard."""
+
+
+class _Future:
+    """A one-shot reply slot for synchronous shard commands."""
+
+    __slots__ = ("_event", "value", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[Tuple[str, str]] = None  # (kind, message)
+
+    def resolve(self, value: Any) -> None:
+        self.value = value
+        self._event.set()
+
+    def fail(self, kind: str, message: str) -> None:
+        self.error = (kind, message)
+        self._event.set()
+
+    def wait(self, timeout: float) -> Any:
+        if not self._event.wait(timeout):
+            # The command is already enqueued and will run; a BUSY here
+            # would make the client re-send it. Fail hard instead.
+            raise RouterError(
+                f"shard did not answer within {timeout:.0f}s"
+            )
+        if self.error is not None:
+            kind, message = self.error
+            if kind == "SessionNotFound":
+                raise SessionNotFound(message)
+            raise RouterError(message)
+        return self.value
+
+
+class ShardWorker:
+    """The per-shard state machine: sessions, stats, checkpoints.
+
+    Runs inside exactly one thread or process; nothing here is
+    synchronized because nothing here is shared.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        recovery: Optional[RecoveryManager] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.recovery = recovery
+        self.checkpoint_every = checkpoint_every
+        self.sessions: Dict[str, StreamingSession] = {}
+        self._last_checkpoint: Dict[str, int] = {}
+        self.started = time.monotonic()
+        self.events_total = 0
+        self.findings_total = 0
+        self.sessions_closed = 0
+        self.errors_total = 0
+
+    # -- command handlers (dispatched by name) -----------------------------
+
+    def _session(self, session_id: str) -> StreamingSession:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise SessionNotFound(
+                f"session {session_id!r} is not open on shard {self.shard_id}"
+            ) from None
+
+    def do_open(
+        self,
+        session_id: str,
+        analyses: Sequence[Tuple[str, Dict[str, Any]]],
+        name: str,
+        packed: bool,
+        resume: bool,
+    ) -> Dict[str, Any]:
+        if session_id in self.sessions:
+            if resume:  # live on this shard — nothing to restore
+                session = self.sessions[session_id]
+                return {
+                    "session": session_id,
+                    "position": session.position,
+                    "resumed": True,
+                }
+            raise RouterError(f"session {session_id!r} already open")
+        resumed = False
+        if resume:
+            if self.recovery is None:
+                raise RouterError("cannot resume: server has no spool")
+            session = self.recovery.load(session_id)
+            resumed = True
+        else:
+            session = StreamingSession(
+                session_id, analyses, name=name, packed=packed
+            )
+        self.sessions[session_id] = session
+        self._last_checkpoint[session_id] = session.position
+        if self.recovery is not None and not resumed:
+            # Spool at position 0 so a crash before the first periodic
+            # checkpoint still leaves the session recoverable.
+            self.recovery.save(session)
+        return {
+            "session": session_id,
+            "position": session.position,
+            "resumed": resumed,
+        }
+
+    def do_events(self, session_id: str, events: List[Event]) -> None:
+        session = self._session(session_id)
+        if session.error is not None:
+            return  # poisoned: ignore until the client sees the error
+        try:
+            self.findings_total += session.feed(events)
+            self.events_total += len(events)
+        except Exception as exc:  # park it; surface at flush/close
+            session.error = f"{type(exc).__name__}: {exc}"
+            self.errors_total += 1
+            return
+        interval = self.checkpoint_every
+        if (
+            self.recovery is not None
+            and interval
+            and session.position - self._last_checkpoint[session_id] >= interval
+        ):
+            self.recovery.save(session)
+            self._last_checkpoint[session_id] = session.position
+
+    def do_flush(self, session_id: str) -> Dict[str, Any]:
+        session = self._session(session_id)
+        return {
+            "position": session.position,
+            "findings": session.drain_findings(),
+            "findings_total": len(session.findings),
+            "error": session.error,
+        }
+
+    def do_checkpoint(self, session_id: str) -> Dict[str, Any]:
+        session = self._session(session_id)
+        if self.recovery is None:
+            raise RouterError("server has no checkpoint spool (--spool)")
+        checkpoint = self.recovery.save(session)
+        self._last_checkpoint[session_id] = session.position
+        return {"position": checkpoint.position, "bytes": len(checkpoint)}
+
+    def do_close(self, session_id: str) -> Dict[str, Any]:
+        session = self._session(session_id)
+        if session.error is not None:
+            error = session.error
+            self._drop(session_id)
+            raise RouterError(f"session failed mid-stream: {error}")
+        report = session.report()
+        findings = session.drain_findings()
+        self._drop(session_id)
+        self.sessions_closed += 1
+        return {"report": report, "findings": findings}
+
+    def _drop(self, session_id: str) -> None:
+        self.sessions.pop(session_id, None)
+        self._last_checkpoint.pop(session_id, None)
+        if self.recovery is not None:
+            self.recovery.delete(session_id)
+
+    def do_stats(self) -> Dict[str, Any]:
+        elapsed = max(time.monotonic() - self.started, 1e-9)
+        return {
+            "shard": self.shard_id,
+            "sessions_open": len(self.sessions),
+            "sessions_closed": self.sessions_closed,
+            "events": self.events_total,
+            "events_per_second": self.events_total / elapsed,
+            "violations": self.findings_total,
+            "errors": self.errors_total,
+            "uptime_seconds": elapsed,
+        }
+
+    def handle(self, op: str, args: tuple) -> Any:
+        return getattr(self, f"do_{op}")(*args)
+
+
+def _drive(worker: ShardWorker, inbox, reply) -> None:
+    """The shard loop, shared by thread and process drivers.
+
+    ``reply(token, ok, value_or_error)`` delivers synchronous results;
+    fire-and-forget commands carry ``token=None`` and park failures on
+    the session instead.
+    """
+    while True:
+        token, op, args = inbox.get()
+        if op == "stop":
+            if token is not None:
+                reply(token, True, None)
+            return
+        try:
+            value = worker.handle(op, args)
+        except Exception as exc:
+            worker.errors_total += 1
+            if token is not None:
+                reply(token, False, (type(exc).__name__, str(exc)))
+            continue
+        if token is not None:
+            reply(token, True, value)
+
+
+class _ThreadShard:
+    """A shard driven by a daemon thread (the default)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        queue_size: int,
+        recovery: Optional[RecoveryManager],
+        checkpoint_every: Optional[int],
+    ) -> None:
+        self.shard_id = shard_id
+        self.inbox: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._worker = ShardWorker(shard_id, recovery, checkpoint_every)
+        self._thread = threading.Thread(
+            target=_drive,
+            args=(self._worker, self.inbox, self._reply),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @staticmethod
+    def _reply(future: _Future, ok: bool, value: Any) -> None:
+        if ok:
+            future.resolve(value)
+        else:
+            future.fail(*value)
+
+    def call(self, op: str, *args: Any) -> Any:
+        future = _Future()
+        try:
+            self.inbox.put((future, op, args), timeout=CONTROL_TIMEOUT)
+        except queue.Full:
+            raise BusyError(f"shard {self.shard_id} inbox is full") from None
+        return future.wait(REPLY_TIMEOUT)
+
+    def cast(self, op: str, *args: Any) -> None:
+        try:
+            self.inbox.put_nowait((None, op, args))
+        except queue.Full:
+            raise BusyError(f"shard {self.shard_id} inbox is full") from None
+
+    def queue_depth(self) -> int:
+        return self.inbox.qsize()
+
+    def stop(self) -> None:
+        try:
+            self.inbox.put((None, "stop", ()), timeout=1.0)
+        except queue.Full:
+            return  # daemon thread; process teardown reaps it
+        self._thread.join(timeout=5.0)
+
+
+def _process_main(worker: ShardWorker, inbox, outbox) -> None:
+    """Entry point of a process shard (must be importable for spawn)."""
+    _drive(worker, inbox, lambda token, ok, value: outbox.put((token, ok, value)))
+
+
+class _ProcessShard:
+    """A shard driven by its own OS process (``workers="process"``).
+
+    Commands travel through a bounded multiprocessing inbox; replies
+    come back on an outbox drained by a collector thread that resolves
+    the callers' futures by token. Start-method selection mirrors
+    :func:`repro.api.parallel._pick_context`: fork where the platform
+    offers it, spawn otherwise (everything shipped is picklable).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        queue_size: int,
+        recovery: Optional[RecoveryManager],
+        checkpoint_every: Optional[int],
+    ) -> None:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        self.shard_id = shard_id
+        self.inbox = ctx.Queue(maxsize=queue_size)
+        self._outbox = ctx.Queue()
+        worker = ShardWorker(shard_id, recovery, checkpoint_every)
+        self._process = ctx.Process(
+            target=_process_main,
+            args=(worker, self.inbox, self._outbox),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        self._futures: Dict[int, _Future] = {}
+        self._futures_lock = threading.Lock()
+        self._next_token = 0
+        self._collector = threading.Thread(
+            target=self._collect, name=f"repro-shard-{shard_id}-rx", daemon=True
+        )
+        self._collector.start()
+
+    def _collect(self) -> None:
+        while True:
+            item = self._outbox.get()
+            if item is None:
+                return
+            token, ok, value = item
+            with self._futures_lock:
+                future = self._futures.pop(token, None)
+            if future is None:
+                continue
+            if ok:
+                future.resolve(value)
+            else:
+                future.fail(*value)
+
+    def call(self, op: str, *args: Any) -> Any:
+        future = _Future()
+        with self._futures_lock:
+            token = self._next_token = self._next_token + 1
+            self._futures[token] = future
+        try:
+            self.inbox.put((token, op, args), timeout=CONTROL_TIMEOUT)
+        except queue.Full:
+            with self._futures_lock:
+                self._futures.pop(token, None)
+            raise BusyError(f"shard {self.shard_id} inbox is full") from None
+        return future.wait(REPLY_TIMEOUT)
+
+    def cast(self, op: str, *args: Any) -> None:
+        try:
+            self.inbox.put_nowait((None, op, args))
+        except queue.Full:
+            raise BusyError(f"shard {self.shard_id} inbox is full") from None
+
+    def queue_depth(self) -> int:
+        try:
+            return self.inbox.qsize()
+        except NotImplementedError:  # macOS
+            return -1
+
+    def stop(self) -> None:
+        try:
+            self.call("stop")
+        except RouterError:
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+        self._outbox.put(None)
+        self._collector.join(timeout=2.0)
+
+
+@dataclass
+class RouterStats:
+    """One aggregated ``stats()`` snapshot."""
+
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "sessions_open": sum(s["sessions_open"] for s in self.shards),
+            "sessions_closed": sum(s["sessions_closed"] for s in self.shards),
+            "events": sum(s["events"] for s in self.shards),
+            "violations": sum(s["violations"] for s in self.shards),
+            "errors": sum(s["errors"] for s in self.shards),
+        }
+
+
+class Router:
+    """Hash sessions onto share-nothing shards and speak to them.
+
+    Args:
+        shards: Worker count (one shard per worker).
+        workers: ``"thread"`` (default) or ``"process"``.
+        queue_size: Bound of each shard's inbox (batches). Full inbox =
+            :class:`BusyError` = a ``BUSY`` frame on the wire.
+        recovery: Spool manager for checkpointed recovery, or ``None``.
+        checkpoint_every: Auto-checkpoint a session every N ingested
+            events (requires ``recovery``).
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        workers: str = "thread",
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        recovery: Optional[RecoveryManager] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("router needs at least one shard")
+        if workers not in ("thread", "process"):
+            raise ValueError(f"workers must be 'thread' or 'process', not {workers!r}")
+        shard_cls = _ThreadShard if workers == "thread" else _ProcessShard
+        self.workers = workers
+        self.recovery = recovery
+        self._shards = [
+            shard_cls(i, queue_size, recovery, checkpoint_every)
+            for i in range(shards)
+        ]
+        self._closed = False
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_of(self, session_id: str) -> int:
+        """Stable shard index for a session id (CRC32 mod shards)."""
+        return zlib.crc32(session_id.encode("utf-8")) % len(self._shards)
+
+    def _shard(self, session_id: str):
+        return self._shards[self.shard_of(session_id)]
+
+    # -- the service surface ----------------------------------------------
+
+    def open_session(
+        self,
+        analyses: Sequence[Tuple[str, Dict[str, Any]]],
+        name: str = "stream",
+        packed: bool = False,
+        session_id: Optional[str] = None,
+        resume: bool = False,
+    ) -> Dict[str, Any]:
+        """Open (or resume) a session; returns id/position/resumed."""
+        session_id = session_id or uuid.uuid4().hex
+        return self._shard(session_id).call(
+            "open", session_id, list(analyses), name, packed, resume
+        )
+
+    def feed(self, session_id: str, events: List[Event]) -> int:
+        """Enqueue one batch (pipelined; :class:`BusyError` = backpressure)."""
+        self._shard(session_id).cast("events", session_id, events)
+        return len(events)
+
+    def flush(self, session_id: str) -> Dict[str, Any]:
+        """Barrier: process everything queued, return position+findings."""
+        return self._shard(session_id).call("flush", session_id)
+
+    def checkpoint(self, session_id: str) -> Dict[str, Any]:
+        return self._shard(session_id).call("checkpoint", session_id)
+
+    def close(self, session_id: str) -> Dict[str, Any]:
+        """Finish the session; returns the final report + last findings."""
+        return self._shard(session_id).call("close", session_id)
+
+    def recover(self) -> List[str]:
+        """Re-open every session spooled by a previous incarnation."""
+        if self.recovery is None:
+            return []
+        recovered = []
+        for session_id in self.recovery.session_ids():
+            info = self._shard(session_id).call(
+                "open", session_id, [], "stream", False, True
+            )
+            recovered.append(info["session"])
+        return recovered
+
+    def stats(self) -> Dict[str, Any]:
+        """One aggregated snapshot across all shards."""
+        snapshot = RouterStats()
+        for shard in self._shards:
+            row = shard.call("stats")
+            row["queue_depth"] = shard.queue_depth()
+            row["workers"] = self.workers
+            snapshot.shards.append(row)
+        return snapshot.to_json()
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.stop()
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

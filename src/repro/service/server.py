@@ -1,0 +1,209 @@
+"""The ``repro serve`` daemon: ``repro-wire/1`` over TCP.
+
+A :class:`socketserver.ThreadingTCPServer` front end over one
+:class:`~repro.service.router.Router`. Connections are cheap — one
+handler thread parses frames and forwards to the session's shard; all
+analysis state lives shard-side, so a connection dying (or a client
+reconnecting to resume) never loses a session.
+
+The protocol is strict request/response: every client frame is answered
+by exactly one server frame (``OK``/``VIOLATION``/``REPORT``/
+``BUSY``/``ERROR``). Error isolation is layered:
+
+* a **wire error** (corrupt frame, bad payload) poisons only the
+  connection: the server answers ``ERROR`` and closes the socket —
+  the framing can no longer be trusted — but the session and every
+  other tenant on the same shard are untouched;
+* an **application error** (unknown analysis, unknown session, a
+  feed that raised) is answered with ``ERROR`` and the connection
+  stays usable;
+* ``BUSY`` signals shard backpressure; clients retry after a pause.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from . import protocol
+from .protocol import FrameType
+from .recovery import RecoveryManager
+from .router import BusyError, Router, RouterError, SessionNotFound
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: HELLO binds it to a session."""
+
+    def setup(self) -> None:
+        super().setup()
+        self.session_id: Optional[str] = None
+        self.decoder = protocol.DeltaDecoder()  # per-connection delta state
+
+    def _send(self, ftype: int, obj: Dict[str, Any]) -> None:
+        self.wfile.write(protocol.encode_json(ftype, obj))
+        self.wfile.flush()
+
+    def _error(self, code: str, message: str) -> None:
+        self._send(FrameType.ERROR, {"code": code, "message": message})
+
+    def handle(self) -> None:
+        router: Router = self.server.router  # type: ignore[attr-defined]
+        while True:
+            try:
+                frame = protocol.read_frame(self.rfile)
+            except protocol.WireError as error:
+                # Framing is broken: answer once, drop the connection.
+                try:
+                    self._error("wire", str(error))
+                except OSError:
+                    pass
+                return
+            except OSError:
+                return
+            if frame is None:
+                return  # clean EOF
+            ftype, payload = frame
+            try:
+                self._dispatch(router, ftype, payload)
+            except protocol.WireError as error:
+                try:
+                    self._error("wire", str(error))
+                except OSError:
+                    pass
+                return
+            except BusyError:
+                self._send(FrameType.BUSY, {"retry_ms": 50})
+            except SessionNotFound as error:
+                self._error("unknown-session", str(error))
+            except RouterError as error:
+                self._error("session", str(error))
+            except BrokenPipeError:
+                return
+            except Exception as error:  # isolate: never kill the daemon
+                try:
+                    self._error(
+                        "internal", f"{type(error).__name__}: {error}"
+                    )
+                except OSError:
+                    return
+
+    def _dispatch(self, router: Router, ftype: int, payload: bytes) -> None:
+        if ftype == FrameType.HELLO:
+            hello = protocol.parse_hello(protocol.decode_json(payload))
+            info = router.open_session(
+                hello["analyses"],
+                name=hello["name"],
+                packed=hello["packed"],
+                session_id=hello["session"],
+                resume=hello["resume"],
+            )
+            self.session_id = info["session"]
+            info["protocol"] = protocol.PROTOCOL
+            self._send(FrameType.OK, info)
+            return
+        if ftype == FrameType.STATS:
+            self._send(FrameType.OK, {"stats": router.stats()})
+            return
+        if self.session_id is None:
+            self._error("no-session", "send HELLO first")
+            return
+        if ftype == FrameType.EVENTS:
+            events = protocol.decode_events(payload, self.decoder)
+            queued = router.feed(self.session_id, events)
+            self._send(FrameType.OK, {"queued": queued})
+        elif ftype == FrameType.FLUSH:
+            info = router.flush(self.session_id)
+            if info["error"] is not None:
+                self._error("session", info["error"])
+            elif info["findings"]:
+                self._send(FrameType.VIOLATION, info)
+            else:
+                self._send(FrameType.OK, info)
+        elif ftype == FrameType.CHECKPOINT:
+            self._send(FrameType.OK, router.checkpoint(self.session_id))
+        elif ftype == FrameType.CLOSE:
+            info = router.close(self.session_id)
+            self.session_id = None
+            self._send(FrameType.REPORT, info)
+        else:
+            self._error("bad-frame", f"unexpected frame type {ftype}")
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServiceServer:
+    """The long-running analysis service.
+
+    Args:
+        host/port: Bind address (``port=0`` picks a free port; read the
+            chosen one from :attr:`port`).
+        shards: Worker shards (sessions hash across them).
+        workers: ``"thread"`` (default) or ``"process"`` shards.
+        spool: Checkpoint spool directory — enables recovery; on
+            construction, sessions spooled by a previous incarnation
+            are re-opened at their checkpointed positions.
+        checkpoint_every: Auto-checkpoint interval in events.
+        queue_size: Shard inbox bound (batches) before ``BUSY``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 1,
+        workers: str = "thread",
+        spool: Union[str, Path, None] = None,
+        checkpoint_every: Optional[int] = 1000,
+        queue_size: int = 64,
+    ) -> None:
+        recovery = RecoveryManager(spool) if spool is not None else None
+        self.router = Router(
+            shards=shards,
+            workers=workers,
+            queue_size=queue_size,
+            recovery=recovery,
+            checkpoint_every=checkpoint_every,
+        )
+        self.recovered = self.router.recover()
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.router = self.router  # type: ignore[attr-defined]
+        self.host, self.port = self._tcp.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve in a background thread (for tests and embedding)."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` loop)."""
+        self._tcp.serve_forever(poll_interval=0.2)
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.router.shutdown()
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

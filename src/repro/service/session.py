@@ -1,0 +1,185 @@
+"""One live tenant of the streaming service: a :class:`StreamingSession`.
+
+Wraps an incremental :class:`repro.api.Session` (the ``feed``/``finish``
+lifecycle) with what a long-running service additionally needs:
+
+* **identity** — a stable session id (the shard routing key);
+* **position** — how many events have been ingested, which is what a
+  resuming client uses to know where to restart its stream;
+* **a monotonic violation log** — findings are observed after every
+  batch and appended exactly once, so ``FLUSH`` frames can ship *new*
+  findings while the stream is still running;
+* **a checkpoint handle** — :meth:`to_bytes`/:meth:`from_bytes` freeze
+  and thaw the complete analysis state (riding
+  :func:`repro.core.snapshot.freeze`), which is what
+  :class:`~repro.service.recovery.RecoveryManager` spools to disk.
+
+Because ``run()`` ≡ feed-in-chunks-then-``finish()`` (property-tested
+in ``tests/test_api_feed.py``), a session fed over the wire — in any
+batching, through any number of checkpoint/restore cycles — finishes
+with a report identical to the offline ``repro check`` on the full
+trace. That equivalence is the service's correctness story.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..api.analysis import Analysis, CheckerAnalysis
+from ..api.report import SessionResult, finding_dict
+from ..api.session import Session
+from ..core.snapshot import freeze, thaw, CheckpointError
+from ..trace.events import Event
+
+
+class StreamingSession:
+    """One client's live analyses over one event stream.
+
+    Args:
+        session_id: Stable identifier (also the shard routing key).
+        analyses: ``(name, options)`` pairs resolved through the
+            registry, or ready analysis instances.
+        name: Trace name stamped into reports.
+        packed: Drive the packed dispatch sweep instead of the string
+            path (the analysis path — independent of how events are
+            encoded on the wire).
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        analyses: Sequence[Any],
+        name: str = "stream",
+        packed: bool = False,
+    ) -> None:
+        from ..api.registry import create_analysis
+
+        instances: List[Analysis] = []
+        self.analysis_names: List[str] = []
+        for spec in analyses:
+            if isinstance(spec, Analysis):
+                instances.append(spec)
+                self.analysis_names.append(spec.name)
+            else:
+                name_, options = spec if isinstance(spec, tuple) else (spec, {})
+                instances.append(create_analysis(name_, **options))
+                self.analysis_names.append(name_)
+        self.session_id = session_id
+        self.packed = packed
+        self.session = Session(None, instances, name=name)
+        self.events_fed = 0
+        #: Every finding observed so far, in detection order; each entry
+        #: is ``{"analysis": name, "finding": {...}}``. Grows only.
+        self.findings: List[Dict[str, Any]] = []
+        #: Index into :attr:`findings` up to which the client has been
+        #: told (advanced by :meth:`drain_findings`).
+        self.delivered = 0
+        self.error: Optional[str] = None
+        self.result: Optional[SessionResult] = None
+        self._counts = [0] * len(instances)
+
+    # -- streaming ---------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Events ingested so far — the client's resume offset."""
+        return self.events_fed
+
+    @property
+    def closed(self) -> bool:
+        return self.result is not None
+
+    def feed(self, events: Sequence[Event]) -> int:
+        """Ingest one batch, stamping global stream indices.
+
+        Returns the number of *new* findings the batch surfaced.
+        """
+        if self.result is not None:
+            raise RuntimeError(f"session {self.session_id} already closed")
+        base = self.events_fed
+        for offset, event in enumerate(events):
+            event.idx = base + offset
+        self.session.feed(events, packed=self.packed or None)
+        self.events_fed = base + len(events)
+        return self._observe()
+
+    def finish(self) -> SessionResult:
+        """Finish every analysis; the report of record for this stream."""
+        if self.result is None:
+            result = self.session.finish()
+            # Streaming sessions know their true total only now.
+            result.events = self.events_fed
+            self.result = result
+            self._observe()
+        return self.result
+
+    def report(self) -> Dict[str, Any]:
+        """The final ``repro-report/1`` document (finishing if needed)."""
+        return self.finish().to_json()
+
+    # -- the violation log -------------------------------------------------
+
+    def _observe(self) -> int:
+        """Append findings that appeared since the last observation."""
+        new = 0
+        for i, analysis in enumerate(self.session.analyses):
+            current = _current_findings(analysis)
+            for finding in current[self._counts[i] :]:
+                self.findings.append(
+                    {"analysis": self.analysis_names[i], "finding": finding}
+                )
+                new += 1
+            self._counts[i] = len(current)
+        return new
+
+    def drain_findings(self) -> List[Dict[str, Any]]:
+        """Findings not yet shipped to the client (advances the cursor)."""
+        fresh = self.findings[self.delivered :]
+        self.delivered = len(self.findings)
+        return fresh
+
+    # -- checkpointing -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Freeze the complete session state (analyses included).
+
+        Raises:
+            CheckpointError: If any analysis state is not picklable.
+        """
+        return freeze(self, what=f"session {self.session_id}")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "StreamingSession":
+        """Thaw a session frozen by :meth:`to_bytes`.
+
+        Raises:
+            CheckpointError: On a corrupt payload or a wrong type.
+        """
+        session = thaw(payload, what="session checkpoint")
+        if not isinstance(session, cls):
+            raise CheckpointError(
+                f"checkpoint holds a {type(session).__name__}, "
+                "not a StreamingSession"
+            )
+        return session
+
+
+def _current_findings(analysis: Analysis) -> List[Dict[str, Any]]:
+    """The findings an analysis can surface *mid-stream*, normalized.
+
+    Checker analyses expose their violation(s) as they are found;
+    streaming detectors with an incremental findings list (races) do
+    too. Whole-trace analyses only produce findings at ``finish()`` —
+    until then they contribute nothing, which is correct: their
+    report arrives with CLOSE.
+    """
+    if isinstance(analysis, CheckerAnalysis):
+        if analysis.mode == "report_all":
+            return [finding_dict(v) for v in analysis.violations]
+        found = analysis.checker.violation or analysis._found
+        return [finding_dict(found)] if found is not None else []
+    detector = getattr(analysis, "detector", None)
+    races = getattr(detector, "races", None)
+    if races is not None:
+        return [finding_dict(r) for r in races]
+    return []

@@ -95,6 +95,15 @@ class Interner:
         """The interned names, in index order (a copy)."""
         return self._names[:]
 
+    def names_from(self, start: int) -> List[str]:
+        """The names interned at index ``start`` onward (a copy).
+
+        The delta a streaming encoder ships per frame
+        (:class:`repro.service.protocol.DeltaEncoder`): O(new names),
+        not O(table) like ``names()[start:]``.
+        """
+        return self._names[start:]
+
 
 class PackedTrace:
     """A trace compiled to dense integer event records.
@@ -165,6 +174,46 @@ class PackedTrace:
             ns = _NAMESPACE_OF_OP[op]
             interner = (self.variables, self.locks, self.threads, self.labels)[ns]
             self._target.append(interner.index_of(target))
+
+    def extend_from(self, other: "PackedTrace") -> None:
+        """Append every event of ``other`` (a streaming-store append).
+
+        When ``other`` shares this trace's interner tables (a slice of
+        the same source, or a peer built against them) the integer
+        records are copied verbatim — no hashing, no ``Event``
+        objects. Otherwise each record is remapped name-by-name through
+        this trace's interners (one table build per namespace, then
+        O(1) per event). This is how an incremental
+        :meth:`repro.api.session.Session.feed` grows its packed store
+        from arbitrary packed batches.
+        """
+        o_threads, o_ops, o_targets = other.arrays()
+        if (
+            other.threads is self.threads
+            and other.variables is self.variables
+            and other.locks is self.locks
+            and other.labels is self.labels
+        ):
+            self._thread.extend(o_threads)
+            self._op.extend(o_ops)
+            self._target.extend(o_targets)
+            return
+        t_map = [self.threads.index_of(n) for n in other.threads._names]
+        ns_map = (
+            [self.variables.index_of(n) for n in other.variables._names],
+            [self.locks.index_of(n) for n in other.locks._names],
+            t_map,
+            [self.labels.index_of(n) for n in other.labels._names],
+        )
+        for i in range(len(other)):
+            op = o_ops[i]
+            target = o_targets[i]
+            self._thread.append(t_map[o_threads[i]])
+            self._op.append(op)
+            self._target.append(
+                NO_TARGET if target == NO_TARGET
+                else ns_map[_NAMESPACE_OF_OP[op]][target]
+            )
 
     # -- raw access --------------------------------------------------------
 

@@ -1,0 +1,285 @@
+"""Wire-format robustness: corrupt frames must fail cleanly.
+
+Mirror of ``tests/test_binary_fuzz.py`` for the ``repro-wire/1``
+protocol: encode/decode round-trips valid traffic; every byte-corrupted,
+truncated or arbitrary input either decodes to something valid or
+raises a **typed** :class:`~repro.service.protocol.WireError` — never a
+raw ``struct.error``/``IndexError``/``UnicodeDecodeError``, and never
+garbage accepted silently.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service import protocol
+from repro.service.protocol import (
+    DeltaDecoder,
+    DeltaEncoder,
+    FrameError,
+    FrameType,
+    PayloadError,
+    WireError,
+    decode_events,
+    decode_frame,
+    decode_json,
+    encode_events_text,
+    encode_frame,
+    encode_json,
+    parse_hello,
+    read_frame,
+)
+from repro.sim.random_traces import RandomTraceConfig, random_trace
+
+
+def make_events(seed, length=20):
+    trace = random_trace(
+        seed, RandomTraceConfig(n_threads=3, n_vars=3, n_locks=2, length=length)
+    )
+    return list(trace)
+
+
+def eq_events(a, b):
+    return [(e.thread, e.op, e.target) for e in a] == [
+        (e.thread, e.op, e.target) for e in b
+    ]
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    frame = encode_frame(FrameType.FLUSH, b"payload")
+    ftype, payload, end = decode_frame(frame)
+    assert (ftype, payload, end) == (FrameType.FLUSH, b"payload", len(frame))
+
+
+def test_incomplete_frame_returns_none():
+    frame = encode_frame(FrameType.EVENTS, b"x" * 100)
+    assert decode_frame(frame[:3]) is None
+    assert decode_frame(frame[:-1]) is None
+
+
+def test_oversize_frame_rejected_both_ways():
+    with pytest.raises(FrameError, match="MAX_FRAME"):
+        encode_frame(FrameType.EVENTS, b"x" * protocol.MAX_FRAME)
+    bad = (protocol.MAX_FRAME + 10).to_bytes(4, "big") + bytes([2]) + b"xx"
+    with pytest.raises(FrameError, match="out of range"):
+        decode_frame(bad)
+
+
+def test_unknown_frame_type_rejected():
+    bad = (1).to_bytes(4, "big") + bytes([99])
+    with pytest.raises(FrameError, match="unknown frame type"):
+        decode_frame(bad)
+
+
+def test_read_frame_truncation_and_eof():
+    frame = encode_frame(FrameType.OK, b"abc")
+    assert read_frame(io.BytesIO(frame)) == (FrameType.OK, b"abc")
+    assert read_frame(io.BytesIO(b"")) is None  # clean EOF
+    with pytest.raises(FrameError, match="truncated"):
+        read_frame(io.BytesIO(frame[:-1]))
+    with pytest.raises(FrameError, match="truncated"):
+        read_frame(io.BytesIO(frame[:2]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    position=st.integers(0, 10_000),
+    byte=st.integers(0, 255),
+    seed=st.integers(0, 30),
+)
+def test_corrupted_frame_stream_never_crashes(position, byte, seed):
+    events = make_events(seed)
+    data = bytearray(
+        encode_json(FrameType.HELLO, {"protocol": protocol.PROTOCOL})
+        + encode_frame(FrameType.EVENTS, encode_events_text(events))
+        + encode_frame(FrameType.CLOSE)
+    )
+    data[position % len(data)] = byte
+    stream = io.BytesIO(bytes(data))
+    decoder = DeltaDecoder()
+    try:
+        while True:
+            frame = read_frame(stream)
+            if frame is None:
+                break
+            ftype, payload = frame
+            if ftype == FrameType.HELLO:
+                parse_hello(decode_json(payload))
+            elif ftype == FrameType.EVENTS:
+                decode_events(payload, decoder)
+    except WireError:
+        pass  # typed failure: the contract
+
+
+@settings(max_examples=60, deadline=None)
+@given(junk=st.binary(min_size=0, max_size=200))
+def test_arbitrary_bytes_only_raise_wire_errors(junk):
+    stream = io.BytesIO(junk)
+    try:
+        while True:
+            frame = read_frame(stream)
+            if frame is None:
+                break
+            ftype, payload = frame
+            decode_json(payload)
+    except WireError:
+        pass
+
+
+# -- JSON payloads ----------------------------------------------------------
+
+
+def test_json_payload_round_trip():
+    obj = {"protocol": protocol.PROTOCOL, "analyses": ["aerodrome"]}
+    ftype, payload, _ = decode_frame(encode_json(FrameType.HELLO, obj))
+    assert decode_json(payload) == obj
+
+
+@pytest.mark.parametrize(
+    "payload", [b"\xff\xfe", b"[1,2]", b'"str"', b"{bad json"]
+)
+def test_bad_json_payloads_rejected(payload):
+    with pytest.raises(PayloadError):
+        decode_json(payload)
+
+
+@pytest.mark.parametrize(
+    "hello",
+    [
+        {},  # no protocol
+        {"protocol": "repro-wire/999", "analyses": ["a"]},
+        {"protocol": protocol.PROTOCOL},  # no analyses
+        {"protocol": protocol.PROTOCOL, "analyses": []},
+        {"protocol": protocol.PROTOCOL, "analyses": [7]},
+        {"protocol": protocol.PROTOCOL, "analyses": [{"options": {}}]},
+        {"protocol": protocol.PROTOCOL, "analyses": ["a"], "session": 3},
+        {"protocol": protocol.PROTOCOL, "analyses": ["a"], "resume": True},
+        {"protocol": protocol.PROTOCOL, "analyses": ["a"], "name": 1},
+    ],
+)
+def test_bad_hellos_rejected(hello):
+    with pytest.raises(PayloadError):
+        parse_hello(hello)
+
+
+def test_hello_normalizes_specs():
+    parsed = parse_hello(
+        {
+            "protocol": protocol.PROTOCOL,
+            "analyses": [
+                "aerodrome",
+                {"name": "aerodrome", "options": {"mode": "report_all"}},
+            ],
+            "name": "t",
+        }
+    )
+    assert parsed["analyses"] == [
+        ("aerodrome", {}),
+        ("aerodrome", {"mode": "report_all"}),
+    ]
+
+
+# -- EVENTS payloads --------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_text_events_round_trip(seed):
+    events = make_events(seed % 100)
+    decoded = decode_events(encode_events_text(events))
+    assert eq_events(decoded, events)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6), cut=st.integers(1, 19))
+def test_delta_events_round_trip_across_frames(seed, cut):
+    """Interner deltas accumulate: later frames reuse earlier names."""
+    events = make_events(seed % 100)
+    encoder, decoder = DeltaEncoder(), DeltaDecoder()
+    first = decode_events(encoder.encode(events[:cut]), decoder)
+    second = decode_events(encoder.encode(events[cut:]), decoder)
+    assert eq_events(first + second, events)
+
+
+def test_delta_second_frame_ships_no_repeated_names():
+    events = make_events(3)
+    encoder = DeltaEncoder()
+    encoder.encode(events)
+    replay = encoder.encode(events)  # same names again: all interned
+    # 1 tag byte + 4 empty name tables (base + count) + event count +
+    # triples, nothing more.
+    expected = 1 + 4 * 8 + 4 + 9 * len(events)
+    assert len(replay) == expected
+
+
+def test_delta_frame_retransmit_is_idempotent():
+    """A frame resent through BUSY must not shift the name tables
+    (regression: duplicated names skewed every later index)."""
+    events = make_events(11, length=40)
+    cut = len(events) // 2
+    encoder, decoder = DeltaEncoder(), DeltaDecoder()
+    frame1 = encoder.encode(events[:cut])
+    decode_events(frame1, decoder)
+    replayed = decode_events(frame1, decoder)  # the BUSY retransmit
+    assert eq_events(replayed, events[:cut])
+    rest = decode_events(encoder.encode(events[cut:]), decoder)
+    assert eq_events(rest, events[cut:])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(0, 50),
+    position=st.integers(0, 5_000),
+    byte=st.integers(0, 255),
+)
+def test_delta_corruption_never_crashes(seed, position, byte):
+    events = make_events(seed)
+    encoder = DeltaEncoder()
+    payload = bytearray(encoder.encode(events))
+    payload[position % len(payload)] = byte
+    try:
+        decode_events(bytes(payload), DeltaDecoder())
+    except PayloadError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 50), cut=st.floats(0.0, 0.99))
+def test_delta_truncation_never_crashes(seed, cut):
+    payload = DeltaEncoder().encode(make_events(seed))
+    truncated = payload[: int(len(payload) * cut)]
+    if not truncated:
+        with pytest.raises(PayloadError):
+            decode_events(truncated, DeltaDecoder())
+        return
+    try:
+        decode_events(truncated, DeltaDecoder())
+    except PayloadError:
+        pass
+
+
+def test_delta_needs_a_decoder():
+    payload = DeltaEncoder().encode(make_events(1))
+    with pytest.raises(PayloadError, match="decoder"):
+        decode_events(payload)
+
+
+def test_unknown_encoding_tag_rejected():
+    with pytest.raises(PayloadError, match="encoding tag"):
+        decode_events(bytes([7]) + b"rest")
+
+
+def test_bad_text_lines_rejected():
+    with pytest.raises(PayloadError):
+        decode_events(bytes([0]) + b"t1|frobnicate(x)")
+    with pytest.raises(PayloadError):
+        decode_events(bytes([0]) + b"\xff\xfe")
+
+
+def test_text_events_skip_comments_and_blanks():
+    decoded = decode_events(bytes([0]) + b"# header\n\nt1|w(x)\n")
+    assert len(decoded) == 1 and decoded[0].thread == "t1"
