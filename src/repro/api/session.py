@@ -37,6 +37,8 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from ..faults.injector import fire
+from ..faults.plan import FaultInjected
 from ..trace.events import Event, Op
 from ..trace.packed import PackedTrace
 from .analysis import Analysis, CheckerAnalysis, TraceMeta
@@ -229,6 +231,11 @@ class Session:
         """
         if self._result is not None:
             raise RuntimeError("session already finished")
+        action = fire("analysis.step", key=self.name)
+        if action is not None and action.op == "raise":
+            raise FaultInjected(
+                f"[injected] analysis step raised in session {self.name!r}"
+            )
         is_packed_chunk = isinstance(events, PackedTrace)
         if not self._started:
             mode_packed = is_packed_chunk or bool(packed)

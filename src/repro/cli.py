@@ -178,6 +178,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             spool=args.spool,
             checkpoint_every=args.checkpoint_every,
             queue_size=args.queue_size,
+            read_timeout=args.read_timeout or None,
         )
     except OSError as error:
         print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
@@ -186,6 +187,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"recovered {len(server.recovered)} session(s) from spool: "
             + ", ".join(server.recovered),
+            file=sys.stderr,
+        )
+    for entry in server.salvaged:
+        print(
+            f"salvaged corrupt spool entry {entry['file']}: "
+            f"{entry['reason']}",
             file=sys.stderr,
         )
     print(f"listening on {server.host}:{server.port}", flush=True)
@@ -203,7 +210,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service.client import ServiceError, submit_trace
+    from .service.client import (
+        DeadlineExceeded,
+        ServiceError,
+        ServiceUnreachable,
+        submit_trace,
+    )
     from .service.protocol import WireError
 
     trace = _load(args.trace)
@@ -225,7 +237,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             resume=args.resume,
             stop_after=args.stop_after,
             checkpoint=args.stop_after is not None,
+            deadline=args.deadline,
         )
+    except ServiceUnreachable:
+        print(
+            f"no service at {args.host}:{args.port} "
+            "(is 'repro serve' running?)",
+            file=sys.stderr,
+        )
+        return 3
+    except DeadlineExceeded:
+        print(
+            f"deadline of {args.deadline:g}s expired before the report "
+            "arrived; the session may still be resumable with --resume",
+            file=sys.stderr,
+        )
+        return 4
     except (ServiceError, WireError, OSError) as error:
         print(f"submit failed: {error}", file=sys.stderr)
         return 2
@@ -257,6 +284,65 @@ def _cmd_service_stats(args: argparse.Namespace) -> int:
         return 2
     print(json.dumps(stats, indent=2))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.plan import FaultPlanError, load_plan
+    from .faults.scenarios import (
+        SCENARIOS,
+        run_plan_drill,
+        run_scenario,
+    )
+
+    if args.list:
+        for name, fn in SCENARIOS.items():
+            print(f"{name}: {' '.join((fn.__doc__ or '').split())}")
+        return 0
+    if not args.scenario and not args.plan:
+        print(
+            "pick --scenario NAME (see --list), --scenario all, "
+            "or --plan FILE.json",
+            file=sys.stderr,
+        )
+        return 2
+    results = []
+    if args.plan:
+        try:
+            plan = load_plan(args.plan)
+        except FaultPlanError as error:
+            print(f"bad fault plan: {error}", file=sys.stderr)
+            return 2
+        if args.seed is not None:
+            plan.seed = args.seed
+            plan.rng.seed(args.seed)
+        results.append(run_plan_drill(plan))
+    if args.scenario:
+        seed = args.seed if args.seed is not None else 7207
+        names = (
+            list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+        )
+        for name in names:
+            if name not in SCENARIOS:
+                print(
+                    f"unknown scenario {name!r} "
+                    f"(known: {', '.join(SCENARIOS)}, all)",
+                    file=sys.stderr,
+                )
+                return 2
+            results.append(run_scenario(name, seed=seed))
+    if args.json:
+        print(json.dumps([r.to_json() for r in results], indent=2))
+    else:
+        for result in results:
+            mark = "ok" if result.ok else "FAIL"
+            print(
+                f"[{mark}] {result.name} (seed {result.seed}) -> "
+                f"{result.outcome}: {result.detail}"
+            )
+            if not result.ok:
+                for line in result.checks:
+                    print(f"       {line}")
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _cmd_metainfo(args: argparse.Namespace) -> int:
@@ -662,13 +748,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--ready-file", default=None, metavar="PATH",
         help="write 'host port' here once listening (for scripts/CI)",
     )
+    serve.add_argument(
+        "--read-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-connection read timeout: a stalled client is dropped "
+        "with a typed ERROR instead of pinning a handler thread "
+        "(0 disables)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
         "submit",
         help="stream a trace to a running service and print the report",
         epilog="Exit codes follow the session verdict like 'repro check' "
-        "(0 pass, 1 fail, 2 undecided). See docs/SERVICE.md.",
+        "(0 pass, 1 fail, 2 undecided); 3 = the server is unreachable, "
+        "4 = --deadline expired. See docs/SERVICE.md.",
     )
     submit.add_argument("trace", help="trace file (.std/.rtb/.rpt)")
     submit.add_argument(
@@ -704,6 +797,11 @@ def build_parser() -> argparse.ArgumentParser:
         "session open (crash-drill half of the recovery story)",
     )
     submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole submission (connects, "
+        "BUSY backoff and reconnects included); expiry exits 4",
+    )
+    submit.add_argument(
         "--json", action="store_true",
         help="emit the final repro-report/1 JSON document",
     )
@@ -716,6 +814,36 @@ def build_parser() -> argparse.ArgumentParser:
     service_stats.add_argument("--host", default="127.0.0.1")
     service_stats.add_argument("--port", type=int, default=7207)
     service_stats.set_defaults(func=_cmd_service_stats)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection drills against the service",
+        epilog="Each drill arms a deterministic fault plan against an "
+        "in-process service and checks the pinned outcome: either the "
+        "stream heals (report equals the offline run) or the failure "
+        "surfaces as a documented typed error. The failure-mode matrix "
+        "and the repro-faults/1 plan schema are in docs/SERVICE.md.",
+    )
+    chaos.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run one named drill from the matrix, or 'all'",
+    )
+    chaos.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="run the generic drill under a repro-faults/1 JSON plan",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="fault-plan seed (default 7207; same seed, same faults)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list the scenario matrix"
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the drill results as JSON",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     meta = sub.add_parser("metainfo", help="print trace characteristics")
     meta.add_argument("trace")

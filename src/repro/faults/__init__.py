@@ -1,0 +1,47 @@
+"""repro.faults — deterministic, seeded fault injection for the service.
+
+A :class:`FaultPlan` is a seeded RNG plus declarative rules
+(``{"site": "wire.send", "op": "truncate", "after_n": 3}``) loaded from
+JSON (``repro-faults/1``). Installing a plan arms injection *sites*
+threaded through the service stack — the wire codec, the checkpoint
+spool, the shard router, the analysis step — so chaos drills can
+reproduce, byte for byte, the exact failure a seed describes.
+
+With no plan installed every site is a single ``None`` check: the
+service runs its untouched code paths at zero overhead.
+
+See ``docs/SERVICE.md`` for the failure-mode matrix the drills pin.
+"""
+
+from .injector import current, fire, injected, install, mutate_frame, uninstall
+from .plan import (
+    PLAN_VERSION,
+    SITES,
+    FaultAction,
+    FaultInjected,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    ShardCrash,
+    load_plan,
+    save_plan,
+)
+
+__all__ = [
+    "PLAN_VERSION",
+    "SITES",
+    "FaultAction",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "ShardCrash",
+    "current",
+    "fire",
+    "injected",
+    "install",
+    "load_plan",
+    "mutate_frame",
+    "save_plan",
+    "uninstall",
+]

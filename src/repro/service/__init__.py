@@ -37,25 +37,43 @@ from .protocol import (
     WireError,
 )
 from .session import StreamingSession
-from .router import BusyError, Router, SessionNotFound
-from .recovery import RecoveryManager, SessionCheckpoint
+from .router import (
+    BusyError,
+    Router,
+    SessionNotFound,
+    SessionQuarantined,
+    ShardCrashed,
+)
+from .recovery import RecoveryError, RecoveryManager, SessionCheckpoint
 from .server import ServiceServer
-from .client import RemoteChecker, ServiceClient, ServiceError, submit_trace
+from .client import (
+    DeadlineExceeded,
+    RemoteChecker,
+    ServiceClient,
+    ServiceError,
+    ServiceUnreachable,
+    submit_trace,
+)
 
 __all__ = [
     "PROTOCOL",
     "BusyError",
+    "DeadlineExceeded",
     "FrameError",
     "FrameType",
     "PayloadError",
+    "RecoveryError",
     "RecoveryManager",
     "RemoteChecker",
     "Router",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ServiceUnreachable",
     "SessionCheckpoint",
     "SessionNotFound",
+    "SessionQuarantined",
+    "ShardCrashed",
     "StreamingSession",
     "WireError",
     "submit_trace",

@@ -3,11 +3,31 @@
 :class:`ServiceClient` opens sessions over ``repro-wire/1``;
 :class:`SessionHandle` streams batches, flushes, checkpoints and
 collects the final report. ``BUSY`` backpressure is retried with a
-small exponential backoff, transparently.
+**bounded, jittered exponential backoff**, transparently.
 
-:func:`submit_trace` is the one-call form behind ``repro submit``: it
-streams a whole trace (with optional resume-from-server-position for
-crash recovery) and returns the final ``repro-report/1`` document.
+Hardening knobs (all optional; defaults match the pre-hardening SDK):
+
+* **deadline** — a wall-clock budget for the whole interaction.
+  Connect waits, BUSY backoff sleeps and reconnect pauses all charge
+  against it; exhausting it raises :class:`DeadlineExceeded` (a typed
+  :class:`ServiceError`, code ``"deadline"``) instead of hanging.
+* **unreachable** — a server that cannot be connected to raises
+  :class:`ServiceUnreachable` (code ``"unreachable"``) rather than a
+  raw ``OSError``, so callers (``repro submit``) can answer with a
+  clean one-line failure.
+* **idempotent resume** — :func:`submit_trace` survives connection
+  resets, wire corruption and shard crashes: it reconnects with
+  ``resume=True``, learns the server's position, and re-sends only the
+  remainder. Batches travel as *positioned* EVENTS frames (stream
+  offset + CRC32), so at-least-once delivery never double-counts an
+  event and a gap (a shard restarted behind the stream) is detected
+  and healed by re-sending from the server's position — the final
+  report equals the offline run or the call raises; it never silently
+  covers a shorter stream.
+
+Fault site (see :mod:`repro.faults`): ``wire.send`` —
+``truncate``/``corrupt`` a request frame or ``reset`` the connection
+mid-send.
 
 :class:`RemoteChecker` adapts the service to the
 :class:`~repro.core.checker.StreamingChecker` surface that
@@ -20,17 +40,25 @@ at most one batch).
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.violations import CheckResult, Violation
+from ..faults.injector import fire, mutate_frame
 from ..trace.events import Event
 from . import protocol
 from .protocol import FrameType
 
 #: Default events per EVENTS frame.
 DEFAULT_BATCH = 512
+
+#: Longest single backoff sleep (seconds) — BUSY and reconnect alike.
+BACKOFF_CAP = 0.5
+
+#: Reconnect attempts :func:`submit_trace` makes before giving up.
+DEFAULT_ATTEMPTS = 5
 
 
 class ServiceError(RuntimeError):
@@ -41,29 +69,100 @@ class ServiceError(RuntimeError):
         super().__init__(f"[{code}] {message}")
 
 
+class ServiceUnreachable(ServiceError):
+    """The server could not be connected to at all."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("unreachable", message)
+
+
+class DeadlineExceeded(ServiceError):
+    """The caller's wall-clock budget ran out before the work finished."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("deadline", message)
+
+
+class _Deadline:
+    """A monotonic wall-clock budget shared across retries."""
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.expires = None if seconds is None else time.monotonic() + seconds
+
+    def remaining(self, doing: str) -> Optional[float]:
+        """Seconds left (``None`` = unbounded); raises when spent."""
+        if self.expires is None:
+            return None
+        left = self.expires - time.monotonic()
+        if left <= 0:
+            raise DeadlineExceeded(f"deadline expired while {doing}")
+        return left
+
+    def sleep(self, seconds: float, doing: str) -> None:
+        left = self.remaining(doing)
+        if left is not None and seconds >= left:
+            time.sleep(max(left, 0.0))
+            self.remaining(doing)  # raises: budget is now spent
+            return
+        time.sleep(seconds)
+
+
+def _jittered(rng: random.Random, delay: float) -> float:
+    """Full jitter over ``(delay/2, delay]``, capped at BACKOFF_CAP."""
+    capped = min(delay, BACKOFF_CAP)
+    return capped * (0.5 + 0.5 * rng.random())
+
+
 class ServiceClient:
     """A connection to a ``repro serve`` daemon.
 
     One client drives one session at a time (the wire binds a
     connection to a session at HELLO); open several clients for
     concurrent streams.
+
+    Args:
+        host/port: The service address.
+        timeout: Per-reply socket I/O timeout.
+        connect_timeout: TCP connect timeout.
+        deadline: Optional wall-clock budget (seconds) for everything
+            this client does; see :class:`DeadlineExceeded`.
+        jitter_seed: Seed for the backoff jitter RNG (deterministic
+            retries in tests and chaos drills).
+
+    Raises:
+        ServiceUnreachable: If the TCP connection cannot be made.
     """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 7207,
         timeout: float = 650.0, connect_timeout: float = 30.0,
+        deadline: Optional[float] = None,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection(
-            (host, port), timeout=connect_timeout
+        self.deadline = (
+            deadline if isinstance(deadline, _Deadline) else _Deadline(deadline)
         )
+        self._rng = random.Random(jitter_seed)
+        left = self.deadline.remaining(f"connecting to {host}:{port}")
+        if left is not None:
+            connect_timeout = min(connect_timeout, left)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ServiceUnreachable(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         # The I/O timeout must outlive the router's REPLY_TIMEOUT
         # (600s): a barrier command (CLOSE behind a deep inbox) is
         # already enqueued server-side, and hanging up early would
         # orphan the final report while the server still executes it.
         self._sock.settimeout(timeout)
         self._rfile = self._sock.makefile("rb")
+        self._fault_key: Optional[str] = None  # session id once bound
 
     def close(self) -> None:
         try:
@@ -80,6 +179,27 @@ class ServiceClient:
 
     # -- one round trip ----------------------------------------------------
 
+    def _send_frame(self, frame: bytes) -> None:
+        action = fire("wire.send", key=self._fault_key)
+        if action is not None:
+            if action.op == "reset":
+                self._sock.close()
+                raise ConnectionResetError(
+                    "[injected] connection reset before send"
+                )
+            if action.op == "truncate":
+                cut = mutate_frame(frame, action)
+                try:
+                    self._sock.sendall(cut)
+                finally:
+                    self._sock.close()
+                raise ConnectionResetError(
+                    "[injected] connection reset mid-frame "
+                    f"({len(cut)}/{len(frame)} bytes sent)"
+                )
+            frame = mutate_frame(frame, action)  # corrupt
+        self._sock.sendall(frame)
+
     def roundtrip(
         self,
         frame: bytes,
@@ -88,20 +208,24 @@ class ServiceClient:
     ) -> Any:
         """Send one frame, read one reply, retry through BUSY.
 
-        Returns ``(type, payload_dict)``; raises :class:`ServiceError`
-        on an ERROR reply and :class:`protocol.WireError` on a broken
-        stream.
+        BUSY replies are retried with jittered exponential backoff,
+        bounded by ``busy_retries`` and the client deadline. Returns
+        ``(type, payload_dict)``; raises :class:`ServiceError` on an
+        ERROR reply and :class:`protocol.WireError` on a broken stream.
         """
         delay = retry_delay
         for _ in range(busy_retries + 1):
-            self._sock.sendall(frame)
+            self.deadline.remaining("waiting for the server")
+            self._send_frame(frame)
             reply = protocol.read_frame(self._rfile)
             if reply is None:
                 raise protocol.FrameError("server closed the connection")
             ftype, payload = reply
             obj = protocol.decode_json(payload)
             if ftype == FrameType.BUSY:
-                time.sleep(min(delay, 0.5))
+                self.deadline.sleep(
+                    _jittered(self._rng, delay), "backing off from BUSY"
+                )
                 delay *= 2
                 continue
             if ftype == FrameType.ERROR:
@@ -144,6 +268,7 @@ class ServiceClient:
         ftype, info = self.roundtrip(
             protocol.encode_json(FrameType.HELLO, hello)
         )
+        self._fault_key = info.get("session")
         return SessionHandle(self, info, encoding)
 
     def stats(self) -> Dict[str, Any]:
@@ -164,6 +289,10 @@ class SessionHandle:
         #: tells the client how many events to skip re-sending.
         self.position: int = info.get("position", 0)
         self.resumed: bool = bool(info.get("resumed", False))
+        #: Client-side stream position: offset the *next* batch starts
+        #: at. Stamped into positioned EVENTS frames so duplicate
+        #: deliveries are dropped server-side and gaps are detected.
+        self.sent: int = self.position
         self.encoding = encoding
         self._encoder = (
             protocol.DeltaEncoder() if encoding == "delta" else None
@@ -173,18 +302,24 @@ class SessionHandle:
         self.report: Optional[Dict[str, Any]] = None
 
     def send(self, events: Iterable[Event]) -> int:
-        """Ship one batch of events (one EVENTS frame)."""
+        """Ship one batch of events (one positioned EVENTS frame)."""
         events = list(events)
         if not events:
             return 0
         if self._encoder is not None:
-            payload = self._encoder.encode(events)
+            payload = self._encoder.encode(events, base=self.sent)
         else:
-            payload = protocol.encode_events_text(events)
+            payload = protocol.encode_events_text(events, base=self.sent)
         self.client.roundtrip(
             protocol.encode_frame(FrameType.EVENTS, payload)
         )
+        self.sent += len(events)
         return len(events)
+
+    def rewind(self, position: int) -> None:
+        """Restart the send stream at ``position`` (resync after the
+        server reports being behind, e.g. across a shard restart)."""
+        self.sent = position
 
     def flush(self) -> Dict[str, Any]:
         """Barrier: everything sent is processed; collects new findings."""
@@ -216,6 +351,19 @@ class SessionHandle:
     close = result
 
 
+#: ServiceError codes worth a reconnect: the connection (or a shard)
+#: died, but the session survives server-side and resume will heal it.
+_RETRYABLE_CODES = frozenset({"wire", "shard-crashed", "timeout"})
+
+
+def _retryable(exc: Exception) -> bool:
+    if isinstance(exc, (ConnectionError, protocol.WireError)):
+        return True
+    if isinstance(exc, ServiceError):
+        return exc.code in _RETRYABLE_CODES
+    return isinstance(exc, OSError)
+
+
 def submit_trace(
     host: str,
     port: int,
@@ -229,6 +377,9 @@ def submit_trace(
     resume: bool = False,
     stop_after: Optional[int] = None,
     checkpoint: bool = False,
+    deadline: Optional[float] = None,
+    attempts: int = DEFAULT_ATTEMPTS,
+    jitter_seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Stream a whole trace to a service and return its report.
 
@@ -239,8 +390,68 @@ def submit_trace(
     (taking a durable checkpoint when ``checkpoint`` is set), returning
     a position document instead of a report — the crash-drill half of
     the CI ``service-smoke`` job.
+
+    The call is **self-healing**: a reset connection, a corrupted
+    frame, a server read timeout or a crashed shard triggers up to
+    ``attempts`` reconnects with jittered backoff, resuming the same
+    session and re-sending from the server's reported position
+    (positioned frames make the redelivery idempotent). ``deadline``
+    bounds the whole call in wall-clock seconds
+    (:class:`DeadlineExceeded`); an unreachable server raises
+    :class:`ServiceUnreachable` immediately — there is nothing to
+    resume.
     """
-    with ServiceClient(host, port) as client:
+    all_events = list(events)
+    budget = _Deadline(deadline)
+    rng = random.Random(jitter_seed)
+    delay = 0.05
+    failures = 0
+    while True:
+        try:
+            return _submit_once(
+                host, port, all_events, analyses,
+                name=name, batch=batch, encoding=encoding, packed=packed,
+                session_id=session_id, resume=resume,
+                stop_after=stop_after, checkpoint=checkpoint,
+                budget=budget, jitter_seed=jitter_seed,
+            )
+        except (ServiceUnreachable, DeadlineExceeded):
+            raise
+        except Exception as exc:
+            if not _retryable(exc):
+                raise
+            failures += 1
+            if session_id is None or failures >= attempts:
+                # Without a session id there is nothing to resume
+                # idempotently — a blind retry could double-feed.
+                raise
+            budget.sleep(
+                _jittered(rng, delay),
+                f"reconnecting to {host}:{port} after: {exc}",
+            )
+            delay *= 2
+            resume = True  # the session lives server-side; pick it up
+
+
+def _submit_once(
+    host: str,
+    port: int,
+    all_events: List[Event],
+    analyses: Sequence[Union[str, Dict[str, Any]]],
+    name: str,
+    batch: int,
+    encoding: str,
+    packed: bool,
+    session_id: Optional[str],
+    resume: bool,
+    stop_after: Optional[int],
+    checkpoint: bool,
+    budget: _Deadline,
+    jitter_seed: Optional[int],
+) -> Dict[str, Any]:
+    with ServiceClient(
+        host, port, deadline=budget, jitter_seed=jitter_seed
+    ) as client:
         handle = client.open_session(
             analyses,
             name=name,
@@ -249,29 +460,42 @@ def submit_trace(
             session_id=session_id,
             resume=resume,
         )
-        skip = handle.position if resume else 0
-        sent = 0
-        pending: List[Event] = []
-        for idx, event in enumerate(events):
-            if idx < skip:
-                continue
-            if stop_after is not None and skip + sent >= stop_after:
-                break
-            pending.append(event)
-            sent += 1
-            if len(pending) >= batch:
-                handle.send(pending)
-                pending.clear()
-        if pending:
-            handle.send(pending)
-        if stop_after is not None and skip + sent >= stop_after:
+
+        def send_range(start: int, stop: int) -> None:
+            handle.rewind(start)
+            for lo in range(start, stop, batch):
+                handle.send(all_events[lo : min(lo + batch, stop)])
+
+        start = handle.position if resume else 0
+        stop = len(all_events) if stop_after is None else min(
+            stop_after, len(all_events)
+        )
+        if start < stop:
+            send_range(start, stop)
+        if stop_after is not None and handle.sent >= stop_after:
             info = handle.checkpoint() if checkpoint else handle.flush()
             return {
                 "session": handle.session_id,
-                "position": info.get("position", skip + sent),
+                "position": info.get("position", handle.sent),
                 "open": True,
                 "findings": handle.findings,
             }
+        # A shard may have restarted from a checkpoint behind what was
+        # queued: flush exposes the server's true position; re-send the
+        # gap until the stream is whole, then close.
+        info = handle.flush()
+        rounds = 0
+        while info.get("position", stop) < stop:
+            rounds += 1
+            if rounds > DEFAULT_ATTEMPTS:
+                raise ServiceError(
+                    "resync",
+                    f"server stuck at position {info.get('position')} "
+                    f"of {stop} after {rounds - 1} re-sends",
+                )
+            budget.remaining("re-syncing the stream")
+            send_range(info["position"], stop)
+            info = handle.flush()
         report = handle.result()
         report.setdefault("service", {})
         report["service"].update(

@@ -28,7 +28,15 @@ All payloads are UTF-8 JSON except ``EVENTS``, whose payload is a
   interner namespaces (threads, variables, locks, labels); each frame
   ships only the names interned since the previous frame, then the
   batch's dense ``(thread, op, target)`` integer triples. Long streams
-  stop paying for strings almost immediately.
+  stop paying for strings almost immediately;
+* tags ``2``/``3`` — **positioned** text/delta: a 12-byte header
+  (``u64`` stream base position + ``u32`` CRC32 of the body) before
+  the same body as tags 0/1. The base makes at-least-once delivery
+  idempotent — a server that already ingested past ``base`` drops the
+  overlap instead of double-feeding — and the CRC turns any payload
+  corruption into a typed :class:`PayloadError` instead of silently
+  different events. The SDK always sends positioned frames; tags 0/1
+  stay accepted for bare-bones clients.
 
 Everything here is pure — no sockets, no sessions — and hardened the
 same way the binary trace reader is: any corrupt or truncated input
@@ -42,6 +50,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+import zlib
 from enum import IntEnum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -62,6 +71,11 @@ _TRIPLE = struct.Struct("<IBi")  # thread index, op, target index
 #: Event-batch encoding tags (first payload byte of an EVENTS frame).
 TEXT_EVENTS = 0
 DELTA_EVENTS = 1
+#: Positioned variants: body prefixed with ``u64`` base + ``u32`` CRC32.
+TEXT_EVENTS_POS = 2
+DELTA_EVENTS_POS = 3
+
+_POS_HEADER = struct.Struct("<QI")  # stream base position, body CRC32
 
 
 class WireError(Exception):
@@ -237,10 +251,23 @@ def parse_hello(obj: Dict[str, Any]) -> Dict[str, Any]:
 # -- EVENTS payloads --------------------------------------------------------
 
 
-def encode_events_text(events: Iterable[Event]) -> bytes:
-    """An EVENTS payload in text encoding (``.std`` lines)."""
-    body = "\n".join(str(event) for event in events)
-    return bytes([TEXT_EVENTS]) + body.encode("utf-8")
+def encode_events_text(
+    events: Iterable[Event], base: Optional[int] = None
+) -> bytes:
+    """An EVENTS payload in text encoding (``.std`` lines).
+
+    With ``base`` (the stream position of the batch's first event) the
+    positioned tag is used: the server can drop duplicate deliveries
+    and verify the body CRC.
+    """
+    body = "\n".join(str(event) for event in events).encode("utf-8")
+    if base is None:
+        return bytes([TEXT_EVENTS]) + body
+    return (
+        bytes([TEXT_EVENTS_POS])
+        + _POS_HEADER.pack(base, zlib.crc32(body))
+        + body
+    )
 
 
 class DeltaEncoder:
@@ -262,7 +289,9 @@ class DeltaEncoder:
         self._by_ns = (self.variables, self.locks, self.threads, self.labels)
         self._sent = [0, 0, 0, 0]
 
-    def encode(self, events: Iterable[Event]) -> bytes:
+    def encode(
+        self, events: Iterable[Event], base: Optional[int] = None
+    ) -> bytes:
         """One EVENTS payload (delta encoding) for this batch.
 
         Each namespace's name table is prefixed with its **base index**
@@ -270,7 +299,9 @@ class DeltaEncoder:
         retransmission-safe: a decoder that already absorbed a frame's
         names (say, before answering ``BUSY``) recognizes the resent
         base and skips the duplicates instead of shifting every later
-        index.
+        index. With ``base`` (the batch's stream position) the
+        positioned tag adds event-level duplicate dropping and a body
+        CRC on top.
         """
         triples = bytearray()
         n = 0
@@ -285,12 +316,12 @@ class DeltaEncoder:
                 target_idx = self._by_ns[_NAMESPACE_OF_OP[op]].index_of(target)
             triples += _TRIPLE.pack(t_idx, op, target_idx)
             n += 1
-        out = bytearray([DELTA_EVENTS])
+        out = bytearray()
         for ns, interner in enumerate(self._by_ns):
-            base = self._sent[ns]
-            names = interner.names_from(base)
+            table_base = self._sent[ns]
+            names = interner.names_from(table_base)
             self._sent[ns] = len(interner)
-            out += _U32.pack(base)
+            out += _U32.pack(table_base)
             out += _U32.pack(len(names))
             for name in names:
                 raw = name.encode("utf-8")
@@ -298,7 +329,14 @@ class DeltaEncoder:
                 out += raw
         out += _U32.pack(n)
         out += triples
-        return bytes(out)
+        body = bytes(out)
+        if base is None:
+            return bytes([DELTA_EVENTS]) + body
+        return (
+            bytes([DELTA_EVENTS_POS])
+            + _POS_HEADER.pack(base, zlib.crc32(body))
+            + body
+        )
 
 
 class DeltaDecoder:
@@ -389,39 +427,72 @@ class DeltaDecoder:
         return events
 
 
-def decode_events(
-    payload: bytes, decoder: Optional[DeltaDecoder] = None
-) -> List[Event]:
-    """Decode an EVENTS payload of either encoding.
+def _decode_text_body(body: bytes) -> List[Event]:
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise PayloadError(f"bad text encoding: {exc}") from exc
+    events: List[Event] = []
+    for line_number, line in enumerate(io.StringIO(text), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            thread, op, target = parse_fields(stripped, line_number)
+        except TraceParseError as exc:
+            raise PayloadError(str(exc)) from exc
+        events.append(Event(thread, op, target))
+    return events
 
-    ``decoder`` carries the per-stream delta state; text payloads do
-    not need one. Returned events carry ``idx = -1`` — the session
-    stamps global stream positions.
+
+def decode_events_ex(
+    payload: bytes, decoder: Optional[DeltaDecoder] = None
+) -> Tuple[List[Event], Optional[int]]:
+    """Decode an EVENTS payload of any encoding.
+
+    Returns ``(events, base)`` — ``base`` is the stream position the
+    batch claims to start at (positioned tags), or ``None`` (legacy
+    tags). ``decoder`` carries the per-stream delta state; text
+    payloads do not need one. Returned events carry ``idx = -1`` — the
+    session stamps global stream positions.
 
     Raises:
-        PayloadError: On an unknown encoding tag or any body defect.
+        PayloadError: On an unknown encoding tag, a CRC mismatch, or
+            any body defect.
     """
     if not payload:
         raise PayloadError("empty EVENTS payload")
     tag = payload[0]
+    base: Optional[int] = None
+    body = payload[1:]
+    if tag in (TEXT_EVENTS_POS, DELTA_EVENTS_POS):
+        if len(body) < _POS_HEADER.size:
+            raise PayloadError("truncated positioned-events header")
+        base, crc = _POS_HEADER.unpack_from(body)
+        body = body[_POS_HEADER.size :]
+        if zlib.crc32(body) != crc:
+            raise PayloadError(
+                f"events body CRC mismatch at base {base} (corrupt frame)"
+            )
+        tag = TEXT_EVENTS if tag == TEXT_EVENTS_POS else DELTA_EVENTS
     if tag == TEXT_EVENTS:
-        try:
-            text = payload[1:].decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise PayloadError(f"bad text encoding: {exc}") from exc
-        events: List[Event] = []
-        for line_number, line in enumerate(io.StringIO(text), start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            try:
-                thread, op, target = parse_fields(stripped, line_number)
-            except TraceParseError as exc:
-                raise PayloadError(str(exc)) from exc
-            events.append(Event(thread, op, target))
-        return events
+        return _decode_text_body(body), base
     if tag == DELTA_EVENTS:
         if decoder is None:
             raise PayloadError("delta-encoded events need a stream decoder")
-        return decoder.decode(payload[1:])
-    raise PayloadError(f"unknown events encoding tag {tag}")
+        return decoder.decode(body), base
+    raise PayloadError(f"unknown events encoding tag {payload[0]}")
+
+
+def decode_events(
+    payload: bytes, decoder: Optional[DeltaDecoder] = None
+) -> List[Event]:
+    """Decode an EVENTS payload, dropping any position header.
+
+    The events-only form of :func:`decode_events_ex` (which the server
+    uses to enforce positioned idempotence).
+
+    Raises:
+        PayloadError: On an unknown encoding tag or any body defect.
+    """
+    return decode_events_ex(payload, decoder)[0]

@@ -28,6 +28,7 @@ Control commands are synchronous request/response futures.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -36,9 +37,16 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.snapshot import CheckpointError
+from ..faults.injector import fire
+from ..faults.plan import ShardCrash
 from ..trace.events import Event
-from .recovery import RecoveryManager
+from .recovery import RecoveryError, RecoveryManager
 from .session import StreamingSession
+
+#: Service-wide logger. Every message that concerns a tenant carries
+#: ``session=<id> shard=<n>`` so partial failures keep attribution.
+log = logging.getLogger("repro.service")
 
 #: Default bound of each shard's inbox queue (batches, not events).
 DEFAULT_QUEUE_SIZE = 64
@@ -65,6 +73,23 @@ class BusyError(RouterError):
 
 class SessionNotFound(RouterError):
     """The session id is not open on its shard."""
+
+
+class SessionQuarantined(RouterError):
+    """The session was poisoned (an analysis raised, a gap was
+    detected, …) and isolated; its shard and sibling tenants are fine.
+    ``code`` is the machine-readable failure class."""
+
+    def __init__(self, message: str, code: str = "quarantined") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ShardCrashed(RouterError):
+    """The session's shard worker died mid-flight. Queued batches were
+    lost; the router restarts the shard (recovering spooled sessions at
+    their checkpoints) on the next command routed to it. Clients should
+    resume and re-send from the server's reported position."""
 
 
 class _Future:
@@ -96,6 +121,11 @@ class _Future:
             kind, message = self.error
             if kind == "SessionNotFound":
                 raise SessionNotFound(message)
+            if kind == "SessionQuarantined":
+                code, _, detail = message.partition("|")
+                raise SessionQuarantined(detail or message, code=code)
+            if kind == "ShardCrashed":
+                raise ShardCrashed(message)
             raise RouterError(message)
         return self.value
 
@@ -123,6 +153,9 @@ class ShardWorker:
         self.findings_total = 0
         self.sessions_closed = 0
         self.errors_total = 0
+        self.sessions_quarantined = 0
+        self.events_dropped = 0
+        self.checkpoint_failures = 0
 
     # -- command handlers (dispatched by name) -----------------------------
 
@@ -173,16 +206,38 @@ class ShardWorker:
             "resumed": resumed,
         }
 
-    def do_events(self, session_id: str, events: List[Event]) -> None:
+    def do_events(
+        self,
+        session_id: str,
+        events: List[Event],
+        base: Optional[int] = None,
+    ) -> None:
         session = self._session(session_id)
-        if session.error is not None:
-            return  # poisoned: ignore until the client sees the error
+        if session.quarantined:
+            # Poisoned: count and drop until the client sees the error.
+            session.dropped += len(events)
+            self.events_dropped += len(events)
+            return
+        action = fire("shard.batch", key=session_id)
+        if action is not None and action.op == "crash":
+            raise ShardCrash(
+                f"[injected] shard {self.shard_id} crashed processing a "
+                f"batch of session {session_id!r}"
+            )
         try:
-            self.findings_total += session.feed(events)
+            self.findings_total += session.feed(events, base=base)
             self.events_total += len(events)
-        except Exception as exc:  # park it; surface at flush/close
-            session.error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:
+            # Quarantine the one tenant; the shard and its sibling
+            # sessions keep running.
+            session.quarantine("analysis", f"{type(exc).__name__}: {exc}")
+            self.sessions_quarantined += 1
             self.errors_total += 1
+            log.error(
+                "analysis failure quarantined session=%s shard=%d "
+                "position=%d: %s",
+                session_id, self.shard_id, session.position, exc,
+            )
             return
         interval = self.checkpoint_every
         if (
@@ -190,8 +245,18 @@ class ShardWorker:
             and interval
             and session.position - self._last_checkpoint[session_id] >= interval
         ):
-            self.recovery.save(session)
-            self._last_checkpoint[session_id] = session.position
+            try:
+                self.recovery.save(session)
+            except (RecoveryError, CheckpointError) as exc:
+                # A failed periodic checkpoint degrades durability, not
+                # the live session — log it, count it, keep analyzing.
+                self.checkpoint_failures += 1
+                log.warning(
+                    "checkpoint failed session=%s shard=%d position=%d: %s",
+                    session_id, self.shard_id, session.position, exc,
+                )
+            else:
+                self._last_checkpoint[session_id] = session.position
 
     def do_flush(self, session_id: str) -> Dict[str, Any]:
         session = self._session(session_id)
@@ -200,6 +265,8 @@ class ShardWorker:
             "findings": session.drain_findings(),
             "findings_total": len(session.findings),
             "error": session.error,
+            "error_code": session.error_code,
+            "out_of_sync": session.out_of_sync,
         }
 
     def do_checkpoint(self, session_id: str) -> Dict[str, Any]:
@@ -212,10 +279,30 @@ class ShardWorker:
 
     def do_close(self, session_id: str) -> Dict[str, Any]:
         session = self._session(session_id)
-        if session.error is not None:
+        if session.quarantined:
+            code = session.error_code or "quarantined"
             error = session.error
+            position = session.quarantined_at
+            dropped = session.dropped
             self._drop(session_id)
-            raise RouterError(f"session failed mid-stream: {error}")
+            log.error(
+                "closing quarantined session=%s shard=%d code=%s "
+                "quarantined_at=%s dropped=%d: %s",
+                session_id, self.shard_id, code, position, dropped, error,
+            )
+            raise SessionQuarantined(
+                f"session quarantined at position {position} "
+                f"({dropped} later events dropped): {error}",
+                code=code,
+            )
+        if session.out_of_sync:
+            # Events were lost (e.g. across a shard restart) and the
+            # client never re-sent them: refuse to emit a report that
+            # silently covers a shorter stream.
+            raise RouterError(
+                f"session {session_id!r} is out of sync at position "
+                f"{session.position}; re-send from there before CLOSE"
+            )
         report = session.report()
         findings = session.drain_findings()
         self._drop(session_id)
@@ -234,10 +321,13 @@ class ShardWorker:
             "shard": self.shard_id,
             "sessions_open": len(self.sessions),
             "sessions_closed": self.sessions_closed,
+            "sessions_quarantined": self.sessions_quarantined,
             "events": self.events_total,
+            "events_dropped": self.events_dropped,
             "events_per_second": self.events_total / elapsed,
             "violations": self.findings_total,
             "errors": self.errors_total,
+            "checkpoint_failures": self.checkpoint_failures,
             "uptime_seconds": elapsed,
         }
 
@@ -260,6 +350,21 @@ def _drive(worker: ShardWorker, inbox, reply) -> None:
             return
         try:
             value = worker.handle(op, args)
+        except ShardCrash as exc:
+            # Injected worker death: answer the caller if one is
+            # waiting, then let the exception escape the loop — the
+            # driver thread/process dies exactly like a real crash.
+            if token is not None:
+                reply(token, False, ("ShardCrashed", str(exc)))
+            raise
+        except SessionQuarantined as exc:
+            worker.errors_total += 1
+            if token is not None:
+                # The code rides the message ("code|detail") so it
+                # survives the picklable (kind, message) reply tuple
+                # process shards ship over their outbox queue.
+                reply(token, False, ("SessionQuarantined", f"{exc.code}|{exc}"))
+            continue
         except Exception as exc:
             worker.errors_total += 1
             if token is not None:
@@ -282,13 +387,35 @@ class _ThreadShard:
         self.shard_id = shard_id
         self.inbox: "queue.Queue" = queue.Queue(maxsize=queue_size)
         self._worker = ShardWorker(shard_id, recovery, checkpoint_every)
+        self._dead: Optional[str] = None
         self._thread = threading.Thread(
-            target=_drive,
-            args=(self._worker, self.inbox, self._reply),
+            target=self._run,
             name=f"repro-shard-{shard_id}",
             daemon=True,
         )
         self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            _drive(self._worker, self.inbox, self._reply)
+        except BaseException as exc:  # the worker died mid-command
+            self._dead = f"{type(exc).__name__}: {exc}"
+            log.error(
+                "shard worker died shard=%d: %s", self.shard_id, self._dead
+            )
+            # Queued commands will never run: fail any waiting callers
+            # so nothing blocks on a reply from a dead worker.
+            while True:
+                try:
+                    token, _op, _args = self.inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if token is not None:
+                    token.fail(
+                        "ShardCrashed",
+                        f"shard {self.shard_id} died before the command "
+                        f"ran: {self._dead}",
+                    )
 
     @staticmethod
     def _reply(future: _Future, ok: bool, value: Any) -> None:
@@ -297,7 +424,14 @@ class _ThreadShard:
         else:
             future.fail(*value)
 
+    def alive(self) -> bool:
+        return self._dead is None and self._thread.is_alive()
+
     def call(self, op: str, *args: Any) -> Any:
+        if not self.alive():
+            raise ShardCrashed(
+                f"shard {self.shard_id} is down ({self._dead or 'stopped'})"
+            )
         future = _Future()
         try:
             self.inbox.put((future, op, args), timeout=CONTROL_TIMEOUT)
@@ -306,6 +440,10 @@ class _ThreadShard:
         return future.wait(REPLY_TIMEOUT)
 
     def cast(self, op: str, *args: Any) -> None:
+        if not self.alive():
+            raise ShardCrashed(
+                f"shard {self.shard_id} is down ({self._dead or 'stopped'})"
+            )
         try:
             self.inbox.put_nowait((None, op, args))
         except queue.Full:
@@ -315,6 +453,8 @@ class _ThreadShard:
         return self.inbox.qsize()
 
     def stop(self) -> None:
+        if not self.alive():
+            return
         try:
             self.inbox.put((None, "stop", ()), timeout=1.0)
         except queue.Full:
@@ -382,7 +522,12 @@ class _ProcessShard:
             else:
                 future.fail(*value)
 
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
     def call(self, op: str, *args: Any) -> Any:
+        if not self.alive():
+            raise ShardCrashed(f"shard {self.shard_id} process is down")
         future = _Future()
         with self._futures_lock:
             token = self._next_token = self._next_token + 1
@@ -396,6 +541,8 @@ class _ProcessShard:
         return future.wait(REPLY_TIMEOUT)
 
     def cast(self, op: str, *args: Any) -> None:
+        if not self.alive():
+            raise ShardCrashed(f"shard {self.shard_id} process is down")
         try:
             self.inbox.put_nowait((None, op, args))
         except queue.Full:
@@ -424,15 +571,26 @@ class RouterStats:
     """One aggregated ``stats()`` snapshot."""
 
     shards: List[Dict[str, Any]] = field(default_factory=list)
+    restarts: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         return {
             "shards": self.shards,
             "sessions_open": sum(s["sessions_open"] for s in self.shards),
             "sessions_closed": sum(s["sessions_closed"] for s in self.shards),
+            "sessions_quarantined": sum(
+                s.get("sessions_quarantined", 0) for s in self.shards
+            ),
             "events": sum(s["events"] for s in self.shards),
+            "events_dropped": sum(
+                s.get("events_dropped", 0) for s in self.shards
+            ),
             "violations": sum(s["violations"] for s in self.shards),
             "errors": sum(s["errors"] for s in self.shards),
+            "checkpoint_failures": sum(
+                s.get("checkpoint_failures", 0) for s in self.shards
+            ),
+            "shard_restarts": self.restarts,
         }
 
 
@@ -461,13 +619,20 @@ class Router:
             raise ValueError("router needs at least one shard")
         if workers not in ("thread", "process"):
             raise ValueError(f"workers must be 'thread' or 'process', not {workers!r}")
-        shard_cls = _ThreadShard if workers == "thread" else _ProcessShard
+        self._shard_cls = _ThreadShard if workers == "thread" else _ProcessShard
         self.workers = workers
         self.recovery = recovery
+        self._queue_size = queue_size
+        self._checkpoint_every = checkpoint_every
         self._shards = [
-            shard_cls(i, queue_size, recovery, checkpoint_every)
+            self._shard_cls(i, queue_size, recovery, checkpoint_every)
             for i in range(shards)
         ]
+        self._restart_lock = threading.Lock()
+        #: Times a dead shard worker was replaced with a fresh one.
+        self.restarts = 0
+        #: Spool entries quarantined during :meth:`recover` (salvage).
+        self.salvaged: List[Dict[str, str]] = []
         self._closed = False
 
     # -- routing -----------------------------------------------------------
@@ -476,8 +641,56 @@ class Router:
         """Stable shard index for a session id (CRC32 mod shards)."""
         return zlib.crc32(session_id.encode("utf-8")) % len(self._shards)
 
+    def _shard_at(self, idx: int):
+        """The shard at ``idx``, restarting it first if its worker died.
+
+        A crashed worker takes its queued batches with it; the
+        replacement re-opens that shard's spooled sessions at their
+        checkpoints, so positioned clients can resync by flushing and
+        re-sending from the reported position. Without a spool the
+        sessions are simply gone (clients get SessionNotFound).
+        """
+        shard = self._shards[idx]
+        if shard.alive() or self._closed:
+            return shard
+        with self._restart_lock:
+            shard = self._shards[idx]
+            if shard.alive():
+                return shard
+            log.error("restarting dead shard=%d", idx)
+            shard = self._shard_cls(
+                idx, self._queue_size, self.recovery, self._checkpoint_every
+            )
+            self._shards[idx] = shard
+            self.restarts += 1
+            if self.recovery is not None:
+                ids, salvage = self.recovery.scan()
+                for path, reason in salvage:
+                    quarantined = self.recovery.quarantine_path(path)
+                    self.salvaged.append(
+                        {"file": str(quarantined), "reason": reason}
+                    )
+                for session_id in ids:
+                    if self.shard_of(session_id) != idx:
+                        continue
+                    try:
+                        shard.call(
+                            "open", session_id, [], "stream", False, True
+                        )
+                    except RouterError as exc:
+                        log.error(
+                            "could not re-open spooled session=%s shard=%d "
+                            "after restart: %s",
+                            session_id, idx, exc,
+                        )
+                        quarantined = self.recovery.quarantine(session_id)
+                        self.salvaged.append(
+                            {"file": str(quarantined), "reason": str(exc)}
+                        )
+            return shard
+
     def _shard(self, session_id: str):
-        return self._shards[self.shard_of(session_id)]
+        return self._shard_at(self.shard_of(session_id))
 
     # -- the service surface ----------------------------------------------
 
@@ -495,9 +708,26 @@ class Router:
             "open", session_id, list(analyses), name, packed, resume
         )
 
-    def feed(self, session_id: str, events: List[Event]) -> int:
-        """Enqueue one batch (pipelined; :class:`BusyError` = backpressure)."""
-        self._shard(session_id).cast("events", session_id, events)
+    def feed(
+        self,
+        session_id: str,
+        events: List[Event],
+        base: Optional[int] = None,
+    ) -> int:
+        """Enqueue one batch (pipelined; :class:`BusyError` = backpressure).
+
+        ``base`` is the stream position the batch claims to start at
+        (from a positioned EVENTS frame); the session drops overlap and
+        flags gaps, making at-least-once delivery idempotent.
+        """
+        action = fire("shard.inbox", key=session_id)
+        if action is not None and action.op == "stall":
+            # A stalled inbox is indistinguishable from a full one:
+            # surface it as backpressure (BUSY on the wire).
+            raise BusyError(
+                f"[injected] shard {self.shard_of(session_id)} inbox stalled"
+            )
+        self._shard(session_id).cast("events", session_id, events, base)
         return len(events)
 
     def flush(self, session_id: str) -> Dict[str, Any]:
@@ -512,21 +742,45 @@ class Router:
         return self._shard(session_id).call("close", session_id)
 
     def recover(self) -> List[str]:
-        """Re-open every session spooled by a previous incarnation."""
+        """Re-open every recoverable session spooled by a previous
+        incarnation.
+
+        Best-effort per entry: a corrupt, truncated, or unthawable
+        spool file is quarantined to ``*.bad`` and recorded in
+        :attr:`salvaged` — one bad entry never blocks its healthy
+        siblings from recovering.
+        """
         if self.recovery is None:
             return []
         recovered = []
-        for session_id in self.recovery.session_ids():
-            info = self._shard(session_id).call(
-                "open", session_id, [], "stream", False, True
-            )
+        ids, salvage = self.recovery.scan()
+        for path, reason in salvage:
+            quarantined = self.recovery.quarantine_path(path)
+            log.error("salvaged corrupt spool entry %s: %s", path.name, reason)
+            self.salvaged.append({"file": str(quarantined), "reason": reason})
+        for session_id in ids:
+            try:
+                info = self._shard(session_id).call(
+                    "open", session_id, [], "stream", False, True
+                )
+            except RouterError as exc:
+                quarantined = self.recovery.quarantine(session_id)
+                log.error(
+                    "salvaged unrecoverable session=%s shard=%d: %s",
+                    session_id, self.shard_of(session_id), exc,
+                )
+                self.salvaged.append(
+                    {"file": str(quarantined), "reason": str(exc)}
+                )
+                continue
             recovered.append(info["session"])
         return recovered
 
     def stats(self) -> Dict[str, Any]:
         """One aggregated snapshot across all shards."""
-        snapshot = RouterStats()
-        for shard in self._shards:
+        snapshot = RouterStats(restarts=self.restarts)
+        for idx in range(len(self._shards)):
+            shard = self._shard_at(idx)
             row = shard.call("stats")
             row["queue_depth"] = shard.queue_depth()
             row["workers"] = self.workers

@@ -10,27 +10,55 @@ The protocol is strict request/response: every client frame is answered
 by exactly one server frame (``OK``/``VIOLATION``/``REPORT``/
 ``BUSY``/``ERROR``). Error isolation is layered:
 
-* a **wire error** (corrupt frame, bad payload) poisons only the
-  connection: the server answers ``ERROR`` and closes the socket —
-  the framing can no longer be trusted — but the session and every
-  other tenant on the same shard are untouched;
+* a **wire error** (corrupt frame, bad payload, a read timeout)
+  poisons only the connection: the server answers ``ERROR`` and closes
+  the socket — the framing can no longer be trusted — but the session
+  and every other tenant on the same shard are untouched;
 * an **application error** (unknown analysis, unknown session, a
-  feed that raised) is answered with ``ERROR`` and the connection
-  stays usable;
+  quarantined session, a crashed shard) is answered with a typed
+  ``ERROR`` and the connection stays usable;
 * ``BUSY`` signals shard backpressure; clients retry after a pause.
+
+Every connection reads under a **timeout** (a half-dead client cannot
+pin a handler thread forever), every error log line carries
+``session=<id> shard=<n>`` attribution, and the ``STATS`` reply merges
+server-level counters (busy replies, read timeouts, wire errors) with
+the router's per-shard rows.
+
+Fault sites (see :mod:`repro.faults`): ``wire.reply`` —
+``truncate``/``corrupt`` a reply frame or ``reset`` the connection
+before answering; ``server.events`` — ``duplicate`` redelivers a
+decoded EVENTS batch (at-least-once delivery, which positioned frames
+make idempotent).
 """
 
 from __future__ import annotations
 
+import logging
 import socketserver
 import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..faults.injector import fire, mutate_frame
 from . import protocol
 from .protocol import FrameType
 from .recovery import RecoveryManager
-from .router import BusyError, Router, RouterError, SessionNotFound
+from .router import (
+    BusyError,
+    Router,
+    RouterError,
+    ShardCrashed,
+    SessionNotFound,
+    SessionQuarantined,
+)
+
+log = logging.getLogger("repro.service")
+
+#: Default per-connection read timeout (seconds). Generous — it only
+#: has to beat "forever": a stalled client releases its handler thread
+#: instead of pinning it until process exit.
+DEFAULT_READ_TIMEOUT = 600.0
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -40,9 +68,34 @@ class _Handler(socketserver.StreamRequestHandler):
         super().setup()
         self.session_id: Optional[str] = None
         self.decoder = protocol.DeltaDecoder()  # per-connection delta state
+        timeout = getattr(self.server, "read_timeout", None)
+        if timeout:
+            self.connection.settimeout(timeout)
+
+    def _count(self, counter: str) -> None:
+        self.server.count(counter)  # type: ignore[attr-defined]
+
+    def _where(self) -> str:
+        """``session=<id> shard=<n>`` attribution for log lines."""
+        if self.session_id is None:
+            return "session=- shard=-"
+        router: Router = self.server.router  # type: ignore[attr-defined]
+        return (
+            f"session={self.session_id} "
+            f"shard={router.shard_of(self.session_id)}"
+        )
 
     def _send(self, ftype: int, obj: Dict[str, Any]) -> None:
-        self.wfile.write(protocol.encode_json(ftype, obj))
+        frame = protocol.encode_json(ftype, obj)
+        action = fire("wire.reply", key=self.session_id)
+        if action is not None:
+            if action.op == "reset":
+                # Drop the connection without answering — the client
+                # sees a reset mid-request and must reconnect/resume.
+                self.connection.close()
+                raise BrokenPipeError("[injected] server reset connection")
+            frame = mutate_frame(frame, action)
+        self.wfile.write(frame)
         self.wfile.flush()
 
     def _error(self, code: str, message: str) -> None:
@@ -53,8 +106,20 @@ class _Handler(socketserver.StreamRequestHandler):
         while True:
             try:
                 frame = protocol.read_frame(self.rfile)
+            except TimeoutError:
+                self._count("read_timeouts")
+                log.warning(
+                    "connection read timed out %s; dropping it", self._where()
+                )
+                try:
+                    self._error("timeout", "read timed out; reconnect to resume")
+                except OSError:
+                    pass
+                return
             except protocol.WireError as error:
                 # Framing is broken: answer once, drop the connection.
+                self._count("wire_errors")
+                log.warning("wire error %s: %s", self._where(), error)
                 try:
                     self._error("wire", str(error))
                 except OSError:
@@ -68,20 +133,37 @@ class _Handler(socketserver.StreamRequestHandler):
             try:
                 self._dispatch(router, ftype, payload)
             except protocol.WireError as error:
+                self._count("wire_errors")
+                log.warning("wire error %s: %s", self._where(), error)
                 try:
                     self._error("wire", str(error))
                 except OSError:
                     pass
                 return
             except BusyError:
+                self._count("busy_replies")
                 self._send(FrameType.BUSY, {"retry_ms": 50})
             except SessionNotFound as error:
                 self._error("unknown-session", str(error))
+            except SessionQuarantined as error:
+                log.error(
+                    "quarantined session reported %s code=%s: %s",
+                    self._where(), error.code, error,
+                )
+                self._error(error.code, str(error))
+            except ShardCrashed as error:
+                log.error("shard crash reported %s: %s", self._where(), error)
+                self._error("shard-crashed", str(error))
             except RouterError as error:
+                log.error("router error %s: %s", self._where(), error)
                 self._error("session", str(error))
             except BrokenPipeError:
                 return
             except Exception as error:  # isolate: never kill the daemon
+                log.exception(
+                    "internal error %s: %s: %s",
+                    self._where(), type(error).__name__, error,
+                )
                 try:
                     self._error(
                         "internal", f"{type(error).__name__}: {error}"
@@ -104,19 +186,32 @@ class _Handler(socketserver.StreamRequestHandler):
             self._send(FrameType.OK, info)
             return
         if ftype == FrameType.STATS:
-            self._send(FrameType.OK, {"stats": router.stats()})
+            stats = router.stats()
+            stats["server"] = self.server.counters()  # type: ignore[attr-defined]
+            self._send(FrameType.OK, {"stats": stats})
             return
         if self.session_id is None:
             self._error("no-session", "send HELLO first")
             return
         if ftype == FrameType.EVENTS:
-            events = protocol.decode_events(payload, self.decoder)
-            queued = router.feed(self.session_id, events)
+            events, base = protocol.decode_events_ex(payload, self.decoder)
+            queued = router.feed(self.session_id, events, base=base)
+            action = fire("server.events", key=self.session_id)
+            if action is not None and action.op == "duplicate":
+                # At-least-once delivery: the same decoded batch lands
+                # twice. Positioned batches are deduplicated by the
+                # session; unpositioned ones genuinely double (which is
+                # exactly the hazard positioned frames exist to remove).
+                router.feed(self.session_id, events, base=base)
             self._send(FrameType.OK, {"queued": queued})
         elif ftype == FrameType.FLUSH:
             info = router.flush(self.session_id)
             if info["error"] is not None:
-                self._error("session", info["error"])
+                log.error(
+                    "flush surfaced session error %s code=%s: %s",
+                    self._where(), info.get("error_code"), info["error"],
+                )
+                self._error(info.get("error_code") or "session", info["error"])
             elif info["findings"]:
                 self._send(FrameType.VIOLATION, info)
             else:
@@ -135,6 +230,29 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.read_timeout: Optional[float] = None
+        self._counters: Dict[str, int] = {
+            "busy_replies": 0,
+            "read_timeouts": 0,
+            "wire_errors": 0,
+        }
+        self._counters_lock = threading.Lock()
+
+    def count(self, counter: str) -> None:
+        with self._counters_lock:
+            self._counters[counter] = self._counters.get(counter, 0) + 1
+
+    def counters(self) -> Dict[str, int]:
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        # The default prints a traceback to stderr; keep attribution
+        # and route through the service logger instead.
+        log.exception("unhandled handler error from client=%s", client_address)
+
 
 class ServiceServer:
     """The long-running analysis service.
@@ -146,9 +264,12 @@ class ServiceServer:
         workers: ``"thread"`` (default) or ``"process"`` shards.
         spool: Checkpoint spool directory — enables recovery; on
             construction, sessions spooled by a previous incarnation
-            are re-opened at their checkpointed positions.
+            are re-opened at their checkpointed positions (corrupt
+            entries are quarantined to ``*.bad``; see :attr:`salvaged`).
         checkpoint_every: Auto-checkpoint interval in events.
         queue_size: Shard inbox bound (batches) before ``BUSY``.
+        read_timeout: Per-connection socket read timeout in seconds
+            (``None`` disables; default :data:`DEFAULT_READ_TIMEOUT`).
     """
 
     def __init__(
@@ -160,6 +281,7 @@ class ServiceServer:
         spool: Union[str, Path, None] = None,
         checkpoint_every: Optional[int] = 1000,
         queue_size: int = 64,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
     ) -> None:
         recovery = RecoveryManager(spool) if spool is not None else None
         self.router = Router(
@@ -170,8 +292,12 @@ class ServiceServer:
             checkpoint_every=checkpoint_every,
         )
         self.recovered = self.router.recover()
+        #: Spool entries quarantined during recovery (dicts with
+        #: ``file``/``reason``) — the salvage report.
+        self.salvaged = self.router.salvaged
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.router = self.router  # type: ignore[attr-defined]
+        self._tcp.read_timeout = read_timeout
         self.host, self.port = self._tcp.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 

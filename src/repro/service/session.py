@@ -75,6 +75,18 @@ class StreamingSession:
         #: told (advanced by :meth:`drain_findings`).
         self.delivered = 0
         self.error: Optional[str] = None
+        #: Machine-readable failure class when :attr:`error` is set
+        #: (``"analysis"``, ``"feed"``, …) — the quarantine code.
+        self.error_code: Optional[str] = None
+        #: Stream position at which the session was quarantined.
+        self.quarantined_at: Optional[int] = None
+        #: Events ignored after quarantine (observability counter).
+        self.dropped = 0
+        #: True when a positioned batch arrived *past* the current
+        #: position (events were lost, e.g. across a shard restart) —
+        #: the client must re-send from :attr:`position` before any
+        #: report can be trusted. Cleared when the stream re-aligns.
+        self.out_of_sync = False
         self.result: Optional[SessionResult] = None
         self._counts = [0] * len(instances)
 
@@ -89,18 +101,51 @@ class StreamingSession:
     def closed(self) -> bool:
         return self.result is not None
 
-    def feed(self, events: Sequence[Event]) -> int:
+    @property
+    def quarantined(self) -> bool:
+        """Whether this session has been poisoned and isolated."""
+        return self.error is not None
+
+    def quarantine(self, code: str, message: str) -> None:
+        """Poison-isolate this session: record a typed error, stop
+        analyzing. Further batches are counted and dropped; barriers
+        surface the error; CLOSE answers a typed ERROR instead of a
+        report. The shard and every sibling tenant keep running."""
+        if self.error is None:
+            self.error = message
+            self.error_code = code
+            self.quarantined_at = self.events_fed
+
+    def feed(self, events: Sequence[Event], base: Optional[int] = None) -> int:
         """Ingest one batch, stamping global stream indices.
+
+        ``base`` is the stream position the batch claims to start at
+        (positioned EVENTS frames). A batch at or before the current
+        position has its overlap dropped — at-least-once delivery
+        (client retransmits, duplicated frames) is idempotent. A batch
+        *past* the position means events were lost; it is dropped whole
+        and the session marked :attr:`out_of_sync` so no short report
+        can ever masquerade as a complete one.
 
         Returns the number of *new* findings the batch surfaced.
         """
         if self.result is not None:
             raise RuntimeError(f"session {self.session_id} already closed")
-        base = self.events_fed
+        position = self.events_fed
+        if base is not None:
+            if base > position:
+                self.out_of_sync = True
+                return 0
+            if base < position:
+                overlap = position - base
+                if overlap >= len(events):
+                    return 0  # pure duplicate delivery
+                events = events[overlap:]
+            self.out_of_sync = False
         for offset, event in enumerate(events):
-            event.idx = base + offset
+            event.idx = position + offset
         self.session.feed(events, packed=self.packed or None)
-        self.events_fed = base + len(events)
+        self.events_fed = position + len(events)
         return self._observe()
 
     def finish(self) -> SessionResult:
