@@ -33,7 +33,7 @@ traces and the parallel reports — a disagreement marks the run
 ``agree: false`` and fails ``--check`` mode, which is what CI's
 benchmark smoke gates on.
 
-The output (``BENCH_PR5.json`` by default, schema ``repro-bench/3``)
+The output (``BENCH_PR7.json`` by default, schema ``repro-bench/4``)
 is documented in ``docs/PERF.md``.
 """
 
@@ -70,7 +70,11 @@ SESSION_EXTRAS = ("races", "lockset")
 PARALLEL_EXTRAS = ("doublechecker", "atomizer", "races", "lockset", "profile")
 
 #: Schema tag stamped into every report.
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
+
+#: Server front ends the service block measures (same wire, same
+#: router; one handler thread per connection vs one selectors loop).
+SERVICE_BACKENDS = ("thread", "async")
 
 #: Analyses streamed in the service benchmark block.
 SERVICE_ANALYSES = ("aerodrome", "races", "lockset")
@@ -361,17 +365,21 @@ def bench_service(
     sessions: Iterable[int] = SERVICE_SESSIONS,
     batch: int = 512,
     shards: int = 2,
+    backends: Iterable[str] = SERVICE_BACKENDS,
 ) -> Dict:
     """Streamed-vs-offline throughput + agreement for the service.
 
-    Starts an in-process ``repro serve`` (thread shards, loopback TCP),
-    then for each concurrency level streams the workload through that
-    many simultaneous sessions and compares every returned
+    For each connection **backend** (one handler thread per connection
+    vs the single-threaded selectors event loop) this starts an
+    in-process ``repro serve`` (thread shards, loopback TCP), then for
+    each concurrency level streams the workload through that many
+    simultaneous sessions and compares every returned
     ``repro-report/1`` document against the offline ``Session.run()``
-    on the same trace. The ``agree`` flags are the hardware-independent
-    gate (``--check`` and CI fail on them); the events/sec columns only
-    mean something on hardware with idle cores — same policy as the
-    ``parallel`` block, recorded in the summary note on 1-CPU hosts.
+    on the same trace. The per-backend ``agree`` flags are the
+    hardware-independent gate (``--check`` and CI fail on them); the
+    events/sec columns only mean something on hardware with idle
+    cores — same policy as the ``parallel`` block, recorded in the
+    summary note on 1-CPU hosts.
     """
     import threading
 
@@ -379,6 +387,7 @@ def bench_service(
     from ..service.server import ServiceServer
 
     names = list(analyses)
+    backends = list(backends)
     events = list(trace.events)
     n = len(events)
 
@@ -395,49 +404,52 @@ def bench_service(
     }
 
     rows = []
-    with ServiceServer(shards=shards).start() as server:
-        for k in sessions:
-            docs: List[Optional[Dict]] = [None] * k
+    for backend in backends:
+        with ServiceServer(shards=shards, backend=backend).start() as server:
+            for k in sessions:
+                docs: List[Optional[Dict]] = [None] * k
 
-            def stream(slot: int) -> None:
-                docs[slot] = submit_trace(
-                    server.host, server.port, events, names,
-                    name=f"{trace.name}#{slot}", batch=batch,
-                    encoding="delta",
+                def stream(slot: int) -> None:
+                    docs[slot] = submit_trace(
+                        server.host, server.port, events, names,
+                        name=f"{trace.name}#{slot}", batch=batch,
+                        encoding="delta",
+                    )
+
+                start = time.perf_counter()
+                if k == 1:
+                    stream(0)
+                else:
+                    threads = [
+                        threading.Thread(target=stream, args=(slot,))
+                        for slot in range(k)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                seconds = time.perf_counter() - start
+                agree = all(
+                    doc is not None and doc["analyses"] == offline_doc
+                    for doc in docs
                 )
-
-            start = time.perf_counter()
-            if k == 1:
-                stream(0)
-            else:
-                threads = [
-                    threading.Thread(target=stream, args=(slot,))
-                    for slot in range(k)
-                ]
-                for thread in threads:
-                    thread.start()
-                for thread in threads:
-                    thread.join()
-            seconds = time.perf_counter() - start
-            agree = all(
-                doc is not None and doc["analyses"] == offline_doc
-                for doc in docs
-            )
-            rows.append(
-                {
-                    "sessions": k,
-                    "events": n * k,
-                    "seconds": seconds,
-                    "events_per_second": (n * k) / seconds
-                    if seconds > 0
-                    else math.inf,
-                    "agree": agree,
-                }
-            )
+                rows.append(
+                    {
+                        "backend": backend,
+                        "sessions": k,
+                        "events": n * k,
+                        "seconds": seconds,
+                        "events_per_second": (n * k) / seconds
+                        if seconds > 0
+                        else math.inf,
+                        "agree": agree,
+                    }
+                )
     return {
         "analyses": names,
         "batch": batch,
         "shards": shards,
+        "backends": list(backends),
         "workload": trace.name,
         "offline_eps": offline["eps"],
         "offline_seconds": offline["seconds"],
@@ -694,7 +706,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="packed-vs-seed throughput benchmark (BENCH_PR5.json)",
+        description="packed-vs-seed throughput benchmark (BENCH_PR7.json)",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=7)
@@ -733,7 +745,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the streamed-vs-offline service block",
     )
     parser.add_argument(
-        "-o", "--output", default="BENCH_PR5.json",
+        "-o", "--output", default="BENCH_PR7.json",
         help="where to write the JSON report",
     )
     parser.add_argument(

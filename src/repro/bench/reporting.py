@@ -171,10 +171,11 @@ def format_parallel(rows: Iterable[dict], title: str = "") -> str:
 def format_service(block: dict, title: str = "") -> str:
     """Render the streamed-vs-offline service block of a bench report.
 
-    ``block`` is the top-level ``service`` dict of a ``repro-bench/3``
+    ``block`` is the top-level ``service`` dict of a ``repro-bench/4``
     report (see :func:`repro.bench.perf.bench_service`).
     """
     headers = [
+        "Backend",
         "Sessions",
         "Events",
         "Streamed (s)",
@@ -184,6 +185,7 @@ def format_service(block: dict, title: str = "") -> str:
     ]
     table_rows = [
         [
+            row.get("backend", "thread"),
             f"{row['sessions']}",
             f"{row['events']}",
             f"{row['seconds']:.3f}",

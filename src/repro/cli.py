@@ -179,6 +179,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             queue_size=args.queue_size,
             read_timeout=args.read_timeout or None,
+            backend=args.backend,
         )
     except OSError as error:
         print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
@@ -315,7 +316,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.seed is not None:
             plan.seed = args.seed
             plan.rng.seed(args.seed)
-        results.append(run_plan_drill(plan))
+        results.append(run_plan_drill(plan, backend=args.backend))
     if args.scenario:
         seed = args.seed if args.seed is not None else 7207
         names = (
@@ -329,7 +330,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            results.append(run_scenario(name, seed=seed))
+            results.append(run_scenario(name, seed=seed, backend=args.backend))
     if args.json:
         print(json.dumps([r.to_json() for r in results], indent=2))
     else:
@@ -754,6 +755,12 @@ def build_parser() -> argparse.ArgumentParser:
         "with a typed ERROR instead of pinning a handler thread "
         "(0 disables)",
     )
+    serve.add_argument(
+        "--backend", choices=("thread", "async"), default="thread",
+        help="connection front end: one handler thread per connection "
+        "(default) or a single-threaded selectors event loop that "
+        "holds thousands of idle sessions on one thread",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -840,6 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the scenario matrix"
     )
     chaos.add_argument(
+        "--backend", choices=("thread", "async"), default="thread",
+        help="server front end the drills stand up (the fault sites "
+        "live in the shared connection core, so the same seeded plan "
+        "exercises either backend unchanged)",
+    )
+    chaos.add_argument(
         "--json", action="store_true",
         help="emit the drill results as JSON",
     )
@@ -884,7 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="throughput + ingest + parallel + service benchmark "
-        "(writes BENCH_PR5.json)",
+        "(writes BENCH_PR7.json)",
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=7)
@@ -914,7 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the streamed-vs-offline service block",
     )
-    bench.add_argument("-o", "--output", default="BENCH_PR5.json")
+    bench.add_argument("-o", "--output", default="BENCH_PR7.json")
     bench.add_argument(
         "--check",
         action="store_true",

@@ -162,6 +162,9 @@ class ServiceClient:
         # orphan the final report while the server still executes it.
         self._sock.settimeout(timeout)
         self._rfile = self._sock.makefile("rb")
+        # All reply reads go through the shared sans-IO codec — the
+        # same incremental decoder both server backends run.
+        self._frames = protocol.FrameStream(self._rfile)
         self._fault_key: Optional[str] = None  # session id once bound
 
     def close(self) -> None:
@@ -217,7 +220,7 @@ class ServiceClient:
         for _ in range(busy_retries + 1):
             self.deadline.remaining("waiting for the server")
             self._send_frame(frame)
-            reply = protocol.read_frame(self._rfile)
+            reply = self._frames.read_frame()
             if reply is None:
                 raise protocol.FrameError("server closed the connection")
             ftype, payload = reply

@@ -1,0 +1,303 @@
+"""The sans-IO per-connection protocol state machine.
+
+:class:`WireConnection` is the one copy of ``repro-wire/1`` server
+semantics — HELLO/EVENTS/FLUSH/CHECKPOINT/CLOSE/STATS dispatch, the
+typed error-to-``ERROR``-frame mapping, and the ``wire.reply`` /
+``server.events`` fault sites. It never touches a socket: bytes go in
+through :meth:`WireConnection.receive_bytes`, encoded reply frames
+come out through :attr:`WireConnection.outbox`, and shard replies are
+:class:`~repro.service.router._Future`\\ s the transport chooses how to
+wait on. That inversion is what lets the threaded backend (one blocked
+handler thread per connection) and the ``selectors`` event-loop backend
+(thousands of connections on one thread) — and the chaos drills on both
+— share every byte of protocol logic.
+
+The driving contract, for either backend::
+
+    wire.receive_bytes(chunk)          # as bytes arrive
+    futures = wire.pump()              # advance the state machine
+    # futures is None  -> idle: write wire.outbox, read more bytes
+    # futures is [...] -> a shard owes replies: block on them (thread
+    #                     backend) or subscribe a wakeup and keep
+    #                     serving other sockets (async backend), then
+    #                     pump() again
+    # wire.reset             -> drop the socket, sending nothing
+    # wire.close_after_send  -> close once outbox is flushed
+
+A connection is *strict request/response* (every client frame earns
+exactly one reply), so at most one shard command is ever in flight per
+connection; pipelined frames queue inside the decoder until the
+pending reply lands.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, List, Optional
+
+from ..faults.injector import fire, mutate_frame
+from . import protocol
+from .protocol import FrameType
+from .router import (
+    BusyError,
+    Router,
+    RouterError,
+    ShardCrashed,
+    SessionNotFound,
+    SessionQuarantined,
+)
+
+log = logging.getLogger("repro.service")
+
+
+class WireConnection:
+    """One client connection's protocol state, free of I/O.
+
+    Args:
+        router: The shard router commands are submitted to (always via
+            the non-blocking ``submit_*`` surface — a full shard inbox
+            is an immediate ``BUSY`` frame on either backend).
+        count: ``count(name)`` server-counter hook (busy_replies,
+            read_timeouts, wire_errors).
+        counters: Zero-arg callable returning the server-level counter
+            dict merged into ``STATS`` replies.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        count: Callable[[str], None],
+        counters: Callable[[], Dict[str, Any]],
+    ) -> None:
+        self.router = router
+        self._count = count
+        self._counters = counters
+        self.session_id: Optional[str] = None
+        #: Inbound incremental frame decoder (the ring buffer lives here).
+        self.frames = protocol.FrameDecoder()
+        #: Per-connection delta-events decoder state.
+        self.delta = protocol.DeltaDecoder()
+        #: Outbound frame encoder (reply accounting).
+        self.encoder = protocol.FrameEncoder()
+        #: Encoded reply frames awaiting transport write.
+        self.outbox: List[bytes] = []
+        #: Close the transport once :attr:`outbox` is flushed.
+        self.close_after_send = False
+        #: Drop the transport NOW, without writing (injected reset).
+        self.reset = False
+        self._pending = None  # (futures, finish) of the in-flight command
+
+    # -- transport-facing ---------------------------------------------------
+
+    @property
+    def closing(self) -> bool:
+        return self.reset or self.close_after_send
+
+    def receive_bytes(self, data) -> None:
+        """Feed one received chunk (any bytes-like, any split)."""
+        self.frames.feed(data)
+
+    def pump(self) -> Optional[List[Any]]:
+        """Advance: decode and dispatch every buffered frame.
+
+        Returns ``None`` when idle (flush :attr:`outbox`, read more
+        bytes) or the list of unresolved shard futures the in-flight
+        command is waiting on (wait for them, then ``pump()`` again).
+        Never raises: every failure becomes a reply frame and/or a
+        close flag.
+        """
+        while not self.closing:
+            if self._pending is not None:
+                futures, finish = self._pending
+                waiting = [f for f in futures if not f.done()]
+                if waiting:
+                    return waiting
+                self._pending = None
+                self._guard(finish)
+                continue
+            try:
+                frame = self.frames.next_frame()
+            except protocol.WireError as error:
+                self.on_wire_error(error)
+                return None
+            if frame is None:
+                return None
+            ftype, payload = frame
+            self._guard(lambda: self._dispatch(ftype, payload))
+        return None
+
+    def on_wire_error(self, error: Exception) -> None:
+        """Framing broke: answer once, then drop the connection — the
+        byte stream can no longer be trusted. The session and every
+        other tenant on its shard are untouched."""
+        self._count("wire_errors")
+        log.warning("wire error %s: %s", self._where(), error)
+        self._error("wire", str(error))
+        self.close_after_send = True
+
+    def on_read_timeout(self) -> None:
+        """The peer went quiet past its deadline: answer and drop."""
+        self._count("read_timeouts")
+        log.warning(
+            "connection read timed out %s; dropping it", self._where()
+        )
+        self._error("timeout", "read timed out; reconnect to resume")
+        self.close_after_send = True
+
+    def on_eof(self) -> None:
+        """Peer EOF: clean at a frame boundary, a wire error inside one."""
+        if self.frames.buffered:
+            self.on_wire_error(
+                protocol.FrameError(
+                    "truncated frame: EOF after "
+                    f"{self.frames.buffered} buffered byte(s)"
+                )
+            )
+        else:
+            self.close_after_send = True
+
+    def fail_pending(self, message: str) -> None:
+        """Give up on the in-flight command (reply deadline passed)."""
+        if self._pending is None:
+            return
+        self._pending = None
+        log.error("router error %s: %s", self._where(), message)
+        self._error("session", message)
+
+    # -- protocol internals -------------------------------------------------
+
+    def _where(self) -> str:
+        """``session=<id> shard=<n>`` attribution for log lines."""
+        if self.session_id is None:
+            return "session=- shard=-"
+        return (
+            f"session={self.session_id} "
+            f"shard={self.router.shard_of(self.session_id)}"
+        )
+
+    def _send(self, ftype: int, obj: Dict[str, Any]) -> None:
+        frame = self.encoder.encode_json(ftype, obj)
+        action = fire("wire.reply", key=self.session_id)
+        if action is not None:
+            if action.op == "reset":
+                # Drop the connection without answering — the client
+                # sees a reset mid-request and must reconnect/resume.
+                self.reset = True
+                return
+            frame = mutate_frame(frame, action)
+        self.outbox.append(frame)
+
+    def _error(self, code: str, message: str) -> None:
+        self._send(FrameType.ERROR, {"code": code, "message": message})
+
+    def _guard(self, step: Callable[[], None]) -> None:
+        """Run one dispatch/finish step under the shared typed-error
+        mapping — the single place wire semantics assign blame."""
+        try:
+            step()
+        except protocol.WireError as error:
+            self.on_wire_error(error)
+        except BusyError:
+            self._count("busy_replies")
+            self._send(FrameType.BUSY, {"retry_ms": 50})
+        except SessionNotFound as error:
+            self._error("unknown-session", str(error))
+        except SessionQuarantined as error:
+            log.error(
+                "quarantined session reported %s code=%s: %s",
+                self._where(), error.code, error,
+            )
+            self._error(error.code, str(error))
+        except ShardCrashed as error:
+            log.error("shard crash reported %s: %s", self._where(), error)
+            self._error("shard-crashed", str(error))
+        except RouterError as error:
+            log.error("router error %s: %s", self._where(), error)
+            self._error("session", str(error))
+        except Exception as error:  # isolate: never kill the transport
+            log.exception(
+                "internal error %s: %s: %s",
+                self._where(), type(error).__name__, error,
+            )
+            self._error("internal", f"{type(error).__name__}: {error}")
+
+    def _dispatch(self, ftype: int, payload: bytes) -> None:
+        router = self.router
+        if ftype == FrameType.HELLO:
+            hello = protocol.parse_hello(protocol.decode_json(payload))
+            future = router.submit_open(
+                hello["analyses"],
+                name=hello["name"],
+                packed=hello["packed"],
+                session_id=hello["session"],
+                resume=hello["resume"],
+            )
+
+            def finish() -> None:
+                info = future.result()
+                self.session_id = info["session"]
+                info["protocol"] = protocol.PROTOCOL
+                self._send(FrameType.OK, info)
+
+            self._pending = ([future], finish)
+            return
+        if ftype == FrameType.STATS:
+            pairs = router.submit_stats()
+
+            def finish() -> None:
+                stats = router.finish_stats(pairs)
+                stats["server"] = self._counters()
+                self._send(FrameType.OK, {"stats": stats})
+
+            self._pending = ([future for _shard, future in pairs], finish)
+            return
+        if self.session_id is None:
+            self._error("no-session", "send HELLO first")
+            return
+        if ftype == FrameType.EVENTS:
+            events, base = protocol.decode_events_ex(payload, self.delta)
+            queued = router.feed(self.session_id, events, base=base)
+            action = fire("server.events", key=self.session_id)
+            if action is not None and action.op == "duplicate":
+                # At-least-once delivery: the same decoded batch lands
+                # twice. Positioned batches are deduplicated by the
+                # session; unpositioned ones genuinely double (which is
+                # exactly the hazard positioned frames exist to remove).
+                router.feed(self.session_id, events, base=base)
+            self._send(FrameType.OK, {"queued": queued})
+        elif ftype == FrameType.FLUSH:
+            future = router.submit_flush(self.session_id)
+
+            def finish() -> None:
+                info = future.result()
+                if info["error"] is not None:
+                    log.error(
+                        "flush surfaced session error %s code=%s: %s",
+                        self._where(), info.get("error_code"), info["error"],
+                    )
+                    self._error(
+                        info.get("error_code") or "session", info["error"]
+                    )
+                elif info["findings"]:
+                    self._send(FrameType.VIOLATION, info)
+                else:
+                    self._send(FrameType.OK, info)
+
+            self._pending = ([future], finish)
+        elif ftype == FrameType.CHECKPOINT:
+            future = router.submit_checkpoint(self.session_id)
+            self._pending = (
+                [future],
+                lambda: self._send(FrameType.OK, future.result()),
+            )
+        elif ftype == FrameType.CLOSE:
+            future = router.submit_close(self.session_id)
+
+            def finish() -> None:
+                info = future.result()
+                self.session_id = None
+                self._send(FrameType.REPORT, info)
+
+            self._pending = ([future], finish)
+        else:
+            self._error("bad-frame", f"unexpected frame type {ftype}")

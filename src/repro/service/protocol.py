@@ -43,6 +43,18 @@ same way the binary trace reader is: any corrupt or truncated input
 raises a typed :class:`WireError` (``FrameError`` at the framing layer,
 ``PayloadError`` inside a payload), never an uncontrolled exception.
 ``tests/test_service_protocol.py`` fuzzes exactly that contract.
+
+The framing layer is **sans-IO**: :class:`FrameDecoder` is an
+incremental decoder fed arbitrary byte chunks (it owns a compacting
+ring buffer of :class:`memoryview`-sliced bytes, so partial frames cost
+nothing and no per-frame ``bytes`` joins ever happen), and
+:class:`FrameEncoder` is its outbound twin. Neither knows what a socket
+is — the blocking shim :class:`FrameStream` (client SDK, threaded
+server backend) and the ``selectors`` event loop
+(:mod:`repro.service.server`'s async backend) both drive the same
+codec, which is what keeps the two I/O stacks byte-for-byte
+equivalent. The old blocking :func:`read_frame` survives as a
+deprecation shim over the decoder.
 """
 
 from __future__ import annotations
@@ -50,9 +62,10 @@ from __future__ import annotations
 import io
 import json
 import struct
+import warnings
 import zlib
 from enum import IntEnum
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..trace.events import Event, Op
 from ..trace.packed import _NAMESPACE_OF_OP, NO_TARGET, Interner
@@ -114,6 +127,14 @@ _KNOWN_TYPES = frozenset(int(t) for t in FrameType)
 # -- framing ----------------------------------------------------------------
 
 
+def _check_header(length: int, ftype: int) -> None:
+    """The one copy of frame-header validation every path goes through."""
+    if length < 1 or length > MAX_FRAME:
+        raise FrameError(f"frame length {length} out of range [1, {MAX_FRAME}]")
+    if ftype not in _KNOWN_TYPES:
+        raise FrameError(f"unknown frame type {ftype}")
+
+
 def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
     """One wire frame: header + type + payload."""
     length = 1 + len(payload)
@@ -122,10 +143,200 @@ def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
     return _HEADER.pack(length, ftype) + payload
 
 
+class RingBuffer:
+    """A compacting byte ring for incremental decoding.
+
+    Appends are amortized O(1); reads hand out ``memoryview`` slices of
+    the single backing ``bytearray``, so a frame arriving in N chunks
+    never costs a join. Consumed bytes are reclaimed lazily: the buffer
+    compacts only when the dead prefix outweighs the live bytes (or
+    passes a fixed threshold), keeping per-chunk work constant.
+    """
+
+    #: Compact whenever this many consumed bytes sit ahead of the data.
+    COMPACT_AT = 64 * 1024
+
+    __slots__ = ("_buf", "_start", "high_water")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._start = 0
+        #: Most bytes ever buffered at once (service-stats gauge).
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._buf) - self._start
+
+    def write(self, data) -> None:
+        """Append one received chunk (bytes-like)."""
+        start = self._start
+        if start and (start >= len(self._buf) - start or start >= self.COMPACT_AT):
+            del self._buf[:start]
+            self._start = 0
+        self._buf += data
+        live = len(self._buf) - self._start
+        if live > self.high_water:
+            self.high_water = live
+
+    def view(self) -> memoryview:
+        """A zero-copy view of the unconsumed bytes."""
+        return memoryview(self._buf)[self._start :]
+
+    def take(self, n: int) -> bytes:
+        """Consume and return the first ``n`` buffered bytes."""
+        out = bytes(self._buf[self._start : self._start + n])
+        self._start += n
+        return out
+
+    def skip(self, n: int) -> None:
+        """Consume ``n`` bytes without materializing them."""
+        self._start += n
+
+
+class FrameDecoder:
+    """Incremental ``repro-wire/1`` frame decoder — the sans-IO core.
+
+    Feed it byte chunks exactly as they arrive (:meth:`feed`); pull
+    complete ``(type, payload)`` frames out with :meth:`next_frame` or
+    by iterating. Partial frames simply stay buffered in the ring;
+    corrupt framing raises :class:`FrameError` at the earliest byte
+    that proves the stream broken. No sockets, no blocking — both the
+    threaded and the ``selectors`` event-loop front ends drive this
+    same object, as does the fuzz suite.
+    """
+
+    __slots__ = ("_ring", "frames_decoded")
+
+    def __init__(self) -> None:
+        self._ring = RingBuffer()
+        #: Complete frames decoded over this connection's lifetime.
+        self.frames_decoded = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently sitting in the ring (partial frame)."""
+        return len(self._ring)
+
+    @property
+    def high_water(self) -> int:
+        """Most bytes ever buffered at once."""
+        return self._ring.high_water
+
+    def feed(self, data) -> None:
+        """Buffer one received chunk (any bytes-like, any split)."""
+        self._ring.write(data)
+
+    def needed(self) -> int:
+        """Bytes still missing before :meth:`next_frame` can succeed.
+
+        Validates the buffered header as a side effect (so a blocking
+        caller can read *exactly* the right amount and still fail fast
+        on garbage).
+
+        Raises:
+            FrameError: If the buffered header is invalid.
+        """
+        have = len(self._ring)
+        if have < _HEADER.size:
+            return _HEADER.size - have
+        length, ftype = _HEADER.unpack_from(self._ring.view())
+        _check_header(length, ftype)
+        return max(0, _HEADER.size + (length - 1) - have)
+
+    def next_frame(self) -> Optional[Tuple[int, bytes]]:
+        """Decode one complete frame, or ``None`` (feed more bytes).
+
+        Raises:
+            FrameError: On an oversize length or an unknown frame type.
+        """
+        if self.needed():
+            return None
+        length, ftype = _HEADER.unpack_from(self._ring.view())
+        self._ring.skip(_HEADER.size)
+        payload = self._ring.take(length - 1) if length > 1 else b""
+        self.frames_decoded += 1
+        return ftype, payload
+
+    def __iter__(self) -> Iterator[Tuple[int, bytes]]:
+        """Drain every currently-complete frame."""
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame
+
+
+class FrameEncoder:
+    """Outbound half of the codec: frames in, counted bytes out.
+
+    Stateless apart from its counters (the wire format needs no
+    outbound state) — it exists so both server backends account their
+    reply traffic identically for ``service-stats``.
+    """
+
+    __slots__ = ("frames_encoded", "bytes_encoded")
+
+    def __init__(self) -> None:
+        self.frames_encoded = 0
+        self.bytes_encoded = 0
+
+    def encode(self, ftype: int, payload: bytes = b"") -> bytes:
+        frame = encode_frame(ftype, payload)
+        self.frames_encoded += 1
+        self.bytes_encoded += len(frame)
+        return frame
+
+    def encode_json(self, ftype: int, obj: Dict[str, Any]) -> bytes:
+        return self.encode(
+            ftype, json.dumps(obj, separators=(",", ":")).encode("utf-8")
+        )
+
+
+class FrameStream:
+    """Blocking-transport shim over :class:`FrameDecoder`.
+
+    Wraps a binary stream (a socket ``makefile`` or any object with
+    ``read(n)``) and yields frames. This is the *one* blocking read
+    loop in the codebase — the client SDK and the threaded server
+    backend both use it, so there are no duplicated read/dispatch
+    loops to drift apart.
+    """
+
+    __slots__ = ("_stream", "_decoder")
+
+    def __init__(self, stream) -> None:
+        self._stream = stream
+        self._decoder = FrameDecoder()
+
+    @property
+    def decoder(self) -> FrameDecoder:
+        return self._decoder
+
+    def read_frame(self) -> Optional[Tuple[int, bytes]]:
+        """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+        Raises:
+            FrameError: On EOF inside a frame, oversize, unknown type.
+        """
+        while True:
+            need = self._decoder.needed()  # raises on a corrupt header
+            if not need:
+                return self._decoder.next_frame()
+            data = self._stream.read(need)
+            if not data:
+                if self._decoder.buffered:
+                    raise FrameError(
+                        "truncated frame: EOF after "
+                        f"{self._decoder.buffered} buffered byte(s)"
+                    )
+                return None  # clean EOF
+            self._decoder.feed(data)
+
+
 def decode_frame(
     data: bytes, offset: int = 0
 ) -> Optional[Tuple[int, bytes, int]]:
-    """Decode one frame from ``data[offset:]``.
+    """Decode one frame from ``data[offset:]`` (one-shot form).
 
     Returns ``(type, payload, next_offset)``, or ``None`` when the
     buffer holds only an incomplete frame (read more and retry).
@@ -136,10 +347,7 @@ def decode_frame(
     if len(data) - offset < _HEADER.size:
         return None
     length, ftype = _HEADER.unpack_from(data, offset)
-    if length < 1 or length > MAX_FRAME:
-        raise FrameError(f"frame length {length} out of range [1, {MAX_FRAME}]")
-    if ftype not in _KNOWN_TYPES:
-        raise FrameError(f"unknown frame type {ftype}")
+    _check_header(length, ftype)
     end = offset + _HEADER.size + (length - 1)
     if len(data) < end:
         return None
@@ -147,7 +355,13 @@ def decode_frame(
 
 
 def read_frame(stream) -> Optional[Tuple[int, bytes]]:
-    """Read one frame from a blocking binary stream.
+    """Deprecated: read one frame from a blocking binary stream.
+
+    A shim over :class:`FrameStream` kept for older callers; it reads
+    exactly one frame's bytes, so interleaving it with other reads on
+    the same stream still works. New code should hold a
+    :class:`FrameStream` (blocking) or drive a :class:`FrameDecoder`
+    (event loop) instead.
 
     Returns ``(type, payload)``, or ``None`` on a clean EOF at a frame
     boundary.
@@ -155,20 +369,26 @@ def read_frame(stream) -> Optional[Tuple[int, bytes]]:
     Raises:
         FrameError: On EOF inside a frame, oversize, or unknown type.
     """
+    warnings.warn(
+        "repro.service.protocol.read_frame is deprecated; use "
+        "FrameStream (blocking) or FrameDecoder (incremental) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    decoder = FrameDecoder()
     header = stream.read(_HEADER.size)
     if not header:
         return None
+    decoder.feed(header)
     if len(header) < _HEADER.size:
         raise FrameError("truncated frame header")
-    length, ftype = _HEADER.unpack(header)
-    if length < 1 or length > MAX_FRAME:
-        raise FrameError(f"frame length {length} out of range [1, {MAX_FRAME}]")
-    if ftype not in _KNOWN_TYPES:
-        raise FrameError(f"unknown frame type {ftype}")
-    payload = stream.read(length - 1) if length > 1 else b""
-    if len(payload) != length - 1:
-        raise FrameError("truncated frame payload")
-    return ftype, payload
+    need = decoder.needed()
+    if need:
+        payload = stream.read(need)
+        decoder.feed(payload)
+        if len(payload) < need:
+            raise FrameError("truncated frame payload")
+    return decoder.next_frame()
 
 
 # -- JSON payloads ----------------------------------------------------------

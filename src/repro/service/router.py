@@ -93,30 +93,58 @@ class ShardCrashed(RouterError):
 
 
 class _Future:
-    """A one-shot reply slot for synchronous shard commands."""
+    """A one-shot reply slot for shard commands.
 
-    __slots__ = ("_event", "value", "error")
+    Blocking callers :meth:`wait`; the event-loop backend instead
+    :meth:`subscribe`\\ s a callback (fired from the resolving shard's
+    thread — subscribers must be thread-safe, e.g. poke a wakeup pipe)
+    and later reads :meth:`result` without ever blocking.
+    """
+
+    __slots__ = ("_event", "_lock", "_callback", "value", "error")
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._callback = None
         self.value: Any = None
         self.error: Optional[Tuple[str, str]] = None  # (kind, message)
 
+    def _fire(self) -> None:
+        self._event.set()
+        with self._lock:
+            callback, self._callback = self._callback, None
+        if callback is not None:
+            callback(self)
+
     def resolve(self, value: Any) -> None:
         self.value = value
-        self._event.set()
+        self._fire()
 
     def fail(self, kind: str, message: str) -> None:
         self.error = (kind, message)
-        self._event.set()
+        self._fire()
 
-    def wait(self, timeout: float) -> Any:
-        if not self._event.wait(timeout):
-            # The command is already enqueued and will run; a BUSY here
-            # would make the client re-send it. Fail hard instead.
-            raise RouterError(
-                f"shard did not answer within {timeout:.0f}s"
-            )
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def subscribe(self, callback) -> None:
+        """Run ``callback(self)`` once resolved (immediately if it
+        already is). At most one subscriber; runs on the resolver's
+        thread."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callback = callback
+                return
+        callback(self)
+
+    def result(self) -> Any:
+        """The reply of a completed future, raising its typed error.
+
+        Only call after :meth:`done` is true (or from a subscriber).
+        """
+        if not self._event.is_set():
+            raise RouterError("future is not resolved yet")
         if self.error is not None:
             kind, message = self.error
             if kind == "SessionNotFound":
@@ -128,6 +156,23 @@ class _Future:
                 raise ShardCrashed(message)
             raise RouterError(message)
         return self.value
+
+    def join(self, timeout: float) -> None:
+        """Block until resolved, without raising the reply's error.
+
+        Raises:
+            RouterError: If the shard does not answer in time. The
+                command is already enqueued and will run; a BUSY here
+                would make the client re-send it, so fail hard instead.
+        """
+        if not self._event.wait(timeout):
+            raise RouterError(
+                f"shard did not answer within {timeout:.0f}s"
+            )
+
+    def wait(self, timeout: float) -> Any:
+        self.join(timeout)
+        return self.result()
 
 
 class ShardWorker:
@@ -427,17 +472,34 @@ class _ThreadShard:
     def alive(self) -> bool:
         return self._dead is None and self._thread.is_alive()
 
+    def _enqueue(self, op: str, args: tuple, timeout: Optional[float]) -> _Future:
+        future = _Future()
+        try:
+            if timeout is None:
+                self.inbox.put_nowait((future, op, args))
+            else:
+                self.inbox.put((future, op, args), timeout=timeout)
+        except queue.Full:
+            raise BusyError(f"shard {self.shard_id} inbox is full") from None
+        return future
+
     def call(self, op: str, *args: Any) -> Any:
         if not self.alive():
             raise ShardCrashed(
                 f"shard {self.shard_id} is down ({self._dead or 'stopped'})"
             )
-        future = _Future()
-        try:
-            self.inbox.put((future, op, args), timeout=CONTROL_TIMEOUT)
-        except queue.Full:
-            raise BusyError(f"shard {self.shard_id} inbox is full") from None
-        return future.wait(REPLY_TIMEOUT)
+        return self._enqueue(op, args, CONTROL_TIMEOUT).wait(REPLY_TIMEOUT)
+
+    def submit(self, op: str, *args: Any) -> _Future:
+        """Non-blocking :meth:`call`: enqueue now (a full inbox is an
+        immediate :class:`BusyError`, no CONTROL_TIMEOUT grace — event
+        loops must never sleep) and return the reply :class:`_Future`.
+        """
+        if not self.alive():
+            raise ShardCrashed(
+                f"shard {self.shard_id} is down ({self._dead or 'stopped'})"
+            )
+        return self._enqueue(op, args, None)
 
     def cast(self, op: str, *args: Any) -> None:
         if not self.alive():
@@ -525,20 +587,32 @@ class _ProcessShard:
     def alive(self) -> bool:
         return self._process.is_alive()
 
-    def call(self, op: str, *args: Any) -> Any:
-        if not self.alive():
-            raise ShardCrashed(f"shard {self.shard_id} process is down")
+    def _enqueue(self, op: str, args: tuple, timeout: Optional[float]) -> _Future:
         future = _Future()
         with self._futures_lock:
             token = self._next_token = self._next_token + 1
             self._futures[token] = future
         try:
-            self.inbox.put((token, op, args), timeout=CONTROL_TIMEOUT)
+            if timeout is None:
+                self.inbox.put_nowait((token, op, args))
+            else:
+                self.inbox.put((token, op, args), timeout=timeout)
         except queue.Full:
             with self._futures_lock:
                 self._futures.pop(token, None)
             raise BusyError(f"shard {self.shard_id} inbox is full") from None
-        return future.wait(REPLY_TIMEOUT)
+        return future
+
+    def call(self, op: str, *args: Any) -> Any:
+        if not self.alive():
+            raise ShardCrashed(f"shard {self.shard_id} process is down")
+        return self._enqueue(op, args, CONTROL_TIMEOUT).wait(REPLY_TIMEOUT)
+
+    def submit(self, op: str, *args: Any) -> _Future:
+        """Non-blocking :meth:`call` (see :meth:`_ThreadShard.submit`)."""
+        if not self.alive():
+            raise ShardCrashed(f"shard {self.shard_id} process is down")
+        return self._enqueue(op, args, None)
 
     def cast(self, op: str, *args: Any) -> None:
         if not self.alive():
@@ -741,6 +815,56 @@ class Router:
         """Finish the session; returns the final report + last findings."""
         return self._shard(session_id).call("close", session_id)
 
+    # -- non-blocking surface (the event-loop backend) ---------------------
+    #
+    # Same commands, but the caller gets the reply _Future instead of a
+    # blocked thread: the selectors loop subscribes a wakeup callback
+    # and keeps serving other connections while the shard works. Full
+    # inboxes surface as an *immediate* BusyError (BUSY on the wire) —
+    # an event loop has no thread to park for CONTROL_TIMEOUT.
+
+    def submit_open(
+        self,
+        analyses: Sequence[Tuple[str, Dict[str, Any]]],
+        name: str = "stream",
+        packed: bool = False,
+        session_id: Optional[str] = None,
+        resume: bool = False,
+    ) -> _Future:
+        session_id = session_id or uuid.uuid4().hex
+        return self._shard(session_id).submit(
+            "open", session_id, list(analyses), name, packed, resume
+        )
+
+    def submit_flush(self, session_id: str) -> _Future:
+        return self._shard(session_id).submit("flush", session_id)
+
+    def submit_checkpoint(self, session_id: str) -> _Future:
+        return self._shard(session_id).submit("checkpoint", session_id)
+
+    def submit_close(self, session_id: str) -> _Future:
+        return self._shard(session_id).submit("close", session_id)
+
+    def submit_stats(self) -> List[Tuple[Any, _Future]]:
+        """One ``(shard, future)`` pair per shard; aggregate the rows
+        with :meth:`finish_stats` once every future is done."""
+        pairs = []
+        for idx in range(len(self._shards)):
+            shard = self._shard_at(idx)
+            pairs.append((shard, shard.submit("stats")))
+        return pairs
+
+    def finish_stats(
+        self, pairs: List[Tuple[Any, _Future]]
+    ) -> Dict[str, Any]:
+        snapshot = RouterStats(restarts=self.restarts)
+        for shard, future in pairs:
+            row = future.result()
+            row["queue_depth"] = shard.queue_depth()
+            row["workers"] = self.workers
+            snapshot.shards.append(row)
+        return snapshot.to_json()
+
     def recover(self) -> List[str]:
         """Re-open every recoverable session spooled by a previous
         incarnation.
@@ -777,15 +901,11 @@ class Router:
         return recovered
 
     def stats(self) -> Dict[str, Any]:
-        """One aggregated snapshot across all shards."""
-        snapshot = RouterStats(restarts=self.restarts)
-        for idx in range(len(self._shards)):
-            shard = self._shard_at(idx)
-            row = shard.call("stats")
-            row["queue_depth"] = shard.queue_depth()
-            row["workers"] = self.workers
-            snapshot.shards.append(row)
-        return snapshot.to_json()
+        """One aggregated snapshot across all shards (blocking form)."""
+        pairs = self.submit_stats()
+        for _shard, future in pairs:
+            future.wait(REPLY_TIMEOUT)
+        return self.finish_stats(pairs)
 
     def shutdown(self) -> None:
         if self._closed:

@@ -1,10 +1,22 @@
 """The ``repro serve`` daemon: ``repro-wire/1`` over TCP.
 
-A :class:`socketserver.ThreadingTCPServer` front end over one
-:class:`~repro.service.router.Router`. Connections are cheap — one
-handler thread parses frames and forwards to the session's shard; all
-analysis state lives shard-side, so a connection dying (or a client
-reconnecting to resume) never loses a session.
+Two interchangeable front ends over one
+:class:`~repro.service.router.Router`, both driving the same sans-IO
+:class:`~repro.service.connection.WireConnection` state machine (so
+protocol semantics, error mapping, and fault sites cannot drift):
+
+* ``backend="thread"`` — a :class:`socketserver.ThreadingTCPServer`:
+  one handler thread per connection, blocking reads under a socket
+  timeout. Simple, debuggable, fine up to the low thousands of tenants.
+* ``backend="async"`` — a single-threaded :mod:`selectors` event loop:
+  non-blocking accept/read/write for every connection on one thread,
+  per-connection write-queue backpressure (reads pause while a slow
+  peer's reply queue is over the high-water mark), and a coarse
+  **deadline wheel** replacing per-socket ``settimeout`` (O(1) arm per
+  read, lazy reinsertion on expiry sweep). Shard replies resolve
+  through future subscriptions poking a self-pipe, so the loop never
+  blocks on the router. Idle connections cost one fd and a few KB —
+  this is the C10k front end.
 
 The protocol is strict request/response: every client frame is answered
 by exactly one server frame (``OK``/``VIOLATION``/``REPORT``/
@@ -19,211 +31,118 @@ by exactly one server frame (``OK``/``VIOLATION``/``REPORT``/
   ``ERROR`` and the connection stays usable;
 * ``BUSY`` signals shard backpressure; clients retry after a pause.
 
-Every connection reads under a **timeout** (a half-dead client cannot
-pin a handler thread forever), every error log line carries
-``session=<id> shard=<n>`` attribution, and the ``STATS`` reply merges
-server-level counters (busy replies, read timeouts, wire errors) with
-the router's per-shard rows.
+The ``STATS`` reply merges server-level counters with the router's
+per-shard rows; the async backend adds its event-loop gauges (open
+connections, ring-buffer high water, write-queue depth/high water,
+worst loop stall).
 
 Fault sites (see :mod:`repro.faults`): ``wire.reply`` —
 ``truncate``/``corrupt`` a reply frame or ``reset`` the connection
 before answering; ``server.events`` — ``duplicate`` redelivers a
 decoded EVENTS batch (at-least-once delivery, which positioned frames
-make idempotent).
+make idempotent). Both live in the shared connection core, so chaos
+drills exercise either backend unchanged.
 """
 
 from __future__ import annotations
 
+import collections
 import logging
+import selectors
+import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
-from ..faults.injector import fire, mutate_frame
-from . import protocol
-from .protocol import FrameType
+from .connection import WireConnection
 from .recovery import RecoveryManager
-from .router import (
-    BusyError,
-    Router,
-    RouterError,
-    ShardCrashed,
-    SessionNotFound,
-    SessionQuarantined,
-)
+from .router import REPLY_TIMEOUT, Router, RouterError
 
 log = logging.getLogger("repro.service")
 
 #: Default per-connection read timeout (seconds). Generous — it only
 #: has to beat "forever": a stalled client releases its handler thread
-#: instead of pinning it until process exit.
+#: (or wheel slot) instead of pinning it until process exit.
 DEFAULT_READ_TIMEOUT = 600.0
+
+#: Bytes per transport read.
+RECV_SIZE = 64 * 1024
+
+#: Pause reading a connection once this many reply bytes are queued on
+#: it (the peer is not draining us) ...
+WRITE_HWM = 256 * 1024
+
+#: ... and resume once the queue drains below this.
+WRITE_LWM = 64 * 1024
+
+BACKENDS = ("thread", "async")
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One client connection: HELLO binds it to a session."""
+    """One client connection on the threaded backend.
+
+    All protocol logic lives in :class:`WireConnection`; this is just
+    the blocking transport: recv under a socket timeout, sendall the
+    outbox, block on shard futures.
+    """
 
     def setup(self) -> None:
         super().setup()
-        self.session_id: Optional[str] = None
-        self.decoder = protocol.DeltaDecoder()  # per-connection delta state
         timeout = getattr(self.server, "read_timeout", None)
         if timeout:
             self.connection.settimeout(timeout)
 
-    def _count(self, counter: str) -> None:
-        self.server.count(counter)  # type: ignore[attr-defined]
-
-    def _where(self) -> str:
-        """``session=<id> shard=<n>`` attribution for log lines."""
-        if self.session_id is None:
-            return "session=- shard=-"
-        router: Router = self.server.router  # type: ignore[attr-defined]
-        return (
-            f"session={self.session_id} "
-            f"shard={router.shard_of(self.session_id)}"
-        )
-
-    def _send(self, ftype: int, obj: Dict[str, Any]) -> None:
-        frame = protocol.encode_json(ftype, obj)
-        action = fire("wire.reply", key=self.session_id)
-        if action is not None:
-            if action.op == "reset":
-                # Drop the connection without answering — the client
-                # sees a reset mid-request and must reconnect/resume.
-                self.connection.close()
-                raise BrokenPipeError("[injected] server reset connection")
-            frame = mutate_frame(frame, action)
-        self.wfile.write(frame)
-        self.wfile.flush()
-
-    def _error(self, code: str, message: str) -> None:
-        self._send(FrameType.ERROR, {"code": code, "message": message})
-
     def handle(self) -> None:
-        router: Router = self.server.router  # type: ignore[attr-defined]
+        server = self.server
+        wire = WireConnection(
+            server.router,  # type: ignore[attr-defined]
+            count=server.count,  # type: ignore[attr-defined]
+            counters=server.counters,  # type: ignore[attr-defined]
+        )
         while True:
-            try:
-                frame = protocol.read_frame(self.rfile)
-            except TimeoutError:
-                self._count("read_timeouts")
-                log.warning(
-                    "connection read timed out %s; dropping it", self._where()
-                )
-                try:
-                    self._error("timeout", "read timed out; reconnect to resume")
-                except OSError:
-                    pass
+            futures = wire.pump()
+            while futures is not None:
+                for future in futures:
+                    try:
+                        future.join(REPLY_TIMEOUT)
+                    except RouterError as error:
+                        wire.fail_pending(str(error))
+                        break
+                futures = wire.pump()
+            if not self._write_out(wire):
                 return
-            except protocol.WireError as error:
-                # Framing is broken: answer once, drop the connection.
-                self._count("wire_errors")
-                log.warning("wire error %s: %s", self._where(), error)
-                try:
-                    self._error("wire", str(error))
-                except OSError:
-                    pass
+            if wire.reset:
+                self.connection.close()
+                return
+            if wire.close_after_send:
+                return
+            try:
+                data = self.connection.recv(RECV_SIZE)
+            except TimeoutError:
+                wire.on_read_timeout()
+                self._write_out(wire)
                 return
             except OSError:
                 return
-            if frame is None:
-                return  # clean EOF
-            ftype, payload = frame
-            try:
-                self._dispatch(router, ftype, payload)
-            except protocol.WireError as error:
-                self._count("wire_errors")
-                log.warning("wire error %s: %s", self._where(), error)
-                try:
-                    self._error("wire", str(error))
-                except OSError:
-                    pass
+            if not data:
+                wire.on_eof()
+                self._write_out(wire)
                 return
-            except BusyError:
-                self._count("busy_replies")
-                self._send(FrameType.BUSY, {"retry_ms": 50})
-            except SessionNotFound as error:
-                self._error("unknown-session", str(error))
-            except SessionQuarantined as error:
-                log.error(
-                    "quarantined session reported %s code=%s: %s",
-                    self._where(), error.code, error,
-                )
-                self._error(error.code, str(error))
-            except ShardCrashed as error:
-                log.error("shard crash reported %s: %s", self._where(), error)
-                self._error("shard-crashed", str(error))
-            except RouterError as error:
-                log.error("router error %s: %s", self._where(), error)
-                self._error("session", str(error))
-            except BrokenPipeError:
-                return
-            except Exception as error:  # isolate: never kill the daemon
-                log.exception(
-                    "internal error %s: %s: %s",
-                    self._where(), type(error).__name__, error,
-                )
-                try:
-                    self._error(
-                        "internal", f"{type(error).__name__}: {error}"
-                    )
-                except OSError:
-                    return
+            wire.receive_bytes(data)
 
-    def _dispatch(self, router: Router, ftype: int, payload: bytes) -> None:
-        if ftype == FrameType.HELLO:
-            hello = protocol.parse_hello(protocol.decode_json(payload))
-            info = router.open_session(
-                hello["analyses"],
-                name=hello["name"],
-                packed=hello["packed"],
-                session_id=hello["session"],
-                resume=hello["resume"],
-            )
-            self.session_id = info["session"]
-            info["protocol"] = protocol.PROTOCOL
-            self._send(FrameType.OK, info)
-            return
-        if ftype == FrameType.STATS:
-            stats = router.stats()
-            stats["server"] = self.server.counters()  # type: ignore[attr-defined]
-            self._send(FrameType.OK, {"stats": stats})
-            return
-        if self.session_id is None:
-            self._error("no-session", "send HELLO first")
-            return
-        if ftype == FrameType.EVENTS:
-            events, base = protocol.decode_events_ex(payload, self.decoder)
-            queued = router.feed(self.session_id, events, base=base)
-            action = fire("server.events", key=self.session_id)
-            if action is not None and action.op == "duplicate":
-                # At-least-once delivery: the same decoded batch lands
-                # twice. Positioned batches are deduplicated by the
-                # session; unpositioned ones genuinely double (which is
-                # exactly the hazard positioned frames exist to remove).
-                router.feed(self.session_id, events, base=base)
-            self._send(FrameType.OK, {"queued": queued})
-        elif ftype == FrameType.FLUSH:
-            info = router.flush(self.session_id)
-            if info["error"] is not None:
-                log.error(
-                    "flush surfaced session error %s code=%s: %s",
-                    self._where(), info.get("error_code"), info["error"],
-                )
-                self._error(info.get("error_code") or "session", info["error"])
-            elif info["findings"]:
-                self._send(FrameType.VIOLATION, info)
-            else:
-                self._send(FrameType.OK, info)
-        elif ftype == FrameType.CHECKPOINT:
-            self._send(FrameType.OK, router.checkpoint(self.session_id))
-        elif ftype == FrameType.CLOSE:
-            info = router.close(self.session_id)
-            self.session_id = None
-            self._send(FrameType.REPORT, info)
-        else:
-            self._error("bad-frame", f"unexpected frame type {ftype}")
+    def _write_out(self, wire: WireConnection) -> bool:
+        if not wire.outbox:
+            return True
+        try:
+            for frame in wire.outbox:
+                self.connection.sendall(frame)
+        except OSError:
+            return False
+        finally:
+            wire.outbox.clear()
+        return True
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -244,14 +163,372 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         with self._counters_lock:
             self._counters[counter] = self._counters.get(counter, 0) + 1
 
-    def counters(self) -> Dict[str, int]:
+    def counters(self) -> Dict[str, Any]:
         with self._counters_lock:
-            return dict(self._counters)
+            out: Dict[str, Any] = dict(self._counters)
+        out["backend"] = "thread"
+        return out
 
     def handle_error(self, request: Any, client_address: Any) -> None:
         # The default prints a traceback to stderr; keep attribution
         # and route through the service logger instead.
         log.exception("unhandled handler error from client=%s", client_address)
+
+
+# -- the event-loop backend --------------------------------------------------
+
+
+class _DeadlineWheel:
+    """Coarse-bucket read-deadline timer: O(1) arm, lazy reinsertion.
+
+    Arming is just ``conn.deadline = now + timeout`` — the connection
+    stays in whatever bucket it last landed in. When a bucket's window
+    fully passes, its members are checked against their *actual*
+    deadlines: truly expired ones are yielded, refreshed ones are
+    re-bucketed. Deadlines therefore fire up to one resolution late,
+    which is exactly the coarseness that makes 10k idle sockets cost
+    nothing per read.
+    """
+
+    def __init__(self, resolution: float) -> None:
+        self.resolution = resolution
+        self._buckets: Dict[int, set] = {}
+
+    def add(self, conn: "_AsyncConn") -> None:
+        bucket = int(conn.deadline / self.resolution)
+        self._buckets.setdefault(bucket, set()).add(conn)
+
+    def next_timeout(self, now: float) -> Optional[float]:
+        """Seconds until the earliest bucket fully passes, or None."""
+        if not self._buckets:
+            return None
+        edge = (min(self._buckets) + 1) * self.resolution
+        return max(0.0, edge - now)
+
+    def sweep(self, now: float) -> List["_AsyncConn"]:
+        """Pop every fully-passed bucket; return truly expired conns."""
+        expired: List["_AsyncConn"] = []
+        for bucket in sorted(self._buckets):
+            if (bucket + 1) * self.resolution > now:
+                break
+            for conn in self._buckets.pop(bucket):
+                if conn.closed:
+                    continue  # lazily reaped
+                if conn.deadline <= now:
+                    expired.append(conn)
+                else:
+                    self.add(conn)  # activity moved it: reinsert
+        return expired
+
+
+class _AsyncConn:
+    """Transport state for one socket on the event loop."""
+
+    __slots__ = ("sock", "fd", "wire", "wbuf", "deadline", "paused",
+                 "mask", "closed")
+
+    def __init__(self, sock: socket.socket, wire: WireConnection) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.wire = wire
+        self.wbuf = bytearray()
+        self.deadline = float("inf")
+        self.paused = False  # reads suspended by write backpressure
+        self.mask = selectors.EVENT_READ
+        self.closed = False
+
+
+class _AsyncServer:
+    """Single-threaded ``selectors`` front end (``backend="async"``).
+
+    One loop owns every socket. Blocking never happens: reads and
+    writes are non-blocking, shard commands go through the router's
+    ``submit`` surface, and reply futures wake the loop through a
+    self-pipe (the shard thread appends the connection to a ready
+    deque and sends one byte). Mirrors the counter interface of
+    :class:`_TCPServer` and adds the event-loop gauges.
+    """
+
+    def __init__(
+        self,
+        address: Any,
+        router: Router,
+        read_timeout: Optional[float],
+    ) -> None:
+        self.router = router
+        self.read_timeout = read_timeout
+        self._listen = socket.create_server(
+            address, backlog=512, reuse_port=False
+        )
+        self._listen.setblocking(False)
+        self.server_address = self._listen.getsockname()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listen, selectors.EVENT_READ, None)
+        # Self-pipe: shard threads resolving futures poke the loop.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._ready: collections.deque = collections.deque()
+        self._conns: Dict[int, _AsyncConn] = {}
+        resolution = 0.5
+        if read_timeout:
+            resolution = max(0.05, min(1.0, read_timeout / 4.0))
+        self._wheel = _DeadlineWheel(resolution)
+        self._counters: Dict[str, int] = {
+            "busy_replies": 0,
+            "read_timeouts": 0,
+            "wire_errors": 0,
+        }
+        self._counters_lock = threading.Lock()
+        self.connections_total = 0
+        self.ring_high_water = 0  # carried over from closed connections
+        self.write_queue_hwm = 0
+        self.loop_lag_ms = 0.0  # worst single-iteration processing stall
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._stopped.set()  # not serving yet == already stopped
+        self._serving = False
+        self._closed = False
+
+    # -- counter interface (shared with WireConnection) ---------------------
+
+    def count(self, counter: str) -> None:
+        with self._counters_lock:
+            self._counters[counter] = self._counters.get(counter, 0) + 1
+
+    def counters(self) -> Dict[str, Any]:
+        with self._counters_lock:
+            out: Dict[str, Any] = dict(self._counters)
+        ring = self.ring_high_water
+        write_queue = 0
+        for conn in self._conns.values():
+            ring = max(ring, conn.wire.frames.high_water)
+            write_queue += len(conn.wbuf)
+        self.write_queue_hwm = max(self.write_queue_hwm, write_queue)
+        out["backend"] = "async"
+        out["open_connections"] = len(self._conns)
+        out["connections_total"] = self.connections_total
+        out["ring_high_water"] = ring
+        out["write_queue_depth"] = write_queue
+        out["write_queue_hwm"] = self.write_queue_hwm
+        out["loop_lag_ms"] = round(self.loop_lag_ms, 3)
+        return out
+
+    # -- the loop -----------------------------------------------------------
+
+    def serve_forever(self, poll_interval: Optional[float] = None) -> None:
+        # poll_interval is the threaded backend's knob; accepted for
+        # interface parity, the wheel/self-pipe set the cadence here.
+        self._serving = True
+        self._stopped.clear()
+        try:
+            while not self._stopping:
+                timeout = None
+                if self.read_timeout and self._conns:
+                    timeout = self._wheel.next_timeout(time.monotonic())
+                events = self._selector.select(timeout)
+                started = time.monotonic()
+                for key, mask in events:
+                    if key.data is None:
+                        self._accept()
+                    elif key.data == "wake":
+                        self._drain_wakeups()
+                    else:
+                        conn = key.data
+                        if mask & selectors.EVENT_WRITE and not conn.closed:
+                            self._write_some(conn)
+                        if mask & selectors.EVENT_READ and not conn.closed:
+                            self._read_some(conn)
+                while self._ready:
+                    conn = self._ready.popleft()
+                    if not conn.closed:
+                        self._pump(conn)
+                if self.read_timeout:
+                    now = time.monotonic()
+                    for conn in self._wheel.sweep(now):
+                        self._expire(conn)
+                lag = (time.monotonic() - started) * 1000.0
+                if lag > self.loop_lag_ms:
+                    self.loop_lag_ms = lag
+        finally:
+            self._serving = False
+            self._close_all()
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        self._stopping = True
+        try:
+            self._wake_w.send(b"\x01")
+        except OSError:
+            pass
+        self._stopped.wait(5.0)
+
+    def server_close(self) -> None:
+        if not self._serving:
+            self._close_all()
+
+    def _close_all(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._conns.values()):
+            self._close(conn)
+        for sock in (self._listen, self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
+
+    # -- socket handlers ----------------------------------------------------
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as error:  # e.g. EMFILE under fd pressure
+                log.error("accept failed: %s", error)
+                return
+            sock.setblocking(False)
+            wire = WireConnection(
+                self.router, count=self.count, counters=self.counters
+            )
+            conn = _AsyncConn(sock, wire)
+            if self.read_timeout:
+                conn.deadline = time.monotonic() + self.read_timeout
+                self._wheel.add(conn)
+            self._conns[conn.fd] = conn
+            self.connections_total += 1
+            self._selector.register(sock, conn.mask, conn)
+
+    def _read_some(self, conn: _AsyncConn) -> None:
+        try:
+            data = conn.sock.recv(RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not data:
+            conn.wire.on_eof()
+            self._pump(conn)
+            if not conn.closed:
+                self._close(conn)  # peer is gone; don't wait on writes
+            return
+        if self.read_timeout:
+            conn.deadline = time.monotonic() + self.read_timeout
+        conn.wire.receive_bytes(data)
+        self._pump(conn)
+
+    def _pump(self, conn: _AsyncConn) -> None:
+        futures = conn.wire.pump()
+        if futures:
+            wake = self._waker(conn)
+            for future in futures:
+                future.subscribe(wake)
+        self._flush(conn)
+
+    def _waker(self, conn: _AsyncConn):
+        def wake(_future: Any) -> None:
+            # Runs on the resolving shard's thread (or inline on the
+            # loop thread if the future is already done): hand the
+            # connection back to the loop and poke the self-pipe.
+            self._ready.append(conn)
+            try:
+                self._wake_w.send(b"\x01")
+            except OSError:
+                pass
+
+        return wake
+
+    def _drain_wakeups(self) -> None:
+        while True:
+            try:
+                if not self._wake_r.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+
+    def _flush(self, conn: _AsyncConn) -> None:
+        wire = conn.wire
+        if wire.outbox:
+            for frame in wire.outbox:
+                conn.wbuf += frame
+            wire.outbox.clear()
+            if len(conn.wbuf) > self.write_queue_hwm:
+                self.write_queue_hwm = len(conn.wbuf)
+        if wire.reset:
+            self._close(conn)
+            return
+        self._write_some(conn)
+
+    def _write_some(self, conn: _AsyncConn) -> None:
+        while conn.wbuf:
+            try:
+                sent = conn.sock.send(memoryview(conn.wbuf))
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close(conn)
+                return
+            del conn.wbuf[:sent]
+        if conn.wire.close_after_send and not conn.wbuf:
+            self._close(conn)
+            return
+        self._update_interest(conn)
+
+    def _update_interest(self, conn: _AsyncConn) -> None:
+        if conn.closed:
+            return
+        queued = len(conn.wbuf)
+        if conn.paused:
+            if queued <= WRITE_LWM:
+                conn.paused = False
+        elif queued >= WRITE_HWM:
+            # Backpressure: the peer is not draining replies — stop
+            # reading from it so its queue cannot grow unboundedly.
+            conn.paused = True
+        mask = 0
+        if queued:
+            mask |= selectors.EVENT_WRITE
+        if not conn.paused:
+            mask |= selectors.EVENT_READ
+        if mask and mask != conn.mask:
+            conn.mask = mask
+            try:
+                self._selector.modify(conn.sock, mask, conn)
+            except (KeyError, ValueError, OSError):
+                self._close(conn)
+
+    def _expire(self, conn: _AsyncConn) -> None:
+        if conn.closed:
+            return
+        conn.wire.on_read_timeout()
+        self._flush(conn)
+        if not conn.closed:
+            self._close(conn)  # timeout: don't linger on a slow write
+
+    def _close(self, conn: _AsyncConn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self.ring_high_water = max(
+            self.ring_high_water, conn.wire.frames.high_water
+        )
+        self._conns.pop(conn.fd, None)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
 
 
 class ServiceServer:
@@ -268,8 +545,10 @@ class ServiceServer:
             entries are quarantined to ``*.bad``; see :attr:`salvaged`).
         checkpoint_every: Auto-checkpoint interval in events.
         queue_size: Shard inbox bound (batches) before ``BUSY``.
-        read_timeout: Per-connection socket read timeout in seconds
+        read_timeout: Per-connection read deadline in seconds
             (``None`` disables; default :data:`DEFAULT_READ_TIMEOUT`).
+        backend: ``"thread"`` (one handler thread per connection) or
+            ``"async"`` (single-threaded ``selectors`` event loop).
     """
 
     def __init__(
@@ -282,7 +561,12 @@ class ServiceServer:
         checkpoint_every: Optional[int] = 1000,
         queue_size: int = 64,
         read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+        backend: str = "thread",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, not {backend!r}"
+            )
         recovery = RecoveryManager(spool) if spool is not None else None
         self.router = Router(
             shards=shards,
@@ -295,10 +579,16 @@ class ServiceServer:
         #: Spool entries quarantined during recovery (dicts with
         #: ``file``/``reason``) — the salvage report.
         self.salvaged = self.router.salvaged
-        self._tcp = _TCPServer((host, port), _Handler)
-        self._tcp.router = self.router  # type: ignore[attr-defined]
-        self._tcp.read_timeout = read_timeout
-        self.host, self.port = self._tcp.server_address[:2]
+        self.backend = backend
+        if backend == "async":
+            self._impl: Any = _AsyncServer(
+                (host, port), router=self.router, read_timeout=read_timeout
+            )
+        else:
+            self._impl = _TCPServer((host, port), _Handler)
+            self._impl.router = self.router  # type: ignore[attr-defined]
+            self._impl.read_timeout = read_timeout
+        self.host, self.port = self._impl.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -308,7 +598,7 @@ class ServiceServer:
     def start(self) -> "ServiceServer":
         """Serve in a background thread (for tests and embedding)."""
         self._thread = threading.Thread(
-            target=self._tcp.serve_forever,
+            target=self._impl.serve_forever,
             kwargs={"poll_interval": 0.05},
             name="repro-service",
             daemon=True,
@@ -318,14 +608,14 @@ class ServiceServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the ``repro serve`` loop)."""
-        self._tcp.serve_forever(poll_interval=0.2)
+        self._impl.serve_forever(poll_interval=0.2)
 
     def stop(self) -> None:
-        self._tcp.shutdown()
-        self._tcp.server_close()
+        self._impl.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self._impl.server_close()
         self.router.shutdown()
 
     def __enter__(self) -> "ServiceServer":

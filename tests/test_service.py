@@ -179,9 +179,12 @@ class TestRouter:
 # -- live server: the agreement property ------------------------------------
 
 
-@pytest.fixture(scope="module")
-def server():
-    with ServiceServer(shards=2).start() as srv:
+@pytest.fixture(scope="module", params=["thread", "async"])
+def server(request):
+    """One live server per wire backend — every test below runs against
+    both the thread-per-connection and the selectors event-loop front
+    end, which is what keeps the two byte-for-byte equivalent."""
+    with ServiceServer(shards=2, backend=request.param).start() as srv:
         yield srv
 
 
@@ -207,7 +210,8 @@ def test_zoo_agreement_over_live_server(server):
         validate_report(doc)
 
 
-def test_zoo_agreement_with_restart_mid_stream(tmp_path):
+@pytest.mark.parametrize("backend", ["thread", "async"])
+def test_zoo_agreement_with_restart_mid_stream(tmp_path, backend):
     """Satellite property: checkpoint, kill the server, restart from
     the spool, resume, and the report still matches offline."""
     spool = tmp_path / "spool"
@@ -216,7 +220,7 @@ def test_zoo_agreement_with_restart_mid_stream(tmp_path):
         base = offline_doc(spec.trace(), name=spec.name)
         cut = random.Random(100 + i).randint(1, max(1, len(trace) - 1))
         sid = f"restart-{spec.name}"
-        with ServiceServer(shards=2, spool=spool).start() as first:
+        with ServiceServer(shards=2, spool=spool, backend=backend).start() as first:
             part = submit_trace(
                 first.host,
                 first.port,
@@ -231,7 +235,7 @@ def test_zoo_agreement_with_restart_mid_stream(tmp_path):
             assert part["open"] and part["position"] == cut
         # first server is gone (stop() ≈ the crash); a new incarnation
         # recovers the session from the spool.
-        with ServiceServer(shards=2, spool=spool).start() as second:
+        with ServiceServer(shards=2, spool=spool, backend=backend).start() as second:
             assert sid in second.recovered
             doc = submit_trace(
                 second.host,
