@@ -33,7 +33,7 @@ traces and the parallel reports — a disagreement marks the run
 ``agree: false`` and fails ``--check`` mode, which is what CI's
 benchmark smoke gates on.
 
-The output (``BENCH_PR7.json`` by default, schema ``repro-bench/4``)
+The output (``BENCH_PR8.json`` by default, schema ``repro-bench/5``)
 is documented in ``docs/PERF.md``.
 """
 
@@ -70,7 +70,7 @@ SESSION_EXTRAS = ("races", "lockset")
 PARALLEL_EXTRAS = ("doublechecker", "atomizer", "races", "lockset", "profile")
 
 #: Schema tag stamped into every report.
-SCHEMA = "repro-bench/4"
+SCHEMA = "repro-bench/5"
 
 #: Server front ends the service block measures (same wire, same
 #: router; one handler thread per connection vs one selectors loop).
@@ -81,6 +81,12 @@ SERVICE_ANALYSES = ("aerodrome", "races", "lockset")
 
 #: Concurrent-session counts measured by the service block.
 SERVICE_SESSIONS = (1, 8)
+
+#: Ring sizes compared by the cluster block (1-node vs 3-node loopback).
+CLUSTER_NODE_COUNTS = (1, 3)
+
+#: Sessions streamed through each ring by the cluster block.
+CLUSTER_SESSIONS = 4
 
 #: A timed run should last at least this long; shorter traces are
 #: looped (fresh checker per iteration, loop count divided out).
@@ -458,6 +464,111 @@ def bench_service(
     }
 
 
+def bench_cluster(
+    trace: Trace,
+    analyses: Iterable[str] = SERVICE_ANALYSES,
+    batch: int = 512,
+    shards: int = 2,
+    node_counts: Iterable[int] = CLUSTER_NODE_COUNTS,
+    sessions: int = CLUSTER_SESSIONS,
+) -> Dict:
+    """Ring-routed streaming vs offline: 1-node vs N-node loopback.
+
+    For each ring size this forms an in-process cluster (thread
+    backend, loopback TCP, fast gossip), streams ``sessions``
+    ring-routed sessions through a :class:`~repro.cluster.ClusterClient`
+    and compares every returned report against the offline
+    ``Session.run()``. Same policy as the ``service`` block: the
+    per-report ``agree`` flags are the hardware-independent gate; the
+    events/sec columns only mean something with idle cores — on a
+    loopback 1-CPU host the N-node column mostly measures the extra
+    gossip and routing hops, which is itself worth recording.
+    """
+    from ..cluster import ClusterClient
+    from ..service.server import ServiceServer
+
+    names = list(analyses)
+    events = list(trace.events)
+    n = len(events)
+
+    offline_start = time.perf_counter()
+    offline_result = Session(trace, [create_analysis(a) for a in names]).run()
+    offline_seconds = time.perf_counter() - offline_start
+    offline_doc = offline_result.to_json()["analyses"]
+
+    rows = []
+    for count in node_counts:
+        nodes: List[ServiceServer] = []
+        try:
+            for i in range(count):
+                kwargs: Dict = dict(
+                    shards=shards,
+                    backend="thread",
+                    node_id=f"bench-{i}",
+                    gossip_interval=0.1,
+                    suspect_after=1.0,
+                )
+                if nodes:
+                    kwargs["join"] = [nodes[0].address]
+                else:
+                    kwargs["cluster"] = True
+                nodes.append(ServiceServer(**kwargs).start())
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if all(
+                    len(node.cluster.stats()["ring"]["nodes"]) == count
+                    for node in nodes
+                ):
+                    break
+                time.sleep(0.05)
+            client = ClusterClient(
+                [node.address for node in nodes], jitter_seed=0
+            )
+            docs = []
+            start = time.perf_counter()
+            for slot in range(sessions):
+                docs.append(
+                    client.submit_trace(
+                        events, names,
+                        name=f"{trace.name}#{slot}", batch=batch,
+                        encoding="delta",
+                        session_id=f"bench-cluster-{count}-{slot}",
+                    )
+                )
+            seconds = time.perf_counter() - start
+            agree = all(doc["analyses"] == offline_doc for doc in docs)
+            spread = len(
+                {client.ring.owner(f"bench-cluster-{count}-{slot}")
+                 for slot in range(sessions)}
+            )
+            rows.append(
+                {
+                    "nodes": count,
+                    "sessions": sessions,
+                    "owners_hit": spread,
+                    "events": n * sessions,
+                    "seconds": seconds,
+                    "events_per_second": (n * sessions) / seconds
+                    if seconds > 0
+                    else math.inf,
+                    "agree": agree,
+                }
+            )
+        finally:
+            for node in nodes:
+                node.stop()
+    return {
+        "analyses": names,
+        "batch": batch,
+        "shards": shards,
+        "workload": trace.name,
+        "offline_eps": n / offline_seconds if offline_seconds > 0 else math.inf,
+        "offline_seconds": offline_seconds,
+        "rings": rows,
+        "agree": all(row["agree"] for row in rows),
+    }
+
+
 def _row_agrees(row: Dict) -> bool:
     """Every agreement flag of one workload row, folded together."""
     ok = row["agree"]
@@ -502,13 +613,15 @@ def run_bench(
     ingest: bool = True,
     jobs: int = 2,
     service: bool = True,
+    cluster: bool = True,
     verbose: bool = True,
 ) -> Dict:
     """Run the full benchmark matrix and return the report dict.
 
     ``ingest=False`` skips the cold-start split; ``jobs`` < 2 skips the
     serial-vs-parallel session comparison; ``service=False`` skips the
-    streamed-vs-offline service block.
+    streamed-vs-offline service block; ``cluster=False`` skips the
+    1-node vs 3-node ring comparison.
     """
     report: Dict = {
         "schema": SCHEMA,
@@ -619,6 +732,22 @@ def run_bench(
                     f"{flag}",
                     file=sys.stderr,
                 )
+    if cluster:
+        # The ring-routed repeat of the service comparison: the same
+        # workload streamed through 1-node and 3-node loopback rings.
+        cluster_case = CASES_BY_NAME["raytracer"]
+        cluster_trace = cluster_case.generate(seed=seed, scale=scale)
+        report["cluster"] = bench_cluster(cluster_trace)
+        if verbose:
+            for row in report["cluster"]["rings"]:
+                flag = "" if row["agree"] else "  !! DISAGREE"
+                print(
+                    f"cluster {row['nodes']}-node "
+                    f"{row['sessions']}x{row['events'] // row['sessions']:6d} ev  "
+                    f"streamed {row['events_per_second']:9.0f} ev/s  "
+                    f"owners {row['owners_hit']}{flag}",
+                    file=sys.stderr,
+                )
     table1_rows = [r for r in report["workloads"] if r["table"] == 1]
     table2_rows = [r for r in report["workloads"] if r["table"] == 2]
     report["summary"] = {
@@ -626,7 +755,8 @@ def run_bench(
         "table2": _summary(table2_rows),
         "all_agree": all(_row_agrees(r) for r in report["workloads"])
         and all(r["agree"] for r in report["scaling"])
-        and (report.get("service", {}).get("agree", True)),
+        and (report.get("service", {}).get("agree", True))
+        and (report.get("cluster", {}).get("agree", True)),
     }
     if service:
         block = report["service"]
@@ -645,6 +775,25 @@ def run_bench(
                 "plus wire overhead, so streamed < offline is expected "
                 "here; the agree flags (streamed report equality with "
                 "the offline session) are the hardware-independent gate"
+            )
+    if cluster:
+        block = report["cluster"]
+        report["summary"]["cluster"] = {
+            "analyses": block["analyses"],
+            "offline_eps": block["offline_eps"],
+            "streamed_eps": {
+                str(row["nodes"]): row["events_per_second"]
+                for row in block["rings"]
+            },
+            "all_agree": block["agree"],
+        }
+        if (os.cpu_count() or 1) < 2:
+            report["summary"]["cluster"]["note"] = (
+                "single-CPU host: every ring node time-slices one core, "
+                "so the 3-node column mostly prices the gossip and "
+                "routing hops; the agree flags (ring-routed report "
+                "equality with the offline session) are the "
+                "hardware-independent gate"
             )
     session_speedups = [
         r["session"]["onepass_speedup"]
@@ -706,7 +855,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="packed-vs-seed throughput benchmark (BENCH_PR7.json)",
+        description="packed-vs-seed throughput benchmark (BENCH_PR8.json)",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=7)
@@ -745,7 +894,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the streamed-vs-offline service block",
     )
     parser.add_argument(
-        "-o", "--output", default="BENCH_PR7.json",
+        "--no-cluster",
+        action="store_true",
+        help="skip the 1-node vs 3-node ring comparison",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_PR8.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -773,6 +927,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ingest=not args.no_ingest,
         jobs=args.jobs,
         service=not args.no_service,
+        cluster=not args.no_cluster,
     )
     write_report(report, args.output)
     summary = report["summary"]
@@ -815,6 +970,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"service: offline {service_summary['offline_eps']:.0f} ev/s; "
             f"streamed {streamed}; agree={service_summary['all_agree']}"
+        )
+    cluster_summary = summary.get("cluster") or {}
+    if cluster_summary:
+        ring_eps = ", ".join(
+            f"{k}-node {eps:.0f} ev/s"
+            for k, eps in cluster_summary["streamed_eps"].items()
+        )
+        print(
+            f"cluster: offline {cluster_summary['offline_eps']:.0f} ev/s; "
+            f"{ring_eps}; agree={cluster_summary['all_agree']}"
         )
     print(f"wrote {args.output} (all_agree={summary['all_agree']})")
     if args.check and not summary["all_agree"]:

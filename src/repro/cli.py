@@ -180,10 +180,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_size=args.queue_size,
             read_timeout=args.read_timeout or None,
             backend=args.backend,
+            cluster=args.cluster,
+            join=args.join or (),
+            node_id=args.node_id,
+            advertise=args.advertise,
+            vnodes=args.vnodes,
+            gossip_interval=args.gossip_interval,
+            suspect_after=args.suspect_after,
         )
     except OSError as error:
         print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
+    if server.cluster is not None:
+        print(
+            f"cluster node {server.cluster.node_id} "
+            f"(advertising {server.cluster.info.address})",
+            file=sys.stderr,
+        )
     if server.recovered:
         print(
             f"recovered {len(server.recovered)} session(s) from spool: "
@@ -205,6 +218,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    except RuntimeError as error:
+        # e.g. no --join seed could be reached within the retry budget
+        print(f"serve failed: {error}", file=sys.stderr)
+        return 2
     finally:
         server.stop()
     return 0
@@ -225,21 +242,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print("--analysis needs at least one name", file=sys.stderr)
         return 2
     try:
-        doc = submit_trace(
-            args.host,
-            args.port,
-            iter(trace),
-            names,
-            name=getattr(trace, "name", None) or "trace",
-            batch=args.batch,
-            encoding=args.encoding,
-            packed=args.packed,
-            session_id=args.session_id,
-            resume=args.resume,
-            stop_after=args.stop_after,
-            checkpoint=args.stop_after is not None,
-            deadline=args.deadline,
-        )
+        if args.nodes:
+            # Ring-aware routing across a cluster of serve nodes.
+            from .cluster import ClusterClient
+
+            client = ClusterClient(
+                [a.strip() for a in args.nodes.split(",") if a.strip()]
+            )
+            doc = client.submit_trace(
+                iter(trace),
+                names,
+                name=getattr(trace, "name", None) or "trace",
+                batch=args.batch,
+                encoding=args.encoding,
+                packed=args.packed,
+                session_id=args.session_id,
+                resume=args.resume,
+                stop_after=args.stop_after,
+                checkpoint=args.stop_after is not None,
+                deadline=args.deadline,
+            )
+        else:
+            doc = submit_trace(
+                args.host,
+                args.port,
+                iter(trace),
+                names,
+                name=getattr(trace, "name", None) or "trace",
+                batch=args.batch,
+                encoding=args.encoding,
+                packed=args.packed,
+                session_id=args.session_id,
+                resume=args.resume,
+                stop_after=args.stop_after,
+                checkpoint=args.stop_after is not None,
+                deadline=args.deadline,
+            )
     except ServiceUnreachable:
         print(
             f"no service at {args.host}:{args.port} "
@@ -404,6 +442,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--no-ingest")
     if args.no_service:
         argv.append("--no-service")
+    if args.no_cluster:
+        argv.append("--no-cluster")
     if args.check:
         argv.append("--check")
     return bench_main(argv)
@@ -761,6 +801,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) or a single-threaded selectors event loop that "
         "holds thousands of idle sessions on one thread",
     )
+    serve.add_argument(
+        "--cluster", action="store_true",
+        help="serve as a cluster node (a ring of one until peers join)",
+    )
+    serve.add_argument(
+        "--join", action="append", default=None, metavar="HOST:PORT",
+        help="join the cluster through this peer (repeatable; implies "
+        "--cluster)",
+    )
+    serve.add_argument(
+        "--node-id", default=None, metavar="ID",
+        help="stable cluster node id (default: the advertised host:port)",
+    )
+    serve.add_argument(
+        "--advertise", default=None, metavar="HOST:PORT",
+        help="address peers and clients reach this node at, when it "
+        "differs from the bind address",
+    )
+    serve.add_argument(
+        "--vnodes", type=int, default=None, metavar="N",
+        help="virtual ring points per node (must match across the "
+        "cluster; default 64)",
+    )
+    serve.add_argument(
+        "--gossip-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between membership gossip / rebalance ticks",
+    )
+    serve.add_argument(
+        "--suspect-after", type=float, default=None, metavar="SECONDS",
+        help="declare a silent peer dead after this long (default 4 "
+        "gossip intervals) — the failover trigger",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -778,6 +850,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=7207)
+    submit.add_argument(
+        "--nodes", default=None, metavar="H:P,H:P,...",
+        help="cluster seed addresses: route the session to its ring "
+        "owner, follow REDIRECTs, and survive node loss (overrides "
+        "--host/--port)",
+    )
     submit.add_argument(
         "--batch", type=int, default=512, help="events per EVENTS frame"
     )
@@ -896,8 +974,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="throughput + ingest + parallel + service benchmark "
-        "(writes BENCH_PR7.json)",
+        help="throughput + ingest + parallel + service + cluster benchmark "
+        "(writes BENCH_PR8.json)",
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=7)
@@ -927,7 +1005,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the streamed-vs-offline service block",
     )
-    bench.add_argument("-o", "--output", default="BENCH_PR7.json")
+    bench.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip the 1-node vs 3-node ring comparison",
+    )
+    bench.add_argument("-o", "--output", default="BENCH_PR8.json")
     bench.add_argument(
         "--check",
         action="store_true",

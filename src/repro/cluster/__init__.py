@@ -1,0 +1,59 @@
+"""repro.cluster — a consistent-hash ring of serve nodes.
+
+The multi-node layer over :mod:`repro.service`: session ids hash onto
+a ring of nodes (:mod:`~repro.cluster.ring`), nodes gossip an
+epoch-versioned membership (:mod:`~repro.cluster.membership`), each
+node's :class:`~repro.cluster.coordinator.ClusterCoordinator`
+rebalances, replicates and fails over sessions by shipping their
+checkpoint spool entries (:mod:`~repro.cluster.migration`), and the
+:class:`~repro.cluster.client.ClusterClient` routes each session to
+its owner, following REDIRECTs and surviving node loss.
+"""
+
+from .client import ClusterClient, ClusterError, parse_address
+from .coordinator import (
+    DEFAULT_GOSSIP_INTERVAL,
+    SUSPECT_INTERVALS,
+    ClusterCoordinator,
+)
+from .membership import (
+    ALIVE,
+    DEAD,
+    Membership,
+    MembershipError,
+    NodeInfo,
+    parse_membership,
+)
+from .migration import (
+    HandoffError,
+    json_call,
+    migrate_session,
+    node_call,
+    replicate_session,
+    ship_handoff,
+)
+from .ring import DEFAULT_VNODES, HashRing, RingError
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "DEFAULT_GOSSIP_INTERVAL",
+    "DEFAULT_VNODES",
+    "SUSPECT_INTERVALS",
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterError",
+    "HandoffError",
+    "HashRing",
+    "Membership",
+    "MembershipError",
+    "NodeInfo",
+    "RingError",
+    "json_call",
+    "migrate_session",
+    "node_call",
+    "parse_address",
+    "parse_membership",
+    "replicate_session",
+    "ship_handoff",
+]

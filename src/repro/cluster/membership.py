@@ -1,0 +1,188 @@
+"""Versioned cluster membership — the gossip document.
+
+A :class:`Membership` is the node set plus one monotonically growing
+**epoch**. Every mutation that changes ownership (a node joining, a
+node marked dead) bumps the epoch, and gossip merges resolve entirely
+on it: a higher epoch replaces the local view wholesale, an equal
+epoch unions node-by-node (``dead`` beats ``alive`` — death is an
+absorbing state within an epoch), and a lower epoch is ignored. That
+rule is what keeps a killed node from being resurrected by a slow
+gossiper still holding the old view: the survivor that detected the
+death bumped the epoch, so its document dominates.
+
+The document serializes to JSON and travels in ``JOIN``/``RING``
+control frames (see :mod:`repro.service.protocol`); clients fetch the
+same document to build their routing ring. A node that finds *itself*
+marked dead in a merged view (it was partitioned or stalled past the
+suspicion deadline) re-asserts itself: it bumps the epoch and rejoins
+alive, and the bumped document wins the next gossip round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional
+
+#: Status values a member can be in.
+ALIVE = "alive"
+DEAD = "dead"
+
+
+class MembershipError(ValueError):
+    """A membership document is malformed."""
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One cluster member: identity, reachable address, liveness."""
+
+    node_id: str
+    host: str
+    port: int
+    status: str = ALIVE
+
+    @property
+    def alive(self) -> bool:
+        return self.status == ALIVE
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "node": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "NodeInfo":
+        try:
+            node_id = doc["node"]
+            host = doc["host"]
+            port = doc["port"]
+        except (KeyError, TypeError) as exc:
+            raise MembershipError(f"bad node entry {doc!r}") from exc
+        status = doc.get("status", ALIVE)
+        if (
+            not isinstance(node_id, str)
+            or not isinstance(host, str)
+            or not isinstance(port, int)
+            or status not in (ALIVE, DEAD)
+        ):
+            raise MembershipError(f"bad node entry {doc!r}")
+        return cls(node_id=node_id, host=host, port=port, status=status)
+
+
+class Membership:
+    """The epoch-versioned node set one cluster node believes in.
+
+    Not thread-safe by itself — the coordinator serializes access.
+    """
+
+    def __init__(self, epoch: int = 0) -> None:
+        self.epoch = epoch
+        self.nodes: Dict[str, NodeInfo] = {}
+
+    # -- mutation (every ownership change bumps the epoch) ------------------
+
+    def add(self, info: NodeInfo) -> bool:
+        """Add or revive a member; returns True if the view changed."""
+        current = self.nodes.get(info.node_id)
+        if current is not None and current == info:
+            return False
+        self.nodes[info.node_id] = info
+        self.epoch += 1
+        return True
+
+    def mark_dead(self, node_id: str) -> bool:
+        """Declare a member dead; returns True if the view changed."""
+        current = self.nodes.get(node_id)
+        if current is None or current.status == DEAD:
+            return False
+        self.nodes[node_id] = replace(current, status=DEAD)
+        self.epoch += 1
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, node_id: str) -> Optional[NodeInfo]:
+        return self.nodes.get(node_id)
+
+    def alive(self) -> List[NodeInfo]:
+        """Live members, sorted by node id (deterministic ring input)."""
+        return sorted(
+            (n for n in self.nodes.values() if n.alive),
+            key=lambda n: n.node_id,
+        )
+
+    def alive_ids(self) -> List[str]:
+        return [n.node_id for n in self.alive()]
+
+    # -- gossip merge --------------------------------------------------------
+
+    def merge(self, doc: Dict[str, Any]) -> bool:
+        """Fold a peer's membership document in; True if we changed.
+
+        Higher epoch replaces wholesale; equal epoch unions with
+        ``dead`` absorbing; lower epoch is ignored.
+
+        Raises:
+            MembershipError: On a malformed document.
+        """
+        epoch, incoming = parse_membership(doc)
+        if epoch < self.epoch:
+            return False
+        if epoch > self.epoch:
+            changed = (
+                self.nodes != incoming or self.epoch != epoch
+            )
+            self.epoch = epoch
+            self.nodes = dict(incoming)
+            return changed
+        changed = False
+        for node_id, info in incoming.items():
+            current = self.nodes.get(node_id)
+            if current is None:
+                self.nodes[node_id] = info
+                changed = True
+            elif current.alive and not info.alive:
+                self.nodes[node_id] = info
+                changed = True
+        return changed
+
+    # -- JSON ---------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "nodes": [
+                self.nodes[node_id].to_json()
+                for node_id in sorted(self.nodes)
+            ],
+        }
+
+
+def parse_membership(
+    doc: Dict[str, Any]
+) -> "tuple[int, Dict[str, NodeInfo]]":
+    """Validate a membership document -> ``(epoch, nodes)``.
+
+    Raises:
+        MembershipError: On a malformed document.
+    """
+    if not isinstance(doc, dict):
+        raise MembershipError("membership must be an object")
+    epoch = doc.get("epoch")
+    if not isinstance(epoch, int) or epoch < 0:
+        raise MembershipError(f"bad membership epoch {epoch!r}")
+    raw = doc.get("nodes")
+    if not isinstance(raw, list):
+        raise MembershipError("membership nodes must be a list")
+    nodes: Dict[str, NodeInfo] = {}
+    for entry in raw:
+        info = NodeInfo.from_json(entry)
+        nodes[info.node_id] = info
+    return epoch, nodes

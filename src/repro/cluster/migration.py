@@ -1,0 +1,172 @@
+"""Shipping sessions between nodes: the HANDOFF path.
+
+A migration is *checkpoint + move*: the source shard freezes the
+session into the exact blob its spool stores (``Router.export_session``
+— checkpoint, then drop), the blob travels in one ``HANDOFF`` frame,
+and the target shard adopts it (``Router.import_session`` — thaw,
+higher-position-wins on conflict, re-spool). Replication is the same
+frame with ``live=false``: the source keeps running and the target only
+stores the blob in its replica spool, to be adopted if the owner dies.
+
+Everything here is a *client* of a peer node: each call opens a fresh
+connection, speaks one frame, reads one reply, and hangs up — no
+connection pooling, no partial state to clean up after a peer dies
+mid-call. At-least-once semantics are free: a duplicated HANDOFF is
+absorbed by the import conflict rule, a dropped one is retried by the
+next gossip tick (replication) or undone locally (live migration).
+
+Fault site (see :mod:`repro.faults`): ``cluster.handoff`` — ``drop``
+(the frame never leaves the node) or ``duplicate`` (it is sent twice).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from ..faults.injector import fire
+from ..service import protocol
+from ..service.protocol import FrameType
+
+#: Seconds one peer call (connect + one round trip) may take.
+DEFAULT_CALL_TIMEOUT = 5.0
+
+
+class HandoffError(RuntimeError):
+    """A peer call failed (unreachable, protocol error, ERROR reply)."""
+
+
+def node_call(
+    host: str,
+    port: int,
+    frame: bytes,
+    timeout: float = DEFAULT_CALL_TIMEOUT,
+) -> Tuple[int, bytes]:
+    """One fresh-connection round trip to a peer node.
+
+    Sends ``frame``, reads exactly one reply frame, closes. Returns
+    ``(type, payload)``; an ``ERROR`` reply or any transport/framing
+    failure raises :class:`HandoffError` — callers treat every failure
+    the same way (retry next tick, or undo).
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(frame)
+            with sock.makefile("rb") as rfile:
+                reply = protocol.read_frame(rfile)
+    except (OSError, protocol.WireError) as exc:
+        raise HandoffError(f"peer {host}:{port}: {exc}") from exc
+    if reply is None:
+        raise HandoffError(f"peer {host}:{port} closed without replying")
+    ftype, payload = reply
+    if ftype == FrameType.ERROR:
+        obj = protocol.decode_json(payload)
+        raise HandoffError(
+            f"peer {host}:{port} answered ERROR "
+            f"[{obj.get('code', 'unknown')}] {obj.get('message', '')}"
+        )
+    return ftype, payload
+
+
+def json_call(
+    host: str,
+    port: int,
+    ftype: int,
+    obj: Dict[str, Any],
+    timeout: float = DEFAULT_CALL_TIMEOUT,
+) -> Dict[str, Any]:
+    """A JSON request/reply round trip (JOIN and RING frames)."""
+    _rtype, payload = node_call(
+        host, port, protocol.encode_json(ftype, obj), timeout=timeout
+    )
+    return protocol.decode_json(payload) if payload else {}
+
+
+def ship_handoff(
+    host: str,
+    port: int,
+    meta: Dict[str, Any],
+    blob: bytes,
+    timeout: float = DEFAULT_CALL_TIMEOUT,
+) -> Dict[str, Any]:
+    """Ship one frozen session checkpoint to a peer in a HANDOFF frame.
+
+    Returns the peer's OWNED acknowledgment (``{"session", "position",
+    "imported"}`` for a live move, ``{"session", "stored"}`` for a
+    replica). Raises :class:`HandoffError` on any failure — including
+    an injected ``cluster.handoff drop``, which callers must treat
+    exactly like a vanished frame.
+    """
+    frame = protocol.encode_frame(
+        FrameType.HANDOFF, protocol.encode_handoff(meta, blob)
+    )
+    action = fire("cluster.handoff", key=meta.get("session"))
+    if action is not None and action.op == "drop":
+        raise HandoffError(
+            f"[injected] handoff of session {meta.get('session')!r} "
+            f"to {host}:{port} dropped"
+        )
+    ftype, payload = node_call(host, port, frame, timeout=timeout)
+    if ftype != FrameType.OWNED:
+        raise HandoffError(
+            f"peer {host}:{port} answered frame type {ftype} "
+            f"to a HANDOFF (want OWNED)"
+        )
+    if action is not None and action.op == "duplicate":
+        # At-least-once delivery: the same blob lands twice; the
+        # import conflict rule (higher position wins, equal is a no-op)
+        # makes the duplicate harmless. Best-effort — if the second
+        # send fails the first already succeeded.
+        try:
+            node_call(host, port, frame, timeout=timeout)
+        except HandoffError:
+            pass
+    return protocol.decode_json(payload) if payload else {}
+
+
+def migrate_session(
+    router,
+    session_id: str,
+    host: str,
+    port: int,
+    timeout: float = DEFAULT_CALL_TIMEOUT,
+) -> Optional[Dict[str, Any]]:
+    """Live-migrate one session: export (checkpoint + drop) then ship.
+
+    If shipping fails the exported blob is **re-imported locally** —
+    the session must never be lost to a dead target; it simply stays
+    here until the next rebalance pass. Returns the peer's OWNED ack,
+    or ``None`` when the move was undone.
+    """
+    out = router.export_session(session_id)
+    meta = dict(out["meta"])
+    meta["live"] = True
+    try:
+        return ship_handoff(host, port, meta, out["blob"], timeout=timeout)
+    except HandoffError:
+        router.import_session(session_id, out["blob"])
+        return None
+
+
+def replicate_session(
+    router,
+    session_id: str,
+    host: str,
+    port: int,
+    timeout: float = DEFAULT_CALL_TIMEOUT,
+) -> int:
+    """Ship a *copy* of one session's checkpoint to its ring successor.
+
+    The original keeps running; the peer stores the blob in its replica
+    spool for failover adoption. Returns the bytes shipped (0 when the
+    handoff failed — the next tick retries).
+    """
+    out = router.export_checkpoint(session_id)
+    meta = dict(out["meta"])
+    meta["live"] = False
+    try:
+        ship_handoff(host, port, meta, out["blob"], timeout=timeout)
+    except HandoffError:
+        return 0
+    return len(out["blob"])

@@ -1,0 +1,117 @@
+"""The consistent-hash ring: who owns a session id.
+
+Every node in the cluster builds the **same** ring from the same
+membership view: each node id is expanded into ``vnodes`` virtual
+points (CRC32 of ``"<node>#<replica>"`` — the same stable hash the
+shard router uses for session→shard placement), the points are sorted
+on a 32-bit circle, and a session id is owned by the first point
+clockwise of its own hash. Virtual nodes smooth the distribution
+(with tens of points per node the largest arc is within a small factor
+of fair) and make rebalancing incremental: adding or removing one node
+moves only the sessions on the arcs it gains or loses — roughly
+``1/n`` of them — instead of reshuffling everything the way
+``hash % n`` would.
+
+The ring is deterministic and immutable: two nodes holding the same
+membership epoch compute identical owners, which is what lets clients
+route ``HELLO`` frames to the owning node without a coordinator in the
+request path. Ownership changes only when membership changes (a new
+epoch), and the seam is absorbed by ``REDIRECT`` replies plus the
+positioned-frame resync.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, Iterable, List, Tuple
+
+#: Virtual points each node contributes to the ring.
+DEFAULT_VNODES = 64
+
+
+class RingError(ValueError):
+    """The ring cannot answer (no nodes, bad arguments)."""
+
+
+def _hash(key: str) -> int:
+    """The ring hash — CRC32, same family as the shard router's."""
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """An immutable consistent-hash ring over node ids.
+
+    Args:
+        nodes: The member node ids (order-insensitive; duplicates
+            collapse).
+        vnodes: Virtual points per node — more points, smoother
+            distribution, linearly larger ring.
+    """
+
+    __slots__ = ("nodes", "vnodes", "_points", "_owners")
+
+    def __init__(
+        self, nodes: Iterable[str], vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise RingError("vnodes must be >= 1")
+        self.nodes: Tuple[str, ...] = tuple(sorted(set(nodes)))
+        if not self.nodes:
+            raise RingError("a ring needs at least one node")
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                points.append((_hash(f"{node}#{replica}"), node))
+        # Ties (two vnodes hashing identically) break by node id so
+        # every member sorts the circle identically.
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise of its hash)."""
+        idx = bisect.bisect_right(self._points, _hash(key))
+        if idx == len(self._points):
+            idx = 0  # wrap around the circle
+        return self._owners[idx]
+
+    def preference(self, key: str, n: int = 2) -> List[str]:
+        """The first ``n`` *distinct* nodes clockwise of ``key``.
+
+        ``preference(key)[0]`` is the owner; the rest are the replica
+        successors a checkpoint is shipped to for failover.
+        """
+        if n < 1:
+            raise RingError("preference list length must be >= 1")
+        start = bisect.bisect_right(self._points, _hash(key))
+        out: List[str] = []
+        total = len(self._points)
+        for step in range(total):
+            node = self._owners[(start + step) % total]
+            if node not in out:
+                out.append(node)
+                if len(out) == n:
+                    break
+        return out
+
+    def successor(self, key: str) -> str:
+        """The replica node for ``key``: the first distinct node after
+        the owner. With a single-node ring this is the owner itself
+        (there is nowhere else to replicate)."""
+        pref = self.preference(key, n=2)
+        return pref[1] if len(pref) > 1 else pref[0]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Owned-key counts per node (diagnostics and tests)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

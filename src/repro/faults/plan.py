@@ -49,6 +49,10 @@ SITES: Dict[str, tuple] = {
     "shard.inbox": ("stall",),
     # an api.Session.feed sweep about to step its analyses
     "analysis.step": ("raise",),
+    # a cluster HANDOFF (checkpoint blob) about to be shipped to a peer
+    "cluster.handoff": ("drop", "duplicate"),
+    # a gossip round about to contact one peer (ClusterCoordinator)
+    "cluster.gossip": ("drop",),
 }
 
 

@@ -46,17 +46,21 @@ from .router import (
 )
 from .recovery import RecoveryError, RecoveryManager, SessionCheckpoint
 from .server import ServiceServer
+from .backoff import BACKOFF_CAP, Backoff
 from .client import (
     DeadlineExceeded,
     RemoteChecker,
     ServiceClient,
     ServiceError,
     ServiceUnreachable,
+    SessionRedirect,
     submit_trace,
 )
 
 __all__ = [
+    "BACKOFF_CAP",
     "PROTOCOL",
+    "Backoff",
     "BusyError",
     "DeadlineExceeded",
     "FrameError",
@@ -73,6 +77,7 @@ __all__ = [
     "SessionCheckpoint",
     "SessionNotFound",
     "SessionQuarantined",
+    "SessionRedirect",
     "ShardCrashed",
     "StreamingSession",
     "WireError",

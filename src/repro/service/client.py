@@ -49,13 +49,16 @@ from ..core.violations import CheckResult, Violation
 from ..faults.injector import fire, mutate_frame
 from ..trace.events import Event
 from . import protocol
+from .backoff import (  # noqa: F401  (BACKOFF_CAP re-exported for compat)
+    BACKOFF_CAP,
+    DEFAULT_BUSY_DELAY,
+    DEFAULT_RECONNECT_DELAY,
+    Backoff,
+)
 from .protocol import FrameType
 
 #: Default events per EVENTS frame.
 DEFAULT_BATCH = 512
-
-#: Longest single backoff sleep (seconds) — BUSY and reconnect alike.
-BACKOFF_CAP = 0.5
 
 #: Reconnect attempts :func:`submit_trace` makes before giving up.
 DEFAULT_ATTEMPTS = 5
@@ -83,6 +86,27 @@ class DeadlineExceeded(ServiceError):
         super().__init__("deadline", message)
 
 
+class SessionRedirect(ServiceError):
+    """The server does not own this session — follow the redirect.
+
+    A clustered node answers HELLO (and any session command that
+    arrives after an ownership change) with a REDIRECT frame naming the
+    owning node; :class:`~repro.cluster.client.ClusterClient` catches
+    this and re-routes. The target is in :attr:`host`/:attr:`port`.
+    """
+
+    def __init__(self, info: Dict[str, Any]) -> None:
+        self.host: str = info.get("host", "")
+        self.port: int = int(info.get("port", 0))
+        self.node: str = info.get("node", "")
+        self.epoch: int = int(info.get("epoch", 0))
+        super().__init__(
+            "redirect",
+            f"session is owned by node {self.node!r} "
+            f"at {self.host}:{self.port} (epoch {self.epoch})",
+        )
+
+
 class _Deadline:
     """A monotonic wall-clock budget shared across retries."""
 
@@ -105,12 +129,6 @@ class _Deadline:
             self.remaining(doing)  # raises: budget is now spent
             return
         time.sleep(seconds)
-
-
-def _jittered(rng: random.Random, delay: float) -> float:
-    """Full jitter over ``(delay/2, delay]``, capped at BACKOFF_CAP."""
-    capped = min(delay, BACKOFF_CAP)
-    return capped * (0.5 + 0.5 * rng.random())
 
 
 class ServiceClient:
@@ -216,7 +234,7 @@ class ServiceClient:
         ``(type, payload_dict)``; raises :class:`ServiceError` on an
         ERROR reply and :class:`protocol.WireError` on a broken stream.
         """
-        delay = retry_delay
+        backoff = Backoff(initial=retry_delay, rng=self._rng)
         for _ in range(busy_retries + 1):
             self.deadline.remaining("waiting for the server")
             self._send_frame(frame)
@@ -226,11 +244,10 @@ class ServiceClient:
             ftype, payload = reply
             obj = protocol.decode_json(payload)
             if ftype == FrameType.BUSY:
-                self.deadline.sleep(
-                    _jittered(self._rng, delay), "backing off from BUSY"
-                )
-                delay *= 2
+                self.deadline.sleep(backoff.next(), "backing off from BUSY")
                 continue
+            if ftype == FrameType.REDIRECT:
+                raise SessionRedirect(obj)
             if ftype == FrameType.ERROR:
                 raise ServiceError(
                     obj.get("code", "unknown"), obj.get("message", "")
@@ -248,6 +265,7 @@ class ServiceClient:
         encoding: str = "text",
         session_id: Optional[str] = None,
         resume: bool = False,
+        lenient: bool = False,
         meta: Optional[Dict[str, Any]] = None,
     ) -> "SessionHandle":
         """HELLO: open (or resume) a session and bind this connection.
@@ -255,7 +273,10 @@ class ServiceClient:
         ``encoding`` picks how batches travel: ``"text"`` (``.std``
         lines) or ``"delta"`` (packed column deltas — cheaper for long
         streams). ``packed`` selects the *analysis* path server-side,
-        independent of the wire encoding.
+        independent of the wire encoding. ``lenient`` softens a resume:
+        if the server has nothing resumable (cluster failover lost the
+        checkpoint) the session opens fresh at position 0 instead of
+        erroring, and the caller re-sends from the start.
         """
         if encoding not in ("text", "delta"):
             raise ValueError(f"encoding must be 'text' or 'delta', not {encoding!r}")
@@ -266,6 +287,7 @@ class ServiceClient:
             "packed": packed,
             "session": session_id,
             "resume": resume,
+            "lenient": lenient,
             "meta": meta or {},
         }
         ftype, info = self.roundtrip(
@@ -383,6 +405,7 @@ def submit_trace(
     deadline: Optional[float] = None,
     attempts: int = DEFAULT_ATTEMPTS,
     jitter_seed: Optional[int] = None,
+    lenient: bool = False,
 ) -> Dict[str, Any]:
     """Stream a whole trace to a service and return its report.
 
@@ -406,15 +429,14 @@ def submit_trace(
     """
     all_events = list(events)
     budget = _Deadline(deadline)
-    rng = random.Random(jitter_seed)
-    delay = 0.05
+    backoff = Backoff(initial=DEFAULT_RECONNECT_DELAY, seed=jitter_seed)
     failures = 0
     while True:
         try:
             return _submit_once(
                 host, port, all_events, analyses,
                 name=name, batch=batch, encoding=encoding, packed=packed,
-                session_id=session_id, resume=resume,
+                session_id=session_id, resume=resume, lenient=lenient,
                 stop_after=stop_after, checkpoint=checkpoint,
                 budget=budget, jitter_seed=jitter_seed,
             )
@@ -429,10 +451,9 @@ def submit_trace(
                 # idempotently — a blind retry could double-feed.
                 raise
             budget.sleep(
-                _jittered(rng, delay),
+                backoff.next(),
                 f"reconnecting to {host}:{port} after: {exc}",
             )
-            delay *= 2
             resume = True  # the session lives server-side; pick it up
 
 
@@ -451,6 +472,7 @@ def _submit_once(
     checkpoint: bool,
     budget: _Deadline,
     jitter_seed: Optional[int],
+    lenient: bool = False,
 ) -> Dict[str, Any]:
     with ServiceClient(
         host, port, deadline=budget, jitter_seed=jitter_seed
@@ -462,6 +484,7 @@ def _submit_once(
             encoding=encoding,
             session_id=session_id,
             resume=resume,
+            lenient=lenient,
         )
 
         def send_range(start: int, stop: int) -> None:

@@ -61,6 +61,12 @@ class WireConnection:
             read_timeouts, wire_errors).
         counters: Zero-arg callable returning the server-level counter
             dict merged into ``STATS`` replies.
+        cluster: The node's
+            :class:`~repro.cluster.coordinator.ClusterCoordinator`, or
+            ``None`` on a standalone server. With a cluster attached,
+            HELLO/EVENTS/FLUSH/CHECKPOINT/CLOSE for sessions the ring
+            assigns elsewhere answer ``REDIRECT``, and the
+            JOIN/RING/HANDOFF/OWNED control frames are served.
     """
 
     def __init__(
@@ -68,10 +74,12 @@ class WireConnection:
         router: Router,
         count: Callable[[str], None],
         counters: Callable[[], Dict[str, Any]],
+        cluster: Optional[Any] = None,
     ) -> None:
         self.router = router
         self._count = count
         self._counters = counters
+        self.cluster = cluster
         self.session_id: Optional[str] = None
         #: Inbound incremental frame decoder (the ring buffer lives here).
         self.frames = protocol.FrameDecoder()
@@ -221,16 +229,89 @@ class WireConnection:
             )
             self._error("internal", f"{type(error).__name__}: {error}")
 
+    def _redirect(self, session_id: str) -> None:
+        """Answer REDIRECT: the ring assigns this session elsewhere."""
+        self._count("redirects")
+        self._send(FrameType.REDIRECT, self.cluster.redirect_doc(session_id))
+
+    def _dispatch_cluster(self, ftype: int, payload: bytes) -> bool:
+        """Serve the cluster control frames; True when ``ftype`` was one.
+
+        JOIN/RING/OWNED are quick in-memory merges answered inline;
+        HANDOFF with a live session goes through the router's
+        non-blocking import (a thaw can be heavy — never stall the
+        event loop on it), a replica HANDOFF is one spool write.
+        """
+        if ftype not in (
+            FrameType.JOIN, FrameType.RING,
+            FrameType.HANDOFF, FrameType.OWNED,
+        ):
+            return False
+        if self.cluster is None:
+            self._error(
+                "not-clustered",
+                "this server is not part of a cluster (start with "
+                "--cluster or --join)",
+            )
+            return True
+        cluster = self.cluster
+        if ftype == FrameType.HANDOFF:
+            meta, blob = protocol.decode_handoff(payload)
+            session_id = meta.get("session")
+            if not isinstance(session_id, str) or not session_id:
+                raise protocol.PayloadError("HANDOFF meta lacks a session id")
+            if meta.get("live"):
+                future = self.router.submit_import(session_id, blob)
+
+                def finish() -> None:
+                    info = future.result()
+                    cluster.note_import(len(blob))
+                    self._send(FrameType.OWNED, info)
+
+                self._pending = ([future], finish)
+            else:
+                self._send(
+                    FrameType.OWNED, cluster.store_replica(session_id, blob)
+                )
+            return True
+        obj = protocol.decode_json(payload) if payload else {}
+        if ftype == FrameType.JOIN:
+            doc = cluster.handle_join(obj)
+            self._send(
+                FrameType.RING,
+                {"membership": doc, "vnodes": cluster.vnodes},
+            )
+        elif ftype == FrameType.RING:
+            doc = cluster.handle_ring(obj)
+            self._send(
+                FrameType.RING,
+                {"membership": doc, "vnodes": cluster.vnodes},
+            )
+        else:  # OWNED notice (e.g. "session closed, drop the replica")
+            self._send(FrameType.OK, cluster.handle_owned(obj))
+        return True
+
     def _dispatch(self, ftype: int, payload: bytes) -> None:
         router = self.router
+        if self._dispatch_cluster(ftype, payload):
+            return
         if ftype == FrameType.HELLO:
             hello = protocol.parse_hello(protocol.decode_json(payload))
+            if self.cluster is not None:
+                if hello["session"] is None:
+                    # Un-pinned session: mint an id this node owns so
+                    # the client never bounces on its very first HELLO.
+                    hello["session"] = self.cluster.local_session_id()
+                elif not self.cluster.owns(hello["session"]):
+                    self._redirect(hello["session"])
+                    return
             future = router.submit_open(
                 hello["analyses"],
                 name=hello["name"],
                 packed=hello["packed"],
                 session_id=hello["session"],
                 resume=hello["resume"],
+                lenient=hello["lenient"],
             )
 
             def finish() -> None:
@@ -247,12 +328,20 @@ class WireConnection:
             def finish() -> None:
                 stats = router.finish_stats(pairs)
                 stats["server"] = self._counters()
+                if self.cluster is not None:
+                    stats["cluster"] = self.cluster.stats()
                 self._send(FrameType.OK, {"stats": stats})
 
             self._pending = ([future for _shard, future in pairs], finish)
             return
         if self.session_id is None:
             self._error("no-session", "send HELLO first")
+            return
+        if self.cluster is not None and not self.cluster.owns(self.session_id):
+            # Ownership moved mid-stream (a node joined and the session
+            # migrated away): bounce the client to the new owner, which
+            # resumes from the migrated checkpoint.
+            self._redirect(self.session_id)
             return
         if ftype == FrameType.EVENTS:
             events, base = protocol.decode_events_ex(payload, self.delta)
@@ -292,10 +381,16 @@ class WireConnection:
             )
         elif ftype == FrameType.CLOSE:
             future = router.submit_close(self.session_id)
+            closing_id = self.session_id
 
             def finish() -> None:
                 info = future.result()
                 self.session_id = None
+                if self.cluster is not None:
+                    # Queue the successor's replica-drop notice so a
+                    # finished session can never be resurrected by a
+                    # later failover adoption.
+                    self.cluster.session_closed(closing_id)
                 self._send(FrameType.REPORT, info)
 
             self._pending = ([future], finish)

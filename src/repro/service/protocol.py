@@ -113,12 +113,19 @@ class FrameType(IntEnum):
     FLUSH = 4
     CLOSE = 5
     STATS = 6
+    # cluster control (node -> node; RING also client -> node to fetch
+    # the membership document for ring-aware routing)
+    JOIN = 7
+    RING = 8
+    HANDOFF = 9
+    OWNED = 10
     # server -> client
     OK = 16
     REPORT = 17
     VIOLATION = 18
     ERROR = 19
     BUSY = 20
+    REDIRECT = 21
 
 
 _KNOWN_TYPES = frozenset(int(t) for t in FrameType)
@@ -463,9 +470,65 @@ def parse_hello(obj: Dict[str, Any]) -> Dict[str, Any]:
         "name": name,
         "packed": bool(obj.get("packed", False)),
         "resume": resume,
+        # Lenient resume: if nothing resumable exists (no live session,
+        # no spool entry, no shipped replica), open fresh at position 0
+        # instead of erroring — the cluster client's failover path,
+        # where a session may die before its first checkpoint ships.
+        "lenient": bool(obj.get("lenient", False)),
         "session": session,
         "meta": meta,
     }
+
+
+# -- HANDOFF payloads -------------------------------------------------------
+
+_HANDOFF_META = struct.Struct("<I")  # header JSON length
+_HANDOFF_BLOB = struct.Struct("<IQ")  # payload crc32, payload length
+
+
+def encode_handoff(meta: Dict[str, Any], blob: bytes) -> bytes:
+    """A HANDOFF payload: JSON header + CRC-guarded checkpoint bytes.
+
+    ``meta`` describes the shipment (``session``, ``position``,
+    ``live``, ``epoch``, ``origin``); ``blob`` is the frozen
+    :class:`~repro.service.recovery.SessionCheckpoint` exactly as the
+    spool stores it — a migration literally ships the spool entry.
+    """
+    header = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    return (
+        _HANDOFF_META.pack(len(header))
+        + header
+        + _HANDOFF_BLOB.pack(zlib.crc32(blob), len(blob))
+        + blob
+    )
+
+
+def decode_handoff(payload: bytes) -> Tuple[Dict[str, Any], bytes]:
+    """Decode a HANDOFF payload -> ``(meta, checkpoint_blob)``.
+
+    Raises:
+        PayloadError: On truncation, bad JSON, or a blob CRC mismatch.
+    """
+    if len(payload) < _HANDOFF_META.size:
+        raise PayloadError("truncated handoff payload")
+    (header_len,) = _HANDOFF_META.unpack_from(payload)
+    pos = _HANDOFF_META.size
+    if header_len > len(payload) - pos:
+        raise PayloadError("truncated handoff header")
+    meta = decode_json(payload[pos : pos + header_len])
+    pos += header_len
+    if len(payload) - pos < _HANDOFF_BLOB.size:
+        raise PayloadError("truncated handoff blob header")
+    crc, length = _HANDOFF_BLOB.unpack_from(payload, pos)
+    pos += _HANDOFF_BLOB.size
+    blob = payload[pos:]
+    if len(blob) != length:
+        raise PayloadError(
+            f"handoff blob is {len(blob)} bytes, header claims {length}"
+        )
+    if zlib.crc32(blob) != crc:
+        raise PayloadError("handoff blob CRC mismatch (corrupt shipment)")
+    return meta, blob
 
 
 # -- EVENTS payloads --------------------------------------------------------

@@ -273,6 +273,77 @@ class RecoveryManager:
         """Restore the live session spooled under ``session_id``."""
         return restore_session(self.load_checkpoint(session_id))
 
+    # -- raw payload transfer (cluster handoff) -----------------------------
+
+    def save_payload(self, session_id: str, blob: bytes) -> None:
+        """Spool an already-frozen checkpoint blob under ``session_id``.
+
+        The cluster handoff path ships the *exact* frozen
+        :class:`SessionCheckpoint` bytes a spool entry stores (see
+        :meth:`load_payload`); writing them back through this method
+        produces a spool entry indistinguishable from a local
+        :meth:`save` — same atomic replace, same header CRC — so the
+        receiving node's ordinary recovery path can adopt it.
+
+        Raises:
+            RecoveryError: If the entry cannot be written.
+        """
+        crc, length = zlib.crc32(blob), len(blob)
+        raw_id = session_id.encode("utf-8")
+        target = self.path_for(session_id)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.spool), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(SPOOL_MAGIC)
+                handle.write(_HEADER_LEN.pack(len(raw_id)))
+                handle.write(raw_id)
+                handle.write(_PAYLOAD_META.pack(crc, length))
+                handle.write(blob)
+            os.replace(tmp, target)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise RecoveryError(
+                f"cannot spool session {session_id!r}: {exc}"
+            ) from exc
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_payload(self, session_id: str) -> bytes:
+        """The verified frozen-checkpoint bytes spooled for
+        ``session_id`` — the blob a cluster ``HANDOFF`` frame carries.
+
+        Raises:
+            RecoveryError: If missing, truncated, or failing its CRC.
+        """
+        path = self.path_for(session_id)
+        try:
+            with open(path, "rb") as handle:
+                _, crc, payload_length = self._read_header(handle)
+                blob = handle.read()
+        except OSError as exc:
+            raise RecoveryError(
+                f"no spooled checkpoint for session {session_id!r}: {exc}"
+            ) from exc
+        if len(blob) != payload_length:
+            raise RecoveryError(
+                f"spool entry {path.name}: payload is {len(blob)} bytes, "
+                f"header claims {payload_length} (truncated or torn write)"
+            )
+        if zlib.crc32(blob) != crc:
+            raise RecoveryError(
+                f"spool entry {path.name}: payload CRC mismatch (corrupt)"
+            )
+        return blob
+
     def scan(self) -> Tuple[List[str], List[Tuple[Path, str]]]:
         """``(session_ids, salvage)`` — a header-only spool sweep.
 

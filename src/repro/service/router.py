@@ -37,11 +37,17 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..core.snapshot import CheckpointError
+from ..core.snapshot import CheckpointError, freeze, thaw
 from ..faults.injector import fire
 from ..faults.plan import ShardCrash
 from ..trace.events import Event
-from .recovery import RecoveryError, RecoveryManager
+from .recovery import (
+    RecoveryError,
+    RecoveryManager,
+    SessionCheckpoint,
+    checkpoint_session,
+    restore_session,
+)
 from .session import StreamingSession
 
 #: Service-wide logger. Every message that concerns a tenant carries
@@ -219,6 +225,7 @@ class ShardWorker:
         name: str,
         packed: bool,
         resume: bool,
+        lenient: bool = False,
     ) -> Dict[str, Any]:
         if session_id in self.sessions:
             if resume:  # live on this shard — nothing to restore
@@ -231,10 +238,24 @@ class ShardWorker:
             raise RouterError(f"session {session_id!r} already open")
         resumed = False
         if resume:
-            if self.recovery is None:
+            if self.recovery is None and not lenient:
                 raise RouterError("cannot resume: server has no spool")
-            session = self.recovery.load(session_id)
-            resumed = True
+            try:
+                if self.recovery is None:
+                    raise RecoveryError("server has no spool")
+                session = self.recovery.load(session_id)
+                resumed = True
+            except RecoveryError:
+                # Lenient resume (the cluster failover path): nothing
+                # resumable here — no live session, no spool entry, no
+                # shipped replica — so open fresh at position 0 and let
+                # the client rewind and re-send; positioned frames make
+                # the replay idempotent.
+                if not lenient:
+                    raise
+                session = StreamingSession(
+                    session_id, analyses, name=name, packed=packed
+                )
         else:
             session = StreamingSession(
                 session_id, analyses, name=name, packed=packed
@@ -359,6 +380,83 @@ class ShardWorker:
         self._last_checkpoint.pop(session_id, None)
         if self.recovery is not None:
             self.recovery.delete(session_id)
+
+    # -- cluster migration commands ----------------------------------------
+
+    def do_list(self) -> List[Dict[str, Any]]:
+        """Open sessions on this shard: id, position, health."""
+        return [
+            {
+                "session": session_id,
+                "position": session.position,
+                "quarantined": session.quarantined,
+            }
+            for session_id, session in sorted(self.sessions.items())
+        ]
+
+    def _freeze_session(self, session_id: str) -> Dict[str, Any]:
+        session = self._session(session_id)
+        if session.quarantined:
+            raise RouterError(
+                f"cannot export quarantined session {session_id!r}"
+            )
+        checkpoint = checkpoint_session(session)
+        blob = freeze(checkpoint, what=f"handoff of {session_id}")
+        return {
+            "meta": {
+                "session": session_id,
+                "name": checkpoint.name,
+                "analyses": list(checkpoint.analyses),
+                "position": checkpoint.position,
+            },
+            "blob": blob,
+        }
+
+    def do_export(self, session_id: str) -> Dict[str, Any]:
+        """Freeze a session for handoff and drop it locally.
+
+        The returned blob is the exact frozen :class:`SessionCheckpoint`
+        a spool entry stores; the receiving shard's :meth:`do_import`
+        (or its spool, via ``save_payload``) adopts it verbatim. The
+        local copy — live session and spool entry — is released, so
+        ownership moves, never forks.
+        """
+        out = self._freeze_session(session_id)
+        self._drop(session_id)
+        return out
+
+    def do_export_copy(self, session_id: str) -> Dict[str, Any]:
+        """Freeze a session for replication; the original keeps running."""
+        return self._freeze_session(session_id)
+
+    def do_import(self, blob: bytes) -> Dict[str, Any]:
+        """Adopt a handed-off session from its frozen checkpoint.
+
+        Conflict rule: if the session is already open here, the copy
+        with the **higher position** wins (an at-least-once handoff can
+        deliver a stale duplicate; never move a session backwards).
+        """
+        checkpoint = thaw(blob, what="handoff payload")
+        if not isinstance(checkpoint, SessionCheckpoint):
+            raise RouterError("handoff payload is not a session checkpoint")
+        session_id = checkpoint.session_id
+        current = self.sessions.get(session_id)
+        if current is not None and current.position >= checkpoint.position:
+            return {
+                "session": session_id,
+                "position": current.position,
+                "imported": False,
+            }
+        session = restore_session(checkpoint)
+        self.sessions[session_id] = session
+        self._last_checkpoint[session_id] = session.position
+        if self.recovery is not None:
+            self.recovery.save_payload(session_id, blob)
+        return {
+            "session": session_id,
+            "position": session.position,
+            "imported": True,
+        }
 
     def do_stats(self) -> Dict[str, Any]:
         elapsed = max(time.monotonic() - self.started, 1e-9)
@@ -775,11 +873,12 @@ class Router:
         packed: bool = False,
         session_id: Optional[str] = None,
         resume: bool = False,
+        lenient: bool = False,
     ) -> Dict[str, Any]:
         """Open (or resume) a session; returns id/position/resumed."""
         session_id = session_id or uuid.uuid4().hex
         return self._shard(session_id).call(
-            "open", session_id, list(analyses), name, packed, resume
+            "open", session_id, list(analyses), name, packed, resume, lenient
         )
 
     def feed(
@@ -815,6 +914,28 @@ class Router:
         """Finish the session; returns the final report + last findings."""
         return self._shard(session_id).call("close", session_id)
 
+    # -- cluster migration surface -----------------------------------------
+
+    def list_sessions(self) -> List[Dict[str, Any]]:
+        """Every open session across all shards (id, position, health)."""
+        rows: List[Dict[str, Any]] = []
+        for idx in range(len(self._shards)):
+            rows.extend(self._shard_at(idx).call("list"))
+        return rows
+
+    def export_session(self, session_id: str) -> Dict[str, Any]:
+        """Checkpoint-and-drop a session for live migration; returns
+        ``{"meta": ..., "blob": ...}`` (the HANDOFF frame contents)."""
+        return self._shard(session_id).call("export", session_id)
+
+    def export_checkpoint(self, session_id: str) -> Dict[str, Any]:
+        """Checkpoint a session for replication without dropping it."""
+        return self._shard(session_id).call("export_copy", session_id)
+
+    def import_session(self, session_id: str, blob: bytes) -> Dict[str, Any]:
+        """Adopt a handed-off session (higher position wins on conflict)."""
+        return self._shard(session_id).call("import", blob)
+
     # -- non-blocking surface (the event-loop backend) ---------------------
     #
     # Same commands, but the caller gets the reply _Future instead of a
@@ -830,11 +951,17 @@ class Router:
         packed: bool = False,
         session_id: Optional[str] = None,
         resume: bool = False,
+        lenient: bool = False,
     ) -> _Future:
         session_id = session_id or uuid.uuid4().hex
         return self._shard(session_id).submit(
-            "open", session_id, list(analyses), name, packed, resume
+            "open", session_id, list(analyses), name, packed, resume, lenient
         )
+
+    def submit_import(self, session_id: str, blob: bytes) -> _Future:
+        """Non-blocking :meth:`import_session` (the event-loop backend
+        must never park its only thread on a shard reply)."""
+        return self._shard(session_id).submit("import", blob)
 
     def submit_flush(self, session_id: str) -> _Future:
         return self._shard(session_id).submit("flush", session_id)

@@ -54,7 +54,7 @@ import socketserver
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .connection import WireConnection
 from .recovery import RecoveryManager
@@ -100,6 +100,7 @@ class _Handler(socketserver.StreamRequestHandler):
             server.router,  # type: ignore[attr-defined]
             count=server.count,  # type: ignore[attr-defined]
             counters=server.counters,  # type: ignore[attr-defined]
+            cluster=getattr(server, "cluster", None),
         )
         while True:
             futures = wire.pump()
@@ -152,10 +153,12 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.read_timeout: Optional[float] = None
+        self.cluster: Optional[Any] = None
         self._counters: Dict[str, int] = {
             "busy_replies": 0,
             "read_timeouts": 0,
             "wire_errors": 0,
+            "redirects": 0,
         }
         self._counters_lock = threading.Lock()
 
@@ -275,10 +278,12 @@ class _AsyncServer:
         if read_timeout:
             resolution = max(0.05, min(1.0, read_timeout / 4.0))
         self._wheel = _DeadlineWheel(resolution)
+        self.cluster: Optional[Any] = None
         self._counters: Dict[str, int] = {
             "busy_replies": 0,
             "read_timeouts": 0,
             "wire_errors": 0,
+            "redirects": 0,
         }
         self._counters_lock = threading.Lock()
         self.connections_total = 0
@@ -394,7 +399,8 @@ class _AsyncServer:
                 return
             sock.setblocking(False)
             wire = WireConnection(
-                self.router, count=self.count, counters=self.counters
+                self.router, count=self.count, counters=self.counters,
+                cluster=self.cluster,
             )
             conn = _AsyncConn(sock, wire)
             if self.read_timeout:
@@ -549,6 +555,16 @@ class ServiceServer:
             (``None`` disables; default :data:`DEFAULT_READ_TIMEOUT`).
         backend: ``"thread"`` (one handler thread per connection) or
             ``"async"`` (single-threaded ``selectors`` event loop).
+        cluster: Join the multi-node protocol even without peers (a
+            cluster of one that others ``--join``). Implied by ``join``.
+        join: Peer addresses (``host:port``) to JOIN through at start.
+        node_id: Stable cluster-wide node id (defaults to the
+            advertised ``host:port``).
+        advertise: The address peers and clients reach this node at,
+            when it differs from the bind address (NAT, 0.0.0.0 binds).
+        vnodes: Virtual points this node contributes to the ring.
+        gossip_interval: Seconds between cluster gossip ticks.
+        suspect_after: Seconds of peer silence before declaring it dead.
     """
 
     def __init__(
@@ -562,6 +578,13 @@ class ServiceServer:
         queue_size: int = 64,
         read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
         backend: str = "thread",
+        cluster: bool = False,
+        join: Sequence[str] = (),
+        node_id: Optional[str] = None,
+        advertise: Optional[str] = None,
+        vnodes: Optional[int] = None,
+        gossip_interval: Optional[float] = None,
+        suspect_after: Optional[float] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -589,6 +612,35 @@ class ServiceServer:
             self._impl.router = self.router  # type: ignore[attr-defined]
             self._impl.read_timeout = read_timeout
         self.host, self.port = self._impl.server_address[:2]
+        self.cluster = None
+        if cluster or join:
+            # Imported lazily: standalone servers never pay for (or
+            # depend on) the cluster layer.
+            from ..cluster.coordinator import (
+                DEFAULT_GOSSIP_INTERVAL,
+                ClusterCoordinator,
+            )
+            from ..cluster.ring import DEFAULT_VNODES
+
+            adv_host, adv_port = self.host, self.port
+            if advertise:
+                raw_host, _, raw_port = advertise.rpartition(":")
+                adv_host, adv_port = raw_host, int(raw_port)
+            self.cluster = ClusterCoordinator(
+                node_id or f"{adv_host}:{adv_port}",
+                adv_host,
+                adv_port,
+                self.router,
+                vnodes=vnodes if vnodes else DEFAULT_VNODES,
+                gossip_interval=(
+                    gossip_interval
+                    if gossip_interval
+                    else DEFAULT_GOSSIP_INTERVAL
+                ),
+                suspect_after=suspect_after,
+                seeds=list(join),
+            )
+        self._impl.cluster = self.cluster
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -604,13 +656,22 @@ class ServiceServer:
             daemon=True,
         )
         self._thread.start()
+        if self.cluster is not None:
+            # JOIN the peers once we are accepting their replies.
+            self.cluster.start()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the ``repro serve`` loop)."""
+        if self.cluster is not None:
+            # The listener is already bound (backlog holds early peer
+            # traffic), so joining before the accept loop is safe.
+            self.cluster.start()
         self._impl.serve_forever(poll_interval=0.2)
 
     def stop(self) -> None:
+        if self.cluster is not None:
+            self.cluster.stop()
         self._impl.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

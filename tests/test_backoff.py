@@ -1,0 +1,105 @@
+"""The shared jittered-backoff policy (``repro.service.backoff``).
+
+One policy object paces every retry loop in the service and cluster
+layers — client reconnects, BUSY waits, cluster routing, seed joins.
+These tests pin its contract: exponential growth to a hard cap, full
+jitter in ``(delay/2, delay]``, and byte-for-byte determinism under a
+seeded RNG (what makes the chaos/cluster drills reproducible).
+"""
+
+import random
+
+import pytest
+
+from repro.service import BACKOFF_CAP, Backoff
+from repro.service.backoff import (
+    DEFAULT_BUSY_DELAY,
+    DEFAULT_RECONNECT_DELAY,
+)
+
+
+class TestBounds:
+    def test_next_jitters_within_half_open_interval(self):
+        policy = Backoff(initial=0.1, cap=10.0, seed=7)
+        for _ in range(50):
+            ceiling = policy.delay
+            value = policy.next()
+            assert ceiling / 2 < value <= ceiling
+
+    def test_delay_never_exceeds_cap(self):
+        policy = Backoff(initial=0.05, cap=0.5, seed=1)
+        for _ in range(20):
+            assert policy.next() <= 0.5
+        assert policy.delay == 0.5
+
+    def test_growth_is_exponential_until_capped(self):
+        policy = Backoff(initial=0.05, cap=0.5, factor=2.0, seed=0)
+        ceilings = []
+        for _ in range(6):
+            ceilings.append(policy.delay)
+            policy.next()
+        assert ceilings == [0.05, 0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_custom_factor(self):
+        policy = Backoff(initial=1.0, cap=100.0, factor=3.0, seed=0)
+        policy.next()
+        assert policy.delay == 3.0
+        policy.next()
+        assert policy.delay == 9.0
+
+    def test_reset_returns_to_initial(self):
+        policy = Backoff(initial=0.05, cap=0.5, seed=2)
+        for _ in range(5):
+            policy.next()
+        assert policy.delay == 0.5
+        policy.reset()
+        assert policy.delay == 0.05
+
+
+class TestDeterminism:
+    def test_equal_seeds_produce_equal_sequences(self):
+        a = Backoff(initial=0.05, seed=42)
+        b = Backoff(initial=0.05, seed=42)
+        assert [a.next() for _ in range(10)] == [
+            b.next() for _ in range(10)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = Backoff(initial=0.05, seed=1)
+        b = Backoff(initial=0.05, seed=2)
+        assert [a.next() for _ in range(10)] != [
+            b.next() for _ in range(10)
+        ]
+
+    def test_injected_rng_is_used(self):
+        rng = random.Random(99)
+        expected_rng = random.Random(99)
+        policy = Backoff(initial=0.1, cap=1.0, rng=rng)
+        got = policy.next()
+        assert got == 0.1 * (0.5 + 0.5 * expected_rng.random())
+
+    def test_unseeded_instances_still_jitter_in_bounds(self):
+        policy = Backoff(initial=0.2, cap=0.2)
+        for _ in range(10):
+            assert 0.1 < policy.next() <= 0.2
+
+
+class TestValidation:
+    @pytest.mark.parametrize("initial", [0.0, -0.1])
+    def test_nonpositive_initial_rejected(self, initial):
+        with pytest.raises(ValueError):
+            Backoff(initial=initial)
+
+    def test_cap_below_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(initial=1.0, cap=0.5)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(initial=0.1, factor=0.9)
+
+    def test_defaults_are_sane(self):
+        assert 0 < DEFAULT_BUSY_DELAY < DEFAULT_RECONNECT_DELAY
+        assert DEFAULT_RECONNECT_DELAY <= BACKOFF_CAP
+        policy = Backoff()
+        assert policy.delay <= BACKOFF_CAP
