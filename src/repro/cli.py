@@ -187,6 +187,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             vnodes=args.vnodes,
             gossip_interval=args.gossip_interval,
             suspect_after=args.suspect_after,
+            tenant_quota=args.tenant_quota,
         )
     except OSError as error:
         print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
@@ -274,6 +275,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 packed=args.packed,
                 session_id=args.session_id,
                 resume=args.resume,
+                lenient=args.lenient,
                 stop_after=args.stop_after,
                 checkpoint=args.stop_after is not None,
                 deadline=args.deadline,
@@ -308,6 +310,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         for entry in doc["analyses"]:
             print(f"[{entry['analysis']}] {entry['summary']}")
+    if doc.get("service", {}).get("restarted_from_zero"):
+        # A lenient resume found nothing recoverable and the whole
+        # stream was re-sent. The report is still correct, but the
+        # durability loss must never be silent.
+        print(
+            f"warning: session {doc['service'].get('session')} restarted "
+            "from zero (no recoverable checkpoint); the full stream was "
+            "re-sent",
+            file=sys.stderr,
+        )
+        return 5
     return {"pass": 0, "fail": 1, "undecided": 2}[doc["verdict"]]
 
 
@@ -333,6 +346,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_scenario,
     )
 
+    if args.cluster:
+        return _cmd_chaos_cluster(args)
     if args.list:
         for name, fn in SCENARIOS.items():
             print(f"{name}: {' '.join((fn.__doc__ or '').split())}")
@@ -377,6 +392,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(
                 f"[{mark}] {result.name} (seed {result.seed}) -> "
                 f"{result.outcome}: {result.detail}"
+            )
+            if not result.ok:
+                for line in result.checks:
+                    print(f"       {line}")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_chaos_cluster(args: argparse.Namespace) -> int:
+    """``repro chaos --cluster``: the netsim partition drill matrix."""
+    from .faults.netsim import CLUSTER_SCENARIOS, run_cluster_scenario
+
+    if args.list:
+        for name, fn in CLUSTER_SCENARIOS.items():
+            print(f"{name}: {' '.join((fn.__doc__ or '').split())}")
+        return 0
+    if args.plan:
+        print(
+            "--plan drives the single-node drill; the cluster matrix "
+            "builds its own seeded partition schedules (--scenario "
+            "NAME or all)",
+            file=sys.stderr,
+        )
+        return 2
+    seed = args.seed if args.seed is not None else 7207
+    scenario = args.scenario or "all"
+    names = (
+        list(CLUSTER_SCENARIOS) if scenario == "all" else [scenario]
+    )
+    results = []
+    for name in names:
+        if name not in CLUSTER_SCENARIOS:
+            print(
+                f"unknown cluster scenario {name!r} "
+                f"(known: {', '.join(CLUSTER_SCENARIOS)}, all)",
+                file=sys.stderr,
+            )
+            return 2
+        results.append(
+            run_cluster_scenario(name, seed=seed, backend=args.backend)
+        )
+    if args.json:
+        print(json.dumps([r.to_json() for r in results], indent=2))
+    else:
+        for result in results:
+            mark = "ok" if result.ok else "FAIL"
+            print(
+                f"[{mark}] {result.name} (seed {result.seed}) -> "
+                f"{result.outcome}: {result.detail} "
+                f"[{len(result.injected)} faults injected]"
             )
             if not result.ok:
                 for line in result.checks:
@@ -833,6 +897,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="declare a silent peer dead after this long (default 4 "
         "gossip intervals) — the failover trigger",
     )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="max inflight EVENTS batches per session before the "
+        "router sheds the tenant with a paced BUSY (default: no quota)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -840,7 +909,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a trace to a running service and print the report",
         epilog="Exit codes follow the session verdict like 'repro check' "
         "(0 pass, 1 fail, 2 undecided); 3 = the server is unreachable, "
-        "4 = --deadline expired. See docs/SERVICE.md.",
+        "4 = --deadline expired, 5 = the report is correct but the "
+        "session restarted from zero (a lenient resume found no "
+        "recoverable checkpoint). See docs/SERVICE.md.",
     )
     submit.add_argument("trace", help="trace file (.std/.rtb/.rpt)")
     submit.add_argument(
@@ -875,6 +946,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume a checkpointed session: skip the events the "
         "server already has and stream the remainder",
+    )
+    submit.add_argument(
+        "--lenient", action="store_true",
+        help="soften --resume: when the server has no recoverable "
+        "checkpoint, restart the session from zero and re-send the "
+        "whole stream (warns and exits 5) instead of failing",
     )
     submit.add_argument(
         "--stop-after", type=int, default=None, metavar="N",
@@ -923,6 +1000,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--list", action="store_true", help="list the scenario matrix"
+    )
+    chaos.add_argument(
+        "--cluster", action="store_true",
+        help="run the netsim cluster matrix instead: an N-node ring "
+        "under simulated time with a seeded schedule of partitions, "
+        "gossip chaos, gray failure and overload (same seed, same "
+        "fault trace)",
     )
     chaos.add_argument(
         "--backend", choices=("thread", "async"), default="thread",

@@ -14,6 +14,7 @@ from .client import ClusterClient, ClusterError, parse_address
 from .coordinator import (
     DEFAULT_GOSSIP_INTERVAL,
     SUSPECT_INTERVALS,
+    SUSPICION_THRESHOLD,
     ClusterCoordinator,
 )
 from .membership import (
@@ -26,6 +27,7 @@ from .membership import (
 )
 from .migration import (
     HandoffError,
+    StaleEpochError,
     json_call,
     migrate_session,
     node_call,
@@ -40,6 +42,7 @@ __all__ = [
     "DEFAULT_GOSSIP_INTERVAL",
     "DEFAULT_VNODES",
     "SUSPECT_INTERVALS",
+    "SUSPICION_THRESHOLD",
     "ClusterClient",
     "ClusterCoordinator",
     "ClusterError",
@@ -49,6 +52,7 @@ __all__ = [
     "MembershipError",
     "NodeInfo",
     "RingError",
+    "StaleEpochError",
     "json_call",
     "migrate_session",
     "node_call",

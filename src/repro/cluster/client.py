@@ -10,12 +10,19 @@ against the owner, healing every cluster seam:
 
 * **REDIRECT** — ownership moved mid-epoch (a node joined and the
   session migrated): follow the redirect target and resume.
+* **FENCED** — the routed-to node's membership view is behind the
+  epoch this client stamped on its HELLO (it is the stale side of a
+  healing partition): nothing was written; back off a beat, re-fetch
+  the ring, resume at whatever the healed ring says.
 * **unreachable / reset / shard crash** — the owner died: back off,
   re-fetch the ring from the survivors (who declare the death within
   one suspicion window), and resume against the new owner. The
   ``lenient`` HELLO means a session whose checkpoint never reached a
   replica simply restarts from position 0 — the client re-sends and
-  positioned frames keep the replay idempotent either way.
+  positioned frames keep the replay idempotent either way. A restart
+  from zero is never silent: the report carries
+  ``service.restarted_from_zero`` and ``repro submit`` maps it to a
+  distinct exit code.
 
 Every retry is paced by the shared :class:`~repro.service.backoff.Backoff`
 policy and bounded by ``attempts`` and the wall-clock ``deadline``.
@@ -33,6 +40,7 @@ from ..service.client import (
     ServiceClient,
     ServiceError,
     ServiceUnreachable,
+    SessionFenced,
     SessionRedirect,
     _Deadline,
     _retryable,
@@ -200,7 +208,19 @@ class ClusterClient:
                     stop_after=stop_after, checkpoint=checkpoint,
                     deadline=budget.remaining("streaming"),
                     attempts=2, jitter_seed=self.jitter_seed,
+                    epoch=self.epoch if self.epoch >= 0 else None,
                 )
+            except SessionFenced as exc:
+                # The node we routed to is behind the epoch we routed
+                # by (a healing partition). Nothing was written; give
+                # gossip a beat, re-fetch, resume wherever the healed
+                # ring points.
+                last = exc
+                resume_flag = True
+                budget.sleep(
+                    backoff.next(), "waiting for the owner's view to heal"
+                )
+                continue
             except SessionRedirect as redirect:
                 # Ownership moved mid-epoch: follow without a backoff —
                 # the target is authoritative and already has the

@@ -8,8 +8,12 @@ and runs one background thread that, every ``gossip_interval`` seconds:
    a ``RING`` frame and merges the reply (push-pull, full mesh; the
    epoch rule in :mod:`repro.cluster.membership` makes merges
    commutative and convergent);
-2. **suspects** — a peer silent past ``suspect_after`` is marked dead,
-   which bumps the epoch and shrinks the ring;
+2. **suspects** — every peer gets a *suspicion score* built from its
+   silence and its RTT EWMA (see :meth:`ClusterCoordinator.suspicion`);
+   a score past ``SUSPICION_THRESHOLD`` marks the peer dead, which
+   bumps the epoch and shrinks the ring. A gray-failing peer — alive
+   but pathologically slow — accumulates RTT penalty and is handed off
+   *before* a pure silence deadline would notice it;
 3. **rebalances** — sessions whose ring owner is another node are
    live-migrated there (checkpoint + HANDOFF + drop);
 4. **replicates** — sessions owned here whose position advanced since
@@ -17,6 +21,11 @@ and runs one background thread that, every ``gossip_interval`` seconds:
    replica spool;
 5. **adopts** — replica checkpoints whose ring owner is now *this*
    node (their original owner died) are imported and resume serving.
+
+Every HANDOFF and OWNED notice leaving this node is stamped with the
+membership ``epoch`` it was decided under; a receiver with a newer
+epoch answers ``FENCED`` and the state stays put until gossip catches
+this node up (see :mod:`repro.cluster.migration`).
 
 All peer traffic happens on the coordinator's own thread — inbound
 frames (JOIN/RING/HANDOFF/OWNED) are handled by the ordinary
@@ -30,9 +39,17 @@ lenient resume + positioned-frame resync re-sends whatever the replica
 had not seen — recovered reports equal the offline run (the CI
 ``cluster-smoke`` drill).
 
+Determinism hooks (used by :mod:`repro.faults.netsim`): ``clock`` is
+an attribute (default :func:`time.monotonic`) so simulated time can
+drive suspicion, and ``manual_ticks=True`` keeps the tick thread off
+so a harness can interleave :meth:`tick` calls across nodes in a
+seeded order.
+
 Fault sites (see :mod:`repro.faults`): ``cluster.gossip`` — ``drop``
-one outbound gossip contact (ages the peer toward suspicion);
-``cluster.handoff`` — see :mod:`repro.cluster.migration`.
+one outbound gossip contact (ages the peer toward suspicion),
+``delay`` it one full round, ``duplicate`` it, or ``reorder`` it to
+the end of the current round; ``cluster.handoff`` and
+``net.partition`` — see :mod:`repro.cluster.migration`.
 """
 
 from __future__ import annotations
@@ -43,7 +60,7 @@ import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..faults.injector import fire
 from ..service.backoff import Backoff
@@ -54,6 +71,7 @@ from .membership import ALIVE, Membership, MembershipError, NodeInfo
 from .migration import (
     DEFAULT_CALL_TIMEOUT,
     HandoffError,
+    StaleEpochError,
     json_call,
     migrate_session,
     replicate_session,
@@ -69,6 +87,21 @@ DEFAULT_GOSSIP_INTERVAL = 0.5
 #: declared dead (the failover trigger).
 SUSPECT_INTERVALS = 4
 
+#: A peer whose suspicion score reaches this is declared dead. The
+#: score is normalized so that pure silence crosses the threshold
+#: exactly at ``suspect_after`` — the RTT penalty only ever moves the
+#: verdict *earlier* (gray failure), never later.
+SUSPICION_THRESHOLD = 4.0
+
+#: EWMA gain for peer round-trip times (RFC-6298 flavored: one eighth
+#: of each new sample, one quarter for the deviation estimate).
+RTT_ALPHA = 0.125
+RTT_BETA = 0.25
+
+#: Floor for the per-peer RTT budget, so sub-millisecond loopback
+#: clusters do not flag ordinary scheduler jitter as gray failure.
+MIN_RTT_BUDGET = 0.05
+
 
 class ClusterCoordinator:
     """One node's membership, ring, and migration engine.
@@ -81,12 +114,16 @@ class ClusterCoordinator:
         vnodes: Virtual points per node on the ring.
         gossip_interval: Seconds between background ticks.
         suspect_after: Seconds of peer silence before a death verdict
-            (default ``SUSPECT_INTERVALS * gossip_interval``).
+            (default ``SUSPECT_INTERVALS * gossip_interval``); the RTT
+            suspicion score is normalized against this.
         seeds: ``host:port`` addresses to JOIN through at start.
         replica_spool: Directory for checkpoint replicas shipped here
             by peers (defaults to ``<spool>/replicas`` next to the
             router's spool, or a temp directory on spool-less nodes).
         call_timeout: Seconds one peer round trip may take.
+        manual_ticks: Skip the background tick thread; the owner calls
+            :meth:`tick` itself (the netsim harness does this to step
+            all nodes in a deterministic order).
     """
 
     def __init__(
@@ -101,6 +138,7 @@ class ClusterCoordinator:
         seeds: Sequence[str] = (),
         replica_spool: Optional[str] = None,
         call_timeout: float = DEFAULT_CALL_TIMEOUT,
+        manual_ticks: bool = False,
     ) -> None:
         self.node_id = node_id
         self.info = NodeInfo(node_id, host, port, ALIVE)
@@ -114,6 +152,10 @@ class ClusterCoordinator:
         )
         self.seeds = list(seeds)
         self.call_timeout = call_timeout
+        self.manual_ticks = manual_ticks
+        #: Time source for silence/suspicion bookkeeping. An attribute
+        #: so the netsim harness can substitute simulated time.
+        self.clock = time.monotonic
         if replica_spool is None:
             if router.recovery is not None:
                 replica_spool = str(router.recovery.spool / "replicas")
@@ -126,6 +168,11 @@ class ClusterCoordinator:
         self.membership.add(self.info)  # epoch 1: a cluster of one
         self.ring = HashRing([node_id], vnodes)
         self._last_seen: Dict[str, float] = {}
+        #: Per-peer smoothed round-trip time and mean deviation.
+        self._rtt_ewma: Dict[str, float] = {}
+        self._rtt_var: Dict[str, float] = {}
+        #: Gossip contacts an injected ``delay`` pushed to next round.
+        self._deferred_gossip: List[NodeInfo] = []
         #: Stream position last replicated, per owned session.
         self._replicated: Dict[str, int] = {}
         #: Closed sessions whose replicas still need a drop notice.
@@ -141,6 +188,8 @@ class ClusterCoordinator:
         self.handoff_bytes = 0
         self.redirects = 0
         self.gossip_ticks = 0
+        #: Outbound calls a fresher peer rejected (StaleEpochError).
+        self.fenced_out = 0
 
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -151,6 +200,8 @@ class ClusterCoordinator:
         """JOIN through the seeds (if any), then start the tick thread."""
         if self.seeds:
             self._join_seeds()
+        if self.manual_ticks:
+            return
         self._thread = threading.Thread(
             target=self._run, name=f"repro-cluster-{self.node_id}", daemon=True
         )
@@ -274,6 +325,58 @@ class ClusterCoordinator:
                 return session_id
         raise RuntimeError("could not draw a locally-owned session id")
 
+    # -- suspicion -----------------------------------------------------------
+
+    def note_rtt(self, peer_id: str, rtt: float) -> None:
+        """Fold one peer round-trip sample into its EWMA/deviation.
+
+        Called by the gossip loop after every successful contact; the
+        netsim harness also calls it directly to model a gray-failing
+        (slow-but-alive) peer under simulated time.
+        """
+        with self._lock:
+            ewma = self._rtt_ewma.get(peer_id)
+            if ewma is None:
+                self._rtt_ewma[peer_id] = rtt
+                self._rtt_var[peer_id] = rtt / 2.0
+            else:
+                var = self._rtt_var.get(peer_id, 0.0)
+                self._rtt_var[peer_id] = (
+                    (1.0 - RTT_BETA) * var + RTT_BETA * abs(rtt - ewma)
+                )
+                self._rtt_ewma[peer_id] = (
+                    (1.0 - RTT_ALPHA) * ewma + RTT_ALPHA * rtt
+                )
+
+    def _suspicion_locked(self, peer_id: str, now: float) -> float:
+        # Silence term: normalized so a completely silent peer crosses
+        # SUSPICION_THRESHOLD exactly when suspect_after elapses —
+        # identical failover timing to the old fixed deadline.
+        base = self.suspect_after / SUSPICION_THRESHOLD
+        silence = now - self._last_seen.setdefault(peer_id, now)
+        score = silence / base if base > 0 else float("inf")
+        # RTT term: a peer *answering*, but slower than its budget plus
+        # four deviations, earns penalty in budget multiples. Gray
+        # failure — the node that is up but useless — shows here long
+        # before silence alone would, because every reply resets the
+        # silence term.
+        budget = max(self.gossip_interval, MIN_RTT_BUDGET)
+        ewma = self._rtt_ewma.get(peer_id)
+        if ewma is not None:
+            slack = budget + 4.0 * self._rtt_var.get(peer_id, 0.0)
+            if ewma > slack:
+                score += (ewma - slack) / budget
+        return score
+
+    def suspicion(self, peer_id: str) -> float:
+        """This node's current suspicion score for ``peer_id``.
+
+        ``0`` is a freshly-heard healthy peer; the peer is declared
+        dead at :data:`SUSPICION_THRESHOLD`.
+        """
+        with self._lock:
+            return self._suspicion_locked(peer_id, self.clock())
+
     # -- inbound control frames (called from connection handlers) -----------
 
     def handle_join(self, obj: Dict[str, Any]) -> Dict[str, Any]:
@@ -284,7 +387,7 @@ class ClusterCoordinator:
             doc = obj.get("membership")
             if isinstance(doc, dict):
                 self._merge_locked(doc)
-            self._last_seen[info.node_id] = time.monotonic()
+            self._last_seen[info.node_id] = self.clock()
             self._rebuild_ring_locked()
             log.info(
                 "node joined cluster node=%s peer=%s epoch=%d",
@@ -300,7 +403,7 @@ class ClusterCoordinator:
                 self._merge_locked(doc)
             peer = obj.get("from")
             if isinstance(peer, str) and peer in self.membership.nodes:
-                self._last_seen[peer] = time.monotonic()
+                self._last_seen[peer] = self.clock()
             return self.membership.to_json()
 
     def handle_owned(self, obj: Dict[str, Any]) -> Dict[str, Any]:
@@ -358,39 +461,99 @@ class ClusterCoordinator:
                 if n.node_id != self.node_id
             ]
 
+    def _net_key(self, peer_id: str) -> str:
+        """The directed-link key this node's messages to a peer carry."""
+        return f"{self.node_id}->{peer_id}"
+
     def _gossip(self) -> None:
         doc = self.membership_doc()
-        for peer in self._peers():
-            action = fire("cluster.gossip", key=peer.node_id)
-            if action is not None and action.op == "drop":
-                continue  # this contact never happens; the peer ages
-            try:
-                reply = json_call(
-                    peer.host, peer.port, FrameType.RING,
-                    {"from": self.node_id, "membership": doc},
-                    timeout=self.call_timeout,
-                )
-            except HandoffError:
-                continue  # unreachable: suspicion only grows by silence
-            with self._lock:
-                self._last_seen[peer.node_id] = time.monotonic()
-                incoming = reply.get("membership")
-                if isinstance(incoming, dict):
-                    self._merge_locked(incoming)
+        with self._lock:
+            deferred, self._deferred_gossip = self._deferred_gossip, []
+        deferred_ids = {peer.node_id for peer in deferred}
+        # Contacts an injected delay pushed out of the previous round go
+        # first, and do not consult the plan again — the delay already
+        # fired for them; "lands one round late" must mean exactly that.
+        queue: List[Tuple[NodeInfo, bool]] = [(p, True) for p in deferred]
+        queue.extend(
+            (p, False) for p in self._peers()
+            if p.node_id not in deferred_ids
+        )
+        # Heal probe: one known-dead peer per round, rotating. Without
+        # it a partition that ends with both sides marking each other
+        # dead is *permanent* — nobody gossips to a dead peer, so no
+        # document ever crosses the healed link. The probe carries our
+        # doc; a live "dead" peer re-asserts itself (epoch bump) and
+        # convergence follows. A genuinely dead peer just refuses the
+        # connect.
+        with self._lock:
+            dead = sorted(
+                (
+                    n for n in self.membership.nodes.values()
+                    if not n.alive and n.node_id != self.node_id
+                ),
+                key=lambda n: n.node_id,
+            )
+            rotation = self.gossip_ticks
+        if dead:
+            probe = dead[rotation % len(dead)]
+            if probe.node_id not in deferred_ids:
+                queue.append((probe, False))
+        index = 0
+        while index < len(queue):
+            peer, exempt = queue[index]
+            index += 1
+            action = None if exempt else fire("cluster.gossip", key=peer.node_id)
+            if action is not None:
+                if action.op == "drop":
+                    continue  # this contact never happens; the peer ages
+                if action.op == "delay":
+                    with self._lock:
+                        self._deferred_gossip.append(peer)
+                    continue
+                if action.op == "reorder":
+                    # Move to the end of this round, exempt from a
+                    # second draw so the rule cannot starve the peer.
+                    queue.append((peer, True))
+                    continue
+            self._contact(peer, doc)
+            if action is not None and action.op == "duplicate":
+                self._contact(peer, doc)
+
+    def _contact(self, peer: NodeInfo, doc: Dict[str, Any]) -> None:
+        started = self.clock()
+        try:
+            reply = json_call(
+                peer.host, peer.port, FrameType.RING,
+                {"from": self.node_id, "membership": doc},
+                timeout=self.call_timeout,
+                net_key=self._net_key(peer.node_id),
+            )
+        except HandoffError:
+            return  # unreachable: suspicion only grows by silence
+        rtt = self.clock() - started
+        self.note_rtt(peer.node_id, rtt)
+        with self._lock:
+            self._last_seen[peer.node_id] = self.clock()
+            incoming = reply.get("membership")
+            if isinstance(incoming, dict):
+                self._merge_locked(incoming)
 
     def _detect_failures(self) -> HashRing:
-        now = time.monotonic()
+        now = self.clock()
         with self._lock:
             for peer in list(self.membership.alive()):
                 if peer.node_id == self.node_id:
                     continue
-                seen = self._last_seen.setdefault(peer.node_id, now)
-                if now - seen > self.suspect_after:
+                score = self._suspicion_locked(peer.node_id, now)
+                if score >= SUSPICION_THRESHOLD:
                     if self.membership.mark_dead(peer.node_id):
                         log.warning(
                             "peer declared dead node=%s peer=%s "
-                            "silent=%.1fs epoch=%d",
-                            self.node_id, peer.node_id, now - seen,
+                            "suspicion=%.2f silent=%.1fs rtt_ewma=%.3fs "
+                            "epoch=%d",
+                            self.node_id, peer.node_id, score,
+                            now - self._last_seen.get(peer.node_id, now),
+                            self._rtt_ewma.get(peer.node_id, 0.0),
                             self.membership.epoch,
                         )
             self._rebuild_ring_locked()
@@ -399,6 +562,7 @@ class ClusterCoordinator:
     def _drain_closed(self, ring: HashRing) -> None:
         with self._lock:
             closed, self._closed = self._closed, []
+            epoch = self.membership.epoch
         for session_id in closed:
             successor = ring.successor(session_id)
             if successor == self.node_id:
@@ -414,8 +578,10 @@ class ClusterCoordinator:
                         "from": self.node_id,
                         "session": session_id,
                         "closed": True,
+                        "epoch": epoch,
                     },
                     timeout=self.call_timeout,
+                    net_key=self._net_key(successor),
                 )
             except HandoffError:
                 pass  # best-effort; a stale replica loses import conflicts
@@ -441,13 +607,27 @@ class ClusterCoordinator:
                 continue
             with self._lock:
                 info = self.membership.get(owner)
+                epoch = self.membership.epoch
             if info is None or not info.alive:
                 continue
             try:
                 ack = migrate_session(
                     self.router, session_id, info.host, info.port,
                     timeout=self.call_timeout,
+                    epoch=epoch, origin=self.node_id,
+                    net_key=self._net_key(owner),
                 )
+            except StaleEpochError as exc:
+                # The target's view is ahead of ours; the session was
+                # re-imported locally and will move after gossip
+                # catches us up — next tick, usually.
+                with self._lock:
+                    self.fenced_out += 1
+                log.warning(
+                    "migration fenced session=%s node=%s epoch=%d: %s",
+                    session_id, self.node_id, epoch, exc,
+                )
+                continue
             except RouterError as exc:
                 log.warning(
                     "migration export failed session=%s node=%s: %s",
@@ -484,13 +664,20 @@ class ClusterCoordinator:
                 continue
             with self._lock:
                 info = self.membership.get(successor)
+                epoch = self.membership.epoch
             if info is None or not info.alive:
                 continue
             try:
                 shipped = replicate_session(
                     self.router, session_id, info.host, info.port,
                     timeout=self.call_timeout,
+                    epoch=epoch, origin=self.node_id,
+                    net_key=self._net_key(successor),
                 )
+            except StaleEpochError:
+                with self._lock:
+                    self.fenced_out += 1
+                continue  # gossip will catch us up; retry next tick
             except RouterError as exc:
                 log.warning(
                     "replication export failed session=%s node=%s: %s",
@@ -539,7 +726,7 @@ class ClusterCoordinator:
     def stats(self) -> Dict[str, Any]:
         """The ``cluster`` block of a STATS reply (cheap: no shard or
         peer calls — session counts come from the last tick's cache)."""
-        now = time.monotonic()
+        now = self.clock()
         with self._lock:
             peers = [
                 {
@@ -548,6 +735,12 @@ class ClusterCoordinator:
                     "status": info.status,
                     "silent_seconds": round(
                         now - self._last_seen.get(info.node_id, now), 3
+                    ),
+                    "suspicion": round(
+                        self._suspicion_locked(info.node_id, now), 3
+                    ),
+                    "rtt_ms": round(
+                        self._rtt_ewma.get(info.node_id, 0.0) * 1000.0, 3
                     ),
                 }
                 for info in sorted(
@@ -571,4 +764,5 @@ class ClusterCoordinator:
                 "handoff_bytes": self.handoff_bytes,
                 "redirects": self.redirects,
                 "gossip_ticks": self.gossip_ticks,
+                "fenced_out": self.fenced_out,
             }

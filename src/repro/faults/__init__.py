@@ -14,6 +14,13 @@ See ``docs/SERVICE.md`` for the failure-mode matrix the drills pin.
 """
 
 from .injector import current, fire, injected, install, mutate_frame, uninstall
+from .netsim import (
+    CLUSTER_SCENARIOS,
+    NetSim,
+    SimClock,
+    run_cluster_all,
+    run_cluster_scenario,
+)
 from .plan import (
     PLAN_VERSION,
     SITES,
@@ -28,6 +35,7 @@ from .plan import (
 )
 
 __all__ = [
+    "CLUSTER_SCENARIOS",
     "PLAN_VERSION",
     "SITES",
     "FaultAction",
@@ -35,7 +43,9 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultRule",
+    "NetSim",
     "ShardCrash",
+    "SimClock",
     "current",
     "fire",
     "injected",

@@ -51,8 +51,16 @@ SITES: Dict[str, tuple] = {
     "analysis.step": ("raise",),
     # a cluster HANDOFF (checkpoint blob) about to be shipped to a peer
     "cluster.handoff": ("drop", "duplicate"),
-    # a gossip round about to contact one peer (ClusterCoordinator)
-    "cluster.gossip": ("drop",),
+    # a gossip round about to contact one peer (ClusterCoordinator):
+    # drop = the contact never happens; delay = it lands one round
+    # late; duplicate = the peer is contacted twice; reorder = the
+    # contact moves to the end of this round
+    "cluster.gossip": ("drop", "delay", "duplicate", "reorder"),
+    # one node-to-node message about to leave on a directed link; keys
+    # are "src->dst", so match carves partitions: match="a->b" is a
+    # one-way cut, the pair {"a->", "->a"} isolates node a entirely,
+    # and a bounded `times` heals the partition when it runs out
+    "net.partition": ("drop",),
 }
 
 

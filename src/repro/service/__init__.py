@@ -53,6 +53,7 @@ from .client import (
     ServiceClient,
     ServiceError,
     ServiceUnreachable,
+    SessionFenced,
     SessionRedirect,
     submit_trace,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "ServiceServer",
     "ServiceUnreachable",
     "SessionCheckpoint",
+    "SessionFenced",
     "SessionNotFound",
     "SessionQuarantined",
     "SessionRedirect",

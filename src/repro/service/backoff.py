@@ -77,6 +77,25 @@ class Backoff:
         self._delay = min(self._delay * self.factor, self.cap)
         return capped * (0.5 + 0.5 * self._rng.random())
 
+    def paced(self, hint_ms: Optional[int] = None) -> float:
+        """Draw the next sleep, honoring a server pacing hint.
+
+        ``hint_ms`` is the ``retry_ms`` field riding a ``BUSY`` frame —
+        the server's own estimate of when retrying might succeed (an
+        overloaded shard, a shed tenant). The draw is the larger of the
+        ordinary :meth:`next` value and the hint jittered over
+        ``(hint/2, hint]``: the schedule still advances (so pacing
+        keeps growing if the server stays busy), but the server's floor
+        wins when it asks for more patience than the schedule has
+        reached.
+        """
+        delay = self.next()
+        if hint_ms:
+            hint = (hint_ms / 1000.0) * (0.5 + 0.5 * self._rng.random())
+            if hint > delay:
+                return hint
+        return delay
+
     def reset(self) -> None:
         """Restart the schedule at the initial delay (after a success)."""
         self._delay = self.initial

@@ -40,6 +40,7 @@ at most one batch).
 
 from __future__ import annotations
 
+import logging
 import random
 import socket
 import time
@@ -56,6 +57,8 @@ from .backoff import (  # noqa: F401  (BACKOFF_CAP re-exported for compat)
     Backoff,
 )
 from .protocol import FrameType
+
+log = logging.getLogger("repro.service")
 
 #: Default events per EVENTS frame.
 DEFAULT_BATCH = 512
@@ -104,6 +107,27 @@ class SessionRedirect(ServiceError):
             "redirect",
             f"session is owned by node {self.node!r} "
             f"at {self.host}:{self.port} (epoch {self.epoch})",
+        )
+
+
+class SessionFenced(ServiceError):
+    """The node refused the write: membership epochs disagree.
+
+    A clustered node answers FENCED when the epoch a frame rode in
+    under does not match its own view — the node may be the stale side
+    of a partition, or the client routed by an outdated ring. Either
+    way the write was **not** applied. The node's epoch is in
+    :attr:`epoch`; the fix is to refresh the ring and re-route (the
+    cluster client does this automatically).
+    """
+
+    def __init__(self, info: Dict[str, Any]) -> None:
+        self.epoch: int = int(info.get("epoch", 0) or 0)
+        self.session: Optional[str] = info.get("session")
+        super().__init__(
+            "fenced",
+            info.get("message", "membership epoch mismatch")
+            + f" (node epoch {self.epoch})",
         )
 
 
@@ -244,10 +268,17 @@ class ServiceClient:
             ftype, payload = reply
             obj = protocol.decode_json(payload)
             if ftype == FrameType.BUSY:
-                self.deadline.sleep(backoff.next(), "backing off from BUSY")
+                # A shed/overloaded server rides a retry_ms pacing hint
+                # on the frame; honor it (jittered) as the sleep floor.
+                self.deadline.sleep(
+                    backoff.paced(obj.get("retry_ms")),
+                    "backing off from BUSY",
+                )
                 continue
             if ftype == FrameType.REDIRECT:
                 raise SessionRedirect(obj)
+            if ftype == FrameType.FENCED:
+                raise SessionFenced(obj)
             if ftype == FrameType.ERROR:
                 raise ServiceError(
                     obj.get("code", "unknown"), obj.get("message", "")
@@ -267,6 +298,7 @@ class ServiceClient:
         resume: bool = False,
         lenient: bool = False,
         meta: Optional[Dict[str, Any]] = None,
+        epoch: Optional[int] = None,
     ) -> "SessionHandle":
         """HELLO: open (or resume) a session and bind this connection.
 
@@ -276,7 +308,11 @@ class ServiceClient:
         independent of the wire encoding. ``lenient`` softens a resume:
         if the server has nothing resumable (cluster failover lost the
         checkpoint) the session opens fresh at position 0 instead of
-        erroring, and the caller re-sends from the start.
+        erroring, and the caller re-sends from the start. ``epoch`` is
+        the membership epoch the caller routed by (cluster clients): a
+        node whose view is older answers FENCED
+        (:class:`SessionFenced`) instead of serving writes it may no
+        longer own.
         """
         if encoding not in ("text", "delta"):
             raise ValueError(f"encoding must be 'text' or 'delta', not {encoding!r}")
@@ -290,6 +326,8 @@ class ServiceClient:
             "lenient": lenient,
             "meta": meta or {},
         }
+        if epoch is not None:
+            hello["epoch"] = epoch
         ftype, info = self.roundtrip(
             protocol.encode_json(FrameType.HELLO, hello)
         )
@@ -314,6 +352,11 @@ class SessionHandle:
         #: tells the client how many events to skip re-sending.
         self.position: int = info.get("position", 0)
         self.resumed: bool = bool(info.get("resumed", False))
+        #: A lenient resume found nothing recoverable and the session
+        #: restarted from position 0 — the client must re-send the
+        #: whole stream, and callers should surface it (``repro
+        #: submit`` maps it to its own exit code).
+        self.restarted: bool = bool(info.get("restarted", False))
         #: Client-side stream position: offset the *next* batch starts
         #: at. Stamped into positioned EVENTS frames so duplicate
         #: deliveries are dropped server-side and gaps are detected.
@@ -406,6 +449,7 @@ def submit_trace(
     attempts: int = DEFAULT_ATTEMPTS,
     jitter_seed: Optional[int] = None,
     lenient: bool = False,
+    epoch: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Stream a whole trace to a service and return its report.
 
@@ -431,6 +475,10 @@ def submit_trace(
     budget = _Deadline(deadline)
     backoff = Backoff(initial=DEFAULT_RECONNECT_DELAY, seed=jitter_seed)
     failures = 0
+    # Sticky across retries: a restart-from-zero on any attempt must
+    # survive into the final report even if a later reconnect resumes
+    # the (freshly restarted) session normally.
+    notes: Dict[str, bool] = {"restarted": False}
     while True:
         try:
             return _submit_once(
@@ -438,7 +486,8 @@ def submit_trace(
                 name=name, batch=batch, encoding=encoding, packed=packed,
                 session_id=session_id, resume=resume, lenient=lenient,
                 stop_after=stop_after, checkpoint=checkpoint,
-                budget=budget, jitter_seed=jitter_seed,
+                budget=budget, jitter_seed=jitter_seed, epoch=epoch,
+                notes=notes,
             )
         except (ServiceUnreachable, DeadlineExceeded):
             raise
@@ -473,6 +522,8 @@ def _submit_once(
     budget: _Deadline,
     jitter_seed: Optional[int],
     lenient: bool = False,
+    epoch: Optional[int] = None,
+    notes: Optional[Dict[str, bool]] = None,
 ) -> Dict[str, Any]:
     with ServiceClient(
         host, port, deadline=budget, jitter_seed=jitter_seed
@@ -485,7 +536,17 @@ def _submit_once(
             session_id=session_id,
             resume=resume,
             lenient=lenient,
+            epoch=epoch,
         )
+        if handle.restarted:
+            if notes is not None:
+                notes["restarted"] = True
+            log.warning(
+                "lenient resume restarted from zero session=%s at "
+                "%s:%d — nothing was recoverable; re-sending the "
+                "whole stream",
+                handle.session_id, host, port,
+            )
 
         def send_range(start: int, stop: int) -> None:
             handle.rewind(start)
@@ -525,7 +586,13 @@ def _submit_once(
         report = handle.result()
         report.setdefault("service", {})
         report["service"].update(
-            {"session": handle.session_id, "resumed": handle.resumed}
+            {
+                "session": handle.session_id,
+                "resumed": handle.resumed,
+                "restarted_from_zero": bool(
+                    (notes or {}).get("restarted") or handle.restarted
+                ),
+            }
         )
         return report
 

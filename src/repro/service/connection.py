@@ -81,6 +81,12 @@ class WireConnection:
         self._counters = counters
         self.cluster = cluster
         self.session_id: Optional[str] = None
+        #: Membership epoch the client's HELLO routed by. Every later
+        #: shard-bound frame on this connection is checked against it:
+        #: if this node's own epoch falls behind, the node may have
+        #: been partitioned away from a newer ring and must answer
+        #: FENCED rather than silently double-serve the session.
+        self.pinned_epoch: Optional[int] = None
         #: Inbound incremental frame decoder (the ring buffer lives here).
         self.frames = protocol.FrameDecoder()
         #: Per-connection delta-events decoder state.
@@ -205,9 +211,18 @@ class WireConnection:
             step()
         except protocol.WireError as error:
             self.on_wire_error(error)
-        except BusyError:
+        except BusyError as error:
             self._count("busy_replies")
-            self._send(FrameType.BUSY, {"retry_ms": 50})
+            payload: Dict[str, Any] = {
+                "retry_ms": getattr(error, "retry_ms", None) or 50
+            }
+            if getattr(error, "shed", False):
+                # Per-tenant overload shedding, not a full shard inbox:
+                # counted separately so operators can tell a hot tenant
+                # from a saturated shard.
+                self._count("shed")
+                payload["shed"] = True
+            self._send(FrameType.BUSY, payload)
         except SessionNotFound as error:
             self._error("unknown-session", str(error))
         except SessionQuarantined as error:
@@ -233,6 +248,28 @@ class WireConnection:
         """Answer REDIRECT: the ring assigns this session elsewhere."""
         self._count("redirects")
         self._send(FrameType.REDIRECT, self.cluster.redirect_doc(session_id))
+
+    def _behind(self, epoch: Optional[int]) -> bool:
+        """Is this node's membership view behind ``epoch``?"""
+        return (
+            self.cluster is not None
+            and epoch is not None
+            and self.cluster.epoch < epoch
+        )
+
+    def _fenced(self, session_id: Optional[str], message: str) -> None:
+        """Answer FENCED: an epoch mismatch makes this write unsafe."""
+        self._count("fenced")
+        log.warning("fenced %s: %s", self._where(), message)
+        self._send(
+            FrameType.FENCED,
+            {
+                "code": "fenced",
+                "session": session_id,
+                "epoch": self.cluster.epoch if self.cluster else 0,
+                "message": message,
+            },
+        )
 
     def _dispatch_cluster(self, ftype: int, payload: bytes) -> bool:
         """Serve the cluster control frames; True when ``ftype`` was one.
@@ -260,6 +297,17 @@ class WireConnection:
             session_id = meta.get("session")
             if not isinstance(session_id, str) or not session_id:
                 raise protocol.PayloadError("HANDOFF meta lacks a session id")
+            meta_epoch = meta.get("epoch")
+            if isinstance(meta_epoch, int) and meta_epoch < cluster.epoch:
+                # A partitioned old owner is pushing state decided under
+                # a superseded ring: refuse, or a healed cluster would
+                # import a stale fork of a session it already reassigned.
+                self._fenced(
+                    session_id,
+                    f"handoff from {meta.get('origin')!r} carries stale "
+                    f"epoch {meta_epoch} (ours is {cluster.epoch})",
+                )
+                return True
             if meta.get("live"):
                 future = self.router.submit_import(session_id, blob)
 
@@ -288,6 +336,16 @@ class WireConnection:
                 {"membership": doc, "vnodes": cluster.vnodes},
             )
         else:  # OWNED notice (e.g. "session closed, drop the replica")
+            notice_epoch = obj.get("epoch")
+            if isinstance(notice_epoch, int) and notice_epoch < cluster.epoch:
+                # A stale peer's drop notice must not destroy a replica
+                # the current ring may still need for failover.
+                self._fenced(
+                    obj.get("session"),
+                    f"OWNED notice from {obj.get('from')!r} carries stale "
+                    f"epoch {notice_epoch} (ours is {cluster.epoch})",
+                )
+                return True
             self._send(FrameType.OK, cluster.handle_owned(obj))
         return True
 
@@ -298,6 +356,17 @@ class WireConnection:
         if ftype == FrameType.HELLO:
             hello = protocol.parse_hello(protocol.decode_json(payload))
             if self.cluster is not None:
+                if self._behind(hello["epoch"]):
+                    # The client routed by a membership newer than ours:
+                    # this node is the stale side of a partition and
+                    # cannot even trust its ring to redirect correctly.
+                    self._fenced(
+                        hello["session"],
+                        f"node epoch {self.cluster.epoch} is behind the "
+                        f"client's routing epoch {hello['epoch']}",
+                    )
+                    return
+                self.pinned_epoch = hello["epoch"]
                 if hello["session"] is None:
                     # Un-pinned session: mint an id this node owns so
                     # the client never bounces on its very first HELLO.
@@ -336,6 +405,18 @@ class WireConnection:
             return
         if self.session_id is None:
             self._error("no-session", "send HELLO first")
+            return
+        if self._behind(self.pinned_epoch):
+            # Defense in depth: epochs are monotone, so after an
+            # accepted HELLO this node should never test behind its
+            # pin — but the pin is the wire contract (no shard-bound
+            # frame may be served under an epoch older than the one
+            # the client routed by), so enforce it on every frame.
+            self._fenced(
+                self.session_id,
+                f"node epoch {self.cluster.epoch} fell behind the "
+                f"connection's pinned epoch {self.pinned_epoch}",
+            )
             return
         if self.cluster is not None and not self.cluster.owns(self.session_id):
             # Ownership moved mid-stream (a node joined and the session

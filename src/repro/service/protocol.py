@@ -126,6 +126,11 @@ class FrameType(IntEnum):
     ERROR = 19
     BUSY = 20
     REDIRECT = 21
+    # Epoch fence: the receiver's membership view is stale (its epoch
+    # is behind the sender's), or the sender's is (a HANDOFF/OWNED
+    # carrying an old epoch). The write was rejected; refresh and
+    # re-route instead of double-serving.
+    FENCED = 22
 
 
 _KNOWN_TYPES = frozenset(int(t) for t in FrameType)
@@ -429,7 +434,8 @@ def parse_hello(obj: Dict[str, Any]) -> Dict[str, Any]:
     """Validate a HELLO payload and normalize its analysis specs.
 
     Returns a dict with keys ``analyses`` (list of ``(name, options)``
-    pairs), ``name``, ``packed``, ``resume``, ``session`` and ``meta``.
+    pairs), ``name``, ``packed``, ``resume``, ``lenient``, ``epoch``,
+    ``session`` and ``meta``.
 
     Raises:
         PayloadError: On a protocol mismatch or a malformed field.
@@ -465,11 +471,20 @@ def parse_hello(obj: Dict[str, Any]) -> Dict[str, Any]:
     meta = obj.get("meta", {})
     if not isinstance(meta, dict):
         raise PayloadError("meta must be an object")
+    epoch = obj.get("epoch")
+    if epoch is not None and (not isinstance(epoch, int) or epoch < 0):
+        raise PayloadError("epoch must be a non-negative integer")
     return {
         "analyses": analyses,
         "name": name,
         "packed": bool(obj.get("packed", False)),
         "resume": resume,
+        # Epoch fence: the membership epoch the client routed by. The
+        # connection pins it; every shard-bound frame on the connection
+        # (EVENTS, FLUSH, CHECKPOINT, CLOSE) inherits the pin, and a
+        # node whose own epoch has fallen behind answers FENCED instead
+        # of silently serving writes it may no longer own.
+        "epoch": epoch,
         # Lenient resume: if nothing resumable exists (no live session,
         # no spool entry, no shipped replica), open fresh at position 0
         # instead of erroring — the cluster client's failover path,

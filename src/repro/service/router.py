@@ -74,7 +74,20 @@ class RouterError(RuntimeError):
 
 
 class BusyError(RouterError):
-    """A shard's inbox is full — backpressure; retry after a pause."""
+    """A shard's inbox is full (or a tenant is over its inflight
+    quota) — backpressure; retry after a pause.
+
+    ``retry_ms`` is the server's pacing hint: how long the client
+    should wait before retrying (rides the BUSY frame). ``shed`` marks
+    a per-tenant quota rejection as opposed to a full shard inbox.
+    """
+
+    def __init__(
+        self, message: str, retry_ms: Optional[int] = None, shed: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.retry_ms = retry_ms
+        self.shed = shed
 
 
 class SessionNotFound(RouterError):
@@ -207,6 +220,7 @@ class ShardWorker:
         self.sessions_quarantined = 0
         self.events_dropped = 0
         self.checkpoint_failures = 0
+        self.lenient_restarts = 0
 
     # -- command handlers (dispatched by name) -----------------------------
 
@@ -237,6 +251,7 @@ class ShardWorker:
                 }
             raise RouterError(f"session {session_id!r} already open")
         resumed = False
+        restarted = False
         if resume:
             if self.recovery is None and not lenient:
                 raise RouterError("cannot resume: server has no spool")
@@ -250,9 +265,17 @@ class ShardWorker:
                 # resumable here — no live session, no spool entry, no
                 # shipped replica — so open fresh at position 0 and let
                 # the client rewind and re-send; positioned frames make
-                # the replay idempotent.
+                # the replay idempotent. Never silent: counted, logged,
+                # and flagged in the reply so clients can surface it.
                 if not lenient:
                     raise
+                restarted = True
+                self.lenient_restarts += 1
+                log.warning(
+                    "lenient resume restarted from zero session=%s "
+                    "shard=%d: nothing recoverable here",
+                    session_id, self.shard_id,
+                )
                 session = StreamingSession(
                     session_id, analyses, name=name, packed=packed
                 )
@@ -270,6 +293,7 @@ class ShardWorker:
             "session": session_id,
             "position": session.position,
             "resumed": resumed,
+            "restarted": restarted,
         }
 
     def do_events(
@@ -471,6 +495,7 @@ class ShardWorker:
             "violations": self.findings_total,
             "errors": self.errors_total,
             "checkpoint_failures": self.checkpoint_failures,
+            "lenient_restarts": self.lenient_restarts,
             "uptime_seconds": elapsed,
         }
 
@@ -744,6 +769,7 @@ class RouterStats:
 
     shards: List[Dict[str, Any]] = field(default_factory=list)
     restarts: int = 0
+    shed: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -762,7 +788,11 @@ class RouterStats:
             "checkpoint_failures": sum(
                 s.get("checkpoint_failures", 0) for s in self.shards
             ),
+            "lenient_restarts": sum(
+                s.get("lenient_restarts", 0) for s in self.shards
+            ),
             "shard_restarts": self.restarts,
+            "shed": self.shed,
         }
 
 
@@ -777,6 +807,12 @@ class Router:
         recovery: Spool manager for checkpointed recovery, or ``None``.
         checkpoint_every: Auto-checkpoint a session every N ingested
             events (requires ``recovery``).
+        tenant_quota: Max EVENTS batches one session may have inflight
+            (enqueued but not yet processed) before the router sheds
+            its traffic with a paced :class:`BusyError` — overload
+            isolation so one hot tenant cannot monopolize a shared
+            shard inbox. ``None`` (default) disables the quota and its
+            per-batch accounting entirely.
     """
 
     def __init__(
@@ -786,6 +822,7 @@ class Router:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         recovery: Optional[RecoveryManager] = None,
         checkpoint_every: Optional[int] = None,
+        tenant_quota: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("router needs at least one shard")
@@ -800,6 +837,14 @@ class Router:
             self._shard_cls(i, queue_size, recovery, checkpoint_every)
             for i in range(shards)
         ]
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1 (or None to disable)")
+        self.tenant_quota = tenant_quota
+        #: Batches currently inflight per session (quota mode only).
+        self._inflight: Dict[str, int] = {}
+        self._inflight_lock = threading.Lock()
+        #: Batches rejected by the per-tenant quota (the shed counter).
+        self.shed_total = 0
         self._restart_lock = threading.Lock()
         #: Times a dead shard worker was replaced with a fresh one.
         self.restarts = 0
@@ -835,6 +880,15 @@ class Router:
             )
             self._shards[idx] = shard
             self.restarts += 1
+            if self.tenant_quota is not None:
+                # Batches queued on the dead worker are gone and their
+                # futures may never fire (a killed process shard cannot
+                # answer): zero this shard's tenants so they are not
+                # shed forever on phantom inflight.
+                with self._inflight_lock:
+                    for session_id in list(self._inflight):
+                        if self.shard_of(session_id) == idx:
+                            del self._inflight[session_id]
             if self.recovery is not None:
                 ids, salvage = self.recovery.scan()
                 for path, reason in salvage:
@@ -892,6 +946,10 @@ class Router:
         ``base`` is the stream position the batch claims to start at
         (from a positioned EVENTS frame); the session drops overlap and
         flags gaps, making at-least-once delivery idempotent.
+
+        With a ``tenant_quota`` set, a session already at its inflight
+        cap is shed: :class:`BusyError` with ``shed=True`` and a
+        ``retry_ms`` pacing hint that grows with the backlog.
         """
         action = fire("shard.inbox", key=session_id)
         if action is not None and action.op == "stall":
@@ -900,8 +958,44 @@ class Router:
             raise BusyError(
                 f"[injected] shard {self.shard_of(session_id)} inbox stalled"
             )
-        self._shard(session_id).cast("events", session_id, events, base)
+        if self.tenant_quota is None:
+            self._shard(session_id).cast("events", session_id, events, base)
+            return len(events)
+        with self._inflight_lock:
+            inflight = self._inflight.get(session_id, 0)
+            if inflight >= self.tenant_quota:
+                self.shed_total += 1
+                raise BusyError(
+                    f"tenant {session_id!r} is over its inflight quota "
+                    f"({self.tenant_quota} batches)",
+                    retry_ms=min(500, 25 * (inflight + 1)),
+                    shed=True,
+                )
+            self._inflight[session_id] = inflight + 1
+        # Quota mode trades the fire-and-forget cast for a tracked
+        # future: the subscriber decrements the tenant's inflight count
+        # when the shard finishes (or fails) the batch. Works for both
+        # worker kinds — process shards resolve futures through their
+        # collector thread.
+        try:
+            future = self._shard(session_id).submit(
+                "events", session_id, events, base
+            )
+        except BaseException:
+            self._quota_release(session_id)
+            raise
+        future.subscribe(lambda _f: self._quota_release(session_id))
         return len(events)
+
+    def _quota_release(self, session_id: str) -> None:
+        with self._inflight_lock:
+            count = self._inflight.get(session_id)
+            if count is None:
+                return  # cleared by a shard restart; nothing to release
+            if count <= 1:
+                self._inflight.pop(session_id, None)
+            else:
+                self._inflight[session_id] = count - 1
 
     def flush(self, session_id: str) -> Dict[str, Any]:
         """Barrier: process everything queued, return position+findings."""
@@ -984,7 +1078,7 @@ class Router:
     def finish_stats(
         self, pairs: List[Tuple[Any, _Future]]
     ) -> Dict[str, Any]:
-        snapshot = RouterStats(restarts=self.restarts)
+        snapshot = RouterStats(restarts=self.restarts, shed=self.shed_total)
         for shard, future in pairs:
             row = future.result()
             row["queue_depth"] = shard.queue_depth()

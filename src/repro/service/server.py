@@ -159,6 +159,8 @@ class _TCPServer(socketserver.ThreadingTCPServer):
             "read_timeouts": 0,
             "wire_errors": 0,
             "redirects": 0,
+            "fenced": 0,
+            "shed": 0,
         }
         self._counters_lock = threading.Lock()
 
@@ -284,6 +286,8 @@ class _AsyncServer:
             "read_timeouts": 0,
             "wire_errors": 0,
             "redirects": 0,
+            "fenced": 0,
+            "shed": 0,
         }
         self._counters_lock = threading.Lock()
         self.connections_total = 0
@@ -565,6 +569,8 @@ class ServiceServer:
         vnodes: Virtual points this node contributes to the ring.
         gossip_interval: Seconds between cluster gossip ticks.
         suspect_after: Seconds of peer silence before declaring it dead.
+        tenant_quota: Max inflight EVENTS batches per session before
+            the router sheds with a paced ``BUSY`` (``None`` disables).
     """
 
     def __init__(
@@ -585,6 +591,7 @@ class ServiceServer:
         vnodes: Optional[int] = None,
         gossip_interval: Optional[float] = None,
         suspect_after: Optional[float] = None,
+        tenant_quota: Optional[int] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -597,6 +604,7 @@ class ServiceServer:
             queue_size=queue_size,
             recovery=recovery,
             checkpoint_every=checkpoint_every,
+            tenant_quota=tenant_quota,
         )
         self.recovered = self.router.recover()
         #: Spool entries quarantined during recovery (dicts with

@@ -116,5 +116,10 @@ def load_trace(source: Union[str, Path, TextIO], name: str = "") -> Trace:
     if isinstance(source, (str, Path)):
         path = Path(source)
         with path.open("r", encoding="utf-8") as handle:
-            return Trace(iter_events(handle), name=name or path.stem)
+            try:
+                return Trace(iter_events(handle), name=name or path.stem)
+            except UnicodeDecodeError as error:
+                raise TraceParseError(
+                    f"not UTF-8 trace text ({error})", 0, "<binary data>"
+                ) from error
     return Trace(iter_events(source), name=name or "trace")

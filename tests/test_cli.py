@@ -39,6 +39,14 @@ class TestCheck:
         assert main(["check", str(path)]) == 2
         assert "ill-formed" in capsys.readouterr().err
 
+    def test_binary_garbage_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.std"
+        path.write_bytes(b"garbage\x00\xff\xfe")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", str(path)])
+        assert excinfo.value.code == 2
+        assert "cannot load" in capsys.readouterr().err
+
     def test_no_validate_skips_check(self, tmp_path):
         path = tmp_path / "open.std"
         path.write_text("t1|acq(l)\nt2|acq(l)\n")  # double acquire

@@ -1,0 +1,160 @@
+"""Property-based laws of the membership gossip merge.
+
+``Membership.merge`` is the cluster's only conflict resolver, so it
+must behave like a CRDT join: commutative, associative, idempotent, and
+monotone in the epoch. Gossip delivers documents in arbitrary orders,
+duplicated and re-grouped — any order-sensitivity here would let two
+nodes converge to *different* views of the same history.
+
+One modeling note: a node's address is a function of its identity
+(a node id never changes host:port while keeping its id), so the
+generators derive host/port from the node id. Without that real-world
+invariant an equal-epoch merge of two conflicting *alive* records for
+the same id would be order-dependent by construction.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ALIVE,
+    DEAD,
+    ClusterCoordinator,
+    Membership,
+    NodeInfo,
+    parse_membership,
+)
+from repro.service.router import Router
+
+NODE_IDS = ["a", "b", "c", "d", "e"]
+
+
+def _node(node_id, status):
+    return NodeInfo(node_id, f"host-{node_id}", 7000 + ord(node_id), status)
+
+
+def _doc(statuses, epoch):
+    return {
+        "epoch": epoch,
+        "nodes": [
+            _node(node_id, status).to_json()
+            for node_id, status in sorted(statuses.items())
+        ],
+    }
+
+
+docs = st.builds(
+    _doc,
+    st.dictionaries(
+        st.sampled_from(NODE_IDS),
+        st.sampled_from([ALIVE, DEAD]),
+        max_size=len(NODE_IDS),
+    ),
+    st.integers(min_value=0, max_value=4),
+)
+
+
+def _view(doc):
+    """A Membership holding exactly ``doc`` (no epoch bump on load)."""
+    member = Membership()
+    member.epoch, nodes = parse_membership(doc)
+    member.nodes = dict(nodes)
+    return member
+
+
+def _merged(a, b):
+    """The binary merge as a pure function on documents."""
+    member = _view(a)
+    member.merge(b)
+    return member.to_json()
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs, docs)
+def test_merge_is_commutative(a, b):
+    assert _merged(a, b) == _merged(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs, docs, docs)
+def test_merge_is_associative(a, b, c):
+    assert _merged(_merged(a, b), c) == _merged(a, _merged(b, c))
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs)
+def test_merge_is_idempotent(a):
+    assert _merged(a, a) == _view(a).to_json()
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs, docs)
+def test_merge_never_lowers_the_epoch(a, b):
+    assert _merged(a, b)["epoch"] == max(a["epoch"], b["epoch"])
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs, docs)
+def test_merge_reports_change_correctly(a, b):
+    """``merge`` returns True iff the view actually changed."""
+    member = _view(a)
+    before = member.to_json()
+    changed = member.merge(b)
+    assert changed == (member.to_json() != before)
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs)
+def test_death_absorbs_within_an_epoch(a):
+    """Marking every node dead at the same epoch always wins the
+    equal-epoch union — death is absorbing within an epoch."""
+    obituary = {
+        "epoch": a["epoch"],
+        "nodes": [dict(entry, status=DEAD) for entry in a["nodes"]],
+    }
+    merged = _merged(a, obituary)
+    assert all(entry["status"] == DEAD for entry in merged["nodes"])
+
+
+@settings(max_examples=200, deadline=None)
+@given(docs, st.sampled_from(NODE_IDS))
+def test_self_resurrection_beats_its_own_obituary(a, me):
+    """A node that finds itself marked dead re-asserts with an epoch
+    bump — and the bumped document is immune to the old obituary."""
+    statuses = {
+        entry["node"]: entry["status"] for entry in a["nodes"]
+    }
+    statuses[me] = DEAD
+    obituary = _doc(statuses, a["epoch"])
+    member = _view(obituary)
+    member.add(_node(me, ALIVE))
+    assert member.epoch == obituary["epoch"] + 1
+    assert member.get(me).alive
+    # The stale obituary can no longer kill the revived node.
+    assert member.merge(obituary) is False
+    assert member.get(me).alive
+
+
+def test_coordinator_reasserts_itself_after_a_hostile_merge(tmp_path):
+    """The full path: a coordinator merging a view that declares it
+    dead must come out alive, at a higher epoch, and back on the ring."""
+    router = Router(shards=1)
+    try:
+        coord = ClusterCoordinator(
+            "a", "127.0.0.1", 7001, router,
+            manual_ticks=True, replica_spool=str(tmp_path),
+        )
+        hostile = {
+            "epoch": coord.epoch + 5,
+            "nodes": [
+                NodeInfo("a", "127.0.0.1", 7001, DEAD).to_json(),
+                NodeInfo("b", "127.0.0.1", 7002, ALIVE).to_json(),
+            ],
+        }
+        with coord._lock:
+            coord._merge_locked(hostile)
+        assert coord.epoch == hostile["epoch"] + 1  # the re-assert bump
+        assert coord.membership.get("a").alive
+        assert "a" in coord.membership.alive_ids()
+        assert "a" in coord.ring.nodes
+    finally:
+        router.shutdown()
