@@ -909,6 +909,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(including reloaded traces, parallel sessions and streamed "
         "service sessions)",
     )
+    parser.add_argument(
+        "--runs-dir", default="runs",
+        help="also mirror the artifact into a 'repro diff'-able run-id "
+        "directory under this root (default: runs/)",
+    )
+    parser.add_argument(
+        "--no-runs-dir", action="store_true",
+        help="write only the flat -o artifact",
+    )
     args = parser.parse_args(argv)
     try:
         tables = tuple(int(t) for t in args.tables.split(",") if t)
@@ -930,6 +939,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         cluster=not args.no_cluster,
     )
     write_report(report, args.output)
+    if not args.no_runs_dir and args.runs_dir:
+        # The flat artifact stays for backward compatibility; the
+        # run-id directory is the 'repro diff'-able golden path.
+        from ..obs.experiment import store_bench_run
+
+        stored = store_bench_run(report, args.runs_dir)
+        print(f"run {stored['run_id']} -> {stored['run_dir']}")
     summary = report["summary"]
     table1 = summary.get("table1") or {}
     if table1:

@@ -188,6 +188,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             gossip_interval=args.gossip_interval,
             suspect_after=args.suspect_after,
             tenant_quota=args.tenant_quota,
+            metrics_port=args.metrics_port,
         )
     except OSError as error:
         print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
@@ -208,6 +209,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"salvaged corrupt spool entry {entry['file']}: "
             f"{entry['reason']}",
+            file=sys.stderr,
+        )
+    if server.metrics_port is not None:
+        print(
+            f"metrics on http://{server.host}:{server.metrics_port}/metrics",
             file=sys.stderr,
         )
     print(f"listening on {server.host}:{server.port}", flush=True)
@@ -325,17 +331,140 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_service_stats(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient, ServiceError
+    from .service.client import ServiceClient, ServiceError, ServiceUnreachable
     from .service.protocol import WireError
 
     try:
         with ServiceClient(args.host, args.port) as client:
             stats = client.stats()
+    except ServiceUnreachable:
+        # Same typed diagnostic + exit code as `repro submit`: an
+        # unreachable node is an environment problem, not a stats one.
+        print(
+            f"no service at {args.host}:{args.port} "
+            "(is 'repro serve' running?)",
+            file=sys.stderr,
+        )
+        return 3
     except (ServiceError, WireError, OSError) as error:
         print(f"cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
-    print(json.dumps(stats, indent=2))
+    if args.format == "prom":
+        from .obs.metrics import stats_to_prom
+
+        print(stats_to_prom(stats), end="")
+    else:
+        print(json.dumps(stats, indent=2))
     return 0
+
+
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    from .obs.experiment import ExperimentError, run_experiment
+
+    analyses = [n.strip() for n in args.analyses.split(",") if n.strip()]
+    if not analyses:
+        print("--analyses needs at least one name", file=sys.stderr)
+        return 2
+    try:
+        run = run_experiment(
+            args.workload,
+            seed=args.seed,
+            scale=args.scale,
+            analyses=analyses,
+            packed=args.packed,
+            out=args.out,
+            run_id=args.run_id,
+            wall_clock=args.wall_clock,
+        )
+    except (ExperimentError, KeyError, ValueError, OSError) as error:
+        print(f"experiment failed: {error}", file=sys.stderr)
+        return 2
+    manifest = run["manifest"]
+    print(f"run {run['run_id']} -> {run['run_dir']}")
+    print(
+        f"  verdict={manifest['verdict']} events={manifest['events']} "
+        f"spans={manifest['spans']}"
+    )
+    print(f"  config_hash={run['experiment']['config_hash']}")
+    if args.json:
+        print(json.dumps(manifest, indent=2))
+    return 0
+
+
+def _cmd_experiment_show(args: argparse.Namespace) -> int:
+    import os
+
+    run_dir = args.run
+    if not os.path.isdir(run_dir):
+        # A bare run id resolves under --out, matching `experiment list`.
+        candidate = os.path.join(args.out, run_dir)
+        if os.path.isdir(candidate):
+            run_dir = candidate
+        else:
+            print(f"not a run directory: {run_dir}", file=sys.stderr)
+            return 2
+    if args.spans:
+        trace_path = os.path.join(run_dir, "trace.jsonl")
+        try:
+            with open(trace_path, "r", encoding="utf-8") as fh:
+                sys.stdout.write(fh.read())
+        except OSError as error:
+            print(f"no span log: {error}", file=sys.stderr)
+            return 2
+        return 0
+    md_path = os.path.join(run_dir, "report.md")
+    try:
+        with open(md_path, "r", encoding="utf-8") as fh:
+            sys.stdout.write(fh.read())
+    except OSError as error:
+        print(f"no report: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_experiment_list(args: argparse.Namespace) -> int:
+    import os
+
+    root = args.out
+    if not os.path.isdir(root):
+        print(f"no runs under {root}")
+        return 0
+    rows = []
+    for name in sorted(os.listdir(root)):
+        manifest_path = os.path.join(root, name, "manifest.json")
+        if not os.path.isfile(manifest_path):
+            continue
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        rows.append((name, manifest))
+    if not rows:
+        print(f"no runs under {root}")
+        return 0
+    for name, manifest in rows:
+        kind = manifest.get("kind", "experiment")
+        print(
+            f"{name}  kind={kind} verdict={manifest.get('verdict')} "
+            f"config={str(manifest.get('config_hash'))[:12]}"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .obs.experiment import DiffError, diff_runs, format_diff
+
+    try:
+        diff = diff_runs(args.run_a, args.run_b)
+    except DiffError as error:
+        print(f"diff failed: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(format_diff(diff))
+    return 0 if diff["equal"] else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -510,6 +639,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--no-cluster")
     if args.check:
         argv.append("--check")
+    if args.no_runs_dir:
+        argv.append("--no-runs-dir")
+    elif args.runs_dir:
+        argv.extend(["--runs-dir", args.runs_dir])
     return bench_main(argv)
 
 
@@ -902,6 +1035,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="max inflight EVENTS batches per session before the "
         "router sheds the tenant with a paced BUSY (default: no quota)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus text on "
+        "http://HOST:PORT/metrics (0 = pick a free one; the metric "
+        "catalog is documented in docs/OBSERVABILITY.md)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -972,10 +1111,101 @@ def build_parser() -> argparse.ArgumentParser:
     service_stats = sub.add_parser(
         "service-stats",
         help="print a running service's aggregated shard metrics",
+        epilog="The JSON document is versioned (schema repro-stats/1); "
+        "--format prom renders the same snapshot as Prometheus text. "
+        "Exit 3 = the server is unreachable (same as 'repro submit').",
     )
     service_stats.add_argument("--host", default="127.0.0.1")
     service_stats.add_argument("--port", type=int, default=7207)
+    service_stats.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="output form: repro-stats/1 JSON (default) or Prometheus "
+        "text exposition",
+    )
     service_stats.set_defaults(func=_cmd_service_stats)
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="run locked, hash-addressed experiments (see "
+        "docs/OBSERVABILITY.md)",
+    )
+    experiment_sub = experiment.add_subparsers(
+        dest="experiment_command", required=True
+    )
+    exp_run = experiment_sub.add_parser(
+        "run",
+        help="lock workload/scale/seed/analyses into a content-hashed "
+        "run directory (experiment.json + manifest.json + report.json "
+        "+ report.md + trace.jsonl)",
+    )
+    exp_run.add_argument(
+        "--workload", required=True,
+        help="benchmark case name (see 'repro bench' tables)",
+    )
+    exp_run.add_argument("--seed", type=int, default=0)
+    exp_run.add_argument("--scale", type=float, default=0.1)
+    exp_run.add_argument(
+        "--analyses", default="aerodrome",
+        help="comma-separated analysis names (default: aerodrome)",
+    )
+    exp_run.add_argument(
+        "--packed", action="store_true",
+        help="drive the packed dispatch sweep",
+    )
+    exp_run.add_argument(
+        "--out", default="runs", metavar="DIR",
+        help="root directory for run-id directories (default: runs/)",
+    )
+    exp_run.add_argument(
+        "--run-id", default=None,
+        help="override the derived run id (default: "
+        "<workload>-s<seed>-<hash8>)",
+    )
+    exp_run.add_argument(
+        "--wall-clock", action="store_true",
+        help="use real monotonic span times instead of the "
+        "deterministic tick clock (trace.jsonl stops being "
+        "byte-reproducible)",
+    )
+    exp_run.add_argument(
+        "--json", action="store_true",
+        help="also print the manifest JSON",
+    )
+    exp_run.set_defaults(func=_cmd_experiment_run)
+    exp_show = experiment_sub.add_parser(
+        "show", help="print a run's report.md (or its span log)",
+    )
+    exp_show.add_argument("run", help="run directory (or a run id under --out)")
+    exp_show.add_argument(
+        "--spans", action="store_true",
+        help="print trace.jsonl instead of report.md",
+    )
+    exp_show.add_argument("--out", default="runs", metavar="DIR")
+    exp_show.set_defaults(func=_cmd_experiment_show)
+    exp_list = experiment_sub.add_parser(
+        "list", help="list run directories under --out",
+    )
+    exp_list.add_argument("--out", default="runs", metavar="DIR")
+    exp_list.set_defaults(func=_cmd_experiment_list)
+
+    diff_cmd = sub.add_parser(
+        "diff",
+        help="compare two experiment/bench runs "
+        "(exit 0 = agree, 1 = differ, 2 = error)",
+        epilog="RUN arguments are run directories from 'repro "
+        "experiment run' / 'repro bench', or legacy flat "
+        "BENCH_PR*.json artifacts (schemas repro-bench/1..5). "
+        "Verdicts, violation indices, agreement flags and locked "
+        "config gate the diff; wall-clock numbers are reported as "
+        "deltas only (1-CPU CI gates on agreement, never speed).",
+    )
+    diff_cmd.add_argument("run_a", help="baseline run directory or artifact")
+    diff_cmd.add_argument("run_b", help="candidate run directory or artifact")
+    diff_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the structured diff document",
+    )
+    diff_cmd.set_defaults(func=_cmd_diff)
 
     chaos = sub.add_parser(
         "chaos",
@@ -1100,6 +1330,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero unless every path agrees everywhere "
         "(packed/string, reloaded traces, parallel and streamed sessions)",
+    )
+    bench.add_argument(
+        "--runs-dir", default="runs", metavar="DIR",
+        help="also mirror the artifact into a run-id directory under "
+        "DIR ('repro diff'-able; default: runs/)",
+    )
+    bench.add_argument(
+        "--no-runs-dir", action="store_true",
+        help="write only the flat -o artifact",
     )
     bench.set_defaults(func=_cmd_bench)
 

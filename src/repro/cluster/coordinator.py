@@ -63,6 +63,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..faults.injector import fire
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
 from ..service.backoff import Backoff
 from ..service.protocol import FrameType
 from ..service.recovery import RecoveryError, RecoveryManager
@@ -181,15 +183,24 @@ class ClusterCoordinator:
         self._owned_cache: List[Dict[str, Any]] = []
         self._replica_cache = 0
 
-        # counters (under self._lock)
-        self.migrations_total = 0
-        self.handoffs_in = 0
-        self.handoffs_out = 0
-        self.handoff_bytes = 0
-        self.redirects = 0
-        self.gossip_ticks = 0
+        # Typed counters (repro.obs.metrics), mutated under self._lock.
+        self.metrics = MetricsRegistry()
+        self.migrations_total = self.metrics.counter(
+            "repro_cluster_migrations_total", "Sessions migrated away live")
+        self.handoffs_in = self.metrics.counter(
+            "repro_cluster_handoffs_in_total", "Checkpoint blobs received")
+        self.handoffs_out = self.metrics.counter(
+            "repro_cluster_handoffs_out_total", "Checkpoint blobs shipped")
+        self.handoff_bytes = self.metrics.counter(
+            "repro_cluster_handoff_bytes_total",
+            "Bytes of checkpoint blobs shipped")
+        self.redirects = self.metrics.counter(
+            "repro_cluster_redirects_total", "Ownership redirects issued")
+        self.gossip_ticks = self.metrics.counter(
+            "repro_cluster_gossip_ticks_total", "Coordinator ticks completed")
         #: Outbound calls a fresher peer rejected (StaleEpochError).
-        self.fenced_out = 0
+        self.fenced_out = self.metrics.counter(
+            "repro_cluster_fenced_out_total", "Stale-epoch requests fenced")
 
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -307,7 +318,7 @@ class ClusterCoordinator:
         """The REDIRECT payload pointing a client at the owner."""
         info = self.owner_info(session_id)
         with self._lock:
-            self.redirects += 1
+            self.redirects.inc()
             epoch = self.membership.epoch
         return {
             "session": session_id,
@@ -420,16 +431,16 @@ class ClusterCoordinator:
         """Store a peer's checkpoint copy in the replica spool."""
         self.replicas.save_payload(session_id, blob)
         with self._lock:
-            self.handoffs_in += 1
-            self.handoff_bytes += len(blob)
+            self.handoffs_in.inc()
+            self.handoff_bytes.inc(len(blob))
         return {"session": session_id, "stored": True}
 
     def note_import(self, nbytes: int) -> None:
         """Count one inbound *live* handoff (import done by the router)."""
         with self._lock:
-            self.handoffs_in += 1
-            self.handoff_bytes += nbytes
-            self.migrations_total += 1
+            self.handoffs_in.inc()
+            self.handoff_bytes.inc(nbytes)
+            self.migrations_total.inc()
 
     def session_closed(self, session_id: str) -> None:
         """A session closed cleanly here: forget its replication state
@@ -444,15 +455,16 @@ class ClusterCoordinator:
     def tick(self) -> None:
         """One gossip + failure-detection + migration pass (also called
         directly by tests to step the cluster deterministically)."""
-        self._gossip()
-        ring = self._detect_failures()
-        self._drain_closed(ring)
-        self._rebalance(ring)
-        self._replicate(ring)
-        self._adopt(ring)
-        with self._lock:
-            self.gossip_ticks += 1
-            self._replica_cache = len(self.replicas.session_ids())
+        with tracing.span("cluster.tick", node=self.node_id):
+            self._gossip()
+            ring = self._detect_failures()
+            self._drain_closed(ring)
+            self._rebalance(ring)
+            self._replicate(ring)
+            self._adopt(ring)
+            with self._lock:
+                self.gossip_ticks.inc()
+                self._replica_cache = len(self.replicas.session_ids())
 
     def _peers(self) -> List[NodeInfo]:
         with self._lock:
@@ -493,7 +505,7 @@ class ClusterCoordinator:
                 ),
                 key=lambda n: n.node_id,
             )
-            rotation = self.gossip_ticks
+            rotation = self.gossip_ticks.value
         if dead:
             probe = dead[rotation % len(dead)]
             if probe.node_id not in deferred_ids:
@@ -611,18 +623,24 @@ class ClusterCoordinator:
             if info is None or not info.alive:
                 continue
             try:
-                ack = migrate_session(
-                    self.router, session_id, info.host, info.port,
-                    timeout=self.call_timeout,
-                    epoch=epoch, origin=self.node_id,
-                    net_key=self._net_key(owner),
-                )
+                with tracing.span(
+                    "cluster.migrate",
+                    session=session_id,
+                    source=self.node_id,
+                    target=owner,
+                ):
+                    ack = migrate_session(
+                        self.router, session_id, info.host, info.port,
+                        timeout=self.call_timeout,
+                        epoch=epoch, origin=self.node_id,
+                        net_key=self._net_key(owner),
+                    )
             except StaleEpochError as exc:
                 # The target's view is ahead of ours; the session was
                 # re-imported locally and will move after gossip
                 # catches us up — next tick, usually.
                 with self._lock:
-                    self.fenced_out += 1
+                    self.fenced_out.inc()
                 log.warning(
                     "migration fenced session=%s node=%s epoch=%d: %s",
                     session_id, self.node_id, epoch, exc,
@@ -637,8 +655,8 @@ class ClusterCoordinator:
             with self._lock:
                 self._replicated.pop(session_id, None)
                 if ack is not None:
-                    self.migrations_total += 1
-                    self.handoffs_out += 1
+                    self.migrations_total.inc()
+                    self.handoffs_out.inc()
             if ack is not None:
                 log.info(
                     "session migrated session=%s %s -> %s position=%s",
@@ -676,7 +694,7 @@ class ClusterCoordinator:
                 )
             except StaleEpochError:
                 with self._lock:
-                    self.fenced_out += 1
+                    self.fenced_out.inc()
                 continue  # gossip will catch us up; retry next tick
             except RouterError as exc:
                 log.warning(
@@ -687,8 +705,8 @@ class ClusterCoordinator:
             if shipped:
                 with self._lock:
                     self._replicated[session_id] = row["position"]
-                    self.handoffs_out += 1
-                    self.handoff_bytes += shipped
+                    self.handoffs_out.inc()
+                    self.handoff_bytes.inc(shipped)
         with self._lock:
             self._owned_cache = owned
 
@@ -714,7 +732,7 @@ class ClusterCoordinator:
                 continue
             self.replicas.delete(session_id)
             with self._lock:
-                self.migrations_total += 1
+                self.migrations_total.inc()
             log.warning(
                 "replica adopted after failover session=%s node=%s "
                 "position=%s",
@@ -758,11 +776,11 @@ class ClusterCoordinator:
                 "peers": peers,
                 "sessions_owned": len(self._owned_cache),
                 "replicas_held": self._replica_cache,
-                "migrations_total": self.migrations_total,
-                "handoffs_in": self.handoffs_in,
-                "handoffs_out": self.handoffs_out,
-                "handoff_bytes": self.handoff_bytes,
-                "redirects": self.redirects,
-                "gossip_ticks": self.gossip_ticks,
-                "fenced_out": self.fenced_out,
+                "migrations_total": self.migrations_total.value,
+                "handoffs_in": self.handoffs_in.value,
+                "handoffs_out": self.handoffs_out.value,
+                "handoff_bytes": self.handoff_bytes.value,
+                "redirects": self.redirects.value,
+                "gossip_ticks": self.gossip_ticks.value,
+                "fenced_out": self.fenced_out.value,
             }

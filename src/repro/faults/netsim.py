@@ -144,8 +144,14 @@ class NetSim:
 
     def boot(self) -> "NetSim":
         """Start every node (the first seeds the rest) under sim time."""
+        from ..obs import tracing
         from ..service import ServiceServer
 
+        # A tracer activated around a netsim run records spans on sim
+        # time: same seed + same scenario => byte-identical trace.jsonl.
+        tracer = tracing.active()
+        if tracer is not None:
+            tracer.clock = self.clock.time
         self._root = tempfile.mkdtemp(prefix="repro-netsim-")
         join: List[str] = []
         for node_id in self.order:

@@ -1,0 +1,67 @@
+"""repro.obs — observability: metrics, experiment artifacts, tracing.
+
+Three legs, one golden path:
+
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms behind a
+  process-wide registry, the versioned ``repro-stats/1`` schema stamped
+  on every ``service-stats`` document, and a Prometheus text exposition
+  (``repro serve --metrics-port`` / ``repro service-stats --format prom``).
+* :mod:`repro.obs.experiment` — ``repro experiment run`` locks
+  workload/scale/seed/analyses into a content-hashed ``experiment.json``
+  and emits ``manifest.json`` + ``report.json`` + ``report.md`` +
+  ``trace.jsonl`` under a run-id directory; ``repro diff`` compares two
+  runs (or legacy ``repro-bench/*`` artifacts) without hand-diffing.
+* :mod:`repro.obs.tracing` — lightweight begin/end spans around session
+  ingest, shard dispatch, checkpoints, migration and gossip ticks,
+  deterministic under ``SimClock`` so chaos runs produce diffable logs.
+
+The full metric catalog, artifact layout and span schema are documented
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (  # noqa: F401
+    STATS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    METRICS_CATALOG,
+    stats_to_prom,
+    validate_prom_text,
+)
+from .tracing import Tracer, TickClock, span, activate, deactivate, active  # noqa: F401
+from .experiment import (  # noqa: F401
+    EXPERIMENT_SCHEMA,
+    MANIFEST_SCHEMA,
+    canonical_json,
+    content_hash,
+    run_experiment,
+    store_bench_run,
+    load_comparable,
+    diff_runs,
+)
+
+__all__ = [
+    "STATS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_CATALOG",
+    "stats_to_prom",
+    "validate_prom_text",
+    "Tracer",
+    "TickClock",
+    "span",
+    "activate",
+    "deactivate",
+    "active",
+    "EXPERIMENT_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "canonical_json",
+    "content_hash",
+    "run_experiment",
+    "store_bench_run",
+    "load_comparable",
+    "diff_runs",
+]

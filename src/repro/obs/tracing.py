@@ -1,0 +1,165 @@
+"""Lightweight begin/end span tracing for service and experiment runs.
+
+A :class:`Tracer` collects :class:`Span` records from well-known sites —
+session ingest (``session.ingest``), shard dispatch (``shard.dispatch``),
+checkpoint writes (``shard.checkpoint``), live migration
+(``cluster.migrate``) and gossip ticks (``cluster.tick``) — and dumps
+them as one-JSON-object-per-line ``trace.jsonl``.
+
+Tracing is **off by default**: the module-level :func:`span` helper is a
+no-op until :func:`activate` installs a tracer, so the hot paths carry
+only a global ``is None`` check. The tracer's ``clock`` attribute is
+substitutable — bind it to a netsim ``SimClock`` (or the integer
+:class:`TickClock`) and same-seed chaos/experiment runs produce
+byte-identical span logs you can diff.
+
+Span schema (one JSON object per ``trace.jsonl`` line)::
+
+    {"seq": 0, "name": "session.ingest", "start": 3, "end": 4,
+     "dur": 1, "attrs": {"session": "t0", "events": 512}}
+
+``seq`` is the begin order (total order even when clocks are coarse).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One finished begin/end interval."""
+
+    seq: int
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.end - self.start,
+            "attrs": self.attrs,
+        }
+
+
+class TickClock:
+    """A deterministic clock: each call returns the next integer.
+
+    Experiment runs use this by default so ``trace.jsonl`` is
+    byte-identical across same-seed invocations regardless of hardware.
+    """
+
+    def __init__(self) -> None:
+        self._tick = -1
+
+    def __call__(self) -> int:
+        self._tick += 1
+        return self._tick
+
+
+class Tracer:
+    """Collects spans; thread-safe; clock is substitutable.
+
+    Args:
+        clock: Zero-arg callable returning the current time. Defaults to
+            ``time.monotonic``; bind a netsim ``SimClock.time`` or a
+            :class:`TickClock` for deterministic logs.
+        limit: Hard cap on retained spans (oldest kept) so a runaway
+            chaos drill cannot exhaust memory.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        limit: int = 1_000_000,
+    ) -> None:
+        self.clock: Callable[[], float] = clock or time.monotonic
+        self.limit = limit
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            start = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            with self._lock:
+                if len(self._spans) < self.limit:
+                    self._spans.append(Span(seq, name, start, end, attrs))
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._seq = 0
+
+    def to_jsonl(self) -> str:
+        """Render every span, ordered by begin sequence."""
+        rows = sorted(self.spans(), key=lambda s: s.seq)
+        return "".join(
+            json.dumps(s.to_json(), sort_keys=True) + "\n" for s in rows
+        )
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write ``trace.jsonl``; returns the number of spans written."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return text.count("\n")
+
+
+# -- module-level switchboard ------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def activate(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    """Remove the active tracer; :func:`span` becomes a no-op again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """Record a span on the active tracer, or do nothing when inactive.
+
+    This is the form the service hot paths call — the inactive cost is
+    one global load and an ``is None`` test per *batch* (never per
+    event).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        yield
+    else:
+        with tracer.span(name, **attrs):
+            yield

@@ -36,6 +36,7 @@ import logging
 from typing import Any, Callable, Dict, List, Optional
 
 from ..faults.injector import fire, mutate_frame
+from ..obs.metrics import STATS_SCHEMA
 from . import protocol
 from .protocol import FrameType
 from .router import (
@@ -396,6 +397,9 @@ class WireConnection:
 
             def finish() -> None:
                 stats = router.finish_stats(pairs)
+                # The router stamps the version; keep the guarantee
+                # even for router doubles that predate repro-stats/1.
+                stats.setdefault("schema", STATS_SCHEMA)
                 stats["server"] = self._counters()
                 if self.cluster is not None:
                     stats["cluster"] = self.cluster.stats()

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.snapshot import CheckpointError, freeze, thaw
+from ..obs import tracing
+from ..obs.metrics import STATS_SCHEMA, MetricsRegistry
 from ..faults.injector import fire
 from ..faults.plan import ShardCrash
 from ..trace.events import Event
@@ -213,14 +215,36 @@ class ShardWorker:
         self.sessions: Dict[str, StreamingSession] = {}
         self._last_checkpoint: Dict[str, int] = {}
         self.started = time.monotonic()
-        self.events_total = 0
-        self.findings_total = 0
-        self.sessions_closed = 0
-        self.errors_total = 0
-        self.sessions_quarantined = 0
-        self.events_dropped = 0
-        self.checkpoint_failures = 0
-        self.lenient_restarts = 0
+        # Typed instruments (repro.obs.metrics). The registry is plain
+        # picklable state — a process shard ships the whole worker —
+        # and carries no locks because one driver owns the worker.
+        self.metrics = MetricsRegistry()
+        self.events_total = self.metrics.counter(
+            "repro_shard_events_total", "Events ingested by this shard")
+        self.findings_total = self.metrics.counter(
+            "repro_shard_violations_total", "Findings raised on this shard")
+        self.sessions_closed = self.metrics.counter(
+            "repro_shard_sessions_closed_total", "Sessions closed cleanly")
+        self.errors_total = self.metrics.counter(
+            "repro_shard_errors_total", "Analysis/feed errors")
+        self.sessions_quarantined = self.metrics.counter(
+            "repro_shard_sessions_quarantined_total",
+            "Sessions poison-isolated")
+        self.events_dropped = self.metrics.counter(
+            "repro_shard_events_dropped_total",
+            "Events discarded after quarantine")
+        self.checkpoint_failures = self.metrics.counter(
+            "repro_shard_checkpoint_failures_total",
+            "Checkpoint writes that failed")
+        self.lenient_restarts = self.metrics.counter(
+            "repro_shard_lenient_restarts_total",
+            "Sessions restarted from zero under lenient recovery")
+        self.checkpoint_lag = self.metrics.histogram(
+            "repro_shard_checkpoint_lag",
+            "Events between consecutive checkpoints")
+        #: Findings per tenant session — the per-tenant violation counts
+        #: surfaced on the stats doc and the prom exposition.
+        self.tenant_violations: Dict[str, int] = {}
 
     # -- command handlers (dispatched by name) -----------------------------
 
@@ -270,7 +294,7 @@ class ShardWorker:
                 if not lenient:
                     raise
                 restarted = True
-                self.lenient_restarts += 1
+                self.lenient_restarts.inc()
                 log.warning(
                     "lenient resume restarted from zero session=%s "
                     "shard=%d: nothing recoverable here",
@@ -306,7 +330,7 @@ class ShardWorker:
         if session.quarantined:
             # Poisoned: count and drop until the client sees the error.
             session.dropped += len(events)
-            self.events_dropped += len(events)
+            self.events_dropped.inc(len(events))
             return
         action = fire("shard.batch", key=session_id)
         if action is not None and action.op == "crash":
@@ -315,14 +339,25 @@ class ShardWorker:
                 f"batch of session {session_id!r}"
             )
         try:
-            self.findings_total += session.feed(events, base=base)
-            self.events_total += len(events)
+            with tracing.span(
+                "shard.dispatch",
+                shard=self.shard_id,
+                session=session_id,
+                events=len(events),
+            ):
+                found = session.feed(events, base=base)
+            if found:
+                self.findings_total.inc(found)
+                self.tenant_violations[session_id] = (
+                    self.tenant_violations.get(session_id, 0) + found
+                )
+            self.events_total.inc(len(events))
         except Exception as exc:
             # Quarantine the one tenant; the shard and its sibling
             # sessions keep running.
             session.quarantine("analysis", f"{type(exc).__name__}: {exc}")
-            self.sessions_quarantined += 1
-            self.errors_total += 1
+            self.sessions_quarantined.inc()
+            self.errors_total.inc()
             log.error(
                 "analysis failure quarantined session=%s shard=%d "
                 "position=%d: %s",
@@ -335,17 +370,25 @@ class ShardWorker:
             and interval
             and session.position - self._last_checkpoint[session_id] >= interval
         ):
+            lag = session.position - self._last_checkpoint[session_id]
             try:
-                self.recovery.save(session)
+                with tracing.span(
+                    "shard.checkpoint",
+                    shard=self.shard_id,
+                    session=session_id,
+                    position=session.position,
+                ):
+                    self.recovery.save(session)
             except (RecoveryError, CheckpointError) as exc:
                 # A failed periodic checkpoint degrades durability, not
                 # the live session — log it, count it, keep analyzing.
-                self.checkpoint_failures += 1
+                self.checkpoint_failures.inc()
                 log.warning(
                     "checkpoint failed session=%s shard=%d position=%d: %s",
                     session_id, self.shard_id, session.position, exc,
                 )
             else:
+                self.checkpoint_lag.observe(lag)
                 self._last_checkpoint[session_id] = session.position
 
     def do_flush(self, session_id: str) -> Dict[str, Any]:
@@ -396,7 +439,7 @@ class ShardWorker:
         report = session.report()
         findings = session.drain_findings()
         self._drop(session_id)
-        self.sessions_closed += 1
+        self.sessions_closed.inc()
         return {"report": report, "findings": findings}
 
     def _drop(self, session_id: str) -> None:
@@ -484,19 +527,29 @@ class ShardWorker:
 
     def do_stats(self) -> Dict[str, Any]:
         elapsed = max(time.monotonic() - self.started, 1e-9)
+        checkpoint_lag = 0
+        for session_id, session in self.sessions.items():
+            behind = session.position - self._last_checkpoint.get(
+                session_id, 0
+            )
+            if behind > checkpoint_lag:
+                checkpoint_lag = behind
         return {
             "shard": self.shard_id,
             "sessions_open": len(self.sessions),
-            "sessions_closed": self.sessions_closed,
-            "sessions_quarantined": self.sessions_quarantined,
-            "events": self.events_total,
-            "events_dropped": self.events_dropped,
-            "events_per_second": self.events_total / elapsed,
-            "violations": self.findings_total,
-            "errors": self.errors_total,
-            "checkpoint_failures": self.checkpoint_failures,
-            "lenient_restarts": self.lenient_restarts,
+            "sessions_closed": self.sessions_closed.value,
+            "sessions_quarantined": self.sessions_quarantined.value,
+            "events": self.events_total.value,
+            "events_dropped": self.events_dropped.value,
+            "events_per_second": self.events_total.value / elapsed,
+            "violations": self.findings_total.value,
+            "errors": self.errors_total.value,
+            "checkpoint_failures": self.checkpoint_failures.value,
+            "lenient_restarts": self.lenient_restarts.value,
             "uptime_seconds": elapsed,
+            "checkpoint_lag": checkpoint_lag,
+            "checkpoint_lag_histogram": self.checkpoint_lag.to_json(),
+            "tenant_violations": dict(self.tenant_violations),
         }
 
     def handle(self, op: str, args: tuple) -> Any:
@@ -526,7 +579,7 @@ def _drive(worker: ShardWorker, inbox, reply) -> None:
                 reply(token, False, ("ShardCrashed", str(exc)))
             raise
         except SessionQuarantined as exc:
-            worker.errors_total += 1
+            worker.errors_total.inc()
             if token is not None:
                 # The code rides the message ("code|detail") so it
                 # survives the picklable (kind, message) reply tuple
@@ -534,7 +587,7 @@ def _drive(worker: ShardWorker, inbox, reply) -> None:
                 reply(token, False, ("SessionQuarantined", f"{exc.code}|{exc}"))
             continue
         except Exception as exc:
-            worker.errors_total += 1
+            worker.errors_total.inc()
             if token is not None:
                 reply(token, False, (type(exc).__name__, str(exc)))
             continue
@@ -793,6 +846,10 @@ class RouterStats:
             ),
             "shard_restarts": self.restarts,
             "shed": self.shed,
+            "uptime_seconds": max(
+                (s.get("uptime_seconds", 0.0) for s in self.shards),
+                default=0.0,
+            ),
         }
 
 
@@ -1084,7 +1141,9 @@ class Router:
             row["queue_depth"] = shard.queue_depth()
             row["workers"] = self.workers
             snapshot.shards.append(row)
-        return snapshot.to_json()
+        doc = snapshot.to_json()
+        doc["schema"] = STATS_SCHEMA
+        return doc
 
     def recover(self) -> List[str]:
         """Re-open every recoverable session spooled by a previous

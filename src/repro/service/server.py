@@ -56,11 +56,40 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from ..obs.metrics import Counter, MetricsRegistry, stats_to_prom
 from .connection import WireConnection
 from .recovery import RecoveryManager
 from .router import REPLY_TIMEOUT, Router, RouterError
 
 log = logging.getLogger("repro.service")
+
+#: Wire-server counter short names -> (prom name, help). Both backends
+#: carry exactly these on the stats doc's ``server`` block; the async
+#: loop adds its gauges on top in :meth:`_AsyncServer.counters`.
+_SERVER_COUNTERS = (
+    ("busy_replies", "repro_server_busy_replies_total",
+     "BUSY backpressure replies sent"),
+    ("read_timeouts", "repro_server_read_timeouts_total",
+     "Connections dropped on read deadline"),
+    ("wire_errors", "repro_server_wire_errors_total",
+     "Malformed-frame/protocol errors"),
+    ("redirects", "repro_server_redirects_total",
+     "REDIRECT replies (cluster ownership elsewhere)"),
+    ("fenced", "repro_server_fenced_total",
+     "FENCED replies (stale membership epoch)"),
+    ("shed", "repro_server_shed_total",
+     "BUSY replies flagged shed=true"),
+)
+
+
+def _server_counters() -> "tuple[MetricsRegistry, Dict[str, Counter]]":
+    """A wire server's typed counter set (repro.obs.metrics)."""
+    registry = MetricsRegistry()
+    by_short = {
+        short: registry.counter(name, help)
+        for short, name, help in _SERVER_COUNTERS
+    }
+    return registry, by_short
 
 #: Default per-connection read timeout (seconds). Generous — it only
 #: has to beat "forever": a stalled client releases its handler thread
@@ -154,23 +183,25 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         super().__init__(*args, **kwargs)
         self.read_timeout: Optional[float] = None
         self.cluster: Optional[Any] = None
-        self._counters: Dict[str, int] = {
-            "busy_replies": 0,
-            "read_timeouts": 0,
-            "wire_errors": 0,
-            "redirects": 0,
-            "fenced": 0,
-            "shed": 0,
-        }
+        self.metrics, self._counters = _server_counters()
         self._counters_lock = threading.Lock()
 
     def count(self, counter: str) -> None:
         with self._counters_lock:
-            self._counters[counter] = self._counters.get(counter, 0) + 1
+            metric = self._counters.get(counter)
+            if metric is None:
+                metric = self.metrics.counter(
+                    f"repro_server_{counter}_total"
+                )
+                self._counters[counter] = metric
+            metric.inc()
 
     def counters(self) -> Dict[str, Any]:
         with self._counters_lock:
-            out: Dict[str, Any] = dict(self._counters)
+            out: Dict[str, Any] = {
+                short: metric.value
+                for short, metric in self._counters.items()
+            }
         out["backend"] = "thread"
         return out
 
@@ -281,14 +312,7 @@ class _AsyncServer:
             resolution = max(0.05, min(1.0, read_timeout / 4.0))
         self._wheel = _DeadlineWheel(resolution)
         self.cluster: Optional[Any] = None
-        self._counters: Dict[str, int] = {
-            "busy_replies": 0,
-            "read_timeouts": 0,
-            "wire_errors": 0,
-            "redirects": 0,
-            "fenced": 0,
-            "shed": 0,
-        }
+        self.metrics, self._counters = _server_counters()
         self._counters_lock = threading.Lock()
         self.connections_total = 0
         self.ring_high_water = 0  # carried over from closed connections
@@ -304,11 +328,20 @@ class _AsyncServer:
 
     def count(self, counter: str) -> None:
         with self._counters_lock:
-            self._counters[counter] = self._counters.get(counter, 0) + 1
+            metric = self._counters.get(counter)
+            if metric is None:
+                metric = self.metrics.counter(
+                    f"repro_server_{counter}_total"
+                )
+                self._counters[counter] = metric
+            metric.inc()
 
     def counters(self) -> Dict[str, Any]:
         with self._counters_lock:
-            out: Dict[str, Any] = dict(self._counters)
+            out: Dict[str, Any] = {
+                short: metric.value
+                for short, metric in self._counters.items()
+            }
         ring = self.ring_high_water
         write_queue = 0
         for conn in self._conns.values():
@@ -541,6 +574,62 @@ class _AsyncServer:
             pass
 
 
+class _MetricsEndpoint:
+    """A tiny stdlib HTTP thread serving ``GET /metrics`` as prom text.
+
+    Scrapes are served from a fresh ``repro-stats/1`` snapshot on every
+    request — the exposition and the STATS frame cannot drift because
+    :func:`repro.obs.metrics.stats_to_prom` is the only mapping.
+    """
+
+    def __init__(self, host: str, port: int, stats_fn) -> None:
+        import http.server
+
+        endpoint = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_response(404)
+                    self.end_headers()
+                    return
+                try:
+                    body = stats_to_prom(stats_fn()).encode("utf-8")
+                except Exception as error:  # pragma: no cover - defensive
+                    self.send_response(500)
+                    self.end_headers()
+                    self.wfile.write(str(error).encode("utf-8", "replace"))
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are too chatty for the service log
+
+        self._httpd = http.server.ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="repro-metrics",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+
 class ServiceServer:
     """The long-running analysis service.
 
@@ -571,6 +660,10 @@ class ServiceServer:
         suspect_after: Seconds of peer silence before declaring it dead.
         tenant_quota: Max inflight EVENTS batches per session before
             the router sheds with a paced ``BUSY`` (``None`` disables).
+        metrics_port: Also serve Prometheus text on
+            ``http://host:metrics_port/metrics`` (``0`` picks a free
+            port — read it from :attr:`metrics_port`; ``None``
+            disables the endpoint).
     """
 
     def __init__(
@@ -592,6 +685,7 @@ class ServiceServer:
         gossip_interval: Optional[float] = None,
         suspect_after: Optional[float] = None,
         tenant_quota: Optional[int] = None,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -650,10 +744,27 @@ class ServiceServer:
             )
         self._impl.cluster = self.cluster
         self._thread: Optional[threading.Thread] = None
+        self._metrics_endpoint: Optional[_MetricsEndpoint] = None
+        self.metrics_port: Optional[int] = None
+        if metrics_port is not None:
+            self._metrics_endpoint = _MetricsEndpoint(
+                host, metrics_port, self.stats_doc
+            )
+            self.metrics_port = self._metrics_endpoint.port
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    def stats_doc(self) -> Dict[str, Any]:
+        """The full ``repro-stats/1`` document this node would answer
+        on a STATS frame: per-shard rows + wire-server counters (+ the
+        cluster block when clustering is on)."""
+        stats = self.router.stats()
+        stats["server"] = self._impl.counters()
+        if self.cluster is not None:
+            stats["cluster"] = self.cluster.stats()
+        return stats
 
     def start(self) -> "ServiceServer":
         """Serve in a background thread (for tests and embedding)."""
@@ -664,6 +775,8 @@ class ServiceServer:
             daemon=True,
         )
         self._thread.start()
+        if self._metrics_endpoint is not None:
+            self._metrics_endpoint.start()
         if self.cluster is not None:
             # JOIN the peers once we are accepting their replies.
             self.cluster.start()
@@ -671,6 +784,8 @@ class ServiceServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the ``repro serve`` loop)."""
+        if self._metrics_endpoint is not None:
+            self._metrics_endpoint.start()
         if self.cluster is not None:
             # The listener is already bound (backlog holds early peer
             # traffic), so joining before the accept loop is safe.
@@ -678,6 +793,9 @@ class ServiceServer:
         self._impl.serve_forever(poll_interval=0.2)
 
     def stop(self) -> None:
+        if self._metrics_endpoint is not None:
+            self._metrics_endpoint.stop()
+            self._metrics_endpoint = None
         if self.cluster is not None:
             self.cluster.stop()
         self._impl.shutdown()

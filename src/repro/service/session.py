@@ -29,6 +29,7 @@ from ..api.analysis import Analysis, CheckerAnalysis
 from ..api.report import SessionResult, finding_dict
 from ..api.session import Session
 from ..core.snapshot import freeze, thaw, CheckpointError
+from ..obs import tracing
 from ..trace.events import Event
 
 
@@ -144,7 +145,13 @@ class StreamingSession:
             self.out_of_sync = False
         for offset, event in enumerate(events):
             event.idx = position + offset
-        self.session.feed(events, packed=self.packed or None)
+        with tracing.span(
+            "session.ingest",
+            session=self.session_id,
+            base=position,
+            events=len(events),
+        ):
+            self.session.feed(events, packed=self.packed or None)
         self.events_fed = position + len(events)
         return self._observe()
 

@@ -1,0 +1,248 @@
+"""repro.obs.experiment: locked artifacts and run diffing.
+
+The determinism contract under test (PR-10 tentpole leg 2 +
+satellite 3): two runs of the same experiment config produce
+byte-identical ``experiment.json``/``manifest.json``/``trace.jsonl``,
+``repro diff`` gates on verdicts/violation indices/config (exit 0/1)
+while wall-clock timing only ever shows up as reported deltas, and
+legacy flat ``BENCH_*.json`` artifacts from PR 4/5 still load.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.experiment import (
+    DiffError,
+    canonical_json,
+    content_hash,
+    diff_runs,
+    load_comparable,
+    normalize_report,
+    run_experiment,
+    store_bench_run,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LEGACY_PR4 = REPO_ROOT / "BENCH_PR4.json"
+LEGACY_PR5 = REPO_ROOT / "BENCH_PR5.json"
+
+
+def _run(tmp_path, name, **kwargs):
+    kwargs.setdefault("workload", "avrora")
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("scale", 0.02)
+    return run_experiment(out=str(tmp_path / name), **kwargs)
+
+
+# -- canonical bytes ---------------------------------------------------------
+
+
+def test_canonical_json_is_key_order_independent():
+    a = canonical_json({"b": 1, "a": [1, 2]})
+    b = canonical_json({"a": [1, 2], "b": 1})
+    assert a == b
+    assert a.endswith(b"\n")
+    assert content_hash({"b": 1, "a": [1, 2]}) == content_hash(
+        {"a": [1, 2], "b": 1}
+    )
+
+
+def test_normalize_report_strips_wall_clock_only():
+    report = {
+        "timing": {"seconds": 1.5, "events_per_second": 10.0, "events": 7},
+        "trace": {"path": "/tmp/x", "events": 7},
+        "verdict": "violation",
+    }
+    normalized = normalize_report(report)
+    assert normalized["timing"] == {"events": 7}
+    assert normalized["trace"] == {"events": 7}
+    assert normalized["verdict"] == "violation"
+    # The input is untouched.
+    assert report["timing"]["seconds"] == 1.5
+
+
+# -- same-seed runs are byte-identical (satellite 3, agree half) -------------
+
+
+def test_same_seed_runs_hash_identical_and_diff_clean(tmp_path, capsys):
+    a = _run(tmp_path, "a")
+    b = _run(tmp_path, "b")
+
+    for fname in ("experiment.json", "manifest.json", "trace.jsonl"):
+        bytes_a = (Path(a["run_dir"]) / fname).read_bytes()
+        bytes_b = (Path(b["run_dir"]) / fname).read_bytes()
+        assert bytes_a == bytes_b, f"{fname} differs across same-seed runs"
+
+    assert a["manifest"]["config_hash"] == b["manifest"]["config_hash"]
+    assert a["manifest"]["report_hash"] == b["manifest"]["report_hash"]
+    assert a["manifest"]["trace_hash"] == b["manifest"]["trace_hash"]
+
+    assert main(["diff", a["run_dir"], b["run_dir"]]) == 0
+    out = capsys.readouterr().out
+    assert "agree" in out
+
+
+def test_experiment_artifacts_layout(tmp_path):
+    result = _run(tmp_path, "runs")
+    run_dir = Path(result["run_dir"])
+    present = {p.name for p in run_dir.iterdir()}
+    assert {
+        "experiment.json", "manifest.json", "report.json",
+        "report.md", "trace.jsonl",
+    } <= present
+
+    experiment = json.loads((run_dir / "experiment.json").read_text())
+    assert experiment["schema"] == "repro-experiment/1"
+    assert experiment["workload"] == "avrora"
+    assert experiment["seed"] == 3
+    # Nothing volatile inside the hashed config: no run id, no clock.
+    assert "run_id" not in experiment
+
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["schema"] == "repro-manifest/1"
+    # config_hash covers the config minus its own embedded copy.
+    config = {k: v for k, v in experiment.items() if k != "config_hash"}
+    assert experiment["config_hash"] == content_hash(config)
+    assert manifest["config_hash"] == experiment["config_hash"]
+    assert manifest["spans"] > 0
+    for row in manifest["analyses"]:
+        assert {"analysis", "verdict", "violations", "violation_indices"} <= (
+            set(row)
+        )
+
+    # trace.jsonl is valid JSONL with monotonically increasing seq.
+    seqs = [
+        json.loads(line)["seq"]
+        for line in (run_dir / "trace.jsonl").read_text().splitlines()
+    ]
+    assert seqs == sorted(seqs)
+    names = {
+        json.loads(line)["name"]
+        for line in (run_dir / "trace.jsonl").read_text().splitlines()
+    }
+    assert "session.ingest" in names
+    assert "experiment.ingest" in names
+
+
+def test_run_id_collision_gets_suffixed(tmp_path):
+    a = _run(tmp_path, "runs", run_id="fixed")
+    b = _run(tmp_path, "runs", run_id="fixed")
+    assert a["run_dir"] != b["run_dir"]
+    assert Path(b["run_dir"]).name == "fixed-2"
+    # The collision suffix lives outside the hashed artifacts.
+    assert a["manifest"]["config_hash"] == b["manifest"]["config_hash"]
+
+
+# -- seeded divergence reports exact keys (satellite 3, differ half) ---------
+
+
+def test_seeded_divergence_exits_1_with_exact_keys(tmp_path, capsys):
+    a = _run(tmp_path, "a", seed=7)
+    b = _run(tmp_path, "b", seed=8)
+
+    assert main(["diff", a["run_dir"], b["run_dir"], "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["equal"] is False
+    keys = [row["key"] for row in doc["differing"]]
+    assert "seed" in keys
+    assert "config_hash" in keys
+    # Wall-clock never gates: timing shows up as metric deltas only.
+    assert not any(k.endswith("timing.seconds") for k in keys)
+    assert not any(k.endswith("events_per_second") for k in keys)
+
+    diff = diff_runs(a["run_dir"], b["run_dir"])
+    assert doc["differing"] == diff["differing"]
+
+
+def test_diff_rejects_kind_mismatch(tmp_path):
+    experiment = _run(tmp_path, "runs")
+    with pytest.raises(DiffError):
+        diff_runs(experiment["run_dir"], str(LEGACY_PR5))
+
+
+def test_diff_on_missing_path_exits_2(tmp_path, capsys):
+    assert main(["diff", str(tmp_path / "nope"), str(tmp_path / "nada")]) == 2
+    assert "diff failed:" in capsys.readouterr().err
+
+
+# -- legacy flat bench artifacts (satellite 3, legacy half) ------------------
+
+
+def test_legacy_bench_artifacts_load():
+    for path in (LEGACY_PR4, LEGACY_PR5):
+        comparable = load_comparable(str(path))
+        assert comparable["kind"] == "bench"
+        assert comparable["gate"]
+        assert comparable["metrics"]
+
+
+def test_legacy_bench_self_diff_is_clean(capsys):
+    assert main(["diff", str(LEGACY_PR5), str(LEGACY_PR5)]) == 0
+    capsys.readouterr()
+
+
+def test_legacy_bench_cross_schema_diff_reports(capsys):
+    # PR4 (repro-bench/2) vs PR5 (repro-bench/3): comparable as benches,
+    # different surface -> exit 1 with named keys, not a load error.
+    assert main(["diff", str(LEGACY_PR4), str(LEGACY_PR5), "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "bench"
+    assert doc["differing"]
+
+
+# -- bench runs through the run-dir layout (satellite 6) ---------------------
+
+
+def test_store_bench_run_round_trips(tmp_path, capsys):
+    report = json.loads(LEGACY_PR5.read_text())
+    stored = store_bench_run(report, str(tmp_path / "runs"))
+    run_dir = Path(stored["run_dir"])
+    assert (run_dir / "experiment.json").exists()
+    assert (run_dir / "manifest.json").exists()
+    assert not (run_dir / "trace.jsonl").exists()
+
+    experiment = json.loads((run_dir / "experiment.json").read_text())
+    assert experiment["kind"] == "bench"
+    assert experiment["bench_schema"] == report["schema"]
+
+    # A stored bench dir diffs clean against the flat file it came from.
+    assert main(["diff", str(run_dir), str(LEGACY_PR5)]) == 0
+    capsys.readouterr()
+
+
+# -- the experiment CLI ------------------------------------------------------
+
+
+def test_experiment_run_show_list_cli(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(
+        [
+            "experiment", "run", "--workload", "avrora", "--seed", "3",
+            "--scale", "0.02",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    run_id = next(
+        line.split()[1] for line in out.splitlines() if line.startswith("run ")
+    )
+
+    assert main(["experiment", "show", run_id]) == 0
+    shown = capsys.readouterr().out
+    assert "avrora" in shown
+
+    assert main(["experiment", "show", run_id, "--spans"]) == 0
+    spans = capsys.readouterr().out
+    assert "session.ingest" in spans
+
+    assert main(["experiment", "list"]) == 0
+    listing = capsys.readouterr().out
+    assert run_id in listing
+
+
+def test_experiment_run_unknown_workload_exits_2(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["experiment", "run", "--workload", "no-such"]) == 2
+    assert "experiment failed:" in capsys.readouterr().err

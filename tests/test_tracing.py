@@ -1,0 +1,149 @@
+"""repro.obs.tracing: deterministic span logs.
+
+The tracer is a module-global optional: instrumentation sites call
+``tracing.span(...)`` unconditionally and it must be a no-op (and
+cheap) when nothing is active. When a :class:`TickClock` drives it,
+the span log is a pure function of the event order — two same-seed
+netsim scenario runs must produce byte-identical ``trace.jsonl``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import TickClock, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    # Every test starts and ends with the global slot empty.
+    tracing.deactivate()
+    yield
+    tracing.deactivate()
+
+
+# -- the module-global slot --------------------------------------------------
+
+
+def test_span_is_a_noop_when_inactive():
+    assert tracing.active() is None
+    with tracing.span("anything", key="value"):
+        pass  # must not raise, must not record
+
+
+def test_activate_returns_and_installs_a_tracer():
+    tracer = tracing.activate()
+    assert tracing.active() is tracer
+    with tracing.span("work", n=1):
+        pass
+    assert [s.name for s in tracer.spans()] == ["work"]
+    tracing.deactivate()
+    assert tracing.active() is None
+    with tracing.span("after"):
+        pass
+    assert len(tracer.spans()) == 1  # nothing recorded post-deactivate
+
+
+# -- the tracer itself -------------------------------------------------------
+
+
+def test_tick_clock_spans_are_integer_ordered():
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("outer", kind="a"):
+        with tracer.span("inner"):
+            pass
+    outer, inner = tracer.spans()[1], tracer.spans()[0]
+    # Spans land in completion order; seq restores start order.
+    assert (outer.name, inner.name) == ("outer", "inner")
+    assert outer.seq < inner.seq
+    assert outer.start == 0 and inner.start == 1
+    assert inner.end < outer.end
+    assert outer.attrs == {"kind": "a"}
+
+
+def test_to_jsonl_is_sorted_by_seq_with_durations():
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    lines = [json.loads(line) for line in tracer.to_jsonl().splitlines()]
+    assert [row["name"] for row in lines] == ["a", "b"]
+    assert [row["seq"] for row in lines] == [0, 1]
+    for row in lines:
+        assert row["dur"] == row["end"] - row["start"]
+
+
+def test_span_survives_exceptions():
+    tracer = Tracer(clock=TickClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans()
+    assert span.name == "doomed"
+    assert span.end is not None  # closed despite the raise
+
+
+def test_tracer_limit_drops_overflow():
+    tracer = Tracer(clock=TickClock(), limit=2)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.spans()) == 2
+
+
+def test_tracer_is_thread_safe():
+    tracer = Tracer(clock=TickClock())
+
+    def worker(tag):
+        for i in range(50):
+            with tracer.span("t", tag=tag, i=i):
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(t,)) for t in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    spans = tracer.spans()
+    assert len(spans) == 200
+    assert sorted(s.seq for s in spans) == list(range(200))
+
+
+def test_dump_jsonl_round_trips(tmp_path):
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("x"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    assert tracer.dump_jsonl(str(path)) == 1
+    assert json.loads(path.read_text())["name"] == "x"
+
+
+# -- determinism under the fault simulator -----------------------------------
+
+
+def _traced_scenario(seed):
+    from repro.faults.netsim import run_cluster_scenario
+
+    tracer = tracing.activate(Tracer(clock=TickClock()))
+    try:
+        result = run_cluster_scenario("partition-two-way", seed=seed)
+    finally:
+        tracing.deactivate()
+    assert result.ok, result
+    return tracer.to_jsonl()
+
+
+def test_netsim_span_log_is_deterministic_per_seed():
+    first = _traced_scenario(11)
+    second = _traced_scenario(11)
+    assert first == second, "same-seed scenario runs diverged"
+    names = {json.loads(line)["name"] for line in first.splitlines()}
+    # Every instrumented layer shows up in one chaos drill.
+    assert {
+        "session.ingest", "shard.dispatch", "shard.checkpoint",
+        "cluster.tick", "cluster.migrate",
+    } <= names
